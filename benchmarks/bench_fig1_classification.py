@@ -1,0 +1,108 @@
+"""FIG1 / EX11 — Figure 1 overview classification and the Example 1.1 case table.
+
+Figure 1 partitions self-join-free CQs (with an order) into regions by the
+tractability of direct access and selection under LEX and SUM.  This benchmark
+recomputes the region membership for every query the paper names plus the
+paper's Example 1.1 bullet list (including the FD variants), prints both
+tables, asserts they match the paper, and times the classifier itself (it is
+supposed to be a cheap, query-size-only computation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LexOrder,
+    classify_all,
+    classify_direct_access_lex,
+    classify_direct_access_sum,
+    classify_selection_lex,
+    classify_selection_sum,
+)
+from repro.benchharness import format_table
+from repro.workloads import paper_queries as pq
+
+
+def figure1_rows():
+    rows = []
+    for name, (query, order) in pq.CATALOG.items():
+        results = classify_all(query, order)
+        rows.append(
+            (
+                name,
+                results["direct_access_lex"].verdict,
+                results["selection_lex"].verdict,
+                results["direct_access_sum"].verdict,
+                results["selection_sum"].verdict,
+            )
+        )
+    return rows
+
+
+#: The Example 1.1 bullet list: (label, callable returning verdict, expected).
+EXAMPLE_1_1_CASES = [
+    ("DA  LEX ⟨x,y,z⟩", lambda: classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "y", "z"))), "tractable"),
+    ("DA  LEX ⟨x,z,y⟩", lambda: classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z", "y"))), "intractable"),
+    ("SEL LEX ⟨x,z,y⟩", lambda: classify_selection_lex(pq.TWO_PATH, LexOrder(("x", "z", "y"))), "tractable"),
+    ("DA  LEX ⟨x,z⟩", lambda: classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z"))), "intractable"),
+    ("SEL LEX ⟨x,z⟩", lambda: classify_selection_lex(pq.TWO_PATH, LexOrder(("x", "z"))), "tractable"),
+    ("SEL LEX ⟨x,z⟩, y projected", lambda: classify_selection_lex(pq.TWO_PATH_ENDPOINTS, LexOrder(("x", "z"))), "intractable"),
+    ("DA  LEX ⟨x,z,y⟩ + FD R:y→x", lambda: classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z", "y")), fds=pq.EXAMPLE_1_1_FD_R_Y_TO_X), "tractable"),
+    ("DA  LEX ⟨x,z,y⟩ + FD S:y→z", lambda: classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z", "y")), fds=pq.EXAMPLE_1_1_FD_S_Y_TO_Z), "tractable"),
+    ("DA  LEX ⟨x,z,y⟩ + FD R:x→y", lambda: classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z", "y")), fds=pq.EXAMPLE_1_1_FD_R_X_TO_Y), "tractable"),
+    ("DA  LEX ⟨x,z,y⟩ + FD S:z→y", lambda: classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z", "y")), fds=pq.EXAMPLE_1_1_FD_S_Z_TO_Y), "intractable"),
+    ("DA  SUM x+y+z", lambda: classify_direct_access_sum(pq.TWO_PATH), "intractable"),
+    ("SEL SUM x+y+z", lambda: classify_selection_sum(pq.TWO_PATH), "tractable"),
+    ("DA  SUM x+y (z projected)", lambda: classify_direct_access_sum(_projected_xy()), "tractable"),
+    ("SEL SUM x+z (y projected)", lambda: classify_selection_sum(pq.TWO_PATH_ENDPOINTS), "intractable"),
+]
+
+
+def _projected_xy():
+    from repro import ConjunctiveQuery
+
+    return ConjunctiveQuery(("x", "y"), pq.TWO_PATH.atoms, name="Qxy")
+
+
+def test_fig1_classification_table(benchmark):
+    rows = benchmark(figure1_rows)
+    print()
+    print(format_table(
+        ["query / order", "DA LEX", "SEL LEX", "DA SUM", "SEL SUM"],
+        rows,
+        title="FIG1: classification of the paper's query catalog",
+    ))
+
+    lookup = {name: row for name, *row in rows}
+    # Spot-check the Figure 1 regions on the canonical representatives.
+    assert lookup["2-path ⟨x,y,z⟩"] == ["tractable", "tractable", "intractable", "tractable"]
+    assert lookup["2-path ⟨x,z,y⟩"][0] == "intractable"
+    assert lookup["2-path ⟨x,z,y⟩"][1] == "tractable"
+    assert lookup["2-path endpoints ⟨x,z⟩"] == ["intractable"] * 4
+    assert lookup["triangle ⟨x,y,z⟩"] == ["intractable"] * 4
+    assert lookup["Visits⋈Cases good order"][0] == "tractable"
+    assert lookup["Visits⋈Cases product"][0] == "tractable"      # every LEX order tractable
+    assert lookup["Visits⋈Cases product"][2] == "intractable"    # SUM DA hard
+    assert lookup["Visits⋈Cases product"][3] == "tractable"      # SUM selection fine (fmh = 2)
+
+
+def test_example_1_1_case_table(benchmark):
+    def run_cases():
+        return [(label, fn().verdict, expected) for label, fn, expected in EXAMPLE_1_1_CASES]
+
+    results = benchmark(run_cases)
+    print()
+    print(format_table(
+        ["Example 1.1 case", "computed", "paper"],
+        results,
+        title="EX11: the Example 1.1 bullet list",
+    ))
+    for label, got, expected in results:
+        assert got == expected, label
+
+
+@pytest.mark.parametrize("name", list(pq.CATALOG))
+def test_classifier_is_fast_per_query(benchmark, name):
+    query, order = pq.CATALOG[name]
+    benchmark(lambda: classify_all(query, order))

@@ -1,0 +1,76 @@
+"""FIG3/FIG4/FIG5 — the worked example of Section 3.1.
+
+* Figure 3: the layered join tree for ``Q3(v1,v2,v3,v4) :- R(v1,v3), S(v2,v4)``
+  and the order ⟨v1, v2, v3, v4⟩ (four layers, one node per layer).
+* Figure 4: the preprocessing output — per-tuple weights and start indices for
+  the 10-tuple example database.
+* Figure 5 / Example 3.7: accessing index 12 resolves to (a2, b1, c3, d2).
+
+The benchmark rebuilds all three artifacts, prints them, checks them against
+the numbers printed in the paper, and times preprocessing and a single access.
+"""
+
+from __future__ import annotations
+
+from repro import LexDirectAccess
+from repro.benchharness import format_table
+from repro.core.layered_tree import build_layered_join_tree
+from repro.core.preprocessing import preprocess
+from repro.core.reduction import eliminate_projections
+from repro.workloads import paper_queries as pq
+
+
+def build_instance():
+    reduction = eliminate_projections(pq.Q3, pq.FIGURE4_DATABASE)
+    tree = build_layered_join_tree(reduction.query, pq.Q3_ORDER)
+    return tree, preprocess(tree, reduction.database)
+
+
+def test_fig3_layered_join_tree(benchmark):
+    tree, _ = benchmark(build_instance)
+    rows = [
+        (layer.index, layer.variable, "{" + ",".join(sorted(layer.node_variables)) + "}",
+         layer.parent if layer.parent is not None else "-")
+        for layer in tree.layers
+    ]
+    print()
+    print(format_table(["layer", "variable", "node", "parent"], rows,
+                       title="FIG3: layered join tree for Q3, order ⟨v1,v2,v3,v4⟩"))
+    assert [set(layer.node_variables) for layer in tree.layers] == [
+        {"v1"}, {"v2"}, {"v1", "v3"}, {"v2", "v4"},
+    ]
+    assert [layer.parent for layer in tree.layers] == [None, 1, 1, 2]
+
+
+def test_fig4_preprocessing_counts(benchmark):
+    _, instance = benchmark(build_instance)
+    print()
+    for index in range(1, 5):
+        layer = instance.layer(index)
+        rows = []
+        for key, bucket in sorted(layer.buckets.items(), key=lambda kv: repr(kv[0])):
+            for row, weight, start in zip(bucket.tuples, bucket.weights, bucket.starts):
+                rows.append(("·".join(map(str, key)) or "-", "·".join(map(str, row)), weight, start))
+        print(format_table(["bucket", "tuple", "w", "s"], rows,
+                           title=f"FIG4: layer {index} ({layer.variable})"))
+        print()
+
+    # The exact numbers of Figure 4.
+    root = instance.layer(1).bucket(())
+    assert root.weights == [8, 8] and root.starts == [0, 8]
+    layer2 = instance.layer(2).bucket(())
+    assert layer2.weights == [3, 1] and layer2.starts == [0, 3]
+    layer4_b1 = instance.layer(4).bucket(("b1",))
+    assert layer4_b1.weights == [1, 1, 1] and layer4_b1.starts == [0, 1, 2]
+    assert instance.count == 16
+
+
+def test_fig5_access_index_12(benchmark):
+    access = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, pq.Q3_ORDER)
+    answer = benchmark(lambda: access[pq.EXAMPLE_3_7_INDEX])
+    print()
+    rows = [(k, *access[k]) for k in range(access.count)]
+    print(format_table(["k", "v1", "v2", "v3", "v4"], rows,
+                       title="FIG5/Example 3.7: all 16 answers; k=12 is highlighted in the paper"))
+    assert answer == pq.EXAMPLE_3_7_ANSWER
+    assert access.inverted_access(answer) == pq.EXAMPLE_3_7_INDEX

@@ -1,0 +1,95 @@
+"""RANDORD / BASE — random-order enumeration and the materialisation crossover.
+
+* RANDORD: the introduction's motivating application — uniformly random
+  enumeration (without replacement) of join answers, built on direct access.
+  The benchmark measures sampling throughput and checks prefix uniformity.
+* BASE: the crossover the lower bounds imply — the materialise-and-sort
+  baseline pays for the whole answer set up front, the direct-access structure
+  pays quasilinear preprocessing; as the join blows up, the gap widens.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+import pytest
+
+from repro import LexDirectAccess, LexOrder, MaterializedBaseline, RandomOrderEnumerator
+from repro.benchharness import format_table
+from repro.workloads import paper_queries as pq
+from repro.workloads.generators import generate_path_database
+
+ORDER = LexOrder(("x", "y", "z"))
+
+
+def dense_database(num_tuples: int, density: float = 0.5):
+    domain = max(4, int(num_tuples ** density))
+    return generate_path_database(num_tuples, domain, seed=num_tuples)
+
+
+@pytest.mark.parametrize("num_tuples", [500, 2000])
+def test_randord_sampling_throughput(benchmark, num_tuples):
+    database = dense_database(num_tuples)
+    access = LexDirectAccess(pq.TWO_PATH, database, ORDER)
+    benchmark(lambda: RandomOrderEnumerator(access, seed=1).sample(min(500, access.count)))
+
+
+def test_randord_prefix_uniformity(benchmark):
+    access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, ORDER)
+    counts = benchmark.pedantic(
+        lambda: Counter(RandomOrderEnumerator(access, seed=seed).sample(1)[0] for seed in range(2500)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ["answer", "frequency as first sample (expected ≈ 500)"],
+        sorted(counts.items()),
+        title="RANDORD: the first sampled answer is uniform over the 5 answers",
+    ))
+    assert set(counts) == set(pq.FIGURE2_EXPECTED_XYZ)
+    assert max(counts.values()) < 2500 * 0.28
+    assert min(counts.values()) > 2500 * 0.12
+
+
+def test_base_materialisation_crossover(benchmark):
+    rows = []
+    benchmark.pedantic(lambda: rows.clear(), rounds=1, iterations=1)
+    for n in (500, 1000, 2000, 4000):
+        database = dense_database(n, density=0.45)
+
+        start = time.perf_counter()
+        access = LexDirectAccess(pq.TWO_PATH, database, ORDER)
+        build = time.perf_counter() - start
+        start = time.perf_counter()
+        for k in range(0, access.count, max(1, access.count // 100)):
+            access.access(k)
+        probe = time.perf_counter() - start
+
+        start = time.perf_counter()
+        baseline = MaterializedBaseline(pq.TWO_PATH, database, order=ORDER)
+        materialise = time.perf_counter() - start
+
+        assert access.count == baseline.count
+        rows.append(
+            (
+                database.size(),
+                access.count,
+                f"{(build + probe) * 1000:.1f}",
+                f"{materialise * 1000:.1f}",
+                f"{materialise / max(build + probe, 1e-9):.1f}×",
+            )
+        )
+    print()
+    print(format_table(
+        ["n", "|Q(I)|", "direct access build+100 probes (ms)", "materialise+sort (ms)", "ratio"],
+        rows,
+        title="BASE: the baseline pays for the answer set, direct access does not",
+    ))
+
+
+@pytest.mark.parametrize("num_tuples", [1000])
+def test_base_baseline_build_time(benchmark, num_tuples):
+    database = dense_database(num_tuples, density=0.45)
+    benchmark(lambda: MaterializedBaseline(pq.TWO_PATH, database, order=ORDER))

@@ -1,0 +1,121 @@
+"""THM33 — direct access by complete LEX orders: ⟨n log n, log n⟩ in practice.
+
+Theorem 3.3's positive side promises quasilinear preprocessing and logarithmic
+access time for free-connex CQs without disruptive trios.  The benchmark
+measures both phases on the 2-path query across database sizes, fits growth
+exponents, and compares against the materialise-and-sort baseline whose cost
+is driven by the (much larger) answer count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import LexDirectAccess, LexOrder, MaterializedBaseline
+from repro.benchharness import ScalingResult, format_table
+from repro.workloads import paper_queries as pq
+from repro.workloads.generators import generate_path_database
+
+ORDER = LexOrder(("x", "y", "z"))
+
+
+def dense_path_database(num_tuples: int):
+    # A small domain keeps the join selective enough to produce an answer set
+    # noticeably larger than the input, which is the regime the paper targets.
+    domain = max(8, int(num_tuples ** 0.5))
+    return generate_path_database(num_tuples, domain, seed=num_tuples)
+
+
+@pytest.mark.parametrize("num_tuples", [500, 1000, 2000, 4000])
+def test_thm33_preprocessing_time(benchmark, num_tuples):
+    database = dense_path_database(num_tuples)
+    benchmark(lambda: LexDirectAccess(pq.TWO_PATH, database, ORDER))
+
+
+def test_thm33_preprocessing_growth_is_quasilinear(benchmark, scaling_sizes):
+    result = ScalingResult("LEX direct access: preprocessing")
+    answer_counts = []
+
+    def sweep():
+        for n in scaling_sizes:
+            database = dense_path_database(n)
+            start = time.perf_counter()
+            access = LexDirectAccess(pq.TWO_PATH, database, ORDER)
+            result.add(database.size(), time.perf_counter() - start)
+            answer_counts.append(access.count)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    print(format_table(
+        ["n (tuples)", "|Q(I)| (answers)", "preprocess (ms)"],
+        [(n, c, f"{t * 1000:.1f}") for (n, t), c in zip(result.rows(), answer_counts)],
+        title="THM33: preprocessing cost is driven by n, not by the answer count",
+    ))
+    exponent = result.exponent()
+    assert exponent < 1.6, f"preprocessing grew super-quasilinearly (exponent {exponent:.2f})"
+
+
+def test_thm33_access_time_is_logarithmic(benchmark, scaling_sizes):
+    structures = {}
+    for n in scaling_sizes:
+        database = dense_path_database(n)
+        structures[n] = LexDirectAccess(pq.TWO_PATH, database, ORDER)
+
+    result = ScalingResult("LEX direct access: single access")
+    probes = 200
+    for n, access in structures.items():
+        indices = [int(i * (access.count - 1) / max(1, probes - 1)) for i in range(probes)]
+        start = time.perf_counter()
+        for k in indices:
+            access.access(k)
+        result.add(n, (time.perf_counter() - start) / probes)
+    print()
+    print(result.summary())
+    assert result.exponent() < 0.6, "access time should be (poly)logarithmic in n"
+
+    largest = structures[max(scaling_sizes)]
+    benchmark(lambda: largest.access(largest.count // 3))
+
+
+def test_thm33_comparison_with_materialization_baseline(benchmark):
+    """The baseline pays for |Q(I)|; the direct-access structure pays for n."""
+    rows = []
+    benchmark.pedantic(lambda: rows.clear(), rounds=1, iterations=1)
+    for n in (500, 1000, 2000):
+        database = dense_path_database(n)
+        start = time.perf_counter()
+        access = LexDirectAccess(pq.TWO_PATH, database, ORDER)
+        ours = time.perf_counter() - start
+
+        start = time.perf_counter()
+        baseline = MaterializedBaseline(pq.TWO_PATH, database, order=ORDER)
+        theirs = time.perf_counter() - start
+
+        assert access.count == baseline.count
+        assert access[access.count // 2] == baseline.access(access.count // 2)
+        rows.append((database.size(), access.count, f"{ours * 1000:.1f}", f"{theirs * 1000:.1f}"))
+
+    print()
+    print(format_table(
+        ["n", "|Q(I)|", "direct access build (ms)", "materialise+sort (ms)"],
+        rows,
+        title="THM33: quasilinear construction vs. output-sized materialisation",
+    ))
+
+
+@pytest.mark.parametrize("query,order", [
+    (pq.Q3, pq.Q3_ORDER),
+    (pq.Q4, pq.Q4_ORDER),
+    (pq.Q5, pq.Q5_ORDER),
+    (pq.Q6, pq.Q6_ORDER),
+])
+def test_thm33_orders_unsupported_by_prior_structures(benchmark, query, order):
+    """Section 2.5: orders prior structures cannot realise, timed end to end."""
+    from tests.helpers import random_database_for
+
+    database = random_database_for(query, 500, 20, seed=1)
+    access = LexDirectAccess(query, database, order)
+    benchmark(lambda: access.access(access.count // 2) if access.count else None)

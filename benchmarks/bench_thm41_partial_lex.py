@@ -1,0 +1,85 @@
+"""THM41 — direct access by partial lexicographic orders.
+
+Theorem 4.1 extends the dichotomy to partial orders: tractable iff the query is
+free-connex, L-connex and trio-free, in which case the partial order is a
+prefix of a tractable complete order (Lemma 4.4).  The benchmark
+
+* verifies and times the completion step on the paper's queries,
+* measures end-to-end direct access under a partial order,
+* confirms the intractable partial orders are rejected with the right reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import IntractableQueryError, LexDirectAccess, LexOrder, classify_direct_access_lex
+from repro.benchharness import format_table
+from repro.core.partial_order import complete_order
+from repro.core.reduction import eliminate_projections
+from repro.workloads import paper_queries as pq
+from repro.workloads.generators import generate_path_database, generate_visits_cases_database
+
+
+PARTIAL_CASES = [
+    ("2-path ⟨z, y⟩", pq.TWO_PATH, LexOrder(("z", "y")), True),
+    ("2-path ⟨x⟩", pq.TWO_PATH, LexOrder(("x",)), True),
+    ("2-path ⟨y⟩", pq.TWO_PATH, LexOrder(("y",)), True),
+    ("2-path ⟨x, z⟩", pq.TWO_PATH, LexOrder(("x", "z")), False),
+    ("Visits⋈Cases ⟨cases, city⟩", pq.VISITS_CASES, LexOrder(("cases", "city")), True),
+    ("Visits⋈Cases ⟨cases, age⟩", pq.VISITS_CASES, pq.VISITS_CASES_BAD_PARTIAL, False),
+]
+
+
+def test_thm41_partial_order_classification_table(benchmark):
+    def classify():
+        return [
+            (label, classify_direct_access_lex(query, order).verdict, "tractable" if expected else "intractable")
+            for label, query, order, expected in PARTIAL_CASES
+        ]
+
+    rows = benchmark(classify)
+    print()
+    print(format_table(["partial order", "computed", "paper"], rows,
+                       title="THM41: tractability of partial lexicographic orders"))
+    for label, got, expected in rows:
+        assert got == expected, label
+
+
+def test_thm41_completions_exist_exactly_for_tractable_cases(benchmark):
+    def run():
+        results = []
+        for label, query, order, expected in PARTIAL_CASES:
+            if not query.is_full:
+                db = generate_visits_cases_database(20, 5, 10, seed=1)
+                reduced = eliminate_projections(query, db).query
+            else:
+                reduced = query
+            completion = complete_order(reduced, order)
+            results.append((label, completion is not None, expected))
+        return results
+
+    rows = benchmark(run)
+    for label, has_completion, expected in rows:
+        assert has_completion == expected, label
+
+
+@pytest.mark.parametrize("num_tuples", [500, 2000])
+def test_thm41_partial_order_access(benchmark, num_tuples):
+    database = generate_path_database(num_tuples, max(8, num_tuples // 8), seed=num_tuples)
+    access = LexDirectAccess(pq.TWO_PATH, database, LexOrder(("z", "y")))
+    if access.count:
+        benchmark(lambda: access.access(access.count - 1))
+    else:  # pragma: no cover - dense generators always produce answers
+        benchmark(lambda: None)
+
+
+def test_thm41_intractable_partial_orders_rejected(benchmark):
+    database = generate_path_database(200, 14, seed=3)
+
+    def reject():
+        with pytest.raises(IntractableQueryError) as excinfo:
+            LexDirectAccess(pq.TWO_PATH, database, LexOrder(("x", "z")))
+        assert "connex" in excinfo.value.classification.reason
+
+    benchmark.pedantic(reject, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""THM73 — selection by SUM in ⟨1, n log n⟩ for fmh ≤ 2.
+
+Theorem 7.3: selection by sum of weights is tractable exactly for free-connex
+CQs with at most two free-maximal hyperedges.  The benchmark measures median
+selection across database sizes for the three tractable shapes the paper
+discusses (single covering atom, the 2-path, the X+Y Cartesian product),
+verifies quasilinear growth, checks the answers against the brute-force oracle
+on a moderate instance, and confirms the 3-path is refused.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, IntractableQueryError, Weights, selection_sum
+from repro.benchharness import ScalingResult, format_table
+from repro.engine.naive import count_naive, evaluate_naive
+from repro.workloads import paper_queries as pq
+from repro.workloads.generators import generate_path_database, generate_product_database
+
+
+IDENTITY = Weights.identity()
+SINGLE_ATOM = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y", "z"))], name="Qsingle")
+
+
+def single_atom_database(num_tuples: int):
+    import random
+
+    rng = random.Random(num_tuples)
+    rows = sorted({(rng.randrange(num_tuples), rng.randrange(50), rng.randrange(50))
+                   for _ in range(num_tuples)})
+    from repro import Database, Relation
+
+    return Database([Relation("R", ("x", "y", "z"), rows)])
+
+
+CASES = {
+    "fmh=1 single atom": (SINGLE_ATOM, single_atom_database),
+    "fmh=2 two-path": (pq.TWO_PATH, lambda n: generate_path_database(n, max(8, int(n ** 0.5)), seed=n)),
+    "fmh=2 X+Y product": (pq.X_PLUS_Y, lambda n: generate_product_database(n, n * 3, seed=n)),
+}
+
+
+@pytest.mark.parametrize("label", list(CASES))
+@pytest.mark.parametrize("num_tuples", [500, 2000])
+def test_thm73_median_selection_time(benchmark, label, num_tuples):
+    query, make_db = CASES[label]
+    database = make_db(num_tuples)
+    total = count_naive(query, database)
+    if total == 0:  # pragma: no cover - generators always produce answers
+        pytest.skip("empty result")
+    k = (total - 1) // 2
+    benchmark(lambda: selection_sum(query, database, k, weights=IDENTITY))
+
+
+def test_thm73_selection_scales_quasilinearly(benchmark, scaling_sizes):
+    print()
+    rows = []
+
+    def sweep():
+        for label, (query, make_db) in CASES.items():
+            result = ScalingResult(f"SUM selection, {label}")
+            for n in scaling_sizes:
+                database = make_db(n)
+                total = count_naive(query, database)
+                start = time.perf_counter()
+                selection_sum(query, database, (total - 1) // 2, weights=IDENTITY)
+                result.add(database.size(), time.perf_counter() - start)
+            print(result.summary())
+            rows.append((label, f"{result.exponent():.2f}"))
+            assert result.exponent() < 1.8, label
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(format_table(["query shape", "growth exponent of median-by-SUM"], rows,
+                       title="THM73: SUM selection stays quasilinear for fmh ≤ 2"))
+
+
+def test_thm73_selected_weights_match_oracle(benchmark):
+    database = generate_path_database(300, 18, seed=4)
+    answers = evaluate_naive(pq.TWO_PATH, database)
+    expected = sorted(IDENTITY.answer_weight(("x", "y", "z"), a) for a in answers)
+
+    def verify():
+        for k in range(0, len(expected), max(1, len(expected) // 9)):
+            answer = selection_sum(pq.TWO_PATH, database, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(("x", "y", "z"), answer) == expected[k]
+
+    benchmark.pedantic(verify, rounds=1, iterations=1)
+
+
+def test_thm73_three_path_rejected(benchmark):
+    database = generate_path_database(100, 8, length=3, seed=5)
+
+    def reject():
+        with pytest.raises(IntractableQueryError):
+            selection_sum(pq.THREE_PATH, database, 0, weights=IDENTITY)
+
+    benchmark.pedantic(reject, rounds=1, iterations=1)

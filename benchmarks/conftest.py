@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark module regenerates one artifact of the paper (a figure, a
+table, a worked example, or a theorem's complexity claim).  Benchmarks print
+the tables they reproduce, so run them with ``-s`` to see the output::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Database sizes (tuples per relation) used by the scaling experiments.  They
+#: are deliberately moderate so the whole benchmark suite finishes in a couple
+#: of minutes while still spanning an order of magnitude for growth fits.
+SCALING_SIZES = [500, 1000, 2000, 4000]
+
+#: Larger sweep used by a few cheap (preprocessing-free) measurements.
+ACCESS_PROBE_COUNT = 200
+
+
+@pytest.fixture(scope="session")
+def scaling_sizes():
+    return SCALING_SIZES

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists only so
+that environments without the ``wheel`` package (where PEP 517 editable builds
+fail) can still do ``python setup.py develop`` / legacy editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro — ranked direct access and selection for conjunctive query answers.
+
+A from-scratch Python implementation of
+
+    Carmeli, Tziavelis, Gatterbauer, Kimelfeld, Riedewald.
+    "Tractable Orders for Direct Access to Ranked Answers of Conjunctive
+    Queries." PODS 2021 (extended manuscript, arXiv:2012.11965).
+
+The public API re-exports the main building blocks:
+
+* query & order modelling — :class:`ConjunctiveQuery`, :class:`Atom`,
+  :class:`LexOrder`, :class:`Weights`, :class:`Relation`, :class:`Database`,
+  :class:`FunctionalDependency`, :class:`FDSet`;
+* the decidable dichotomies — ``classify_direct_access_lex``,
+  ``classify_direct_access_sum``, ``classify_selection_lex``,
+  ``classify_selection_sum``;
+* the algorithms — :class:`LexDirectAccess`, :class:`SumDirectAccess`,
+  ``selection_lex``, ``selection_sum``, :class:`SumRankedEnumerator`,
+  :class:`RandomOrderEnumerator`;
+* baselines and workloads for experimentation.
+
+Quick start::
+
+    from repro import (Atom, ConjunctiveQuery, Database, LexDirectAccess,
+                       LexOrder, Relation)
+
+    query = ConjunctiveQuery(("x", "y", "z"),
+                             [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+    database = Database([
+        Relation("R", ("x", "y"), [(1, 5), (1, 2), (6, 2)]),
+        Relation("S", ("y", "z"), [(5, 3), (5, 4), (5, 6), (2, 5)]),
+    ])
+    access = LexDirectAccess(query, database, LexOrder(("x", "y", "z")))
+    access[2]           # third answer in lexicographic order
+    len(access)         # number of answers, without enumerating them
+"""
+
+from repro.core.atoms import Atom, ConjunctiveQuery, query
+from repro.core.orders import LexOrder, SumOrder, Weights
+from repro.core.classification import (
+    Classification,
+    classify_all,
+    classify_direct_access_lex,
+    classify_direct_access_sum,
+    classify_selection_lex,
+    classify_selection_sum,
+)
+from repro.core.direct_access import LexDirectAccess
+from repro.core.sum_direct_access import SumDirectAccess
+from repro.core.selection_lex import selection_lex
+from repro.core.selection_sum import selection_sum, median_by_sum
+from repro.core.random_order import RandomOrderEnumerator
+from repro.core.parser import parse_fds, parse_order, parse_query
+from repro.core.quantiles import (
+    count_answers,
+    median,
+    quantile,
+    quantile_table,
+    selection_quantile_lex,
+    selection_quantile_sum,
+)
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.fds.fd import FDSet, FunctionalDependency
+from repro.ranking.ranked_enumeration import SumRankedEnumerator
+from repro.baselines.materialize import MaterializedBaseline
+from repro.exceptions import (
+    IntractableQueryError,
+    NotAnAnswerError,
+    OutOfBoundsError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "query",
+    "LexOrder",
+    "SumOrder",
+    "Weights",
+    "Classification",
+    "classify_all",
+    "classify_direct_access_lex",
+    "classify_direct_access_sum",
+    "classify_selection_lex",
+    "classify_selection_sum",
+    "LexDirectAccess",
+    "SumDirectAccess",
+    "selection_lex",
+    "selection_sum",
+    "median_by_sum",
+    "RandomOrderEnumerator",
+    "parse_query",
+    "parse_order",
+    "parse_fds",
+    "count_answers",
+    "median",
+    "quantile",
+    "quantile_table",
+    "selection_quantile_lex",
+    "selection_quantile_sum",
+    "Database",
+    "Relation",
+    "FDSet",
+    "FunctionalDependency",
+    "SumRankedEnumerator",
+    "MaterializedBaseline",
+    "IntractableQueryError",
+    "NotAnAnswerError",
+    "OutOfBoundsError",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Classic selection algorithms used as substrates.
+
+The paper's selection results build on three well-known algorithmic
+ingredients, all implemented here from scratch:
+
+* linear-time selection on an unsorted array (Blum et al. 1973) —
+  :func:`~repro.algorithms.quickselect.select_kth` (randomised quickselect with
+  a deterministic median-of-medians fallback),
+* weighted selection (Johnson & Mizoguchi 1978) —
+  :func:`~repro.algorithms.weighted_selection.weighted_select`,
+* selection on a union of implicitly-represented sorted matrices
+  (Frederickson & Johnson 1984), used for selection in ``X + Y`` and for SUM
+  selection on two-maximal-hyperedge queries —
+  :func:`~repro.algorithms.sorted_matrix.select_in_sorted_matrix_union`.
+"""
+
+from repro.algorithms.quickselect import select_kth, median_of_medians_select
+from repro.algorithms.weighted_selection import weighted_select
+from repro.algorithms.sorted_matrix import (
+    SortedMatrix,
+    count_at_most,
+    select_in_sorted_matrix_union,
+)
+from repro.algorithms.xy_selection import select_in_x_plus_y
+
+__all__ = [
+    "select_kth",
+    "median_of_medians_select",
+    "weighted_select",
+    "SortedMatrix",
+    "count_at_most",
+    "select_in_sorted_matrix_union",
+    "select_in_x_plus_y",
+]

@@ -1,0 +1,93 @@
+"""Selection in an unsorted array.
+
+Two implementations are provided:
+
+* :func:`select_kth` — randomised quickselect, expected linear time; this is
+  the workhorse used by the library.
+* :func:`median_of_medians_select` — the deterministic worst-case linear-time
+  algorithm of Blum, Floyd, Pratt, Rivest and Tarjan (1973), referenced by the
+  paper as "[10]" for the ``mh(Q) = 1`` selection case (Lemma 7.8).  It is kept
+  separate both for pedagogy and so the benchmarks can compare the two.
+
+Both accept an optional ``key`` function and return the element of the input
+that would land at (0-based) index ``k`` if the array were sorted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.exceptions import OutOfBoundsError
+
+T = TypeVar("T")
+
+
+def _identity(value):
+    return value
+
+
+def select_kth(items: Sequence[T], k: int, key: Optional[Callable[[T], object]] = None,
+               rng: Optional[random.Random] = None) -> T:
+    """Return the ``k``-th smallest element (0-based) via randomised quickselect."""
+    if k < 0 or k >= len(items):
+        raise OutOfBoundsError(f"index {k} out of bounds for {len(items)} items")
+    key = key or _identity
+    rng = rng or random
+    pool: List[T] = list(items)
+    offset = 0
+    while True:
+        if len(pool) == 1:
+            return pool[0]
+        pivot = key(pool[rng.randrange(len(pool))])
+        less, equal, greater = [], [], []
+        for item in pool:
+            item_key = key(item)
+            if item_key < pivot:
+                less.append(item)
+            elif item_key > pivot:
+                greater.append(item)
+            else:
+                equal.append(item)
+        if k - offset < len(less):
+            pool = less
+        elif k - offset < len(less) + len(equal):
+            return equal[k - offset - len(less)]
+        else:
+            offset += len(less) + len(equal)
+            pool = greater
+
+
+def median_of_medians_select(items: Sequence[T], k: int,
+                             key: Optional[Callable[[T], object]] = None) -> T:
+    """Deterministic worst-case linear selection (Blum et al. 1973)."""
+    if k < 0 or k >= len(items):
+        raise OutOfBoundsError(f"index {k} out of bounds for {len(items)} items")
+    key = key or _identity
+
+    def select(pool: List[T], rank: int) -> T:
+        while True:
+            if len(pool) <= 10:
+                return sorted(pool, key=key)[rank]
+            # Median of medians of groups of five as the pivot.
+            medians = [sorted(pool[i : i + 5], key=key)[len(pool[i : i + 5]) // 2]
+                       for i in range(0, len(pool), 5)]
+            pivot = key(select(medians, len(medians) // 2))
+            less, equal, greater = [], [], []
+            for item in pool:
+                item_key = key(item)
+                if item_key < pivot:
+                    less.append(item)
+                elif item_key > pivot:
+                    greater.append(item)
+                else:
+                    equal.append(item)
+            if rank < len(less):
+                pool = less
+            elif rank < len(less) + len(equal):
+                return equal[rank - len(less)]
+            else:
+                rank -= len(less) + len(equal)
+                pool = greater
+
+    return select(list(items), k)

@@ -1,0 +1,79 @@
+"""Weighted selection.
+
+Given items with positive integer multiplicities (weights), the *weighted
+selection* problem asks for the item that occupies position ``k`` in the
+multiset obtained by repeating each item according to its weight and sorting by
+the item key.  The paper uses it inside the LEX selection algorithm
+(Lemma 6.6): the items are the active-domain values of a variable and the
+weights are per-value answer counts, and sorting must be avoided to stay
+linear.
+
+The implementation is a weighted quickselect: expected linear time in the
+number of items, independent of the total weight.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.exceptions import OutOfBoundsError
+
+T = TypeVar("T")
+
+
+def weighted_select(
+    items: Sequence[T],
+    weights: Sequence[int],
+    k: int,
+    key: Optional[Callable[[T], object]] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[T, int]:
+    """Select by rank in the weighted multiset.
+
+    Returns ``(item, preceding_weight)`` where ``item`` is the value at weighted
+    rank ``k`` (0-based) and ``preceding_weight`` is the total weight of items
+    strictly smaller than it — exactly the two quantities the LEX selection
+    loop needs to recurse (it continues with ``k - preceding_weight``).
+    """
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    total = sum(weights)
+    if k < 0 or k >= total:
+        raise OutOfBoundsError(f"weighted rank {k} out of bounds for total weight {total}")
+    key = key or (lambda value: value)
+    rng = rng or random
+
+    pool: List[Tuple[T, int]] = [(item, weight) for item, weight in zip(items, weights) if weight > 0]
+    smaller_outside = 0
+    while True:
+        if len(pool) == 1:
+            return pool[0][0], smaller_outside
+        pivot = key(pool[rng.randrange(len(pool))][0])
+        less, equal, greater = [], [], []
+        less_weight = equal_weight = 0
+        for item, weight in pool:
+            item_key = key(item)
+            if item_key < pivot:
+                less.append((item, weight))
+                less_weight += weight
+            elif item_key > pivot:
+                greater.append((item, weight))
+            else:
+                equal.append((item, weight))
+                equal_weight += weight
+        rank_in_pool = k - smaller_outside
+        if rank_in_pool < less_weight:
+            pool = less
+        elif rank_in_pool < less_weight + equal_weight:
+            # Items equal under `key` may still be distinct values; walk them in
+            # deterministic order to attribute the rank to one of them.
+            running = less_weight
+            for item, weight in sorted(equal, key=lambda pair: repr(pair[0])):
+                if rank_in_pool < running + weight:
+                    return item, smaller_outside + running
+                running += weight
+            raise AssertionError("unreachable: rank inside equal block not found")
+        else:
+            smaller_outside += less_weight + equal_weight
+            pool = greater

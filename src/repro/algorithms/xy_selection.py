@@ -1,0 +1,30 @@
+"""Selection in ``X + Y``.
+
+Given two numeric sequences ``X`` and ``Y``, the ``X + Y`` selection problem
+asks for the ``k``-th smallest value among all ``|X| · |Y|`` pairwise sums
+(Johnson & Mizoguchi 1978; Frederickson & Johnson 1984).  The paper points out
+(after Lemma 5.8) that this is exactly direct access by SUM on the Cartesian
+product query ``Q_XY(x, y) :- R(x), S(y)``, and the two-maximal-hyperedge SUM
+selection algorithm reduces to a union of such problems.
+
+This module is a thin convenience wrapper around
+:mod:`repro.algorithms.sorted_matrix` for the single-matrix case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.algorithms.sorted_matrix import SortedMatrix, select_in_sorted_matrix_union
+
+
+def select_in_x_plus_y(xs: Sequence[float], ys: Sequence[float], k: int) -> float:
+    """The ``k``-th smallest (0-based) value of ``{x + y : x ∈ xs, y ∈ ys}`` as a multiset."""
+    matrix = SortedMatrix(rows=tuple(sorted(xs)), cols=tuple(sorted(ys)))
+    return select_in_sorted_matrix_union([matrix], k)
+
+
+def median_of_x_plus_y(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The lower median of the pairwise-sum multiset."""
+    total = len(xs) * len(ys)
+    return select_in_x_plus_y(xs, ys, (total - 1) // 2)

@@ -1,0 +1,13 @@
+"""Baselines: materialise-and-sort direct access and selection.
+
+The lower bounds of the paper compare against the obvious strategy of computing
+all answers, sorting them, and serving accesses from the array.  These
+baselines make that strategy explicit so the benchmarks can show the separation
+the theory predicts: the baseline pays ``Θ(|Q(I)|)`` (often quadratic in the
+database size) up front, whereas the paper's algorithms pay quasilinear
+preprocessing regardless of the answer count.
+"""
+
+from repro.baselines.materialize import MaterializedBaseline, materialized_selection
+
+__all__ = ["MaterializedBaseline", "materialized_selection"]

@@ -1,0 +1,13 @@
+"""Shared harness for the scaling experiments behind the benchmarks.
+
+The paper's guarantees are asymptotic (⟨n log n, log n⟩ and friends); the
+benchmarks verify their *shape* by measuring preprocessing/access/selection
+times across a geometric range of database sizes and fitting simple growth
+models.  This subpackage provides the measurement loop and the growth-rate
+summaries used both by the pytest-benchmark modules and by ``EXPERIMENTS.md``.
+"""
+
+from repro.benchharness.scaling import ScalingResult, measure_scaling, growth_exponent
+from repro.benchharness.reporting import format_table
+
+__all__ = ["ScalingResult", "measure_scaling", "growth_exponent", "format_table"]

@@ -1,0 +1,31 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark modules print the tables/figures they regenerate (classification
+tables, orderings, scaling summaries) so that running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's artifacts in
+the terminal and ``EXPERIMENTS.md`` can quote them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a simple aligned text table."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)

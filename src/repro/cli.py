@@ -1,0 +1,84 @@
+"""Command-line interface: classify a query/order/FD combination.
+
+Usage::
+
+    python -m repro.cli "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, z, y"
+    python -m repro.cli "Q(x, z) :- R(x, y), S(y, z)" --fd "S: y -> z"
+
+prints, for the given query (and optional order and unary FDs), the verdicts of
+all four dichotomies together with the governing theorems, guarantees and
+structural witnesses.  Exit code 0 means every requested problem is tractable,
+1 means at least one is not (useful in scripts that guard query deployment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.benchharness.reporting import format_table
+from repro.core.classification import classify_all
+from repro.core.parser import parse_fds, parse_order, parse_query
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Classify ranked direct access and selection for a conjunctive query.",
+    )
+    parser.add_argument("query", help='e.g. "Q(x, y, z) :- R(x, y), S(y, z)"')
+    parser.add_argument("--order", help='lexicographic order, e.g. "x, z desc, y"', default=None)
+    parser.add_argument(
+        "--fd",
+        action="append",
+        default=[],
+        metavar="FD",
+        help='unary functional dependency, e.g. "R: x -> y" (repeatable)',
+    )
+    parser.add_argument(
+        "--explain", action="store_true", help="also print reasons, witnesses and hypotheses"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_argument_parser().parse_args(argv)
+    query = parse_query(args.query)
+    order = parse_order(args.order) if args.order else None
+    fds = parse_fds(args.fd) if args.fd else None
+
+    results = classify_all(query, order, fds=fds)
+
+    rows = []
+    for key, classification in results.items():
+        rows.append(
+            (
+                key,
+                classification.verdict,
+                classification.guarantee or "-",
+                classification.theorem,
+            )
+        )
+    print(f"query: {query}")
+    if order is not None:
+        print(f"order: {order}")
+    if fds:
+        print("FDs:   " + ", ".join(str(fd) for fd in fds))
+    print()
+    print(format_table(["problem", "verdict", "guarantee", "theorem"], rows))
+
+    if args.explain:
+        print()
+        for key, classification in results.items():
+            print(f"{key}: {classification.reason}")
+            if classification.witness is not None:
+                print(f"    witness: {classification.witness}")
+            if classification.hypotheses:
+                print(f"    conditional on: {', '.join(classification.hypotheses)}")
+
+    return 0 if all(c.tractable for c in results.values()) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

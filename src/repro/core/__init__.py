@@ -1,0 +1,51 @@
+"""The paper's primary contribution: classification and ranked direct access.
+
+Public entry points:
+
+* :class:`~repro.core.atoms.ConjunctiveQuery` and :class:`~repro.core.atoms.Atom`
+  — query representation.
+* :class:`~repro.core.orders.LexOrder` and :class:`~repro.core.orders.Weights`
+  — the two order families (LEX and SUM).
+* :mod:`repro.core.classification` — the decidable dichotomies
+  (Theorems 3.3, 4.1, 5.1, 6.1, 7.3 and the FD variants of Section 8).
+* :class:`~repro.core.direct_access.LexDirectAccess` — direct access by
+  (partial) lexicographic orders.
+* :class:`~repro.core.sum_direct_access.SumDirectAccess` — direct access by sum
+  of weights for the tractable class.
+* :func:`~repro.core.selection_lex.selection_lex` and
+  :func:`~repro.core.selection_sum.selection_sum` — the selection problem.
+* :class:`~repro.core.random_order.RandomOrderEnumerator` — uniform
+  random-order enumeration built on direct access.
+"""
+
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core.orders import LexOrder, Weights
+from repro.core.classification import (
+    Classification,
+    classify_direct_access_lex,
+    classify_direct_access_sum,
+    classify_selection_lex,
+    classify_selection_sum,
+)
+from repro.core.direct_access import LexDirectAccess
+from repro.core.sum_direct_access import SumDirectAccess
+from repro.core.selection_lex import selection_lex
+from repro.core.selection_sum import selection_sum
+from repro.core.random_order import RandomOrderEnumerator
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "LexOrder",
+    "Weights",
+    "Classification",
+    "classify_direct_access_lex",
+    "classify_direct_access_sum",
+    "classify_selection_lex",
+    "classify_selection_sum",
+    "LexDirectAccess",
+    "SumDirectAccess",
+    "selection_lex",
+    "selection_sum",
+    "RandomOrderEnumerator",
+]

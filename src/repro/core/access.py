@@ -1,0 +1,230 @@
+"""Access routines over the preprocessed structure (Algorithms 1 and 2).
+
+Three operations are provided on a :class:`~repro.core.preprocessing.PreprocessedInstance`:
+
+* :func:`access` — Algorithm 1: return the answer at index ``k`` of the
+  lexicographically sorted answer array, in time logarithmic in the database
+  size (one binary search per layer).
+* :func:`inverted_access` — Algorithm 2: given an answer, return its index (or
+  raise :class:`~repro.exceptions.NotAnAnswerError`), in constant time per
+  layer.
+* :func:`next_answer_index` — the Remark 3 variant: given an arbitrary
+  assignment of the order variables (not necessarily an answer), return the
+  index of the first answer that is lexicographically ≥ it.
+
+All three walk the layers in order, maintain the current bucket per layer and
+the running ``factor`` (product of the weights of the other root buckets), and
+use exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.preprocessing import Bucket, LayerData, PreprocessedInstance
+from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+
+
+def _locate_tuple(bucket: Bucket, factor: int, k: int) -> int:
+    """Index of the tuple ``t`` of ``bucket`` with ``start(t)·factor ≤ k < end(t)·factor``.
+
+    Binary search over the monotone ``starts`` array (weights are positive, so
+    ``starts`` is strictly increasing once scaled by ``factor``).
+    """
+    # bisect_right over starts*factor: find rightmost tuple with start*factor <= k
+    lo, hi = 0, len(bucket.starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if bucket.starts[mid] * factor <= k:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def access(instance: PreprocessedInstance, k: int) -> Tuple:
+    """Return the ``k``-th answer (0-based) in the instance's lexicographic order.
+
+    Raises :class:`OutOfBoundsError` when ``k`` is negative or at least the
+    number of answers, mirroring the paper's "out-of-bound" result.
+    """
+    if k < 0 or k >= instance.count:
+        raise OutOfBoundsError(
+            f"index {k} is out of bounds for {instance.count} answers"
+        )
+
+    layers = instance.layers
+    num_layers = len(layers)
+    selected_rows: Dict[int, Tuple] = {}
+    current_buckets: Dict[int, Bucket] = {1: layers[1].bucket(())}
+    factor = current_buckets[1].total
+    remaining = k
+
+    for i in range(1, num_layers + 1):
+        layer = layers[i]
+        bucket = current_buckets[i]
+        factor //= bucket.total
+        index = _locate_tuple(bucket, factor, remaining)
+        row = bucket.tuples[index]
+        selected_rows[i] = row
+        remaining -= bucket.starts[index] * factor
+
+        for child_index in layer.children:
+            child = layers[child_index]
+            key = tuple(
+                row[layer.variables.index(v)] for v in child.key_variables
+            )
+            child_bucket = child.bucket(key)
+            if child_bucket is None:  # pragma: no cover - impossible after reduction
+                raise OutOfBoundsError("inconsistent preprocessing state")
+            current_buckets[child_index] = child_bucket
+            factor *= child_bucket.total
+
+    return _assemble_answer(instance, selected_rows)
+
+
+def _assemble_answer(instance: PreprocessedInstance, selected_rows: Dict[int, Tuple]) -> Tuple:
+    """Combine the selected per-layer tuples into an answer in head order."""
+    assignment: Dict[str, object] = {}
+    for index, row in selected_rows.items():
+        layer = instance.layers[index]
+        for variable, value in zip(layer.variables, row):
+            assignment[variable] = value
+    return tuple(assignment[v] for v in instance.query.free_variables)
+
+
+def _answer_assignment(instance: PreprocessedInstance, answer: Sequence) -> Dict[str, object]:
+    free = instance.query.free_variables
+    if len(answer) != len(free):
+        raise NotAnAnswerError(
+            f"answer {tuple(answer)!r} does not match the head arity {len(free)}"
+        )
+    return dict(zip(free, answer))
+
+
+def inverted_access(instance: PreprocessedInstance, answer: Sequence) -> int:
+    """Return the index of ``answer`` in the lexicographic order (Algorithm 2).
+
+    Raises :class:`NotAnAnswerError` if the tuple is not an answer of the query
+    on the preprocessed database.
+    """
+    if instance.count == 0:
+        raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer (empty result)")
+    assignment = _answer_assignment(instance, answer)
+
+    layers = instance.layers
+    num_layers = len(layers)
+    current_buckets: Dict[int, Bucket] = {1: layers[1].bucket(())}
+    factor = current_buckets[1].total
+    k = 0
+
+    for i in range(1, num_layers + 1):
+        layer = layers[i]
+        bucket = current_buckets[i]
+        factor //= bucket.total
+
+        row = None
+        value = assignment[layer.variable]
+        index = bucket.find_by_value(value) if not instance.order.is_descending(layer.variable) else None
+        if index is None:
+            # Either descending (search on transformed key) or value absent.
+            for j, candidate in enumerate(bucket.tuples):
+                if candidate[layer.value_position] == value:
+                    index = j
+                    break
+        if index is None:
+            raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer")
+        row = bucket.tuples[index]
+        # The node may contain several variables; all must agree with the answer.
+        for variable, val in zip(layer.variables, row):
+            if assignment.get(variable, val) != val:
+                raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer")
+        k += bucket.starts[index] * factor
+
+        for child_index in layer.children:
+            child = layers[child_index]
+            key = tuple(row[layer.variables.index(v)] for v in child.key_variables)
+            child_bucket = child.bucket(key)
+            if child_bucket is None:
+                raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer")
+            current_buckets[child_index] = child_bucket
+            factor *= child_bucket.total
+
+    return k
+
+
+def next_answer_index(instance: PreprocessedInstance, target: Sequence) -> int:
+    """Index of the first answer lexicographically ≥ ``target`` (Remark 3).
+
+    ``target`` assigns a value to every variable of the order (aligned with the
+    query head).  If every answer is smaller than ``target``, the total number
+    of answers is returned (i.e. the index one past the last answer), which is
+    the natural "out of bound" sentinel for enumeration use cases.
+
+    Only ascending orders are supported (the Remark 3 construction binary
+    searches on raw values).
+    """
+    if any(instance.order.is_descending(v) for v in instance.order.variables):
+        raise NotAnAnswerError("next_answer_index supports ascending orders only")
+    if instance.count == 0:
+        return 0
+    assignment = _answer_assignment(instance, target)
+
+    layers = instance.layers
+    num_layers = len(layers)
+
+    # State for the walk: buckets chosen so far and the accumulated index.
+    current_buckets: Dict[int, Bucket] = {1: layers[1].bucket(())}
+    factor = instance.count
+    k = 0
+    # Trail of (layer, bucket, chosen tuple index, factor_before, k_before, buckets_snapshot)
+    trail: List[Tuple[int, Bucket, int, int, int, Dict[int, Bucket]]] = []
+
+    i = 1
+    exact = True
+    while i <= num_layers:
+        layer = layers[i]
+        bucket = current_buckets[i]
+        factor_before = factor
+        factor //= bucket.total
+
+        if exact:
+            value = assignment[layer.variable]
+            index = bucket.first_index_at_least(value)
+        else:
+            index = 0
+
+        if index >= len(bucket.tuples):
+            # Every tuple in this bucket is smaller: backtrack to the previous
+            # layer and advance its choice by one.
+            while trail:
+                i_prev, bucket_prev, idx_prev, factor_prev, k_prev, buckets_prev = trail.pop()
+                if idx_prev + 1 < len(bucket_prev.tuples):
+                    current_buckets = dict(buckets_prev)
+                    factor = factor_prev // bucket_prev.total
+                    k = k_prev
+                    i = i_prev
+                    layer = layers[i]
+                    bucket = bucket_prev
+                    index = idx_prev + 1
+                    exact = False
+                    break
+            else:
+                return instance.count
+        else:
+            exact = exact and bucket.tuples[index][layer.value_position] == assignment[layer.variable]
+
+        trail.append((i, bucket, index, factor_before, k, dict(current_buckets)))
+        row = bucket.tuples[index]
+        k += bucket.starts[index] * factor
+
+        for child_index in layer.children:
+            child = layers[child_index]
+            key = tuple(row[layer.variables.index(v)] for v in child.key_variables)
+            child_bucket = child.bucket(key)
+            current_buckets[child_index] = child_bucket
+            factor *= child_bucket.total
+        i += 1
+
+    return k

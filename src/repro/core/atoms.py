@@ -1,0 +1,230 @@
+"""Conjunctive queries and atoms.
+
+A conjunctive query (CQ) ``Q(X_f) :- R_1(X_1), ..., R_l(X_l)`` is represented by
+an ordered tuple of free variables (the head) and a tuple of :class:`Atom`
+objects (the body).  The structural notions of Section 2.1 — the associated
+hypergraph, the free-restricted hypergraph, full/Boolean queries, self-join
+freeness — are exposed as properties and methods here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.exceptions import QueryStructureError, SchemaError
+from repro.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A query atom ``R(x_1, ..., x_k)``.
+
+    ``relation`` is the relational symbol and ``variables`` the variable names
+    at each position.  Repeated variables within an atom are allowed (they are
+    normalised away by :meth:`ConjunctiveQuery.normalize`).
+    """
+
+    relation: str
+    variables: Tuple[str, ...]
+
+    def __init__(self, relation: str, variables: Sequence[str]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "variables", tuple(variables))
+
+    @property
+    def variable_set(self) -> FrozenSet[str]:
+        """The set of variables of the atom (its hyperedge)."""
+        return frozenset(self.variables)
+
+    @property
+    def has_repeated_variables(self) -> bool:
+        return len(set(self.variables)) != len(self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+class ConjunctiveQuery:
+    """A conjunctive query with an ordered head.
+
+    Parameters
+    ----------
+    head:
+        The free variables, in output order.  Every head variable must occur in
+        the body.
+    atoms:
+        The body atoms.
+    name:
+        Optional human-readable name, used in reports and benchmarks.
+    """
+
+    __slots__ = ("_head", "_atoms", "_name")
+
+    def __init__(self, head: Sequence[str], atoms: Iterable[Atom], name: Optional[str] = None) -> None:
+        atoms = tuple(atoms)
+        head = tuple(head)
+        body_vars = set()
+        for atom in atoms:
+            body_vars |= atom.variable_set
+        missing = [v for v in head if v not in body_vars]
+        if missing:
+            raise QueryStructureError(f"head variables {missing} do not appear in the body")
+        if len(set(head)) != len(head):
+            raise QueryStructureError(f"head contains repeated variables: {head}")
+        self._head = head
+        self._atoms = atoms
+        self._name = name or "Q"
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def head(self) -> Tuple[str, ...]:
+        """The free variables in output order."""
+        return self._head
+
+    @property
+    def free_variables(self) -> Tuple[str, ...]:
+        """Alias of :attr:`head` (the paper's ``free(Q)``), order preserved."""
+        return self._head
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self._atoms
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """All variables appearing in the body, ``var(Q)``."""
+        result = set()
+        for atom in self._atoms:
+            result |= atom.variable_set
+        return frozenset(result)
+
+    @property
+    def existential_variables(self) -> FrozenSet[str]:
+        """Variables that are projected away (not in the head)."""
+        return self.variables - set(self._head)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every body variable is free."""
+        return not self.existential_variables
+
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query has an empty head."""
+        return not self._head
+
+    @property
+    def is_self_join_free(self) -> bool:
+        """Whether no relational symbol repeats in the body."""
+        names = [atom.relation for atom in self._atoms]
+        return len(set(names)) == len(names)
+
+    @property
+    def has_projections(self) -> bool:
+        return not self.is_full
+
+    def atoms_of_relation(self, relation: str) -> Tuple[Atom, ...]:
+        return tuple(atom for atom in self._atoms if atom.relation == relation)
+
+    def atoms_containing(self, variable: str) -> Tuple[Atom, ...]:
+        return tuple(atom for atom in self._atoms if variable in atom.variable_set)
+
+    # ------------------------------------------------------------------
+    # Hypergraphs
+    # ------------------------------------------------------------------
+    def hypergraph(self) -> Hypergraph:
+        """The associated hypergraph ``H(Q)``."""
+        return Hypergraph(self.variables, [atom.variable_set for atom in self._atoms])
+
+    def free_hypergraph(self) -> Hypergraph:
+        """The free-restricted hypergraph ``H_free(Q)``."""
+        return self.hypergraph().restrict(self._head)
+
+    # ------------------------------------------------------------------
+    # Normalisation
+    # ------------------------------------------------------------------
+    def normalize(self, database: Optional[Database] = None) -> Tuple["ConjunctiveQuery", Optional[Database]]:
+        """Remove repeated variables within atoms and duplicate self-join copies.
+
+        Returns an equivalent (query, database) pair in which every atom
+        mentions each variable at most once and every atom has its own relation
+        name.  If ``database`` is ``None``, only the query is transformed and
+        the second component is ``None`` — useful for purely structural
+        analyses.  This is the linear-time preprocessing discussed at the start
+        of Section 8 ("Concepts and Notation for FDs").
+        """
+        new_atoms: List[Atom] = []
+        new_relations: List[Relation] = []
+        used_names: Dict[str, int] = {}
+
+        for index, atom in enumerate(self._atoms):
+            variables = atom.variables
+            unique_vars: List[str] = []
+            first_position: Dict[str, int] = {}
+            for position, variable in enumerate(variables):
+                if variable not in first_position:
+                    first_position[variable] = position
+                    unique_vars.append(variable)
+
+            occurrence = used_names.get(atom.relation, 0)
+            used_names[atom.relation] = occurrence + 1
+            needs_copy = occurrence > 0
+            needs_dedup = atom.has_repeated_variables
+            relation_name = atom.relation if not needs_copy else f"{atom.relation}__sj{occurrence}"
+
+            new_atoms.append(Atom(relation_name, unique_vars))
+
+            if database is not None:
+                base = database.relation(atom.relation)
+                if len(base.attributes) != len(variables):
+                    raise SchemaError(
+                        f"atom {atom} expects arity {len(variables)} but relation "
+                        f"{atom.relation!r} has arity {len(base.attributes)}"
+                    )
+                if needs_dedup:
+                    rows = [
+                        tuple(row[first_position[v]] for v in unique_vars)
+                        for row in base
+                        if all(row[p] == row[first_position[v]] for p, v in enumerate(variables))
+                    ]
+                else:
+                    rows = list(base.rows)
+                new_relations.append(Relation(relation_name, tuple(unique_vars), rows).distinct())
+
+        new_query = ConjunctiveQuery(self._head, new_atoms, name=self._name)
+        if database is None:
+            return new_query, None
+        return new_query, Database(new_relations)
+
+    # ------------------------------------------------------------------
+    # Dunder / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return self._head == other._head and self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash((self._head, self._atoms))
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self._atoms)
+        return f"{self._name}({', '.join(self._head)}) :- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ConjunctiveQuery({self!s})"
+
+
+def query(name: str, head: Sequence[str], *atom_specs: Tuple[str, Sequence[str]]) -> ConjunctiveQuery:
+    """Concise constructor: ``query("Q", ["x","y"], ("R", ["x","y"]), ...)``."""
+    atoms = [Atom(rel, vars_) for rel, vars_ in atom_specs]
+    return ConjunctiveQuery(head, atoms, name=name)

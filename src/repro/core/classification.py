@@ -1,0 +1,388 @@
+"""The decidable dichotomies (Theorems 3.3, 4.1, 5.1, 6.1, 7.3, 8.9, 8.10, 8.21, 8.22).
+
+Each ``classify_*`` function takes a query, possibly an order, and optionally a
+set of unary functional dependencies, and returns a :class:`Classification`
+describing
+
+* whether the problem is in the tractable class of the corresponding theorem,
+* the complexity guarantee on the tractable side,
+* the reason / witness structure on either side (disruptive trio, missing
+  connexity with an S-path witness, the independent free variables, ...),
+* the hardness hypotheses the intractable side relies on, and
+* whether the verdict is conditional on self-join-freeness (the hard sides of
+  all dichotomies are proved only for self-join-free CQs; queries with
+  self-joins that fall outside the tractable class are reported as ``unknown``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.core import structure as st
+
+#: Hardness hypotheses of Section 2.4, used in classification reports.
+SPARSE_BMM = "sparseBMM"
+HYPERCLIQUE = "Hyperclique"
+THREE_SUM = "3SUM"
+SETH = "SETH"
+
+TRACTABLE = "tractable"
+INTRACTABLE = "intractable"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of a dichotomy decision.
+
+    Attributes
+    ----------
+    problem:
+        One of ``"direct_access"`` / ``"selection"``.
+    order_family:
+        ``"LEX"`` or ``"SUM"``.
+    verdict:
+        ``"tractable"``, ``"intractable"`` or ``"unknown"`` (self-joins outside
+        the tractable class).
+    guarantee:
+        The ⟨preprocessing, access⟩ bound on the tractable side, e.g.
+        ``"<n log n, log n>"``.
+    reason:
+        Human-readable explanation.
+    theorem:
+        The governing theorem of the paper.
+    hypotheses:
+        Fine-grained hypotheses the intractable verdict is conditional on.
+    witness:
+        Structural witness (disruptive trio, S-path, independent set, ...).
+    details:
+        Additional structured facts (free-connex?, fmh, α_free, ...).
+    """
+
+    problem: str
+    order_family: str
+    verdict: str
+    guarantee: Optional[str] = None
+    reason: str = ""
+    theorem: str = ""
+    hypotheses: Tuple[str, ...] = ()
+    witness: Optional[Tuple] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def tractable(self) -> bool:
+        """``True`` iff the verdict is tractable."""
+        return self.verdict == TRACTABLE
+
+    @property
+    def intractable(self) -> bool:
+        return self.verdict == INTRACTABLE
+
+    def summary(self) -> str:
+        """One-line summary suitable for report tables."""
+        head = f"{self.problem}/{self.order_family}: {self.verdict}"
+        if self.verdict == TRACTABLE and self.guarantee:
+            head += f" {self.guarantee}"
+        if self.reason:
+            head += f" — {self.reason}"
+        return head
+
+
+def _verdict_for_hard_case(query: ConjunctiveQuery) -> str:
+    """Hard sides of the dichotomies are proven for self-join-free CQs only."""
+    return INTRACTABLE if query.is_self_join_free else UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# Direct access by LEX (Theorems 3.3 and 4.1; 8.21 with FDs)
+# ----------------------------------------------------------------------
+def classify_direct_access_lex(
+    query: ConjunctiveQuery,
+    order: LexOrder,
+    fds=None,
+) -> Classification:
+    """Classify ranked direct access by a (partial) lexicographic order.
+
+    Tractable iff the query is free-connex, ``L``-connex, and has no disruptive
+    trio with respect to ``L`` (Theorem 4.1; Theorem 3.3 is the special case of
+    a complete order).  With unary FDs the same criteria are applied to the
+    FD-extension ``Q⁺`` and the FD-reordered order ``L⁺`` (Theorem 8.21).
+    """
+    order.validate_for(query)
+    if fds:
+        from repro.fds.extension import fd_extension
+        from repro.fds.reorder import reorder_lex_order
+
+        extended_query, extended_fds = fd_extension(query, fds)
+        extended_order = reorder_lex_order(query, fds, order)
+        inner = classify_direct_access_lex(extended_query, extended_order)
+        return Classification(
+            problem="direct_access",
+            order_family="LEX",
+            verdict=inner.verdict,
+            guarantee=inner.guarantee,
+            reason=f"on the FD-extension Q⁺: {inner.reason}",
+            theorem="Theorem 8.21",
+            hypotheses=inner.hypotheses,
+            witness=inner.witness,
+            details={
+                "fd_extension": str(extended_query),
+                "fd_reordered_order": str(extended_order),
+                **inner.details,
+            },
+        )
+
+    details: Dict[str, object] = {
+        "free_connex": st.is_free_connex(query),
+        "l_connex": st.is_l_connex(query, order),
+        "acyclic": st.is_acyclic_query(query),
+        "partial": order.is_partial_for(query),
+    }
+    theorem = "Theorem 4.1" if details["partial"] else "Theorem 3.3"
+
+    if not details["free_connex"]:
+        witness = st.free_path_witness(query)
+        return Classification(
+            "direct_access", "LEX", _verdict_for_hard_case(query),
+            reason="the query is not free-connex",
+            theorem=theorem,
+            hypotheses=(SPARSE_BMM, HYPERCLIQUE),
+            witness=witness,
+            details=details,
+        )
+    if not details["l_connex"]:
+        witness = st.l_path_witness(query, order)
+        return Classification(
+            "direct_access", "LEX", _verdict_for_hard_case(query),
+            reason=f"the query is not {order}-connex",
+            theorem=theorem,
+            hypotheses=(SPARSE_BMM,),
+            witness=witness,
+            details=details,
+        )
+    trio = st.find_disruptive_trio(query, order)
+    if trio is not None:
+        details["disruptive_trio"] = trio
+        return Classification(
+            "direct_access", "LEX", _verdict_for_hard_case(query),
+            reason=f"disruptive trio {trio} with respect to {order}",
+            theorem=theorem,
+            hypotheses=(SPARSE_BMM,),
+            witness=trio,
+            details=details,
+        )
+    return Classification(
+        "direct_access", "LEX", TRACTABLE,
+        guarantee="<n log n, log n>",
+        reason="free-connex, L-connex and no disruptive trio",
+        theorem=theorem,
+        details=details,
+    )
+
+
+# ----------------------------------------------------------------------
+# Direct access by SUM (Theorem 5.1; 8.9 with FDs)
+# ----------------------------------------------------------------------
+def classify_direct_access_sum(query: ConjunctiveQuery, fds=None) -> Classification:
+    """Classify ranked direct access by sum-of-weights orders.
+
+    Tractable iff the query is acyclic and some atom contains every free
+    variable (Theorem 5.1).  With unary FDs, the criterion is applied to the
+    FD-extension (Theorem 8.9).
+    """
+    if fds:
+        from repro.fds.extension import fd_extension
+
+        extended_query, _ = fd_extension(query, fds)
+        inner = classify_direct_access_sum(extended_query)
+        return Classification(
+            problem="direct_access",
+            order_family="SUM",
+            verdict=inner.verdict,
+            guarantee=inner.guarantee,
+            reason=f"on the FD-extension Q⁺: {inner.reason}",
+            theorem="Theorem 8.9",
+            hypotheses=inner.hypotheses,
+            witness=inner.witness,
+            details={"fd_extension": str(extended_query), **inner.details},
+        )
+
+    acyclic = st.is_acyclic_query(query)
+    alpha = st.alpha_free(query)
+    covering = st.atom_containing_all_free_variables(query)
+    details: Dict[str, object] = {
+        "acyclic": acyclic,
+        "alpha_free": alpha,
+        "fmh": st.fmh(query),
+        "covering_atom": str(covering) if covering else None,
+    }
+    if not acyclic:
+        return Classification(
+            "direct_access", "SUM", _verdict_for_hard_case(query),
+            reason="the query is cyclic",
+            theorem="Theorem 5.1",
+            hypotheses=(HYPERCLIQUE,),
+            details=details,
+        )
+    if covering is None:
+        independent = tuple(sorted(st.max_independent_free_set(query), key=str))
+        bound = "<n^{2-ε}, n^{2-ε}>" if alpha >= 3 else "<n^{2-ε}, n^{1-ε}>"
+        return Classification(
+            "direct_access", "SUM", _verdict_for_hard_case(query),
+            reason=(
+                f"no atom contains all free variables (α_free={alpha}); "
+                f"independent free variables {independent} encode 3SUM; ruled out in {bound}"
+            ),
+            theorem="Theorem 5.1",
+            hypotheses=(THREE_SUM,),
+            witness=independent,
+            details=details,
+        )
+    return Classification(
+        "direct_access", "SUM", TRACTABLE,
+        guarantee="<n log n, 1>",
+        reason=f"acyclic and atom {covering} contains all free variables",
+        theorem="Theorem 5.1",
+        details=details,
+    )
+
+
+# ----------------------------------------------------------------------
+# Selection by LEX (Theorem 6.1; 8.22 with FDs)
+# ----------------------------------------------------------------------
+def classify_selection_lex(
+    query: ConjunctiveQuery,
+    order: Optional[LexOrder] = None,
+    fds=None,
+) -> Classification:
+    """Classify the selection problem by lexicographic orders.
+
+    Tractable iff the query is free-connex, regardless of the order
+    (Theorem 6.1).  With unary FDs the criterion moves to the FD-extension
+    (Theorem 8.22).  ``order`` is accepted for interface symmetry and recorded
+    in the details; it does not influence the verdict.
+    """
+    if order is not None:
+        order.validate_for(query)
+    if fds:
+        from repro.fds.extension import fd_extension
+
+        extended_query, _ = fd_extension(query, fds)
+        inner = classify_selection_lex(extended_query)
+        return Classification(
+            problem="selection",
+            order_family="LEX",
+            verdict=inner.verdict,
+            guarantee=inner.guarantee,
+            reason=f"on the FD-extension Q⁺: {inner.reason}",
+            theorem="Theorem 8.22",
+            hypotheses=inner.hypotheses,
+            witness=inner.witness,
+            details={"fd_extension": str(extended_query), **inner.details},
+        )
+
+    details: Dict[str, object] = {
+        "free_connex": st.is_free_connex(query),
+        "acyclic": st.is_acyclic_query(query),
+        "order": str(order) if order is not None else None,
+    }
+    if details["free_connex"]:
+        return Classification(
+            "selection", "LEX", TRACTABLE,
+            guarantee="<1, n>",
+            reason="free-connex (selection by any lexicographic order)",
+            theorem="Theorem 6.1",
+            details=details,
+        )
+    witness = st.free_path_witness(query)
+    return Classification(
+        "selection", "LEX", _verdict_for_hard_case(query),
+        reason="the query is not free-connex",
+        theorem="Theorem 6.1",
+        hypotheses=(SETH, HYPERCLIQUE),
+        witness=witness,
+        details=details,
+    )
+
+
+# ----------------------------------------------------------------------
+# Selection by SUM (Theorem 7.3; 8.10 with FDs)
+# ----------------------------------------------------------------------
+def classify_selection_sum(query: ConjunctiveQuery, fds=None) -> Classification:
+    """Classify the selection problem by sum-of-weights orders.
+
+    Tractable iff the query is free-connex and has at most two free-maximal
+    hyperedges (Theorem 7.3).  With unary FDs, apply the criterion to the
+    FD-extension (Theorem 8.10).
+    """
+    if fds:
+        from repro.fds.extension import fd_extension
+
+        extended_query, _ = fd_extension(query, fds)
+        inner = classify_selection_sum(extended_query)
+        return Classification(
+            problem="selection",
+            order_family="SUM",
+            verdict=inner.verdict,
+            guarantee=inner.guarantee,
+            reason=f"on the FD-extension Q⁺: {inner.reason}",
+            theorem="Theorem 8.10",
+            hypotheses=inner.hypotheses,
+            witness=inner.witness,
+            details={"fd_extension": str(extended_query), **inner.details},
+        )
+
+    free_connex = st.is_free_connex(query)
+    fmh_value = st.fmh(query)
+    details: Dict[str, object] = {
+        "free_connex": free_connex,
+        "fmh": fmh_value,
+        "alpha_free": st.alpha_free(query),
+        "acyclic": st.is_acyclic_query(query),
+    }
+    if free_connex and fmh_value <= 2:
+        return Classification(
+            "selection", "SUM", TRACTABLE,
+            guarantee="<1, n log n>",
+            reason=f"free-connex and fmh(Q)={fmh_value} ≤ 2",
+            theorem="Theorem 7.3",
+            details=details,
+        )
+    if not free_connex:
+        return Classification(
+            "selection", "SUM", _verdict_for_hard_case(query),
+            reason="the query is not free-connex",
+            theorem="Theorem 7.3",
+            hypotheses=(SETH, HYPERCLIQUE),
+            witness=st.free_path_witness(query),
+            details=details,
+        )
+    hypotheses = (THREE_SUM, HYPERCLIQUE)
+    return Classification(
+        "selection", "SUM", _verdict_for_hard_case(query),
+        reason=f"fmh(Q)={fmh_value} > 2 free-maximal hyperedges",
+        theorem="Theorem 7.3",
+        hypotheses=hypotheses,
+        witness=tuple(sorted(map(tuple, map(sorted, st.free_maximal_edges(query))))),
+        details=details,
+    )
+
+
+def classify_all(
+    query: ConjunctiveQuery,
+    order: Optional[LexOrder] = None,
+    fds=None,
+) -> Dict[str, Classification]:
+    """Run all four dichotomies at once (the Figure 1 / Figure 8 report helper)."""
+    results: Dict[str, Classification] = {}
+    if order is not None:
+        results["direct_access_lex"] = classify_direct_access_lex(query, order, fds=fds)
+        results["selection_lex"] = classify_selection_lex(query, order, fds=fds)
+    else:
+        results["selection_lex"] = classify_selection_lex(query, fds=fds)
+    results["direct_access_sum"] = classify_direct_access_sum(query, fds=fds)
+    results["selection_sum"] = classify_selection_sum(query, fds=fds)
+    return results

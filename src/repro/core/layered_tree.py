@@ -1,0 +1,189 @@
+"""Layered join trees (Definition 3.4) and their construction (Lemma 3.9).
+
+A layered join tree for a full acyclic CQ ``Q'`` and a complete lexicographic
+order ``L = ⟨v_1, …, v_f⟩`` is a join tree of a hypergraph inclusion equivalent
+to ``H(Q')`` in which
+
+1. every node is assigned to the layer of its latest variable in ``L``,
+2. there is exactly one node per layer, and
+3. for every ``j``, the nodes of the first ``j`` layers induce a tree.
+
+Lemma 3.9 shows such a tree exists whenever ``Q'`` has no disruptive trio with
+respect to ``L``.  The construction implemented here follows the lemma's
+induction directly but in a closed form:
+
+* layer ``i``'s node is ``U_i = ⋃ { e ∩ {v_1..v_i} : v_i ∈ e ∈ edges(Q') }``;
+  the Helly property (applied as in the lemma) guarantees that some atom of
+  ``Q'`` contains ``U_i`` — if not, the order has a disruptive trio and we
+  raise;
+* the parent of layer ``i > 1`` is the layer of the largest-position variable
+  of ``U_i \\ {v_i}`` (such a node always contains ``U_i \\ {v_i}``); nodes with
+  no earlier variable hang under layer 1 (the root), which keeps every prefix
+  of layers connected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.core.structure import find_disruptive_trio
+from repro.exceptions import QueryStructureError
+from repro.hypergraph.join_tree import JoinTree
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer of a layered join tree.
+
+    ``index`` is the 1-based layer number (also the position of its layer
+    variable in the order), ``variable`` the layer variable ``v_i``,
+    ``node_variables`` the node's full variable set, ``key_variables`` the
+    node's variables other than the layer variable (these form the bucket key
+    during preprocessing), ``parent`` the parent layer index (``None`` for the
+    root) and ``source_atom`` an atom of the full query whose variable set
+    contains the node.
+    """
+
+    index: int
+    variable: str
+    node_variables: FrozenSet[str]
+    key_variables: Tuple[str, ...]
+    parent: Optional[int]
+    source_atom: Atom
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+class LayeredJoinTree:
+    """A layered join tree for a full acyclic CQ and a complete lexicographic order."""
+
+    def __init__(self, query: ConjunctiveQuery, order: LexOrder, layers: List[Layer]):
+        self._query = query
+        self._order = order
+        self._layers = layers
+        self._children: Dict[int, List[int]] = {layer.index: [] for layer in layers}
+        for layer in layers:
+            if layer.parent is not None:
+                self._children[layer.parent].append(layer.index)
+
+    # ------------------------------------------------------------------
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self._query
+
+    @property
+    def order(self) -> LexOrder:
+        return self._order
+
+    @property
+    def layers(self) -> Tuple[Layer, ...]:
+        """Layers in order of layer index (1-based indices)."""
+        return tuple(self._layers)
+
+    def layer(self, index: int) -> Layer:
+        return self._layers[index - 1]
+
+    def children(self, index: int) -> Tuple[int, ...]:
+        """Child layer indices of the given layer."""
+        return tuple(self._children[index])
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    # ------------------------------------------------------------------
+    def as_join_tree(self) -> JoinTree:
+        """The underlying :class:`JoinTree` (root = layer 1), for verification."""
+        tree = JoinTree()
+        ids: Dict[int, int] = {}
+        ids[1] = tree.add_node(self._layers[0].node_variables)
+        for layer in self._layers[1:]:
+            parent = layer.parent if layer.parent is not None else 1
+            ids[layer.index] = tree.add_node(layer.node_variables, parent=ids[parent])
+        return tree
+
+    def is_valid(self) -> bool:
+        """Check Definition 3.4 (used by tests): inclusion equivalence,
+        one node per layer, correct layer assignment, prefix-connectivity and
+        the running intersection property."""
+        tree = self.as_join_tree()
+        edges = [atom.variable_set for atom in self._query.atoms]
+        if not tree.is_join_tree_of_inclusion_equivalent(edges):
+            return False
+        variables = self._order.variables
+        for layer in self._layers:
+            if layer.node_variables and max(
+                variables.index(v) + 1 for v in layer.node_variables
+            ) != layer.index:
+                return False
+            if layer.parent is not None and layer.parent >= layer.index:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = []
+        for layer in self._layers:
+            vars_ = ",".join(sorted(layer.node_variables, key=str))
+            parts.append(f"L{layer.index}({layer.variable}):{{{vars_}}}→{layer.parent}")
+        return "LayeredJoinTree(" + " ".join(parts) + ")"
+
+
+def build_layered_join_tree(query: ConjunctiveQuery, order: LexOrder) -> LayeredJoinTree:
+    """Construct a layered join tree for a full acyclic CQ and a complete order.
+
+    Implements Lemma 3.9.  Raises :class:`QueryStructureError` if the order
+    does not cover all variables of the (full) query or if a disruptive trio
+    prevents the construction.
+    """
+    if not query.is_full:
+        raise QueryStructureError("layered join trees are defined for full CQs")
+    variables = order.variables
+    if set(variables) != set(query.variables):
+        raise QueryStructureError(
+            "the lexicographic order must cover exactly the variables of the full CQ; "
+            f"got {variables} for {sorted(query.variables, key=str)}"
+        )
+
+    position = {v: i + 1 for i, v in enumerate(variables)}
+    edges: List[Tuple[Atom, FrozenSet[str]]] = [(atom, atom.variable_set) for atom in query.atoms]
+
+    layers: List[Layer] = []
+    for i, v_i in enumerate(variables, start=1):
+        prefix = set(variables[:i])
+        union: set = set()
+        relevant = [(atom, edge) for atom, edge in edges if v_i in edge]
+        if not relevant:  # cannot happen: order covers query variables
+            raise QueryStructureError(f"variable {v_i!r} does not occur in any atom")
+        for _, edge in relevant:
+            union |= edge & prefix
+
+        node = frozenset(union)
+        source = next((atom for atom, edge in edges if node <= edge), None)
+        if source is None:
+            trio = find_disruptive_trio(query, order)
+            raise QueryStructureError(
+                f"no atom contains layer-{i} node {sorted(node, key=str)}; "
+                f"the order {order} has a disruptive trio {trio}"
+            )
+
+        key_vars = tuple(v for v in variables if v in node and v != v_i)
+        if key_vars:
+            parent: Optional[int] = max(position[v] for v in key_vars)
+        else:
+            parent = None if i == 1 else 1
+        layers.append(
+            Layer(
+                index=i,
+                variable=v_i,
+                node_variables=node,
+                key_variables=key_vars,
+                parent=parent,
+                source_atom=source,
+            )
+        )
+
+    return LayeredJoinTree(query, order, layers)

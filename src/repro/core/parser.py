@@ -1,0 +1,114 @@
+"""A small text syntax for conjunctive queries, orders and FDs.
+
+The Datalog-ish notation used throughout the paper is convenient in examples,
+documentation and the command-line interface, so the library accepts it
+directly::
+
+    Q(x, y, z) :- R(x, y), S(y, z)
+
+* The head lists the free variables (an empty head ``Q()`` is a Boolean query).
+* Atoms are comma-separated; relation and variable names are identifiers.
+* Orders are comma-separated variable lists, optionally suffixed with ``desc``
+  per variable: ``"cases desc, city, age"``.
+* Functional dependencies are written ``R: x -> y`` (one per string).
+
+The parser is deliberately strict: malformed inputs raise
+:class:`~repro.exceptions.QueryStructureError` with a pointer to the offending
+part rather than guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.exceptions import FunctionalDependencyError, QueryStructureError
+from repro.fds.fd import FDSet, FunctionalDependency
+
+_IDENTIFIER = r"[A-Za-z_][A-Za-z_0-9]*"
+_ATOM_PATTERN = re.compile(rf"\s*({_IDENTIFIER})\s*\(([^()]*)\)\s*")
+_HEAD_PATTERN = re.compile(rf"^\s*({_IDENTIFIER})\s*\(([^()]*)\)\s*$")
+_FD_PATTERN = re.compile(
+    rf"^\s*({_IDENTIFIER})\s*:\s*({_IDENTIFIER})\s*(?:->|→)\s*({_IDENTIFIER})\s*$"
+)
+
+
+def _split_variables(text: str, context: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    variables = [part.strip() for part in text.split(",")]
+    for variable in variables:
+        if not re.fullmatch(_IDENTIFIER, variable):
+            raise QueryStructureError(f"invalid variable {variable!r} in {context}")
+    return variables
+
+
+def parse_query(text: str, name: str = None) -> ConjunctiveQuery:
+    """Parse ``"Q(x, y) :- R(x, y), S(y, z)"`` into a :class:`ConjunctiveQuery`."""
+    if ":-" not in text:
+        raise QueryStructureError("a conjunctive query needs a ':-' between head and body")
+    head_text, body_text = text.split(":-", 1)
+    head_match = _HEAD_PATTERN.match(head_text)
+    if not head_match:
+        raise QueryStructureError(f"cannot parse query head {head_text.strip()!r}")
+    query_name, head_vars_text = head_match.groups()
+    head = _split_variables(head_vars_text, "the query head")
+
+    atoms: List[Atom] = []
+    position = 0
+    body_text = body_text.strip()
+    if not body_text:
+        raise QueryStructureError("the query body is empty")
+    while position < len(body_text):
+        match = _ATOM_PATTERN.match(body_text, position)
+        if not match:
+            raise QueryStructureError(
+                f"cannot parse atom near {body_text[position:position + 25]!r}"
+            )
+        relation, vars_text = match.groups()
+        variables = _split_variables(vars_text, f"atom {relation}")
+        atoms.append(Atom(relation, variables))
+        position = match.end()
+        if position < len(body_text):
+            if body_text[position] != ",":
+                raise QueryStructureError(
+                    f"expected ',' between atoms near {body_text[position:position + 25]!r}"
+                )
+            position += 1
+    return ConjunctiveQuery(head, atoms, name=name or query_name)
+
+
+def parse_order(text: str) -> LexOrder:
+    """Parse ``"x, z desc, y"`` into a :class:`LexOrder`."""
+    variables: List[str] = []
+    descending: List[str] = []
+    if not text.strip():
+        return LexOrder(())
+    for part in text.split(","):
+        tokens = part.split()
+        if not tokens:
+            raise QueryStructureError(f"empty component in order {text!r}")
+        variable = tokens[0]
+        if not re.fullmatch(_IDENTIFIER, variable):
+            raise QueryStructureError(f"invalid variable {variable!r} in order {text!r}")
+        if len(tokens) == 2 and tokens[1].lower() in {"desc", "descending"}:
+            descending.append(variable)
+        elif len(tokens) != 1:
+            raise QueryStructureError(f"cannot parse order component {part.strip()!r}")
+        variables.append(variable)
+    return LexOrder(tuple(variables), tuple(descending))
+
+
+def parse_fds(specs: Sequence[str]) -> FDSet:
+    """Parse strings of the form ``"R: x -> y"`` into an :class:`FDSet`."""
+    fds: List[FunctionalDependency] = []
+    for spec in specs:
+        match = _FD_PATTERN.match(spec)
+        if not match:
+            raise FunctionalDependencyError(f"cannot parse functional dependency {spec!r}")
+        relation, lhs, rhs = match.groups()
+        fds.append(FunctionalDependency(relation, lhs, rhs))
+    return FDSet(fds)

@@ -1,0 +1,92 @@
+"""Completing partial lexicographic orders (Lemma 4.4).
+
+A partial lexicographic order ``L`` is tractable for direct access iff it is a
+prefix of a complete tractable order (Theorem 4.1).  Lemma 4.4 shows that when
+``Q`` is free-connex, ``L``-connex and has no disruptive trio w.r.t. ``L``, a
+completion ``L⁺`` of ``L`` to all free variables without disruptive trios
+exists.  This module finds one.
+
+The search appends one variable at a time; appending ``v`` is safe iff all of
+``v``'s already-ordered neighbours are pairwise neighbours (otherwise ``v``
+would close a disruptive trio as the late variable).  A greedy choice is not
+always sufficient in principle, so the implementation backtracks; query heads
+are tiny, so the worst case is irrelevant in practice, and under the lemma's
+hypotheses a completion is guaranteed to be found.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.core.structure import find_disruptive_trio, has_disruptive_trio
+from repro.exceptions import QueryStructureError
+
+
+def _appendable(hypergraph, ordered: Sequence[str], candidate: str) -> bool:
+    """Whether appending ``candidate`` after ``ordered`` creates no disruptive trio."""
+    earlier_neighbors = [v for v in ordered if hypergraph.are_neighbors(v, candidate)]
+    for i, u in enumerate(earlier_neighbors):
+        for w in earlier_neighbors[i + 1 :]:
+            if not hypergraph.are_neighbors(u, w):
+                return False
+    return True
+
+
+def complete_order(query: ConjunctiveQuery, order: LexOrder) -> Optional[LexOrder]:
+    """Extend ``order`` to all free variables of ``query`` without disruptive trios.
+
+    Returns ``None`` if no such completion exists (which, by Lemma 4.4, happens
+    only when the preconditions of the tractable case fail).  The given prefix
+    itself must already be trio-free, otherwise ``None`` is returned
+    immediately.
+    """
+    order.validate_for(query)
+    if has_disruptive_trio(query, order):
+        return None
+
+    hypergraph = query.hypergraph()
+    remaining = [v for v in query.free_variables if v not in order.variables]
+    if not remaining:
+        return order
+
+    prefix: List[str] = list(order.variables)
+
+    def backtrack(pending: List[str]) -> bool:
+        if not pending:
+            return True
+        # Try candidates in a deterministic but heuristic order: fewer
+        # unordered neighbours first tends to succeed without backtracking.
+        ranked = sorted(
+            pending,
+            key=lambda v: (sum(1 for u in pending if hypergraph.are_neighbors(u, v)), str(v)),
+        )
+        for candidate in ranked:
+            if _appendable(hypergraph, prefix, candidate):
+                prefix.append(candidate)
+                rest = [v for v in pending if v != candidate]
+                if backtrack(rest):
+                    return True
+                prefix.pop()
+        return False
+
+    if not backtrack(remaining):
+        return None
+    completed = LexOrder(tuple(prefix), order.descending)
+    # Defensive check; the incremental criterion guarantees this already.
+    if has_disruptive_trio(query, completed):  # pragma: no cover
+        return None
+    return completed
+
+
+def require_complete_order(query: ConjunctiveQuery, order: LexOrder) -> LexOrder:
+    """Like :func:`complete_order` but raising when no completion exists."""
+    completed = complete_order(query, order)
+    if completed is None:
+        trio = find_disruptive_trio(query, order)
+        raise QueryStructureError(
+            f"the partial order {order} of {query.name} cannot be completed without a "
+            f"disruptive trio (witness: {trio})"
+        )
+    return completed

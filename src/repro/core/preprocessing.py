@@ -1,0 +1,222 @@
+"""Preprocessing phase of lexicographic direct access (Section 3.1).
+
+Given a layered join tree, the preprocessing phase
+
+1. creates a relation for every tree node (a distinct projection of a base
+   relation of the full query),
+2. removes dangling tuples by fully semi-join-reducing over the tree,
+3. sorts each node relation,
+4. partitions it into *buckets* keyed by the assignment of the node's
+   variables that precede its layer variable, and
+5. computes, by a bottom-up dynamic program, for every tuple the number of
+   answers it participates in when joining only its subtree (``weight``) and
+   the running prefix sums within its bucket (``start`` / ``end``).
+
+The resulting :class:`PreprocessedInstance` is the data structure that both the
+access and the inverted-access routines of :mod:`repro.core.access` operate on.
+All counts are exact Python integers, so answer sets far larger than 2^53 are
+handled without loss.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.layered_tree import LayeredJoinTree
+from repro.core.orders import LexOrder
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.yannakakis import full_reducer
+
+
+def _order_key(value, descending: bool):
+    """Sort key for a single domain value, honouring per-variable direction.
+
+    Descending components are supported for numeric domains only (they are
+    implemented by negating the value, which keeps binary search applicable).
+    """
+    if not descending:
+        return value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        from repro.exceptions import WeightError
+
+        raise WeightError(
+            f"descending lexicographic components require numeric values, got {value!r}"
+        )
+    return -value
+
+
+@dataclass
+class Bucket:
+    """One bucket of a layer's relation.
+
+    ``key`` is the assignment (tuple of values aligned with the layer's
+    ``key_variables``); ``tuples`` are the node tuples of the bucket sorted by
+    the layer variable; ``weights``/``starts``/``ends`` align with ``tuples``;
+    ``total`` is the bucket weight (sum of tuple weights); ``layer_values`` are
+    the layer-variable values of the sorted tuples (for binary search in
+    inverted access).
+    """
+
+    key: Tuple
+    tuples: List[Tuple]
+    weights: List[int] = field(default_factory=list)
+    starts: List[int] = field(default_factory=list)
+    ends: List[int] = field(default_factory=list)
+    layer_values: List[object] = field(default_factory=list)
+    total: int = 0
+
+    def find_by_value(self, value) -> Optional[int]:
+        """Index of the tuple whose layer value equals ``value`` (binary search)."""
+        lo = bisect_left(self.layer_values, value)
+        if lo < len(self.layer_values) and self.layer_values[lo] == value:
+            return lo
+        return None
+
+    def first_index_at_least(self, value) -> int:
+        """Index of the first tuple whose layer value is ≥ ``value``."""
+        return bisect_left(self.layer_values, value)
+
+
+@dataclass
+class LayerData:
+    """Preprocessed data of one layer: its buckets and schema bookkeeping."""
+
+    index: int
+    variable: str
+    variables: Tuple[str, ...]          # node schema (column order of tuples)
+    key_variables: Tuple[str, ...]
+    parent: Optional[int]
+    children: Tuple[int, ...]
+    buckets: Dict[Tuple, Bucket]
+    value_position: int                 # column of the layer variable
+    key_positions: Tuple[int, ...]      # columns of the key variables
+
+    def bucket(self, key: Tuple) -> Optional[Bucket]:
+        return self.buckets.get(key)
+
+
+class PreprocessedInstance:
+    """The direct-access data structure for one (query, order, database) triple."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        order: LexOrder,
+        tree: LayeredJoinTree,
+        layers: Dict[int, LayerData],
+    ) -> None:
+        self.query = query
+        self.order = order
+        self.tree = tree
+        self.layers = layers
+        root_bucket = layers[1].bucket(()) if 1 in layers else None
+        self._count = root_bucket.total if root_bucket is not None else 0
+
+    @property
+    def count(self) -> int:
+        """The total number of answers ``|Q(I)|``."""
+        return self._count
+
+    def layer(self, index: int) -> LayerData:
+        return self.layers[index]
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def preprocess(
+    tree: LayeredJoinTree,
+    database: Database,
+) -> PreprocessedInstance:
+    """Run the preprocessing phase over a layered join tree and a database.
+
+    ``database`` must contain a relation per atom of ``tree.query`` whose
+    attributes are the atom's variables (this is what
+    :func:`repro.core.reduction.eliminate_projections` produces).
+    """
+    query = tree.query
+    order = tree.order
+    variables = order.variables
+
+    # ------------------------------------------------------------------
+    # Step 1: a relation per node (distinct projection of its source atom).
+    # ------------------------------------------------------------------
+    node_relations: List[Relation] = []
+    node_schemas: List[Tuple[str, ...]] = []
+    for layer in tree.layers:
+        schema = tuple(v for v in variables if v in layer.node_variables)
+        source = database.relation(layer.source_atom.relation)
+        projected = source.project(schema, name=f"node{layer.index}")
+        node_relations.append(projected)
+        node_schemas.append(schema)
+
+    # ------------------------------------------------------------------
+    # Step 2: remove dangling tuples (full reduction over the layered tree).
+    # ------------------------------------------------------------------
+    join_tree = tree.as_join_tree()          # node ids are layer-1 offsets
+    reduced = full_reducer(join_tree, node_relations)
+
+    # ------------------------------------------------------------------
+    # Steps 3-5: buckets, sorting, and the counting DP (bottom-up).
+    # ------------------------------------------------------------------
+    children: Dict[int, Tuple[int, ...]] = {
+        layer.index: tree.children(layer.index) for layer in tree.layers
+    }
+    layer_data: Dict[int, LayerData] = {}
+
+    # Process layers from the largest index down so that children exist first.
+    for layer in reversed(tree.layers):
+        schema = node_schemas[layer.index - 1]
+        relation = reduced[layer.index - 1]
+        value_position = schema.index(layer.variable)
+        key_positions = tuple(schema.index(v) for v in layer.key_variables)
+        descending = order.is_descending(layer.variable)
+
+        child_layers = [layer_data[c] for c in children[layer.index]]
+        # For each child, the positions (in *this* node's schema) of the child's
+        # key variables: those variables are always contained in this node.
+        child_key_positions = [
+            tuple(schema.index(v) for v in child.key_variables) for child in child_layers
+        ]
+
+        buckets: Dict[Tuple, Bucket] = {}
+        grouped: Dict[Tuple, List[Tuple]] = {}
+        for row in relation:
+            key = tuple(row[p] for p in key_positions)
+            grouped.setdefault(key, []).append(row)
+
+        for key, rows in grouped.items():
+            rows.sort(key=lambda r: _order_key(r[value_position], descending))
+            bucket = Bucket(key=key, tuples=rows)
+            running = 0
+            for row in rows:
+                weight = 1
+                for child, positions in zip(child_layers, child_key_positions):
+                    child_key = tuple(row[p] for p in positions)
+                    child_bucket = child.bucket(child_key)
+                    weight *= child_bucket.total if child_bucket is not None else 0
+                bucket.weights.append(weight)
+                bucket.starts.append(running)
+                running += weight
+                bucket.ends.append(running)
+                bucket.layer_values.append(_order_key(row[value_position], descending))
+            bucket.total = running
+            buckets[key] = bucket
+
+        layer_data[layer.index] = LayerData(
+            index=layer.index,
+            variable=layer.variable,
+            variables=schema,
+            key_variables=layer.key_variables,
+            parent=layer.parent,
+            children=children[layer.index],
+            buckets=buckets,
+            value_position=value_position,
+            key_positions=key_positions,
+        )
+
+    return PreprocessedInstance(query, order, tree, layer_data)

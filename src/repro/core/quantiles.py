@@ -1,0 +1,106 @@
+"""Quantile convenience helpers on top of direct access and selection.
+
+The paper motivates direct access with quantile queries ("find the k-th answer
+in order", "find the median").  These helpers translate the usual statistical
+vocabulary (quantile fractions, percentiles, medians, n-tiles) into the index
+arithmetic over either a direct-access structure (anything exposing ``count``
+and ``access``) or the one-shot selection functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.orders import LexOrder, Weights
+from repro.core.selection_lex import selection_lex
+from repro.core.selection_sum import selection_sum
+from repro.engine.database import Database
+from repro.exceptions import OutOfBoundsError
+
+
+def quantile_index(count: int, fraction: float) -> int:
+    """Index of the ``fraction``-quantile (nearest-rank, 0-based) among ``count`` answers."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {fraction}")
+    if count <= 0:
+        raise OutOfBoundsError("the query has no answers; no quantile exists")
+    return min(count - 1, int(fraction * count))
+
+
+def quantile(accessor, fraction: float) -> Tuple:
+    """The ``fraction``-quantile answer of a direct-access structure."""
+    return accessor.access(quantile_index(accessor.count, fraction))
+
+
+def median(accessor) -> Tuple:
+    """The lower-median answer of a direct-access structure."""
+    if accessor.count <= 0:
+        raise OutOfBoundsError("the query has no answers; no median exists")
+    return accessor.access((accessor.count - 1) // 2)
+
+
+def quantile_table(accessor, fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)) -> Dict[float, Tuple]:
+    """Several quantiles at once, e.g. for a five-number summary of a join."""
+    return {fraction: quantile(accessor, fraction) for fraction in fractions}
+
+
+def selection_quantile_lex(
+    query: ConjunctiveQuery,
+    database: Database,
+    order: LexOrder,
+    fraction: float,
+    count: Optional[int] = None,
+    fds=None,
+) -> Tuple:
+    """One-shot quantile by a lexicographic order, via selection (Theorem 6.1).
+
+    If the total number of answers is already known, pass it via ``count`` to
+    avoid recomputing it; otherwise it is obtained with one counting pass.
+    """
+    if count is None:
+        count = count_answers(query, database, fds=fds)
+    return selection_lex(query, database, order, quantile_index(count, fraction), fds=fds)
+
+
+def selection_quantile_sum(
+    query: ConjunctiveQuery,
+    database: Database,
+    fraction: float,
+    weights: Optional[Weights] = None,
+    count: Optional[int] = None,
+    fds=None,
+) -> Tuple:
+    """One-shot quantile by sum of weights, via selection (Theorem 7.3)."""
+    if count is None:
+        count = count_answers(query, database, fds=fds)
+    return selection_sum(
+        query, database, quantile_index(count, fraction), weights=weights, fds=fds
+    )
+
+
+def count_answers(query: ConjunctiveQuery, database: Database, fds=None) -> int:
+    """The number of answers of a free-connex CQ, in quasilinear time.
+
+    Uses the per-variable histogram of Lemma 6.5 (any free variable works); for
+    Boolean queries it reduces to an emptiness check.  This is the counting
+    primitive the selection-based quantile helpers rely on.
+    """
+    if fds:
+        from repro.fds.rewrite import rewrite_for_fds
+
+        query, database, _ = rewrite_for_fds(query, database, None, fds)
+    query, database = query.normalize(database)
+    if query.is_boolean:
+        from repro.engine.naive import evaluate_naive
+
+        return len(evaluate_naive(query, database))
+
+    from repro.core.reduction import eliminate_projections
+    from repro.core.selection_lex import value_histogram
+
+    reduction = eliminate_projections(query, database)
+    histogram = value_histogram(
+        reduction.query, reduction.database, reduction.query.free_variables[0]
+    )
+    return sum(histogram.values())

@@ -1,0 +1,154 @@
+"""Projection elimination: reducing a free-connex CQ to a full acyclic CQ.
+
+Proposition 2.3 of the paper states that a free-connex CQ ``Q`` over a database
+``I`` can be reduced in linear time to a full acyclic CQ ``Q'`` over a database
+``I'`` with ``Q'(I') = Q(I)`` and ``|I'| ≤ |I|``.  The classical construction
+materialises an ext-free(Q)-connex join tree; we use an equivalent but simpler
+recipe justified by the inclusion-equivalence argument of Lemma 7.17:
+
+1. fully semi-join-reduce the database over a join tree of ``H(Q)`` (the
+   Yannakakis full reducer removes all dangling tuples),
+2. take the containment-maximal edges of the free-restricted hypergraph
+   ``H_free(Q)`` as the atoms of ``Q'``,
+3. populate each such atom ``f`` with the distinct projection onto ``f`` of a
+   reduced base relation whose atom covers ``f``.
+
+Because every reduced tuple extends to an answer, each projected relation
+equals the projection of the answer set onto ``f``; and because the nodes of
+the connex subtree of an ext-free-connex tree are inclusion equivalent to
+``H_free(Q)``, joining these projections yields exactly ``Q(I)``.  The
+neighbour relation between free variables is untouched, so disruptive trios are
+preserved in both directions (Lemma 3.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core import structure as st
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.yannakakis import full_reducer
+from repro.exceptions import QueryStructureError
+from repro.hypergraph import build_join_tree
+
+
+@dataclass(frozen=True)
+class FullReduction:
+    """Result of the projection-elimination reduction.
+
+    ``query`` is the full acyclic CQ over the free variables and ``database``
+    the matching instance; ``source_atoms`` records, for every new atom, which
+    original atom its relation was projected from (useful for weight charging
+    and for explanations).
+    """
+
+    query: ConjunctiveQuery
+    database: Database
+    source_atoms: Dict[str, Atom]
+
+
+def reduce_database_over_query(query: ConjunctiveQuery, database: Database) -> List[Relation]:
+    """Fully reduce the atom relations of an acyclic CQ (dangling tuples removed).
+
+    Returns one relation per atom (in atom order) whose attributes are the atom
+    variables.  Requires the query to be acyclic and normalised (no repeated
+    variables inside an atom, no self-joins — call
+    :meth:`ConjunctiveQuery.normalize` first if needed).
+    """
+    hypergraph = query.hypergraph()
+    tree = build_join_tree(hypergraph)
+
+    # Assign each join-tree node (a variable set) a relation: project some atom
+    # whose variable set equals the node.  GYO nodes are exactly atom variable
+    # sets, so an equal atom always exists.
+    node_relations: List[Relation] = []
+    for node_id in range(len(tree)):
+        node_vars = tree.node(node_id)
+        atom = next((a for a in query.atoms if a.variable_set == node_vars), None)
+        if atom is None:  # pragma: no cover - GYO nodes come from atoms
+            raise QueryStructureError(f"no atom matches join-tree node {set(node_vars)}")
+        base = database.relation(atom.relation)
+        renamed = Relation(atom.relation, atom.variables, base.rows)
+        node_relations.append(renamed.distinct())
+
+    reduced_nodes = full_reducer(tree, node_relations)
+
+    # Different atoms may share a variable set (hence a single GYO node); all of
+    # them receive the same reduced relation, re-projected onto their variables.
+    by_vars: Dict[FrozenSet[str], Relation] = {}
+    for node_id in range(len(tree)):
+        by_vars[tree.node(node_id)] = reduced_nodes[node_id]
+
+    result = []
+    for atom in query.atoms:
+        reduced = by_vars[atom.variable_set]
+        result.append(Relation(atom.relation, atom.variables, reduced.project(atom.variables).rows))
+    return result
+
+
+def eliminate_projections(query: ConjunctiveQuery, database: Database) -> FullReduction:
+    """Apply Proposition 2.3: produce a full acyclic CQ equivalent to ``Q`` on ``I``.
+
+    Raises :class:`QueryStructureError` if the query is not free-connex (the
+    reduction only exists for free-connex CQs).  The query must be normalised
+    (no self-joins / repeated variables); :class:`~repro.core.direct_access`
+    facades normalise before calling this.
+    """
+    if not st.is_free_connex(query):
+        raise QueryStructureError(
+            f"{query.name} is not free-connex; Proposition 2.3 does not apply"
+        )
+
+    if query.is_boolean:
+        # A Boolean free-connex query reduces to an emptiness test; represent it
+        # as a single nullary atom whose relation holds the empty tuple iff the
+        # query is satisfied.
+        reduced = reduce_database_over_query(query, database)
+        satisfied = all(len(rel) > 0 for rel in reduced) and len(reduced) > 0
+        relation = Relation("__bool__", (), [()] if satisfied else [])
+        full_query = ConjunctiveQuery((), [Atom("__bool__", ())], name=f"{query.name}_full")
+        return FullReduction(full_query, Database([relation]), {"__bool__": query.atoms[0]})
+
+    reduced_relations = reduce_database_over_query(query, database)
+
+    free = frozenset(query.free_variables)
+    maximal_edges = st.free_maximal_edges(query)
+
+    atoms: List[Atom] = []
+    relations: List[Relation] = []
+    sources: Dict[str, Atom] = {}
+    used_names: Dict[str, int] = {}
+
+    for edge in sorted(maximal_edges, key=lambda e: tuple(sorted(map(str, e)))):
+        # Find an original atom whose free part is exactly this maximal edge
+        # (one exists by maximality); fall back to any covering atom.
+        source_index = None
+        for i, atom in enumerate(query.atoms):
+            if atom.variable_set & free == edge:
+                source_index = i
+                break
+        if source_index is None:
+            for i, atom in enumerate(query.atoms):
+                if edge <= atom.variable_set:
+                    source_index = i
+                    break
+        if source_index is None:  # pragma: no cover - maximal edges come from atoms
+            raise QueryStructureError(f"no atom covers free-maximal edge {set(edge)}")
+
+        source_atom = query.atoms[source_index]
+        ordered_vars = tuple(v for v in query.free_variables if v in edge)
+        base_name = f"{source_atom.relation}_free"
+        count = used_names.get(base_name, 0)
+        used_names[base_name] = count + 1
+        name = base_name if count == 0 else f"{base_name}{count}"
+
+        projected = reduced_relations[source_index].project(ordered_vars, name=name)
+        atoms.append(Atom(name, ordered_vars))
+        relations.append(projected)
+        sources[name] = source_atom
+
+    full_query = ConjunctiveQuery(query.free_variables, atoms, name=f"{query.name}_full")
+    return FullReduction(full_query, Database(relations), sources)

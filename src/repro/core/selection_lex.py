@@ -1,0 +1,198 @@
+"""Selection by lexicographic orders (Theorem 6.1, Lemmas 6.5 and 6.6).
+
+Selection — returning the single answer at a given index of the ordered answer
+array, without a reusable structure — is tractable for *every* lexicographic
+order as long as the query is free-connex, including orders with disruptive
+trios for which direct access is impossible.
+
+The algorithm fixes the order variables one at a time.  At each step it
+computes, for every value ``c`` of the current variable's active domain, the
+number of answers (consistent with the values fixed so far) that assign ``c``
+to the variable — the per-variable histogram of Lemma 6.5, obtained by the same
+counting dynamic program the direct-access preprocessing uses, over a join tree
+rooted at a fresh unary node for the variable.  A weighted selection then picks
+the value whose index range contains ``k``; the database is filtered to that
+value and the next variable is processed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.weighted_selection import weighted_select
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core.classification import classify_selection_lex
+from repro.core.orders import LexOrder
+from repro.core.reduction import eliminate_projections
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.yannakakis import full_reducer
+from repro.exceptions import IntractableQueryError, OutOfBoundsError
+from repro.hypergraph import Hypergraph, build_join_tree_rooted_at
+
+
+def value_histogram(query: ConjunctiveQuery, database: Database, variable: str) -> Dict[object, int]:
+    """Per-value answer counts for one free variable of a full acyclic CQ (Lemma 6.5).
+
+    ``query`` must be full and acyclic with one database relation per atom
+    (attributes = variables).  Returns a mapping ``value → number of answers
+    assigning it to ``variable``; values with zero answers are omitted.
+    """
+    # Build the hypergraph extended with a fresh unary node for the variable
+    # and root the join tree there; the counting DP then aggregates per value.
+    edges = [atom.variable_set for atom in query.atoms]
+    unary = frozenset({variable})
+    hypergraph = Hypergraph(query.variables, edges + [unary])
+    tree = build_join_tree_rooted_at(hypergraph, unary)
+
+    # Assign a relation to every tree node: the unary root gets the active
+    # domain of the variable; every other node gets the (projected) relation of
+    # an atom with that exact variable set.
+    node_relations: List[Relation] = []
+    active_domain: Dict[object, None] = {}
+    for atom in query.atoms:
+        if variable in atom.variable_set:
+            relation = database.relation(atom.relation)
+            for value in relation.values_of(variable):
+                active_domain.setdefault(value, None)
+    for node_id in range(len(tree)):
+        node_vars = tree.node(node_id)
+        if node_vars == unary:
+            node_relations.append(Relation("__domain__", (variable,), [(v,) for v in active_domain]))
+            continue
+        atom = next(a for a in query.atoms if a.variable_set == node_vars)
+        base = database.relation(atom.relation)
+        node_relations.append(Relation(atom.relation, atom.variables, base.rows).distinct())
+
+    reduced = full_reducer(tree, node_relations)
+
+    # Bottom-up counting DP: weight of a tuple = product over children of the
+    # total weight of the child's tuples that agree on the shared variables.
+    weights: List[Dict[Tuple, int]] = [dict() for _ in range(len(tree))]
+    group_totals: List[Dict[Tuple, int]] = [dict() for _ in range(len(tree))]
+    for node_id in tree.postorder():
+        relation = reduced[node_id]
+        node_weights: Dict[Tuple, int] = {}
+        children = tree.children(node_id)
+        child_shared: List[Tuple[str, ...]] = []
+        for child in children:
+            shared = tuple(a for a in relation.attributes if a in tree.node(child))
+            child_shared.append(shared)
+        for row in relation:
+            weight = 1
+            for child, shared in zip(children, child_shared):
+                key = tuple(relation.value(row, a) for a in shared)
+                weight *= group_totals[child].get(key, 0)
+            node_weights[row] = weight
+        weights[node_id] = node_weights
+        parent = tree.parent(node_id)
+        shared_with_parent: Tuple[str, ...]
+        if parent is None:
+            shared_with_parent = ()
+        else:
+            shared_with_parent = tuple(
+                a for a in relation.attributes if a in tree.node(parent)
+            )
+        totals: Dict[Tuple, int] = {}
+        for row, weight in node_weights.items():
+            key = tuple(relation.value(row, a) for a in shared_with_parent)
+            totals[key] = totals.get(key, 0) + weight
+        group_totals[node_id] = totals
+
+    root_relation = reduced[tree.root]
+    histogram: Dict[object, int] = {}
+    position = root_relation.position(variable)
+    for row, weight in weights[tree.root].items():
+        if weight > 0:
+            histogram[row[position]] = histogram.get(row[position], 0) + weight
+    return histogram
+
+
+def selection_lex(
+    query: ConjunctiveQuery,
+    database: Database,
+    order: LexOrder,
+    k: int,
+    fds=None,
+    enforce_tractability: bool = True,
+) -> Tuple:
+    """Return the ``k``-th answer (0-based) of ``query`` on ``database`` under ``order``.
+
+    Ties among variables not covered by the (partial) order are broken by an
+    internal deterministic completion of the order, so repeated calls with the
+    same arguments are consistent with each other — but the tie-breaking need
+    not match :class:`~repro.core.direct_access.LexDirectAccess` for orders it
+    refuses.  Raises :class:`OutOfBoundsError` if ``k`` is not a valid index
+    and :class:`IntractableQueryError` when the query is not free-connex
+    (Theorem 6.1's hard side).
+    """
+    classification = classify_selection_lex(query, order, fds=fds)
+    if enforce_tractability and classification.verdict == "intractable":
+        raise IntractableQueryError(
+            f"selection for {query.name} is intractable: {classification.reason}",
+            classification,
+        )
+    order.validate_for(query)
+
+    if fds:
+        from repro.fds.rewrite import rewrite_for_fds
+
+        original_free = query.free_variables
+        query, database, order = rewrite_for_fds(query, database, order, fds)
+    else:
+        original_free = query.free_variables
+
+    query, database = query.normalize(database)
+
+    if query.is_boolean:
+        from repro.engine.naive import evaluate_naive
+
+        answers = evaluate_naive(query, database)
+        if k < 0 or k >= len(answers):
+            raise OutOfBoundsError(f"index {k} is out of bounds for {len(answers)} answers")
+        return answers[k]
+
+    reduction = eliminate_projections(query, database)
+    full_query, full_database = reduction.query, reduction.database
+
+    # Complete the order arbitrarily over the remaining free variables: any
+    # completion is fine for selection (the order only fixes tie-breaking).
+    ordered_vars: List[str] = list(order.variables) + [
+        v for v in full_query.free_variables if v not in order.variables
+    ]
+
+    if k < 0:
+        raise OutOfBoundsError(f"negative index {k}")
+
+    remaining = k
+    assignment: Dict[str, object] = {}
+    current_db = full_database
+    for variable in ordered_vars:
+        histogram = value_histogram(full_query, current_db, variable)
+        if not histogram:
+            raise OutOfBoundsError(f"index {k} is out of bounds for 0 answers")
+        values = list(histogram.keys())
+        counts = [histogram[v] for v in values]
+        total = sum(counts)
+        if remaining >= total:
+            raise OutOfBoundsError(f"index {k} is out of bounds for {total} answers")
+        descending = order.is_descending(variable) if variable in order.variables else False
+        key = (lambda v: -v) if descending else None
+        chosen, preceding = weighted_select(values, counts, remaining, key=key)
+        assignment[variable] = chosen
+        remaining -= preceding
+
+        # Filter every relation mentioning the variable down to the chosen value.
+        filtered = []
+        for atom in full_query.atoms:
+            relation = current_db.relation(atom.relation)
+            if variable in atom.variable_set:
+                relation = relation.select_equals({variable: chosen})
+            filtered.append(relation)
+        current_db = Database(filtered)
+
+    answer_effective = tuple(assignment[v] for v in full_query.free_variables)
+    if tuple(full_query.free_variables) == tuple(original_free):
+        return answer_effective
+    mapping = dict(zip(full_query.free_variables, answer_effective))
+    return tuple(mapping[v] for v in original_free)

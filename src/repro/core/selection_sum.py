@@ -1,0 +1,216 @@
+"""Selection by SUM orders (Theorem 7.3, Lemmas 7.8 and 7.10).
+
+Selection by the sum of attribute weights is tractable exactly for free-connex
+CQs with at most two free-maximal hyperedges.  The algorithm:
+
+* eliminate projections (Proposition 2.3 via
+  :func:`repro.core.reduction.eliminate_projections`), leaving a full acyclic
+  CQ whose atoms are the free-maximal hyperedges — so ``mh`` of the reduced
+  query equals ``fmh(Q)`` (Lemma 7.17);
+* ``fmh = 1``: the single relation already lists all answers; a linear-time
+  selection over the per-tuple weights returns the ``k``-th one (Lemma 7.8);
+* ``fmh = 2``: group both relations by their shared variables, charge each free
+  variable's weight to exactly one side, sort each group by tuple weight, and
+  select over the union of the resulting implicit sorted matrices
+  (Frederickson & Johnson, Lemma 7.10).  The concrete answer at the selected
+  rank is then located among the equal-weight answers bucket by bucket.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.quickselect import select_kth
+from repro.algorithms.sorted_matrix import SortedMatrix, select_in_sorted_matrix_union
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.classification import classify_selection_sum
+from repro.core.orders import Weights
+from repro.core.reduction import eliminate_projections
+from repro.engine.database import Database
+from repro.exceptions import IntractableQueryError, OutOfBoundsError
+
+
+def _selection_single_atom(full_query, full_database, weights: Weights, k: int,
+                           original_free: Tuple[str, ...]) -> Tuple:
+    """Lemma 7.8: one maximal hyperedge — linear-time selection on tuple weights."""
+    atom = full_query.atoms[0]
+    relation = full_database.relation(atom.relation)
+    free = full_query.free_variables
+    rows = list(relation.rows)
+    if k < 0 or k >= len(rows):
+        raise OutOfBoundsError(f"index {k} is out of bounds for {len(rows)} answers")
+
+    def row_weight(row):
+        mapping = dict(zip(atom.variables, row))
+        return weights.answer_weight(free, tuple(mapping[v] for v in free))
+
+    chosen = select_kth(rows, k, key=lambda row: (row_weight(row), tuple(map(repr, row))))
+    mapping = dict(zip(atom.variables, chosen))
+    answer = tuple(mapping[v] for v in free)
+    return _project_back(answer, free, original_free)
+
+
+def _project_back(answer: Tuple, effective_free: Sequence[str], original_free: Sequence[str]) -> Tuple:
+    if tuple(effective_free) == tuple(original_free):
+        return answer
+    mapping = dict(zip(effective_free, answer))
+    return tuple(mapping[v] for v in original_free)
+
+
+def _selection_two_atoms(full_query, full_database, weights: Weights, k: int,
+                         original_free: Tuple[str, ...]) -> Tuple:
+    """Lemma 7.10: two maximal hyperedges — sorted-matrix union selection."""
+    left_atom, right_atom = full_query.atoms
+    left = full_database.relation(left_atom.relation)
+    right = full_database.relation(right_atom.relation)
+    free = full_query.free_variables
+
+    shared = tuple(v for v in left_atom.variables if v in right_atom.variable_set)
+    left_only = tuple(v for v in left_atom.variables)
+    right_only = tuple(v for v in right_atom.variables if v not in left_atom.variable_set)
+
+    # Attribute weights → tuple weights: charge every variable of the left atom
+    # to the left side and the remaining variables to the right side.
+    def left_weight(row) -> float:
+        return weights.tuple_weight(left_atom.variables, row, left_only)
+
+    def right_weight(row) -> float:
+        return weights.tuple_weight(right_atom.variables, row, right_only)
+
+    left_groups = left.group_by(shared) if shared else {(): list(left.rows)}
+    right_groups = right.group_by(shared) if shared else {(): list(right.rows)}
+
+    buckets: List[Tuple[Tuple, List[Tuple], List[Tuple], List[float], List[float]]] = []
+    matrices: List[SortedMatrix] = []
+    total = 0
+    for key, left_rows in left_groups.items():
+        right_rows = right_groups.get(key)
+        if not right_rows:
+            continue
+        left_sorted = sorted(left_rows, key=lambda r: (left_weight(r), tuple(map(repr, r))))
+        right_sorted = sorted(right_rows, key=lambda r: (right_weight(r), tuple(map(repr, r))))
+        lw = [left_weight(r) for r in left_sorted]
+        rw = [right_weight(r) for r in right_sorted]
+        buckets.append((key, left_sorted, right_sorted, lw, rw))
+        matrices.append(SortedMatrix(rows=tuple(lw), cols=tuple(rw), payload=key))
+        total += len(left_sorted) * len(right_sorted)
+
+    if k < 0 or k >= total:
+        raise OutOfBoundsError(f"index {k} is out of bounds for {total} answers")
+
+    target_weight = select_in_sorted_matrix_union(matrices, k)
+
+    # Count answers strictly below the target weight, then walk the answers of
+    # exactly the target weight in a deterministic per-bucket order to find the
+    # (k - below)-th one.
+    below = 0
+    for _, _, _, lw, rw in buckets:
+        j = len(rw) - 1
+        for i in range(len(lw)):
+            while j >= 0 and lw[i] + rw[j] >= target_weight:
+                j -= 1
+            if j < 0:
+                break
+            below += j + 1
+    offset = k - below
+
+    for key, left_sorted, right_sorted, lw, rw in buckets:
+        for i in range(len(lw)):
+            lo = bisect_left(rw, target_weight - lw[i])
+            hi = bisect_right(rw, target_weight - lw[i])
+            width = hi - lo
+            if width == 0:
+                continue
+            if offset < width:
+                left_row = left_sorted[i]
+                right_row = right_sorted[lo + offset]
+                mapping = dict(zip(left_atom.variables, left_row))
+                mapping.update(dict(zip(right_atom.variables, right_row)))
+                answer = tuple(mapping[v] for v in free)
+                return _project_back(answer, free, original_free)
+            offset -= width
+    raise AssertionError("unreachable: rank not found among equal-weight answers")
+
+
+def selection_sum(
+    query: ConjunctiveQuery,
+    database: Database,
+    k: int,
+    weights: Optional[Weights] = None,
+    fds=None,
+    enforce_tractability: bool = True,
+) -> Tuple:
+    """Return the ``k``-th answer (0-based) ordered by sum of attribute weights.
+
+    Ties between equal-weight answers are broken deterministically (but the
+    specific tie order is an implementation detail, as the problem definition
+    allows).  Raises :class:`IntractableQueryError` for queries outside the
+    tractable class of Theorem 7.3 and :class:`OutOfBoundsError` for invalid
+    indexes.
+    """
+    weights = weights if weights is not None else Weights.identity()
+    classification = classify_selection_sum(query, fds=fds)
+    if enforce_tractability and classification.verdict == "intractable":
+        raise IntractableQueryError(
+            f"selection by SUM for {query.name} is intractable: {classification.reason}",
+            classification,
+        )
+
+    original_free = query.free_variables
+    if fds:
+        from repro.fds.rewrite import rewrite_for_fds
+
+        query, database, _ = rewrite_for_fds(query, database, None, fds)
+
+    query, database = query.normalize(database)
+
+    if query.is_boolean:
+        from repro.engine.naive import evaluate_naive
+
+        answers = evaluate_naive(query, database)
+        if k < 0 or k >= len(answers):
+            raise OutOfBoundsError(f"index {k} is out of bounds for {len(answers)} answers")
+        return answers[k]
+
+    reduction = eliminate_projections(query, database)
+    full_query, full_database = reduction.query, reduction.database
+
+    if len(full_query.atoms) == 1:
+        return _selection_single_atom(full_query, full_database, weights, k, original_free)
+    if len(full_query.atoms) == 2:
+        return _selection_two_atoms(full_query, full_database, weights, k, original_free)
+    raise IntractableQueryError(
+        f"selection by SUM needs fmh ≤ 2 but the reduced query has "
+        f"{len(full_query.atoms)} maximal hyperedges",
+        classification,
+    )
+
+
+def median_by_sum(
+    query: ConjunctiveQuery,
+    database: Database,
+    weights: Optional[Weights] = None,
+    fds=None,
+) -> Tuple:
+    """The (lower) median answer under the SUM order — the paper's flagship quantile."""
+    # The number of answers is needed to know the median's index; a histogram
+    # over any free variable of the reduced full query provides it in linear
+    # time, but reusing the LEX machinery keeps this helper tiny.
+    from repro.core.selection_lex import value_histogram
+    from repro.core.reduction import eliminate_projections as _elim
+
+    normalized, normalized_db = query.normalize(database)
+    if normalized.is_boolean:
+        return selection_sum(query, database, 0, weights=weights, fds=fds)
+    if fds:
+        from repro.fds.rewrite import rewrite_for_fds
+
+        normalized, normalized_db, _ = rewrite_for_fds(normalized, normalized_db, None, fds)
+        normalized, normalized_db = normalized.normalize(normalized_db)
+    reduction = _elim(normalized, normalized_db)
+    histogram = value_histogram(reduction.query, reduction.database, reduction.query.free_variables[0])
+    count = sum(histogram.values())
+    if count == 0:
+        raise OutOfBoundsError("the query has no answers; no median exists")
+    return selection_sum(query, database, (count - 1) // 2, weights=weights, fds=fds)

@@ -1,0 +1,257 @@
+"""Decidable structural tests behind the dichotomies.
+
+This module collects the query/order structure checks that the classification
+theorems are stated in terms of:
+
+* free-connexity and ``L``-connexity (Section 2.1),
+* disruptive trios (Definition 3.2),
+* the maximum number of independent free variables ``α_free(Q)``
+  (Definition 5.2),
+* maximal and free-maximal hyperedge counts ``mh(Q)`` / ``fmh(Q)``
+  (Definition 7.1),
+* atoms containing all free variables (the tractability criterion of
+  Theorem 5.1 / Lemma 5.4),
+* maximal contractions (Definition 7.5) and absorbed atoms/variables,
+* reverse elimination orders (Remark 1).
+
+Each predicate also has a *witness* variant returning the concrete structure
+(the trio, the S-path, the independent set, …) for explanations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.hypergraph import Hypergraph, find_s_path, is_acyclic, is_s_connex
+
+
+# ----------------------------------------------------------------------
+# Acyclicity and connexity
+# ----------------------------------------------------------------------
+def is_acyclic_query(query: ConjunctiveQuery) -> bool:
+    """Whether ``H(Q)`` is acyclic."""
+    return is_acyclic(query.hypergraph())
+
+
+def is_free_connex(query: ConjunctiveQuery) -> bool:
+    """Whether ``Q`` is free-connex: ``H(Q)`` is ``free(Q)``-connex."""
+    return is_s_connex(query.hypergraph(), query.free_variables)
+
+
+def is_l_connex(query: ConjunctiveQuery, order: LexOrder) -> bool:
+    """Whether ``Q`` is ``L``-connex for the variables of the (partial) order."""
+    return is_s_connex(query.hypergraph(), order.variable_set())
+
+
+def free_path_witness(query: ConjunctiveQuery) -> Optional[Tuple]:
+    """A free-path (S-path for ``S = free(Q)``) witnessing non-free-connexity."""
+    return find_s_path(query.hypergraph(), frozenset(query.free_variables))
+
+
+def l_path_witness(query: ConjunctiveQuery, order: LexOrder) -> Optional[Tuple]:
+    """An ``L``-path witnessing that ``Q`` is not ``L``-connex."""
+    return find_s_path(query.hypergraph(), order.variable_set())
+
+
+# ----------------------------------------------------------------------
+# Disruptive trios (Definition 3.2)
+# ----------------------------------------------------------------------
+def find_disruptive_trio(
+    query: ConjunctiveQuery, order: LexOrder
+) -> Optional[Tuple[str, str, str]]:
+    """Find a disruptive trio ``(v1, v2, v3)`` of ``Q`` w.r.t. ``L``, or ``None``.
+
+    The trio consists of order variables ``v1, v2`` that are *not* neighbours
+    in ``H(Q)`` and a variable ``v3`` that is a neighbour of both and appears
+    *after* both in ``L``.  Only variables that occur in ``L`` can participate
+    (variables outside a partial order have no position).
+    """
+    hypergraph = query.hypergraph()
+    variables = order.variables
+    for k, v3 in enumerate(variables):
+        earlier = variables[:k]
+        neighbours_of_v3 = [v for v in earlier if hypergraph.are_neighbors(v, v3)]
+        for i, v1 in enumerate(neighbours_of_v3):
+            for v2 in neighbours_of_v3[i + 1 :]:
+                if not hypergraph.are_neighbors(v1, v2):
+                    return (v1, v2, v3)
+    return None
+
+
+def has_disruptive_trio(query: ConjunctiveQuery, order: LexOrder) -> bool:
+    """Whether ``Q`` has a disruptive trio with respect to ``L``."""
+    return find_disruptive_trio(query, order) is not None
+
+
+def is_reverse_elimination_order(query: ConjunctiveQuery, order: LexOrder) -> bool:
+    """Check the reverse (α-)elimination-order characterisation of Remark 1.
+
+    For a *full* order over all variables of a full CQ, the absence of
+    disruptive trios is equivalent to the order being a reverse elimination
+    order: the last variable together with all its neighbours is contained in
+    some atom, and recursively so after removing it.  Exposed mainly to test
+    the equivalence claimed by the paper.
+    """
+    hypergraph = query.hypergraph()
+    remaining = list(order.variables)
+    while remaining:
+        last = remaining[-1]
+        neighbours = hypergraph.neighbors(last) & set(remaining)
+        required = frozenset(neighbours) | {last}
+        if not any(required <= edge for edge in hypergraph.edges):
+            return False
+        remaining.pop()
+        hypergraph = hypergraph.without_vertex(last)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Independence and hyperedge maximality
+# ----------------------------------------------------------------------
+def alpha_free(query: ConjunctiveQuery) -> int:
+    """``α_free(Q)``: the maximum number of pairwise non-neighbouring free variables."""
+    return query.hypergraph().independence_number(query.free_variables)
+
+
+def max_independent_free_set(query: ConjunctiveQuery) -> FrozenSet[str]:
+    """A maximum independent set of free variables (witness for hardness proofs)."""
+    return query.hypergraph().max_independent_subset(query.free_variables)
+
+
+def mh(query: ConjunctiveQuery) -> int:
+    """``mh(Q)``: number of containment-maximal hyperedges of ``H(Q)``."""
+    return query.hypergraph().mh()
+
+
+def fmh(query: ConjunctiveQuery) -> int:
+    """``fmh(Q)``: number of maximal hyperedges of the free-restricted hypergraph."""
+    return query.free_hypergraph().mh()
+
+
+def free_maximal_edges(query: ConjunctiveQuery) -> Tuple[FrozenSet[str], ...]:
+    """The containment-maximal edges of ``H_free(Q)``, deduplicated."""
+    return query.free_hypergraph().maximal_edges()
+
+
+def atom_containing_all_free_variables(query: ConjunctiveQuery) -> Optional[Atom]:
+    """An atom whose variables contain every free variable, or ``None``.
+
+    By Lemma 5.4 such an atom exists for acyclic queries iff ``α_free(Q) ≤ 1``
+    (equivalently ``fmh(Q) ≤ 1``); its existence is the tractability criterion
+    of Theorem 5.1.
+    """
+    free = set(query.free_variables)
+    for atom in query.atoms:
+        if free <= atom.variable_set:
+            return atom
+    return None
+
+
+# ----------------------------------------------------------------------
+# Maximal contraction (Definition 7.5)
+# ----------------------------------------------------------------------
+def absorbed_atoms(query: ConjunctiveQuery) -> List[Atom]:
+    """Atoms whose variable set is contained in another atom's variable set."""
+    result = []
+    for i, atom in enumerate(query.atoms):
+        for j, other in enumerate(query.atoms):
+            if i != j and atom.variable_set <= other.variable_set:
+                if atom.variable_set < other.variable_set or i > j:
+                    result.append(atom)
+                    break
+    return result
+
+
+def absorbed_variable_pairs(query: ConjunctiveQuery) -> List[Tuple[str, str]]:
+    """Pairs ``(absorbed, absorber)`` of variables per Section 7.1.
+
+    A variable ``v`` is absorbed by ``u ≠ v`` if they occur in exactly the same
+    atoms and it is not the case that ``v`` is free while ``u`` is existential.
+    """
+    free = set(query.free_variables)
+    occurrence: Dict[str, FrozenSet[int]] = {}
+    for variable in query.variables:
+        occurrence[variable] = frozenset(
+            i for i, atom in enumerate(query.atoms) if variable in atom.variable_set
+        )
+    pairs: List[Tuple[str, str]] = []
+    for v in sorted(query.variables, key=str):
+        for u in sorted(query.variables, key=str):
+            if u == v or occurrence[u] != occurrence[v]:
+                continue
+            if v in free and u not in free:
+                continue
+            pairs.append((v, u))
+    return pairs
+
+
+def maximal_contraction(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """A maximal contraction of ``Q`` (Definition 7.5).
+
+    Absorbed atoms and absorbed variables are removed iteratively until no
+    further contraction applies.  The result is unique up to renaming; we keep
+    the lexicographically-smallest representative of each absorption pair so
+    the output is deterministic.
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+
+        atoms = list(current.atoms)
+        drop = absorbed_atoms(current)
+        if drop:
+            atom = drop[0]
+            atoms.remove(atom)
+            current = ConjunctiveQuery(
+                [v for v in current.head if any(v in a.variable_set for a in atoms)],
+                atoms,
+                name=current.name,
+            )
+            changed = True
+            continue
+
+        pairs = absorbed_variable_pairs(current)
+        if pairs:
+            # Prefer removing an existential variable when possible, otherwise
+            # remove the lexicographically larger of the two free variables so
+            # the contraction is canonical.
+            free = set(current.free_variables)
+            existential_first = sorted(
+                pairs, key=lambda p: (p[0] in free, str(p[0]))
+            )
+            removed, keeper = existential_first[0]
+            if removed in free and keeper in free and str(removed) < str(keeper):
+                removed, keeper = keeper, removed
+            new_atoms = [
+                Atom(a.relation, [v for v in a.variables if v != removed]) for a in current.atoms
+            ]
+            new_head = [v for v in current.head if v != removed]
+            current = ConjunctiveQuery(new_head, new_atoms, name=current.name)
+            changed = True
+    return current
+
+
+# ----------------------------------------------------------------------
+# Misc helpers used by reductions
+# ----------------------------------------------------------------------
+def covering_atom(query: ConjunctiveQuery, variables: FrozenSet[str]) -> Optional[Atom]:
+    """Some atom whose variable set contains ``variables``, or ``None``."""
+    for atom in query.atoms:
+        if variables <= atom.variable_set:
+            return atom
+    return None
+
+
+def free_neighbor_pairs(query: ConjunctiveQuery) -> Set[Tuple[str, str]]:
+    """Unordered pairs of free variables that co-occur in some atom."""
+    hypergraph = query.hypergraph()
+    free = sorted(query.free_variables, key=str)
+    pairs: Set[Tuple[str, str]] = set()
+    for i, u in enumerate(free):
+        for v in free[i + 1 :]:
+            if hypergraph.are_neighbors(u, v):
+                pairs.add((u, v))
+    return pairs

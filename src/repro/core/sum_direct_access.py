@@ -1,0 +1,145 @@
+"""Direct access by SUM orders for the tractable class (Theorem 5.1 / Lemma 5.9).
+
+Direct access by the sum of attribute weights with the paper's guarantees is
+possible exactly for acyclic CQs in which a single atom contains every free
+variable.  The algorithm is simple: remove dangling tuples with a semi-join
+reduction, project the covering atom onto the free variables, compute each
+answer's weight, sort once, and serve accesses from the sorted array in
+constant time.  Inverted access (answer → index) is supported with a hash map.
+
+With unary functional dependencies the same construction is applied to the
+FD-extension (Theorem 8.9): a query that is not tractable on its own may become
+tractable because the extension pulls all free variables into one atom
+(Example 8.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.classification import classify_direct_access_sum
+from repro.core.orders import Weights
+from repro.core.reduction import reduce_database_over_query
+from repro.core import structure as st
+from repro.engine.database import Database
+from repro.exceptions import IntractableQueryError, NotAnAnswerError, OutOfBoundsError
+
+
+class SumDirectAccess:
+    """Ranked direct access to CQ answers ordered by sum of attribute weights.
+
+    Parameters mirror :class:`~repro.core.direct_access.LexDirectAccess`; the
+    ``weights`` argument supplies the per-variable weight functions of the SUM
+    order.  Ties between equal-weight answers are broken deterministically by
+    the answer tuples themselves so that repeated accesses are consistent and
+    inverted access is well defined.
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        weights: Optional[Weights] = None,
+        fds=None,
+        enforce_tractability: bool = True,
+    ) -> None:
+        self._original_query = query
+        self.weights = weights if weights is not None else Weights.identity()
+        self.classification = classify_direct_access_sum(query, fds=fds)
+        if enforce_tractability and self.classification.verdict == "intractable":
+            raise IntractableQueryError(
+                f"direct access by SUM for {query.name} is intractable: "
+                f"{self.classification.reason}",
+                self.classification,
+            )
+
+        if fds:
+            from repro.fds.rewrite import rewrite_for_fds
+
+            query, database, _ = rewrite_for_fds(query, database, None, fds)
+        self._effective_query = query
+
+        query, database = query.normalize(database)
+
+        covering = st.atom_containing_all_free_variables(query)
+        if covering is None:
+            raise IntractableQueryError(
+                f"no atom of {query.name} contains all free variables; "
+                "SUM direct access is only implemented for the tractable class",
+                self.classification,
+            )
+
+        reduced = reduce_database_over_query(query, database)
+        atom_index = query.atoms.index(covering)
+        answers_relation = reduced[atom_index].project(query.free_variables)
+
+        original_free = self._original_query.free_variables
+        effective_free = query.free_variables
+        scored: List[Tuple[float, Tuple, Tuple]] = []
+        for row in answers_relation:
+            weight = self.weights.answer_weight(effective_free, row)
+            if effective_free == original_free:
+                answer = row
+            else:
+                mapping = dict(zip(effective_free, row))
+                answer = tuple(mapping[v] for v in original_free)
+            scored.append((weight, answer, row))
+        scored.sort(key=lambda item: (item[0], tuple(map(repr, item[1]))))
+
+        self._answers: List[Tuple] = [answer for _, answer, _ in scored]
+        self._weights_sorted: List[float] = [weight for weight, _, _ in scored]
+        self._index_of: Dict[Tuple, int] = {}
+        for position, answer in enumerate(self._answers):
+            self._index_of.setdefault(answer, position)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of answers ``|Q(I)|``."""
+        return len(self._answers)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._answers)
+
+    def access(self, k: int) -> Tuple:
+        """The ``k``-th answer (0-based) by non-decreasing weight."""
+        if k < 0 or k >= self.count:
+            raise OutOfBoundsError(f"index {k} is out of bounds for {self.count} answers")
+        return self._answers[k]
+
+    def __getitem__(self, k):
+        if isinstance(k, slice):
+            return self._answers[k]
+        if k < 0:
+            k += self.count
+        return self.access(k)
+
+    def answer_weight(self, k: int) -> float:
+        """The weight of the ``k``-th answer."""
+        if k < 0 or k >= self.count:
+            raise OutOfBoundsError(f"index {k} is out of bounds for {self.count} answers")
+        return self._weights_sorted[k]
+
+    def inverted_access(self, answer: Sequence) -> int:
+        """Index of ``answer`` under this structure's (tie-broken) SUM order."""
+        key = tuple(answer)
+        if key not in self._index_of:
+            raise NotAnAnswerError(f"{key!r} is not an answer")
+        return self._index_of[key]
+
+    def weight_lookup(self, weight: float) -> Optional[int]:
+        """First index holding an answer of exactly the given weight (Definition 5.5).
+
+        Returns ``None`` when no answer has that weight.  Implemented by binary
+        search over the sorted weight array, matching Lemma 5.6.
+        """
+        from bisect import bisect_left
+
+        position = bisect_left(self._weights_sorted, weight)
+        if position < self.count and self._weights_sorted[position] == weight:
+            return position
+        return None

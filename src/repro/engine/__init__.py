@@ -1,0 +1,34 @@
+"""A small in-memory relational engine.
+
+The paper assumes a standard RAM-model relational substrate: named relations,
+projection, selection, semi-joins, hash joins, grouping counts, and the
+Yannakakis semi-join reducer for acyclic queries.  This subpackage implements
+that substrate.  It is deliberately simple (tuples are plain Python tuples,
+relations are immutable value objects) so that the algorithmic layers above it
+stay easy to audit against the paper.
+"""
+
+from repro.engine.relation import Relation
+from repro.engine.database import Database
+from repro.engine.operators import (
+    hash_join,
+    semijoin,
+    project,
+    select_equals,
+    group_counts,
+)
+from repro.engine.yannakakis import full_reducer, acyclic_full_join
+from repro.engine.naive import evaluate_naive
+
+__all__ = [
+    "Relation",
+    "Database",
+    "hash_join",
+    "semijoin",
+    "project",
+    "select_equals",
+    "group_counts",
+    "full_reducer",
+    "acyclic_full_join",
+    "evaluate_naive",
+]

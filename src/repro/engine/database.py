@@ -1,0 +1,92 @@
+"""Database instances: named collections of relations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.relation import Relation
+from repro.exceptions import SchemaError
+
+
+class Database:
+    """A database instance ``I``: a mapping from relation names to relations.
+
+    The paper measures complexity in the total number of tuples ``n``
+    (:meth:`size`).  Databases are immutable value objects like relations.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        mapping: Dict[str, Relation] = {}
+        for relation in relations:
+            if relation.name in mapping:
+                raise SchemaError(f"duplicate relation name {relation.name!r}")
+            mapping[relation.name] = relation
+        self._relations = mapping
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"database has no relation named {name!r}") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations.keys())
+
+    def size(self) -> int:
+        """Total number of tuples, the ``n`` of the complexity analysis."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = ", ".join(f"{name}({len(rel)})" for name, rel in self._relations.items())
+        return f"Database({parts})"
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def with_relation(self, relation: Relation) -> "Database":
+        """A copy where ``relation`` replaces (or adds) the relation of that name."""
+        relations = dict(self._relations)
+        relations[relation.name] = relation
+        return Database(relations.values())
+
+    def with_relations(self, relations: Iterable[Relation]) -> "Database":
+        """A copy with several relations replaced/added at once."""
+        mapping = dict(self._relations)
+        for relation in relations:
+            mapping[relation.name] = relation
+        return Database(mapping.values())
+
+    def without_relation(self, name: str) -> "Database":
+        """A copy without the relation of the given name."""
+        relations = {k: v for k, v in self._relations.items() if k != name}
+        return Database(relations.values())
+
+    def restrict(self, names: Sequence[str]) -> "Database":
+        """A copy containing only the named relations."""
+        return Database(self._relations[name] for name in names if name in self._relations)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Tuple[Sequence[str], Iterable[Sequence]]]) -> "Database":
+        """Build a database from ``{name: (attributes, rows)}``."""
+        return cls(Relation(name, attrs, rows) for name, (attrs, rows) in data.items())

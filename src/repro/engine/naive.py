@@ -1,0 +1,74 @@
+"""Naive conjunctive-query evaluation (the ground-truth oracle).
+
+This evaluator supports arbitrary CQs — cyclic ones, self-joins, repeated
+variables inside an atom, constants-free bodies with projections — by joining
+the atoms one after another with hash joins and finally projecting onto the
+free variables.  It makes no attempt to be fast; its only job is to provide an
+unquestionably correct reference against which the sophisticated algorithms of
+:mod:`repro.core` are validated in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.exceptions import SchemaError
+
+
+def _atom_relation(atom, database: Database, index: int) -> Relation:
+    """The relation of one atom with attributes renamed to the atom's variables.
+
+    Repeated variables within the atom are handled by filtering rows on which
+    the repeated positions agree and then keeping a single column per variable.
+    """
+    base = database.relation(atom.relation)
+    variables = atom.variables
+    if len(base.attributes) != len(variables):
+        raise SchemaError(
+            f"atom {atom} expects arity {len(variables)} but relation "
+            f"{atom.relation!r} has arity {len(base.attributes)}"
+        )
+    first_position: Dict[str, int] = {}
+    for position, variable in enumerate(variables):
+        first_position.setdefault(variable, position)
+
+    rows: List[Tuple] = []
+    for row in base:
+        if all(row[pos] == row[first_position[var]] for pos, var in enumerate(variables)):
+            rows.append(tuple(row[first_position[var]] for var in first_position))
+    return Relation(f"atom{index}_{atom.relation}", tuple(first_position.keys()), rows)
+
+
+def evaluate_naive(query, database: Database) -> List[Tuple]:
+    """Evaluate ``query`` over ``database`` and return the sorted distinct answers.
+
+    Answers are tuples aligned with ``query.free_variables``.  For a Boolean
+    query the result is ``[()]`` if the body is satisfiable and ``[]``
+    otherwise.  The answers are returned sorted (by the natural order of the
+    value tuples) purely for determinism; callers that need a specific answer
+    order apply their own.
+    """
+    relations = [_atom_relation(atom, database, i) for i, atom in enumerate(query.atoms)]
+    if not relations:
+        return [()]
+
+    from repro.engine.operators import hash_join  # local import to avoid cycles
+
+    current = relations[0]
+    for relation in relations[1:]:
+        current = hash_join(current, relation)
+        if len(current) == 0:
+            break
+
+    free = tuple(query.free_variables)
+    if not free:
+        return [()] if len(current) > 0 else []
+    projected = current.project(free, distinct=True)
+    return sorted(projected.rows)
+
+
+def count_naive(query, database: Database) -> int:
+    """Number of distinct answers (oracle for the counting-based tests)."""
+    return len(evaluate_naive(query, database))

@@ -1,0 +1,91 @@
+"""Relational operators on :class:`~repro.engine.relation.Relation`.
+
+These are the building blocks the Yannakakis reducer, the naive oracle
+evaluator, and the preprocessing phases are composed of: natural hash joins,
+semi-joins, projections, equality selections and grouping counts.  Joins are
+*natural*: attributes with the same name are join attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.relation import Relation, Row
+
+
+def _shared_attributes(left: Relation, right: Relation) -> Tuple[str, ...]:
+    return tuple(a for a in left.attributes if right.has_attribute(a))
+
+
+def _key_positions(relation: Relation, attributes: Sequence[str]) -> Tuple[int, ...]:
+    return tuple(relation.position(a) for a in attributes)
+
+
+def _key_of(row: Row, positions: Sequence[int]) -> Tuple:
+    return tuple(row[p] for p in positions)
+
+
+def hash_join(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Natural hash join of two relations.
+
+    The output schema is ``left.attributes`` followed by the attributes of
+    ``right`` that do not occur in ``left``.  Duplicates in the inputs are
+    preserved (the callers that need set semantics deduplicate explicitly).
+    """
+    shared = _shared_attributes(left, right)
+    left_key = _key_positions(left, shared)
+    right_key = _key_positions(right, shared)
+    extra_attrs = tuple(a for a in right.attributes if not left.has_attribute(a))
+    extra_positions = tuple(right.position(a) for a in extra_attrs)
+
+    index: Dict[Tuple, List[Row]] = {}
+    for row in right:
+        index.setdefault(_key_of(row, right_key), []).append(row)
+
+    out_rows: List[Row] = []
+    for row in left:
+        for match in index.get(_key_of(row, left_key), ()):  # type: ignore[arg-type]
+            out_rows.append(row + tuple(match[p] for p in extra_positions))
+    return Relation(name or f"({left.name}⋈{right.name})", left.attributes + extra_attrs, out_rows)
+
+
+def semijoin(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Left semi-join: rows of ``left`` that agree with some row of ``right``."""
+    shared = _shared_attributes(left, right)
+    if not shared:
+        kept = list(left.rows) if len(right) > 0 else []
+        return Relation(name or left.name, left.attributes, kept)
+    left_key = _key_positions(left, shared)
+    right_key = _key_positions(right, shared)
+    present = {_key_of(row, right_key) for row in right}
+    kept = [row for row in left if _key_of(row, left_key) in present]
+    return Relation(name or left.name, left.attributes, kept)
+
+
+def project(relation: Relation, attributes: Sequence[str], name: Optional[str] = None) -> Relation:
+    """Distinct projection (wrapper around :meth:`Relation.project`)."""
+    return relation.project(attributes, distinct=True, name=name)
+
+
+def select_equals(relation: Relation, assignment: Mapping[str, object], name: Optional[str] = None) -> Relation:
+    """Equality selection (wrapper around :meth:`Relation.select_equals`)."""
+    return relation.select_equals(assignment, name=name)
+
+
+def group_counts(relation: Relation, attributes: Sequence[str]) -> Dict[Tuple, int]:
+    """Number of rows per distinct value combination of ``attributes``."""
+    positions = _key_positions(relation, attributes)
+    counts: Dict[Tuple, int] = {}
+    for row in relation:
+        key = _key_of(row, positions)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def cross_product(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Cartesian product of relations with disjoint schemas."""
+    overlapping = _shared_attributes(left, right)
+    if overlapping:
+        raise ValueError(f"cross_product requires disjoint schemas; shared: {overlapping}")
+    rows = [l + r for l in left for r in right]
+    return Relation(name or f"({left.name}×{right.name})", left.attributes + right.attributes, rows)

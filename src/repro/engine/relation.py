@@ -1,0 +1,200 @@
+"""Relations: named, schema-carrying sets of tuples.
+
+A :class:`Relation` stores a tuple of attribute names and a list of value
+tuples aligned with that schema.  Relations are value objects: operations
+return new relations and never mutate their inputs.  Duplicate rows are allowed
+in storage (they can arise from projections) but :meth:`distinct` and the
+algebra operators that need set semantics remove them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+Row = Tuple
+
+
+class Relation:
+    """An immutable named relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name (used for error messages and database registration).
+    attributes:
+        Ordered attribute names; duplicates are rejected — repeated query
+        variables are handled at the query layer, not the storage layer.
+    rows:
+        Iterable of tuples, each of the same arity as ``attributes``.
+    """
+
+    __slots__ = ("_name", "_attributes", "_rows", "_positions")
+
+    def __init__(self, name: str, attributes: Sequence[str], rows: Iterable[Sequence] = ()) -> None:
+        attributes = tuple(attributes)
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"relation {name!r} has duplicate attributes {attributes}")
+        materialized: List[Row] = []
+        arity = len(attributes)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise SchemaError(
+                    f"relation {name!r}: row {row!r} does not match arity {arity} of {attributes}"
+                )
+            materialized.append(row)
+        self._name = name
+        self._attributes = attributes
+        self._rows = materialized
+        self._positions = {attr: i for i, attr in enumerate(attributes)}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._attributes
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        return tuple(self._rows)
+
+    @property
+    def arity(self) -> int:
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence) -> bool:
+        return tuple(row) in set(self._rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and sorted(map(repr, self._rows)) == sorted(map(repr, other._rows))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Relation({self._name!r}, {self._attributes}, {len(self._rows)} rows)"
+
+    def position(self, attribute: str) -> int:
+        """Index of ``attribute`` within the schema."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(f"relation {self._name!r} has no attribute {attribute!r}") from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def value(self, row: Row, attribute: str):
+        """Value of ``attribute`` in ``row``."""
+        return row[self.position(attribute)]
+
+    def values_of(self, attribute: str) -> List:
+        """All values of ``attribute`` across rows (with duplicates)."""
+        pos = self.position(attribute)
+        return [row[pos] for row in self._rows]
+
+    def active_domain(self, attribute: str) -> List:
+        """Distinct values of ``attribute``, in first-seen order."""
+        pos = self.position(attribute)
+        seen = {}
+        for row in self._rows:
+            seen.setdefault(row[pos], None)
+        return list(seen.keys())
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """Rows as attribute → value dictionaries (convenience for examples)."""
+        return [dict(zip(self._attributes, row)) for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Algebra (all return new relations)
+    # ------------------------------------------------------------------
+    def rename(self, name: Optional[str] = None, mapping: Optional[Mapping[str, str]] = None) -> "Relation":
+        """Rename the relation and/or its attributes."""
+        mapping = mapping or {}
+        new_attrs = tuple(mapping.get(a, a) for a in self._attributes)
+        return Relation(name or self._name, new_attrs, self._rows)
+
+    def project(self, attributes: Sequence[str], distinct: bool = True, name: Optional[str] = None) -> "Relation":
+        """Project onto the given attributes (set semantics by default)."""
+        positions = [self.position(a) for a in attributes]
+        projected = [tuple(row[p] for p in positions) for row in self._rows]
+        if distinct:
+            seen = {}
+            for row in projected:
+                seen.setdefault(row, None)
+            projected = list(seen.keys())
+        return Relation(name or self._name, tuple(attributes), projected)
+
+    def select(self, predicate: Callable[[Dict[str, object]], bool], name: Optional[str] = None) -> "Relation":
+        """Select rows satisfying an arbitrary predicate over attribute dicts."""
+        kept = [row for row in self._rows if predicate(dict(zip(self._attributes, row)))]
+        return Relation(name or self._name, self._attributes, kept)
+
+    def select_equals(self, assignment: Mapping[str, object], name: Optional[str] = None) -> "Relation":
+        """Select rows whose values match the partial assignment."""
+        positions = [(self.position(a), v) for a, v in assignment.items()]
+        kept = [row for row in self._rows if all(row[p] == v for p, v in positions)]
+        return Relation(name or self._name, self._attributes, kept)
+
+    def distinct(self, name: Optional[str] = None) -> "Relation":
+        """Remove duplicate rows, preserving first-seen order."""
+        seen = {}
+        for row in self._rows:
+            seen.setdefault(row, None)
+        return Relation(name or self._name, self._attributes, list(seen.keys()))
+
+    def extend(self, attribute: str, values: Mapping[Row, object], name: Optional[str] = None) -> "Relation":
+        """Append an attribute whose value is looked up per row.
+
+        ``values`` maps each existing row to the new attribute's value; rows
+        absent from the mapping are dropped (they are dangling with respect to
+        the lookup source).  Used by the FD-extension database rewrite.
+        """
+        new_rows = []
+        for row in self._rows:
+            if row in values:
+                new_rows.append(row + (values[row],))
+        return Relation(name or self._name, self._attributes + (attribute,), new_rows)
+
+    def sorted_by(self, attributes: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Rows sorted lexicographically by the given attributes."""
+        positions = [self.position(a) for a in attributes]
+        ordered = sorted(self._rows, key=lambda row: tuple(row[p] for p in positions))
+        return Relation(name or self._name, self._attributes, ordered)
+
+    def group_by(self, attributes: Sequence[str]) -> Dict[Row, List[Row]]:
+        """Group rows by their values on ``attributes`` (insertion-ordered)."""
+        positions = [self.position(a) for a in attributes]
+        groups: Dict[Row, List[Row]] = {}
+        for row in self._rows:
+            key = tuple(row[p] for p in positions)
+            groups.setdefault(key, []).append(row)
+        return groups
+
+    def with_rows(self, rows: Iterable[Sequence], name: Optional[str] = None) -> "Relation":
+        """A relation with the same schema but different rows."""
+        return Relation(name or self._name, self._attributes, rows)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(cls, name: str, attributes: Sequence[str], dict_rows: Iterable[Mapping[str, object]]) -> "Relation":
+        """Build a relation from attribute → value dictionaries."""
+        rows = [tuple(d[a] for a in attributes) for d in dict_rows]
+        return cls(name, attributes, rows)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch every failure mode of the package with a single ``except`` clause while
+still being able to distinguish the individual conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class QueryStructureError(ReproError):
+    """A query does not have the structure an operation requires.
+
+    Examples: requesting a join tree of a cyclic hypergraph, asking for the
+    free-connex reduction of a query that is not free-connex, or building a
+    layered join tree in the presence of a disruptive trio.
+    """
+
+
+class IntractableQueryError(ReproError):
+    """The requested (query, order) combination is classified as intractable.
+
+    The paper's dichotomies prove (under fine-grained hypotheses) that no
+    algorithm with the target guarantees exists for these inputs, so the
+    constructive APIs refuse them instead of silently degrading.  The attached
+    :attr:`classification` carries the precise reason.
+    """
+
+    def __init__(self, message: str, classification=None):
+        super().__init__(message)
+        self.classification = classification
+
+
+class OutOfBoundsError(ReproError, IndexError):
+    """A direct-access or selection index exceeds the number of answers.
+
+    Mirrors the paper's "out-of-bound" return value (Section 2.2) while staying
+    a proper :class:`IndexError` so generic sequence-style handling works.
+    """
+
+
+class NotAnAnswerError(ReproError, KeyError):
+    """Inverted access was asked about a tuple that is not a query answer."""
+
+
+class SchemaError(ReproError):
+    """A database instance does not match the schema a query expects."""
+
+
+class FunctionalDependencyError(ReproError):
+    """A functional dependency is malformed or violated by the database."""
+
+
+class WeightError(ReproError):
+    """A weight function is missing values or produced a non-numeric weight."""

@@ -1,0 +1,30 @@
+"""Functional dependencies (Section 8 of the paper).
+
+This subpackage implements unary functional dependencies and the machinery the
+paper uses to classify and solve ordered CQ problems in their presence:
+
+* :class:`~repro.fds.fd.FunctionalDependency` / :class:`~repro.fds.fd.FDSet` —
+  unary FDs attached to query atoms, with validation against databases,
+* :func:`~repro.fds.extension.fd_extension` — the FD-extension ``Q⁺`` and
+  ``Δ⁺`` (Definition 8.2),
+* :func:`~repro.fds.reorder.reorder_lex_order` — the FD-reordered
+  lexicographic order ``L⁺`` (Definition 8.13),
+* :func:`~repro.fds.rewrite.rewrite_for_fds` — the database rewrite realising
+  the lex-/weight-preserving exact reductions (Lemma 8.5), which turns the
+  tractable-with-FDs cases into runnable inputs of the core algorithms.
+"""
+
+from repro.fds.fd import FunctionalDependency, FDSet
+from repro.fds.extension import fd_extension
+from repro.fds.reorder import reorder_lex_order, implied_closure
+from repro.fds.rewrite import rewrite_for_fds, extend_database
+
+__all__ = [
+    "FunctionalDependency",
+    "FDSet",
+    "fd_extension",
+    "reorder_lex_order",
+    "implied_closure",
+    "rewrite_for_fds",
+    "extend_database",
+]

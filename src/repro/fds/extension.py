@@ -1,0 +1,75 @@
+"""The FD-extension of a query (Definition 8.2).
+
+Given a self-join-free CQ ``Q`` and a set of unary FDs ``Δ``, the FD-extension
+``(Q⁺, Δ⁺)`` is the fixpoint of two steps:
+
+1. if an FD ``R : x → y`` exists and some atom ``S(Z)`` contains ``x`` but not
+   ``y``, extend ``S`` with ``y`` and add the FD ``S : x → y``;
+2. if ``x`` is free and implies ``y`` which is existential, make ``y`` free.
+
+The classification theorems of Section 8 apply the FD-free dichotomies to
+``Q⁺``; the rewrites of :mod:`repro.fds.rewrite` turn a database for ``Q``
+into one for ``Q⁺``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.exceptions import FunctionalDependencyError
+from repro.fds.fd import FDSet, FunctionalDependency
+
+
+def fd_extension(query: ConjunctiveQuery, fds: FDSet) -> Tuple[ConjunctiveQuery, FDSet]:
+    """Compute the FD-extension ``(Q⁺, Δ⁺)`` of a query and unary FD set.
+
+    Extended atoms keep their relation name (their relations gain attributes in
+    the database rewrite); the head keeps its original order, with newly-free
+    variables appended in a deterministic order.
+    """
+    if not query.is_self_join_free:
+        raise FunctionalDependencyError(
+            "the FD-extension is defined for self-join-free CQs; "
+            "normalise self-joins away first"
+        )
+    for fd in fds:
+        if not any(atom.relation == fd.relation for atom in query.atoms):
+            raise FunctionalDependencyError(f"FD {fd} references unknown relation {fd.relation!r}")
+
+    atom_vars: Dict[str, List[str]] = {atom.relation: list(atom.variables) for atom in query.atoms}
+    head: List[str] = list(query.head)
+    fd_set: Set[FunctionalDependency] = set(fds)
+
+    changed = True
+    while changed:
+        changed = False
+        current_fds = list(fd_set)
+        # Step 1: propagate implied variables into every atom containing the premise.
+        for fd in current_fds:
+            for relation, variables in atom_vars.items():
+                if fd.lhs in variables and fd.rhs not in variables:
+                    variables.append(fd.rhs)
+                    changed = True
+                new_fd = FunctionalDependency(relation, fd.lhs, fd.rhs)
+                if fd.lhs in variables and fd.rhs in variables and new_fd not in fd_set:
+                    fd_set.add(new_fd)
+                    changed = True
+        # Step 2: a free premise makes its (existential) conclusion free.
+        for fd in list(fd_set):
+            if fd.lhs in head and fd.rhs not in head:
+                head.append(fd.rhs)
+                changed = True
+
+    new_atoms = [Atom(relation, variables) for relation, variables in atom_vars.items()]
+    extended_query = ConjunctiveQuery(head, new_atoms, name=f"{query.name}+")
+    return extended_query, FDSet(sorted(fd_set, key=str))
+
+
+def is_fd_extension_fixpoint(query: ConjunctiveQuery, fds: FDSet) -> bool:
+    """Whether ``(query, fds)`` is already its own FD-extension (test helper)."""
+    extended_query, extended_fds = fd_extension(query, fds)
+    same_atoms = {a.relation: a.variable_set for a in query.atoms} == {
+        a.relation: a.variable_set for a in extended_query.atoms
+    }
+    return same_atoms and set(query.head) == set(extended_query.head)

@@ -1,0 +1,124 @@
+"""Unary functional dependencies over query atoms.
+
+Following Section 8 of the paper, a functional dependency is written on the
+query variables of one atom: ``R : x → y`` states that in relation ``R`` the
+value of (the attribute bound to) ``x`` determines the value of ``y``.  The
+paper's dichotomies for FDs cover *unary* FDs — a single variable on the
+left-hand side — and so does this implementation; the right-hand side is also a
+single variable (an FD with several implied variables is the set of its
+single-variable projections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.engine.database import Database
+from repro.exceptions import FunctionalDependencyError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A unary FD ``relation : lhs → rhs`` expressed on query variables."""
+
+    relation: str
+    lhs: str
+    rhs: str
+
+    def __post_init__(self) -> None:
+        if self.lhs == self.rhs:
+            raise FunctionalDependencyError(f"trivial FD {self.relation}: {self.lhs} → {self.rhs}")
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {self.lhs} → {self.rhs}"
+
+
+class FDSet:
+    """An immutable collection of unary functional dependencies."""
+
+    def __init__(self, fds: Iterable[FunctionalDependency] = ()) -> None:
+        self._fds: Tuple[FunctionalDependency, ...] = tuple(dict.fromkeys(fds))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *specs: Tuple[str, str, str]) -> "FDSet":
+        """Concise constructor: ``FDSet.of(("R", "x", "y"), ("S", "y", "z"))``."""
+        return cls(FunctionalDependency(rel, lhs, rhs) for rel, lhs, rhs in specs)
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(self._fds)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __bool__(self) -> bool:
+        return bool(self._fds)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return set(self._fds) == set(other._fds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "FDSet(" + ", ".join(str(fd) for fd in self._fds) + ")"
+
+    def with_fd(self, fd: FunctionalDependency) -> "FDSet":
+        return FDSet(self._fds + (fd,))
+
+    # ------------------------------------------------------------------
+    # Variable-level implication structure
+    # ------------------------------------------------------------------
+    def direct_implications(self) -> Dict[str, Set[str]]:
+        """Mapping ``x → {y : some FD has x on the left and y on the right}``."""
+        result: Dict[str, Set[str]] = {}
+        for fd in self._fds:
+            result.setdefault(fd.lhs, set()).add(fd.rhs)
+        return result
+
+    def transitively_implied(self, variable: str) -> FrozenSet[str]:
+        """Variables transitively implied by ``variable`` (excluding itself)."""
+        direct = self.direct_implications()
+        seen: Set[str] = set()
+        frontier = [variable]
+        while frontier:
+            current = frontier.pop()
+            for nxt in direct.get(current, ()):  # type: ignore[arg-type]
+                if nxt not in seen and nxt != variable:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate_against(self, query, database: Database) -> None:
+        """Check that every FD references its atom correctly and holds on the data.
+
+        Raises :class:`FunctionalDependencyError` on the first violation.  The
+        paper assumes the input database satisfies the declared FDs; validating
+        up front keeps the later rewrites trustworthy.
+        """
+        for fd in self._fds:
+            atoms = [a for a in query.atoms if a.relation == fd.relation]
+            if not atoms:
+                raise FunctionalDependencyError(f"FD {fd} references unknown relation {fd.relation!r}")
+            for atom in atoms:
+                if fd.lhs not in atom.variable_set or fd.rhs not in atom.variable_set:
+                    raise FunctionalDependencyError(
+                        f"FD {fd} mentions variables outside atom {atom}"
+                    )
+                if fd.relation not in database.relation_names:
+                    raise FunctionalDependencyError(f"database lacks relation {fd.relation!r}")
+                relation = database.relation(fd.relation)
+                lhs_pos = atom.variables.index(fd.lhs)
+                rhs_pos = atom.variables.index(fd.rhs)
+                mapping: Dict[object, object] = {}
+                for row in relation:
+                    lhs_value, rhs_value = row[lhs_pos], row[rhs_pos]
+                    if lhs_value in mapping and mapping[lhs_value] != rhs_value:
+                        raise FunctionalDependencyError(
+                            f"database violates {fd}: {fd.lhs}={lhs_value!r} maps to both "
+                            f"{mapping[lhs_value]!r} and {rhs_value!r}"
+                        )
+                    mapping[lhs_value] = rhs_value

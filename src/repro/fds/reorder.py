@@ -1,0 +1,48 @@
+"""The FD-reordered lexicographic order ``L⁺`` (Definition 8.13).
+
+For lexicographic orders the FD-extension alone is not enough: the FDs can
+interact with the order.  Once the value of a variable ``v`` is fixed, every
+variable ``v`` implies has only one possible value, so moving those implied
+variables to sit directly after ``v`` does not change the induced order on the
+answers (Lemma 8.16) — but it can remove disruptive trios (Example 8.14) and is
+exactly the order on which Theorem 8.21 decides tractability.
+
+The reordering walks the order left to right; at each position it inserts all
+variables transitively implied by the current variable immediately after it
+(skipping those already placed), possibly growing the order with variables that
+are only free in the extension.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.fds.fd import FDSet
+
+
+def implied_closure(fds: FDSet, variable: str) -> FrozenSet[str]:
+    """Variables transitively implied by ``variable`` under the FDs (excluding it)."""
+    return fds.transitively_implied(variable)
+
+
+def reorder_lex_order(query: ConjunctiveQuery, fds: FDSet, order: LexOrder) -> LexOrder:
+    """Compute the FD-reordered (and possibly grown) order ``L⁺`` of Definition 8.13."""
+    result: List[str] = list(order.variables)
+    i = 0
+    while i < len(result):
+        current = result[i]
+        implied = sorted(implied_closure(fds, current), key=str)
+        insert_at = i + 1
+        for variable in implied:
+            if variable in result[: i + 1]:
+                continue
+            if variable in result:
+                result.remove(variable)
+            if variable not in result:
+                result.insert(insert_at, variable)
+                insert_at += 1
+        i += 1
+    descending = tuple(v for v in order.descending if v in result)
+    return LexOrder(tuple(result), descending)

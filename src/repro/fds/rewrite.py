@@ -1,0 +1,151 @@
+"""Database rewrites realising the FD-extension reductions (Lemma 8.5).
+
+The classification theorems of Section 8 decide tractability on the FD-extension
+``Q⁺``; to actually *run* direct access or selection we must turn a database
+``I`` for ``Q`` (satisfying ``Δ``) into a database ``I⁺`` for ``Q⁺`` such that
+``Q⁺(I⁺)`` is in order-/weight-preserving bijection with ``Q(I)``.  The forward
+direction of Lemma 8.5 does exactly that:
+
+* whenever the extension added a variable ``y`` to an atom ``S`` because of an
+  FD ``R : x → y`` with ``x ∈ S``, every tuple of ``S`` gains a ``y`` column
+  whose value is looked up through ``R`` (tuples whose ``x`` value does not
+  occur in ``R`` are dangling — they cannot participate in any answer — and are
+  dropped);
+* newly-free variables simply join the head; their values in each answer are
+  determined by the original free variables, so projecting answers of ``Q⁺``
+  back onto ``free(Q)`` is the required bijection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.exceptions import FunctionalDependencyError
+from repro.fds.extension import fd_extension
+from repro.fds.fd import FDSet
+from repro.fds.reorder import reorder_lex_order
+
+
+def _implication_map(query: ConjunctiveQuery, database: Database, fds: FDSet,
+                     lhs: str, rhs: str) -> Optional[Dict[object, object]]:
+    """A value map ``lhs-value → rhs-value`` from some atom containing both variables."""
+    for atom in query.atoms:
+        if lhs in atom.variable_set and rhs in atom.variable_set:
+            if atom.relation not in database.relation_names:
+                continue
+            relation = database.relation(atom.relation)
+            lhs_pos = atom.variables.index(lhs)
+            rhs_pos = atom.variables.index(rhs)
+            mapping: Dict[object, object] = {}
+            for row in relation:
+                lhs_value, rhs_value = row[lhs_pos], row[rhs_pos]
+                if lhs_value in mapping and mapping[lhs_value] != rhs_value:
+                    raise FunctionalDependencyError(
+                        f"database violates the FD {atom.relation}: {lhs} → {rhs}"
+                    )
+                mapping[lhs_value] = rhs_value
+            return mapping
+    return None
+
+
+def extend_database(
+    query: ConjunctiveQuery,
+    database: Database,
+    fds: FDSet,
+) -> Tuple[ConjunctiveQuery, FDSet, Database]:
+    """Build ``(Q⁺, Δ⁺, I⁺)`` from ``(Q, Δ, I)`` — Lemma 8.5, forward direction.
+
+    The database must satisfy ``Δ`` (validated as a side effect of the lookups).
+    Answers of ``Q⁺`` on ``I⁺`` projected onto ``free(Q)`` equal ``Q(I)``.
+    """
+    extended_query, extended_fds = fd_extension(query, fds)
+
+    # Iteratively add the missing columns.  Each round looks for an atom whose
+    # extended schema has one more variable than its current relation and whose
+    # value can be resolved through an already-complete atom; because the
+    # extension is a fixpoint of single-variable additions, this terminates.
+    current_atoms: Dict[str, List[str]] = {a.relation: list(a.variables) for a in query.atoms}
+    current_relations: Dict[str, Relation] = {}
+    for atom in query.atoms:
+        base = database.relation(atom.relation)
+        current_relations[atom.relation] = Relation(atom.relation, atom.variables, base.rows)
+
+    target_schema: Dict[str, Tuple[str, ...]] = {
+        a.relation: a.variables for a in extended_query.atoms
+    }
+
+    progress = True
+    while progress:
+        progress = False
+        for relation_name, target_vars in target_schema.items():
+            have = current_atoms[relation_name]
+            missing = [v for v in target_vars if v not in have]
+            if not missing:
+                continue
+            for variable in missing:
+                # Find an FD premise already present in this atom that implies
+                # the missing variable, resolvable through some complete atom.
+                resolved = False
+                for fd in extended_fds:
+                    if fd.rhs != variable or fd.lhs not in have:
+                        continue
+                    working_query = ConjunctiveQuery(
+                        query.head,
+                        [type(query.atoms[0])(rel, vars_) for rel, vars_ in current_atoms.items()],
+                        name=query.name,
+                    )
+                    working_db = Database(current_relations.values())
+                    mapping = _implication_map(working_query, working_db, extended_fds, fd.lhs, variable)
+                    if mapping is None:
+                        continue
+                    relation = current_relations[relation_name]
+                    lhs_pos = have.index(fd.lhs)
+                    lookup = {
+                        row: mapping[row[lhs_pos]]
+                        for row in relation
+                        if row[lhs_pos] in mapping
+                    }
+                    current_relations[relation_name] = relation.extend(variable, lookup)
+                    have.append(variable)
+                    resolved = True
+                    progress = True
+                    break
+                if resolved:
+                    break
+
+    incomplete = {
+        name: vars_ for name, vars_ in target_schema.items()
+        if set(current_atoms[name]) != set(vars_)
+    }
+    if incomplete:  # pragma: no cover - the fixpoint construction resolves everything
+        raise FunctionalDependencyError(f"could not materialise extended atoms: {incomplete}")
+
+    # Reorder columns to match the extended atoms' variable order.
+    final_relations = []
+    for atom in extended_query.atoms:
+        relation = current_relations[atom.relation]
+        final_relations.append(relation.project(atom.variables, distinct=False, name=atom.relation))
+    return extended_query, extended_fds, Database(r.distinct() for r in final_relations)
+
+
+def rewrite_for_fds(
+    query: ConjunctiveQuery,
+    database: Database,
+    order: Optional[LexOrder],
+    fds: FDSet,
+) -> Tuple[ConjunctiveQuery, Database, Optional[LexOrder]]:
+    """Rewrite (query, database, order) to their FD-extended counterparts.
+
+    This is the entry point the core facades use: the returned query is ``Q⁺``,
+    the database realises the Lemma 8.5 reduction, and the order (when given)
+    is the FD-reordered ``L⁺`` of Definition 8.13, which induces the same
+    ranking of answers as the original order (Lemma 8.16).
+    """
+    fds.validate_against(query, database)
+    extended_query, extended_fds, extended_database = extend_database(query, database, fds)
+    extended_order = reorder_lex_order(query, fds, order) if order is not None else None
+    return extended_query, extended_database, extended_order

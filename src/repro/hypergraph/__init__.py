@@ -1,0 +1,37 @@
+"""Hypergraph machinery used throughout the library.
+
+This subpackage provides the structural notions of Section 2 of the paper:
+hypergraphs associated with conjunctive queries, the GYO reduction and join
+trees (acyclicity), S-connexity, S-paths and chordless paths, inclusion
+equivalence, maximal hyperedges, and independent sets of vertices.
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.join_tree import JoinTree
+from repro.hypergraph.gyo import (
+    gyo_reduction,
+    is_acyclic,
+    build_join_tree,
+    build_join_tree_rooted_at,
+)
+from repro.hypergraph.connex import is_s_connex, find_s_path, ext_connex_witness
+from repro.hypergraph.paths import (
+    chordless_paths,
+    find_chordless_path_of_length,
+    is_chordless,
+)
+
+__all__ = [
+    "Hypergraph",
+    "JoinTree",
+    "gyo_reduction",
+    "is_acyclic",
+    "build_join_tree",
+    "build_join_tree_rooted_at",
+    "is_s_connex",
+    "find_s_path",
+    "ext_connex_witness",
+    "chordless_paths",
+    "find_chordless_path_of_length",
+    "is_chordless",
+]

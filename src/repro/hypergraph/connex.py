@@ -1,0 +1,56 @@
+"""S-connexity tests and S-path witnesses (Section 2.1 of the paper).
+
+A hypergraph ``H`` is *S-connex* for a vertex subset ``S`` iff it is acyclic
+and remains acyclic after adding a hyperedge containing exactly ``S``
+(Brault-Baron's characterisation).  Equivalently, ``H`` is S-connex iff it has
+no *S-path*: a chordless path ``(x, z_1, …, z_k, y)`` with ``k ≥ 1``, endpoints
+``x, y ∈ S`` and internal vertices outside ``S``.
+
+A conjunctive query is *free-connex* iff its hypergraph is ``free(Q)``-connex,
+and *L-connex* for a partial lexicographic order ``L`` iff it is connex for the
+set of variables appearing in ``L``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.hypergraph.gyo import build_join_tree, is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.join_tree import JoinTree
+from repro.hypergraph.paths import find_s_path as _find_s_path
+
+
+def is_s_connex(hypergraph: Hypergraph, s: Iterable) -> bool:
+    """Whether ``hypergraph`` is S-connex for the vertex set ``s``.
+
+    Uses the join-tree characterisation: acyclic, and still acyclic after
+    adding a hyperedge equal to ``S``.
+    """
+    s = frozenset(s)
+    if not is_acyclic(hypergraph):
+        return False
+    return is_acyclic(hypergraph.with_edge(s))
+
+
+def find_s_path(hypergraph: Hypergraph, s: Iterable) -> Optional[Tuple]:
+    """Return an S-path witness ``(x, z_1, …, z_k, y)`` or ``None`` if S-connex.
+
+    The witness is useful for error messages and for the hardness reductions
+    (Lemma 3.13 picks the prefix ending at the middle variable of such a path).
+    """
+    return _find_s_path(hypergraph, frozenset(s))
+
+
+def ext_connex_witness(hypergraph: Hypergraph, s: Iterable) -> Optional[JoinTree]:
+    """A join tree of ``H ∪ {S}`` witnessing S-connexity, or ``None``.
+
+    The returned tree contains a node whose vertex set is exactly ``S`` (added
+    as an explicit hyperedge), from which callers can identify the connex
+    subtree spanning ``S``.
+    """
+    s = frozenset(s)
+    extended = hypergraph.with_edge(s)
+    if not is_acyclic(extended):
+        return None
+    return build_join_tree(extended)

@@ -1,0 +1,137 @@
+"""GYO reduction, acyclicity testing, and join-tree construction.
+
+The Graham–Yu–Özsoyoğlu (GYO) reduction repeatedly removes *ears*: hyperedges
+whose vertices are either exclusive to the edge or entirely covered by another
+edge (a *witness*).  A hypergraph is (α-)acyclic iff the reduction removes all
+edges, and recording which witness absorbed each ear yields a join tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryStructureError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.join_tree import JoinTree
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> Tuple[bool, List[Tuple[FrozenSet, Optional[FrozenSet]]]]:
+    """Run the GYO ear-removal procedure.
+
+    Returns ``(is_acyclic, removal_log)`` where ``removal_log`` lists
+    ``(removed_edge, witness_edge)`` pairs in removal order.  The witness is
+    ``None`` for the final edge (or for edges whose remaining vertices are
+    exclusive and which therefore attach nowhere in particular).
+    """
+    # Work on the original (unreduced) edges; keep identity by index because
+    # duplicate vertex sets were already deduplicated by Hypergraph.
+    remaining: List[FrozenSet] = list(hypergraph.edges)
+    log: List[Tuple[FrozenSet, Optional[FrozenSet]]] = []
+    if not remaining:
+        return True, log
+
+    def vertex_counts(edges: Sequence[FrozenSet]) -> Dict[object, int]:
+        counts: Dict[object, int] = {}
+        for edge in edges:
+            for v in edge:
+                counts[v] = counts.get(v, 0) + 1
+        return counts
+
+    changed = True
+    while changed and len(remaining) > 1:
+        changed = False
+        counts = vertex_counts(remaining)
+        for i, edge in enumerate(remaining):
+            others = remaining[:i] + remaining[i + 1 :]
+            # Vertices of `edge` shared with some other edge.
+            shared = frozenset(v for v in edge if counts[v] > 1)
+            witness = next((other for other in others if shared <= other), None)
+            if witness is not None:
+                log.append((edge, witness))
+                remaining.pop(i)
+                changed = True
+                break
+
+    if len(remaining) == 1:
+        log.append((remaining[0], None))
+        return True, log
+    return False, log
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """Whether the hypergraph is α-acyclic."""
+    acyclic, _ = gyo_reduction(hypergraph)
+    return acyclic
+
+
+def build_join_tree(hypergraph: Hypergraph) -> JoinTree:
+    """Construct a join tree of an acyclic hypergraph.
+
+    Raises :class:`QueryStructureError` if the hypergraph is cyclic.  The
+    resulting tree has exactly one node per (distinct) hyperedge; the edge
+    removed last by GYO becomes the root and every other edge hangs under its
+    witness.
+    """
+    acyclic, log = gyo_reduction(hypergraph)
+    if not acyclic:
+        raise QueryStructureError("hypergraph is cyclic; it has no join tree")
+    if not log:
+        tree = JoinTree()
+        tree.add_node(frozenset())
+        return tree
+
+    # The last removed edge is the root.  Build the tree top-down by walking
+    # the removal log in reverse: by the time an edge is attached, its witness
+    # has already been placed.
+    tree = JoinTree()
+    ids: Dict[FrozenSet, int] = {}
+    reversed_log = list(reversed(log))
+    root_edge, _ = reversed_log[0]
+    ids[root_edge] = tree.add_node(root_edge)
+    for edge, witness in reversed_log[1:]:
+        if witness is None or witness not in ids:
+            parent = tree.root
+        else:
+            parent = ids[witness]
+        ids[edge] = tree.add_node(edge, parent=parent)
+    return tree
+
+
+def build_join_tree_rooted_at(hypergraph: Hypergraph, root_edge: FrozenSet) -> JoinTree:
+    """Build a join tree and re-root it at the node equal to ``root_edge``.
+
+    Several algorithms (e.g. the per-variable histogram of Lemma 6.5) need the
+    join tree rooted at a node containing a particular variable set; re-rooting
+    preserves the running intersection property.
+    """
+    root_edge = frozenset(root_edge)
+    base = build_join_tree(hypergraph)
+    target = None
+    for node_id, node_set in enumerate(base.nodes):
+        if node_set == root_edge:
+            target = node_id
+            break
+    if target is None:
+        raise QueryStructureError(f"no join-tree node equals {set(root_edge)}")
+    if target == base.root:
+        return base
+
+    # Re-root: build adjacency and BFS from the new root.
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(len(base))}
+    for parent, child in base.edges():
+        adjacency[parent].append(child)
+        adjacency[child].append(parent)
+
+    new_tree = JoinTree()
+    mapping = {target: new_tree.add_node(base.node(target))}
+    stack = [target]
+    visited = {target}
+    while stack:
+        current = stack.pop()
+        for neighbour in adjacency[current]:
+            if neighbour in visited:
+                continue
+            visited.add(neighbour)
+            mapping[neighbour] = new_tree.add_node(base.node(neighbour), parent=mapping[current])
+            stack.append(neighbour)
+    return new_tree

@@ -1,0 +1,218 @@
+"""Hypergraphs associated with conjunctive queries.
+
+A hypergraph is a set of vertices together with a collection of hyperedges
+(subsets of the vertices).  For a conjunctive query ``Q`` the associated
+hypergraph ``H(Q)`` has the query variables as vertices and one hyperedge per
+atom (Section 2.1 of the paper).  The classification results of the paper are
+phrased entirely in terms of structural properties of these hypergraphs, so
+this module is the foundation of :mod:`repro.core.structure`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class Hypergraph:
+    """An immutable hypergraph with hashable vertices.
+
+    Parameters
+    ----------
+    vertices:
+        Iterable of vertices.  Vertices mentioned by edges are added
+        automatically, so passing only the isolated vertices is enough.
+    edges:
+        Iterable of vertex collections.  Duplicate edges are kept only once;
+        the empty edge is permitted (it arises for Boolean queries).
+    """
+
+    __slots__ = ("_vertices", "_edges", "_incidence")
+
+    def __init__(
+        self,
+        vertices: Iterable = (),
+        edges: Iterable[Iterable] = (),
+    ) -> None:
+        edge_sets: List[FrozenSet] = []
+        seen: Set[FrozenSet] = set()
+        for edge in edges:
+            fs = frozenset(edge)
+            if fs not in seen:
+                seen.add(fs)
+                edge_sets.append(fs)
+        vertex_set = set(vertices)
+        for edge in edge_sets:
+            vertex_set |= edge
+        self._vertices: FrozenSet = frozenset(vertex_set)
+        self._edges: Tuple[FrozenSet, ...] = tuple(edge_sets)
+        incidence: Dict[object, Set[FrozenSet]] = {v: set() for v in self._vertices}
+        for edge in self._edges:
+            for v in edge:
+                incidence[v].add(edge)
+        self._incidence = {v: frozenset(es) for v, es in incidence.items()}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> FrozenSet:
+        """The vertex set."""
+        return self._vertices
+
+    @property
+    def edges(self) -> Tuple[FrozenSet, ...]:
+        """The hyperedges, duplicates removed, in insertion order."""
+        return self._edges
+
+    def __contains__(self, vertex) -> bool:
+        return vertex in self._vertices
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._vertices == other._vertices and set(self._edges) == set(other._edges)
+
+    def __hash__(self) -> int:
+        return hash((self._vertices, frozenset(self._edges)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        edges = ", ".join("{" + ",".join(map(str, sorted(e, key=str))) + "}" for e in self._edges)
+        return f"Hypergraph(vertices={sorted(self._vertices, key=str)}, edges=[{edges}])"
+
+    # ------------------------------------------------------------------
+    # Neighbourhood structure
+    # ------------------------------------------------------------------
+    def edges_containing(self, vertex) -> FrozenSet[FrozenSet]:
+        """All hyperedges containing ``vertex`` (empty set for unknown vertices)."""
+        return self._incidence.get(vertex, frozenset())
+
+    def neighbors(self, vertex) -> FrozenSet:
+        """Vertices sharing at least one hyperedge with ``vertex`` (excluding it)."""
+        result: Set = set()
+        for edge in self.edges_containing(vertex):
+            result |= edge
+        result.discard(vertex)
+        return frozenset(result)
+
+    def are_neighbors(self, u, v) -> bool:
+        """``True`` iff ``u`` and ``v`` co-occur in some hyperedge (and differ)."""
+        if u == v:
+            return False
+        return any(v in edge for edge in self.edges_containing(u))
+
+    # ------------------------------------------------------------------
+    # Derived hypergraphs
+    # ------------------------------------------------------------------
+    def restrict(self, vertices: Iterable) -> "Hypergraph":
+        """Restriction onto ``vertices``: every edge is intersected with them.
+
+        This is exactly the free-restricted hypergraph ``H_free(Q)`` of the
+        paper when ``vertices = free(Q)``.
+        """
+        keep = frozenset(vertices) & self._vertices
+        return Hypergraph(keep, [edge & keep for edge in self._edges])
+
+    def with_edge(self, edge: Iterable) -> "Hypergraph":
+        """A copy with one additional hyperedge (used for S-connexity tests)."""
+        return Hypergraph(self._vertices, list(self._edges) + [frozenset(edge)])
+
+    def without_vertex(self, vertex) -> "Hypergraph":
+        """A copy with ``vertex`` removed from every edge and from the vertex set."""
+        keep = self._vertices - {vertex}
+        return Hypergraph(keep, [edge - {vertex} for edge in self._edges])
+
+    # ------------------------------------------------------------------
+    # Containment structure
+    # ------------------------------------------------------------------
+    def maximal_edges(self) -> Tuple[FrozenSet, ...]:
+        """Hyperedges that are maximal with respect to containment.
+
+        The count of these is ``mh(H)`` in Definition 7.1; applied to the
+        free-restricted hypergraph it is ``fmh(Q)``.
+        """
+        maximal: List[FrozenSet] = []
+        for edge in self._edges:
+            if any(edge < other for other in self._edges):
+                continue
+            maximal.append(edge)
+        return tuple(maximal)
+
+    def mh(self) -> int:
+        """Number of maximal hyperedges, ``mh(H)``."""
+        return len(self.maximal_edges())
+
+    def is_inclusion_equivalent(self, other: "Hypergraph") -> bool:
+        """Whether every edge of each hypergraph is contained in an edge of the other."""
+        return all(
+            any(edge <= big for big in other._edges) for edge in self._edges
+        ) and all(any(edge <= big for big in self._edges) for edge in other._edges)
+
+    def inclusive_extension_of(self, other: "Hypergraph") -> bool:
+        """Whether ``self`` is an inclusive extension of ``other`` (Section 2.1)."""
+        own = set(self._edges)
+        return all(edge in own for edge in other._edges) and all(
+            any(edge <= big for big in other._edges) for edge in self._edges
+        )
+
+    # ------------------------------------------------------------------
+    # Independence
+    # ------------------------------------------------------------------
+    def is_independent_set(self, vertices: Iterable) -> bool:
+        """``True`` iff no two of the given vertices co-occur in a hyperedge."""
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1 :]:
+                if u == v or self.are_neighbors(u, v):
+                    return False
+        return True
+
+    def max_independent_subset(self, candidates: Optional[Iterable] = None) -> FrozenSet:
+        """A maximum independent subset of ``candidates`` (default: all vertices).
+
+        Used for ``α_free(Q)`` (Definition 5.2).  Query hypergraphs are tiny
+        (a handful of variables), so exhaustive branch-and-bound is more than
+        fast enough and keeps the implementation obviously correct.
+        """
+        pool: List = sorted(
+            self._vertices if candidates is None else (set(candidates) & self._vertices),
+            key=str,
+        )
+
+        best: FrozenSet = frozenset()
+
+        def extend(chosen: List, remaining: Sequence) -> None:
+            nonlocal best
+            if len(chosen) + len(remaining) <= len(best):
+                return
+            if not remaining:
+                if len(chosen) > len(best):
+                    best = frozenset(chosen)
+                return
+            head, rest = remaining[0], remaining[1:]
+            if all(not self.are_neighbors(head, c) for c in chosen):
+                extend(chosen + [head], rest)
+            extend(chosen, rest)
+
+        extend([], pool)
+        return best
+
+    def independence_number(self, candidates: Optional[Iterable] = None) -> int:
+        """Size of a maximum independent subset of ``candidates``."""
+        return len(self.max_independent_subset(candidates))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_lists(cls, *edges: Sequence) -> "Hypergraph":
+        """Build a hypergraph from positional edge arguments (test helper)."""
+        return cls((), edges)
+
+    def all_vertex_pairs_nonadjacent(self) -> Tuple[Tuple[object, object], ...]:
+        """All unordered pairs of distinct vertices that are *not* neighbours."""
+        pairs = []
+        for u, v in combinations(sorted(self._vertices, key=str), 2):
+            if not self.are_neighbors(u, v):
+                pairs.append((u, v))
+        return tuple(pairs)

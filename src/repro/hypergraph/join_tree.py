@@ -1,0 +1,218 @@
+"""Join trees of hypergraphs.
+
+A join tree of a hypergraph ``H`` is a tree whose nodes are the hyperedges of
+``H`` and that satisfies the *running intersection property*: for every vertex
+``u``, the nodes containing ``u`` form a connected subtree (Section 2.1).
+
+The :class:`JoinTree` here is slightly more general: nodes carry arbitrary
+vertex sets (so it can represent join trees of inclusive extensions or
+inclusion-equivalent hypergraphs), and nodes are addressed by integer ids so
+that two nodes with identical vertex sets remain distinct.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import QueryStructureError
+
+
+class JoinTree:
+    """A rooted tree whose nodes are vertex sets.
+
+    The tree is built incrementally with :meth:`add_node`; the first node added
+    becomes the root.  The class offers the traversals and verification
+    routines (running intersection, inclusion equivalence) that the rest of the
+    library and the test suite rely on.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: List[FrozenSet] = []
+        self._parent: List[Optional[int]] = []
+        self._children: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, vertex_set: Iterable, parent: Optional[int] = None) -> int:
+        """Add a node with the given vertex set under ``parent``; return its id.
+
+        The first node must be added with ``parent=None`` and becomes the root;
+        every later node must name an existing parent.
+        """
+        node_id = len(self._nodes)
+        if parent is None and node_id != 0:
+            raise QueryStructureError("only the first node of a JoinTree may be the root")
+        if parent is not None and not (0 <= parent < node_id):
+            raise QueryStructureError(f"unknown parent node id {parent}")
+        self._nodes.append(frozenset(vertex_set))
+        self._parent.append(parent)
+        self._children.append([])
+        if parent is not None:
+            self._children[parent].append(node_id)
+        return node_id
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> FrozenSet:
+        """The vertex set of node ``node_id``."""
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> Tuple[FrozenSet, ...]:
+        """Vertex sets of all nodes, indexed by node id."""
+        return tuple(self._nodes)
+
+    @property
+    def root(self) -> int:
+        if not self._nodes:
+            raise QueryStructureError("empty join tree has no root")
+        return 0
+
+    def parent(self, node_id: int) -> Optional[int]:
+        """Parent id of ``node_id`` (``None`` for the root)."""
+        return self._parent[node_id]
+
+    def children(self, node_id: int) -> Tuple[int, ...]:
+        """Child ids of ``node_id``."""
+        return tuple(self._children[node_id])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over (parent, child) id pairs."""
+        for child, parent in enumerate(self._parent):
+            if parent is not None:
+                yield parent, child
+
+    def preorder(self, start: Optional[int] = None) -> Iterator[int]:
+        """Depth-first preorder traversal of node ids."""
+        if not self._nodes:
+            return
+        stack = [self.root if start is None else start]
+        while stack:
+            node_id = stack.pop()
+            yield node_id
+            stack.extend(reversed(self._children[node_id]))
+
+    def postorder(self, start: Optional[int] = None) -> Iterator[int]:
+        """Children-before-parent traversal of node ids."""
+        order = list(self.preorder(start))
+        return iter(reversed(order))
+
+    def bfs_order(self) -> Iterator[int]:
+        """Breadth-first traversal of node ids from the root."""
+        if not self._nodes:
+            return
+        queue = deque([self.root])
+        while queue:
+            node_id = queue.popleft()
+            yield node_id
+            queue.extend(self._children[node_id])
+
+    def path_between(self, a: int, b: int) -> List[int]:
+        """The unique simple path of node ids between nodes ``a`` and ``b``."""
+        ancestors_a = []
+        cur: Optional[int] = a
+        while cur is not None:
+            ancestors_a.append(cur)
+            cur = self._parent[cur]
+        index_of = {node: i for i, node in enumerate(ancestors_a)}
+        path_b = []
+        cur = b
+        while cur not in index_of:
+            path_b.append(cur)
+            cur = self._parent[cur]
+            if cur is None:  # pragma: no cover - both in same tree, cannot happen
+                raise QueryStructureError("nodes are not in the same tree")
+        meeting = cur
+        return ancestors_a[: index_of[meeting] + 1] + list(reversed(path_b))
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def satisfies_running_intersection(self) -> bool:
+        """Check the running intersection property.
+
+        For every vertex, the set of nodes containing it must induce a
+        connected subtree.  Equivalently (and this is how we check it), for
+        every non-root node, each vertex shared with *any* other node outside
+        its subtree must also appear in its parent.
+        """
+        all_vertices: Set = set()
+        for node_set in self._nodes:
+            all_vertices |= node_set
+        for vertex in all_vertices:
+            containing = [i for i, node_set in enumerate(self._nodes) if vertex in node_set]
+            if not self._is_connected(containing):
+                return False
+        return True
+
+    def _is_connected(self, node_ids: Sequence[int]) -> bool:
+        if not node_ids:
+            return True
+        id_set = set(node_ids)
+        seen = {node_ids[0]}
+        queue = deque([node_ids[0]])
+        while queue:
+            current = queue.popleft()
+            neighbours = list(self._children[current])
+            if self._parent[current] is not None:
+                neighbours.append(self._parent[current])
+            for other in neighbours:
+                if other in id_set and other not in seen:
+                    seen.add(other)
+                    queue.append(other)
+        return len(seen) == len(id_set)
+
+    def covers_edges(self, edges: Iterable[Iterable]) -> bool:
+        """Whether every given edge is a subset of some node (inclusion direction)."""
+        node_sets = self._nodes
+        return all(any(frozenset(edge) <= node for node in node_sets) for edge in edges)
+
+    def nodes_covered_by(self, edges: Iterable[Iterable]) -> bool:
+        """Whether every node is a subset of some given edge (other direction)."""
+        edge_sets = [frozenset(e) for e in edges]
+        return all(any(node <= edge for edge in edge_sets) for node in self._nodes)
+
+    def is_join_tree_of_inclusion_equivalent(self, edges: Iterable[Iterable]) -> bool:
+        """Check Definition 3.4's requirement on the underlying hypergraph.
+
+        ``True`` iff the tree satisfies running intersection and its node sets
+        are inclusion equivalent to the given edge collection.
+        """
+        edges = [frozenset(e) for e in edges]
+        return (
+            self.satisfies_running_intersection()
+            and self.covers_edges(edges)
+            and self.nodes_covered_by(edges)
+        )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def subtree_vertices(self, node_id: int) -> FrozenSet:
+        """Union of the vertex sets of ``node_id`` and all its descendants."""
+        result: Set = set()
+        for nid in self.preorder(node_id):
+            result |= self._nodes[nid]
+        return frozenset(result)
+
+    def find_node_containing(self, vertices: Iterable) -> Optional[int]:
+        """Id of some node containing all given vertices, or ``None``."""
+        target = frozenset(vertices)
+        for node_id, node_set in enumerate(self._nodes):
+            if target <= node_set:
+                return node_id
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = []
+        for node_id, node_set in enumerate(self._nodes):
+            parent = self._parent[node_id]
+            label = "root" if parent is None else f"parent={parent}"
+            parts.append(f"{node_id}:{set(sorted(node_set, key=str))} ({label})")
+        return "JoinTree(" + "; ".join(parts) + ")"

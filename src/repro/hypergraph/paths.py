@@ -1,0 +1,110 @@
+"""Chordless paths and S-paths in hypergraphs.
+
+A *path* of a hypergraph is a vertex sequence in which consecutive vertices are
+neighbours (share a hyperedge).  A path is *chordless* if no two
+non-consecutive vertices of the sequence are neighbours (in particular no
+vertex repeats).  An *S-path* is a chordless path of length at least two whose
+endpoints lie in ``S`` and whose internal vertices lie outside ``S``
+(Section 2.1); its existence characterises the failure of S-connexity.
+
+Chordless paths of four vertices also drive the SUM-selection hardness proof
+(Lemma 7.12/7.13), so a dedicated finder is provided.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def is_chordless(hypergraph: Hypergraph, path: Sequence) -> bool:
+    """Whether the vertex sequence is a chordless path of the hypergraph."""
+    if len(path) != len(set(path)):
+        return False
+    for i in range(len(path) - 1):
+        if not hypergraph.are_neighbors(path[i], path[i + 1]):
+            return False
+    for i in range(len(path)):
+        for j in range(i + 2, len(path)):
+            if hypergraph.are_neighbors(path[i], path[j]):
+                return False
+    return True
+
+
+def chordless_paths(
+    hypergraph: Hypergraph,
+    max_length: Optional[int] = None,
+) -> List[Tuple]:
+    """Enumerate all chordless paths with at least two vertices.
+
+    ``max_length`` bounds the number of vertices in a path.  Paths are returned
+    once per direction-normalised sequence (the lexicographically smaller of a
+    path and its reverse).  Intended for the small hypergraphs of queries.
+    """
+    results = set()
+    vertices = sorted(hypergraph.vertices, key=str)
+
+    def extend(path: List) -> None:
+        if len(path) >= 2:
+            forward = tuple(path)
+            backward = tuple(reversed(path))
+            canonical = min(forward, backward, key=lambda p: tuple(map(str, p)))
+            results.add(canonical)
+        if max_length is not None and len(path) >= max_length:
+            return
+        last = path[-1]
+        for nxt in sorted(hypergraph.neighbors(last), key=str):
+            if nxt in path:
+                continue
+            # chordless: nxt may only be adjacent to the last vertex of `path`
+            if any(hypergraph.are_neighbors(nxt, earlier) for earlier in path[:-1]):
+                continue
+            path.append(nxt)
+            extend(path)
+            path.pop()
+
+    for start in vertices:
+        extend([start])
+    return sorted(results, key=lambda p: (len(p), tuple(map(str, p))))
+
+
+def find_chordless_path_of_length(hypergraph: Hypergraph, num_vertices: int) -> Optional[Tuple]:
+    """Find some chordless path with exactly ``num_vertices`` vertices, else ``None``."""
+    for path in chordless_paths(hypergraph, max_length=num_vertices):
+        if len(path) == num_vertices:
+            return path
+    return None
+
+
+def find_s_path(hypergraph: Hypergraph, s: FrozenSet) -> Optional[Tuple]:
+    """Find an S-path ``(x, z_1, …, z_k, y)`` with ``k ≥ 1``, or ``None``.
+
+    Endpoints must belong to ``s`` and all internal vertices must not.
+    """
+    s = frozenset(s)
+
+    for start in sorted(s & hypergraph.vertices, key=str):
+
+        def extend(path: List) -> Optional[Tuple]:
+            last = path[-1]
+            for nxt in sorted(hypergraph.neighbors(last), key=str):
+                if nxt in path:
+                    continue
+                if any(hypergraph.are_neighbors(nxt, earlier) for earlier in path[:-1]):
+                    continue
+                if nxt in s:
+                    if len(path) >= 2:
+                        return tuple(path + [nxt])
+                    continue
+                path.append(nxt)
+                found = extend(path)
+                path.pop()
+                if found is not None:
+                    return found
+            return None
+
+        witness = extend([start])
+        if witness is not None:
+            return witness
+    return None

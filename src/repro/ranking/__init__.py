@@ -1,0 +1,19 @@
+"""Ranked enumeration — the "easier" problem the paper contrasts against.
+
+Section 2.5 of the paper points out that ranked *enumeration* (producing the
+answers one by one in order, with small delay) is strictly easier than ranked
+direct access: every free-connex CQ admits ranked enumeration by SUM with
+logarithmic delay after linear preprocessing, whereas direct access by SUM is
+tractable only when one atom covers all free variables.  To make that contrast
+measurable, this subpackage implements ranked enumeration from scratch:
+
+* :class:`~repro.ranking.ranked_enumeration.SumRankedEnumerator` — a best-first
+  (any-k style) enumerator over a join tree for full acyclic CQs, ordered by
+  sum of attribute weights;
+* :func:`~repro.ranking.ranked_enumeration.lex_ranked_stream` — lexicographic
+  ranked enumeration obtained for free from a direct-access structure.
+"""
+
+from repro.ranking.ranked_enumeration import SumRankedEnumerator, lex_ranked_stream
+
+__all__ = ["SumRankedEnumerator", "lex_ranked_stream"]

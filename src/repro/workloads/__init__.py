@@ -1,0 +1,30 @@
+"""Workloads: the paper's query catalog and synthetic data generators.
+
+* :mod:`repro.workloads.paper_queries` — every concrete query the paper names
+  (the 2-path/3-path queries, Q3–Q6 from Section 2.5, the Visits ⋈ Cases
+  example, the FD examples of Section 8, ...), exposed as ready-made
+  :class:`~repro.core.atoms.ConjunctiveQuery` objects together with the exact
+  example databases of Figures 2 and 4.
+* :mod:`repro.workloads.generators` — randomized database generators (path
+  joins, star joins, Cartesian products, the epidemiological schema, 3SUM-style
+  weight instances) parameterised by size and skew, used by tests, property
+  tests and the scaling benchmarks.
+"""
+
+from repro.workloads import paper_queries
+from repro.workloads.generators import (
+    generate_path_database,
+    generate_star_database,
+    generate_product_database,
+    generate_visits_cases_database,
+    generate_weights,
+)
+
+__all__ = [
+    "paper_queries",
+    "generate_path_database",
+    "generate_star_database",
+    "generate_product_database",
+    "generate_visits_cases_database",
+    "generate_weights",
+]

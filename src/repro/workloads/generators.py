@@ -1,0 +1,159 @@
+"""Synthetic database generators for tests, property tests and benchmarks.
+
+All generators take an explicit ``seed`` so that every experiment is
+reproducible.  Sizes are expressed in tuples per relation; domains can be dense
+(many joins, large answer sets) or sparse (few joins), controlled by the
+``domain`` parameter relative to the relation size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.orders import Weights
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def generate_path_database(
+    num_tuples: int,
+    domain: int,
+    length: int = 2,
+    seed: Optional[int] = 0,
+    relation_names: Optional[Sequence[str]] = None,
+    variable_names: Optional[Sequence[str]] = None,
+) -> Database:
+    """A database for a path join ``R1(x1,x2), R2(x2,x3), …`` of the given length.
+
+    ``length`` is the number of atoms; relation ``Ri`` holds ``num_tuples``
+    random pairs over ``[0, domain)``.  Default names match the paper's 2-path
+    (``R, S`` over ``x, y, z``) and 3-path (``R, S, T`` over ``x, y, z, u``).
+    """
+    rng = _rng(seed)
+    if relation_names is None:
+        relation_names = ["R", "S", "T", "U", "V", "W"][:length]
+    if variable_names is None:
+        variable_names = ["x", "y", "z", "u", "v", "w", "t"][: length + 1]
+    relations = []
+    for i in range(length):
+        rows = {
+            (rng.randrange(domain), rng.randrange(domain)) for _ in range(num_tuples)
+        }
+        relations.append(
+            Relation(relation_names[i], (variable_names[i], variable_names[i + 1]), sorted(rows))
+        )
+    return Database(relations)
+
+
+def generate_star_database(
+    num_tuples: int,
+    domain: int,
+    branches: int = 3,
+    seed: Optional[int] = 0,
+) -> Database:
+    """A star join: ``R1(c, x1), R2(c, x2), …`` sharing the centre variable ``c``."""
+    rng = _rng(seed)
+    relations = []
+    for i in range(branches):
+        rows = {
+            (rng.randrange(domain), rng.randrange(domain)) for _ in range(num_tuples)
+        }
+        relations.append(Relation(f"R{i + 1}", ("c", f"x{i + 1}"), sorted(rows)))
+    return Database(relations)
+
+
+def generate_product_database(
+    num_tuples: int,
+    domain: int,
+    seed: Optional[int] = 0,
+) -> Database:
+    """Two unary relations for the Cartesian product / ``X + Y`` query."""
+    rng = _rng(seed)
+    xs = sorted({(rng.randrange(domain),) for _ in range(num_tuples)})
+    ys = sorted({(rng.randrange(domain),) for _ in range(num_tuples)})
+    return Database([Relation("R", ("x",), xs), Relation("S", ("y",), ys)])
+
+
+def generate_visits_cases_database(
+    num_people: int,
+    num_cities: int,
+    num_reports: int,
+    visits_per_person: int = 2,
+    seed: Optional[int] = 0,
+    single_report_per_city: bool = False,
+) -> Database:
+    """Synthetic data for the introduction's ``Visits ⋈ Cases`` example.
+
+    ``single_report_per_city=True`` produces data satisfying the FD
+    ``Cases: city → {date, #cases}`` that the paper uses to recover
+    tractability of the ``(#cases, age, …)`` order.
+    """
+    rng = _rng(seed)
+    visits_rows = set()
+    for person in range(num_people):
+        age = rng.randrange(1, 100)
+        for _ in range(visits_per_person):
+            visits_rows.add((f"p{person}", age, f"city{rng.randrange(num_cities)}"))
+    cases_rows = set()
+    if single_report_per_city:
+        for city in range(num_cities):
+            cases_rows.add((f"city{city}", f"2020-12-{1 + rng.randrange(28):02d}", rng.randrange(500)))
+    else:
+        for _ in range(num_reports):
+            cases_rows.add(
+                (
+                    f"city{rng.randrange(num_cities)}",
+                    f"2020-12-{1 + rng.randrange(28):02d}",
+                    rng.randrange(500),
+                )
+            )
+    return Database(
+        [
+            Relation("Visits", ("person", "age", "city"), sorted(visits_rows)),
+            Relation("Cases", ("city", "date", "cases"), sorted(cases_rows)),
+        ]
+    )
+
+
+def generate_weights(
+    database: Database,
+    variables_by_attribute: Dict[str, str],
+    seed: Optional[int] = 0,
+    low: float = 0.0,
+    high: float = 100.0,
+) -> Weights:
+    """Random real weights for every value appearing under the given attributes.
+
+    ``variables_by_attribute`` maps attribute names (as they appear in the
+    database relations) to the query variable that reads them; every distinct
+    value of such an attribute receives a uniform random weight in
+    ``[low, high)``.
+    """
+    rng = _rng(seed)
+    weights = Weights(default=0.0)
+    for relation in database:
+        for attribute in relation.attributes:
+            if attribute not in variables_by_attribute:
+                continue
+            variable = variables_by_attribute[attribute]
+            for value in relation.active_domain(attribute):
+                weights.set_weight(variable, value, rng.uniform(low, high))
+    return weights
+
+
+def generate_threesum_style_weights(
+    size: int,
+    seed: Optional[int] = 0,
+    magnitude: int = 10 ** 6,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Three integer arrays in the style of a 3SUM instance (for hardness demos)."""
+    rng = _rng(seed)
+    a = [rng.randrange(-magnitude, magnitude) for _ in range(size)]
+    b = [rng.randrange(-magnitude, magnitude) for _ in range(size)]
+    c = [rng.randrange(-magnitude, magnitude) for _ in range(size)]
+    return a, b, c

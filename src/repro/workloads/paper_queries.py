@@ -1,0 +1,300 @@
+"""The concrete queries, orders and example databases used in the paper.
+
+Everything the paper names is defined here once so that tests, examples and
+benchmarks all refer to the same objects:
+
+* the running 2-path query ``Q(x, y, z) :- R(x, y), S(y, z)`` with the example
+  database of Figure 2,
+* the queries of Section 2.5 used to compare prior direct-access structures
+  (``Q3`` … ``Q6``),
+* the worked example of Figures 3–5 (``Q3`` with its 10-tuple database),
+* the epidemiological schema ``Visits ⋈ Cases`` of the introduction,
+* the example queries of Sections 5–8 (Cartesian products, 3-path, the star
+  query of Example 7.2, the contraction example 7.6, the FD examples 8.3, 8.7,
+  8.14 and 8.19).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core.orders import LexOrder
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.fds.fd import FDSet
+
+
+# ----------------------------------------------------------------------
+# The 2-path query of Example 1.1 / Figure 2
+# ----------------------------------------------------------------------
+TWO_PATH = ConjunctiveQuery(
+    ("x", "y", "z"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z"))],
+    name="Q2path",
+)
+
+#: The projection of the 2-path onto its endpoints — the canonical
+#: non-free-connex query (matrix multiplication encoding).
+TWO_PATH_ENDPOINTS = ConjunctiveQuery(
+    ("x", "z"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z"))],
+    name="Q2path_xz",
+)
+
+#: Figure 2(a): the example database for the 2-path query.
+FIGURE2_DATABASE = Database(
+    [
+        Relation("R", ("x", "y"), [(1, 5), (1, 2), (6, 2)]),
+        Relation("S", ("y", "z"), [(5, 3), (5, 4), (5, 6), (2, 5)]),
+    ]
+)
+
+#: Figure 2(b)-(d): the orderings shown in the paper.
+FIGURE2_LEX_XYZ = LexOrder(("x", "y", "z"))
+FIGURE2_LEX_XZY = LexOrder(("x", "z", "y"))
+
+#: Figure 2(b): answers of the 2-path on the Figure 2 database by ⟨x, y, z⟩.
+FIGURE2_EXPECTED_XYZ = [
+    (1, 2, 5),
+    (1, 5, 3),
+    (1, 5, 4),
+    (1, 5, 6),
+    (6, 2, 5),
+]
+
+#: Figure 2(c): the same answers ordered by ⟨x, z, y⟩, presented as (x, y, z).
+FIGURE2_EXPECTED_XZY = [
+    (1, 5, 3),
+    (1, 5, 4),
+    (1, 2, 5),
+    (1, 5, 6),
+    (6, 2, 5),
+]
+
+#: Figure 2(d): the same answers ordered by x + y + z (identity weights).
+FIGURE2_EXPECTED_SUM = [
+    (1, 2, 5),   # weight 8
+    (1, 5, 3),   # weight 9  (ties with the next; the paper lists this first)
+    (1, 5, 4),   # weight 10 — note the paper's figure contains a typo for row 3
+    (1, 5, 6),   # weight 12
+    (6, 2, 5),   # weight 13
+]
+
+#: The 3-path query of Section 7 (selection by SUM is intractable for it).
+THREE_PATH = ConjunctiveQuery(
+    ("x", "y", "z", "u"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "u"))],
+    name="Q3path",
+)
+
+#: The 3-path with the last variable projected away (Example 7.4's Q'_3).
+THREE_PATH_PROJECTED = ConjunctiveQuery(
+    ("x", "y", "z"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "u"))],
+    name="Q3path_proj",
+)
+
+#: Example 5.3's query: 2-path body with a dangling third atom.
+EXAMPLE_5_3 = ConjunctiveQuery(
+    ("x", "y", "z"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "u"))],
+    name="Q_example5.3",
+)
+
+#: The triangle query (cyclic; used for the Hyperclique-based lower bounds).
+TRIANGLE = ConjunctiveQuery(
+    ("x", "y", "z"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "x"))],
+    name="Qtriangle",
+)
+
+
+# ----------------------------------------------------------------------
+# Section 2.5: queries used to compare prior direct-access structures
+# ----------------------------------------------------------------------
+#: Q3(v1,v2,v3,v4) :- R(v1,v3), S(v2,v4) — the Figure 3/4/5 worked example.
+Q3 = ConjunctiveQuery(
+    ("v1", "v2", "v3", "v4"),
+    [Atom("R", ("v1", "v3")), Atom("S", ("v2", "v4"))],
+    name="Q3",
+)
+Q3_ORDER = LexOrder(("v1", "v2", "v3", "v4"))
+
+#: Figure 4's example database for Q3.
+FIGURE4_DATABASE = Database(
+    [
+        Relation("R", ("v1", "v3"), [("a1", "c1"), ("a1", "c2"), ("a2", "c2"), ("a2", "c3")]),
+        Relation("S", ("v2", "v4"), [("b1", "d1"), ("b1", "d2"), ("b1", "d3"), ("b2", "d4")]),
+    ]
+)
+
+#: Example 3.7: accessing index 12 must return (a2, b1, c3, d2).
+EXAMPLE_3_7_INDEX = 12
+EXAMPLE_3_7_ANSWER = ("a2", "b1", "c3", "d2")
+
+#: Q4(v1,v2,v3) :- R1(v1,v2), R2(v2,v3) — unsupported by q-tree approaches.
+Q4 = ConjunctiveQuery(
+    ("v1", "v2", "v3"),
+    [Atom("R1", ("v1", "v2")), Atom("R2", ("v2", "v3"))],
+    name="Q4",
+)
+Q4_ORDER = LexOrder(("v1", "v2", "v3"))
+
+#: Q5(v1..v5) :- R1(v1,v3), R2(v3,v4), R3(v2,v5).
+Q5 = ConjunctiveQuery(
+    ("v1", "v2", "v3", "v4", "v5"),
+    [Atom("R1", ("v1", "v3")), Atom("R2", ("v3", "v4")), Atom("R3", ("v2", "v5"))],
+    name="Q5",
+)
+Q5_ORDER = LexOrder(("v1", "v2", "v3", "v4", "v5"))
+
+#: Q6(v1..v5) :- R1(v1,v2,v4), R2(v2,v3,v5).
+Q6 = ConjunctiveQuery(
+    ("v1", "v2", "v3", "v4", "v5"),
+    [Atom("R1", ("v1", "v2", "v4")), Atom("R2", ("v2", "v3", "v5"))],
+    name="Q6",
+)
+Q6_ORDER = LexOrder(("v1", "v2", "v3", "v4", "v5"))
+
+#: Example 3.1's query and order (disruptive trio v1, v2, v3).
+EXAMPLE_3_1 = ConjunctiveQuery(
+    ("v1", "v2", "v3"),
+    [Atom("R", ("v1", "v3")), Atom("S", ("v3", "v2"))],
+    name="Q_example3.1",
+)
+EXAMPLE_3_1_ORDER = LexOrder(("v1", "v2", "v3"))
+
+#: The hierarchical-but-not-q-hierarchical queries of Section 2.5.
+Q1_HIERARCHICAL = ConjunctiveQuery(
+    ("x", "y"),
+    [Atom("R1", ("x",)), Atom("R2", ("x", "y")), Atom("R3", ("y",))],
+    name="Q1",
+)
+Q2_HIERARCHICAL = ConjunctiveQuery(
+    ("x",),
+    [Atom("R1", ("x", "y")), Atom("R2", ("y",))],
+    name="Q2",
+)
+
+
+# ----------------------------------------------------------------------
+# The introduction's epidemiological example
+# ----------------------------------------------------------------------
+#: Visits(person, age, city) ⋈ Cases(city, date, cases) with all variables free.
+VISITS_CASES = ConjunctiveQuery(
+    ("person", "age", "city", "date", "cases"),
+    [Atom("Visits", ("person", "age", "city")), Atom("Cases", ("city", "date", "cases"))],
+    name="VisitsCases",
+)
+
+#: The intractable order of the introduction: #cases, then age, then the rest.
+VISITS_CASES_BAD_ORDER = LexOrder(("cases", "age", "city", "date", "person"))
+#: The intractable partial order (#cases, age).
+VISITS_CASES_BAD_PARTIAL = LexOrder(("cases", "age"))
+#: The tractable order of the introduction: (#cases, city, age).
+VISITS_CASES_GOOD_ORDER = LexOrder(("cases", "city", "age"))
+
+#: FD making the bad order tractable: each city reports a single day.
+VISITS_CASES_CITY_KEY = FDSet.of(("Cases", "city", "date"), ("Cases", "city", "cases"))
+
+#: The Cartesian-product variant of Section 5 (every LEX order tractable, SUM not).
+VISITS_CASES_PRODUCT = ConjunctiveQuery(
+    ("c1", "d", "x", "p", "a", "c2"),
+    [Atom("Visits", ("p", "a", "c1")), Atom("Cases", ("c2", "d", "x"))],
+    name="VisitsCasesProduct",
+)
+
+
+# ----------------------------------------------------------------------
+# Sections 6–7 examples
+# ----------------------------------------------------------------------
+#: Example 7.2: Q(x,z,w) :- R(x,y), S(y,z), T(z,w), U(x); mh=3, fmh=2.
+EXAMPLE_7_2 = ConjunctiveQuery(
+    ("x", "z", "w"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "w")), Atom("U", ("x",))],
+    name="Q_example7.2",
+)
+
+#: Example 7.6: contraction example.
+EXAMPLE_7_6 = ConjunctiveQuery(
+    ("x", "y", "z"),
+    [
+        Atom("R", ("x", "u", "y")),
+        Atom("S", ("y",)),
+        Atom("T", ("y", "z")),
+        Atom("U", ("x", "u", "y")),
+    ],
+    name="Q_example7.6",
+)
+
+#: The X+Y query: Q(x, y) :- R(x), S(y).
+X_PLUS_Y = ConjunctiveQuery(
+    ("x", "y"),
+    [Atom("R", ("x",)), Atom("S", ("y",))],
+    name="Qxy",
+)
+
+
+# ----------------------------------------------------------------------
+# Section 8 (functional dependencies) examples
+# ----------------------------------------------------------------------
+#: Example 8.3: the endpoint projection of the 2-path with FD S: y → z.
+EXAMPLE_8_3_QUERY = TWO_PATH_ENDPOINTS
+EXAMPLE_8_3_FDS = FDSet.of(("S", "y", "z"))
+
+#: Example 8.3 (second part): the triangle with FD S: y → z becomes acyclic.
+EXAMPLE_8_3_TRIANGLE_FDS = FDSet.of(("S", "y", "z"))
+
+#: Example 8.7: Q(x,z,u) :- R(x,y), S(y,z), T(z,u) with FD T: z → u.
+EXAMPLE_8_7_QUERY = ConjunctiveQuery(
+    ("x", "z", "u"),
+    [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "u"))],
+    name="Q_example8.7",
+)
+EXAMPLE_8_7_FDS = FDSet.of(("T", "z", "u"))
+
+#: Example 8.14: Q(v1..v4) :- R(v1,v3), S(v3,v2), T(v2,v4) with FD R: v1 → v3.
+EXAMPLE_8_14_QUERY = ConjunctiveQuery(
+    ("v1", "v2", "v3", "v4"),
+    [Atom("R", ("v1", "v3")), Atom("S", ("v3", "v2")), Atom("T", ("v2", "v4"))],
+    name="Q_example8.14",
+)
+EXAMPLE_8_14_FDS = FDSet.of(("R", "v1", "v3"))
+EXAMPLE_8_14_ORDER = LexOrder(("v1", "v2", "v3", "v4"))
+
+#: Example 8.19: Q(v1,v2) :- R(v1,v3), S(v3,v2) with FD S: v2 → v3.
+EXAMPLE_8_19_QUERY = ConjunctiveQuery(
+    ("v1", "v2"),
+    [Atom("R", ("v1", "v3")), Atom("S", ("v3", "v2"))],
+    name="Q_example8.19",
+)
+EXAMPLE_8_19_FDS = FDSet.of(("S", "v2", "v3"))
+EXAMPLE_8_19_ORDER = LexOrder(("v1", "v2"))
+
+#: Example 1.1's FD variants on the 2-path with order ⟨x, z, y⟩.
+EXAMPLE_1_1_FD_R_Y_TO_X = FDSet.of(("R", "y", "x"))
+EXAMPLE_1_1_FD_S_Y_TO_Z = FDSet.of(("S", "y", "z"))
+EXAMPLE_1_1_FD_R_X_TO_Y = FDSet.of(("R", "x", "y"))
+EXAMPLE_1_1_FD_S_Z_TO_Y = FDSet.of(("S", "z", "y"))
+
+
+#: A name → (query, optional order) catalog used by the Figure 1 benchmark.
+CATALOG: Dict[str, Tuple[ConjunctiveQuery, LexOrder]] = {
+    "2-path ⟨x,y,z⟩": (TWO_PATH, LexOrder(("x", "y", "z"))),
+    "2-path ⟨x,z,y⟩": (TWO_PATH, LexOrder(("x", "z", "y"))),
+    "2-path ⟨x,z⟩ (partial)": (TWO_PATH, LexOrder(("x", "z"))),
+    "2-path endpoints ⟨x,z⟩": (TWO_PATH_ENDPOINTS, LexOrder(("x", "z"))),
+    "3-path ⟨x,y,z,u⟩": (THREE_PATH, LexOrder(("x", "y", "z", "u"))),
+    "3-path projected ⟨x,y,z⟩": (THREE_PATH_PROJECTED, LexOrder(("x", "y", "z"))),
+    "triangle ⟨x,y,z⟩": (TRIANGLE, LexOrder(("x", "y", "z"))),
+    "Q3 ⟨v1,v2,v3,v4⟩": (Q3, Q3_ORDER),
+    "Q4 ⟨v1,v2,v3⟩": (Q4, Q4_ORDER),
+    "Q5 ⟨v1..v5⟩": (Q5, Q5_ORDER),
+    "Q6 ⟨v1..v5⟩": (Q6, Q6_ORDER),
+    "Visits⋈Cases bad order": (VISITS_CASES, VISITS_CASES_BAD_ORDER),
+    "Visits⋈Cases good order": (VISITS_CASES, VISITS_CASES_GOOD_ORDER),
+    "Visits⋈Cases product": (VISITS_CASES_PRODUCT, LexOrder(("c1", "d", "x", "p", "a", "c2"))),
+    "X+Y": (X_PLUS_Y, LexOrder(("x", "y"))),
+    "Example 7.2": (EXAMPLE_7_2, LexOrder(("x", "z", "w"))),
+}

@@ -1,0 +1,93 @@
+"""Property-based tests for the selection-algorithm substrates."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    SortedMatrix,
+    select_in_sorted_matrix_union,
+    select_in_x_plus_y,
+    select_kth,
+    median_of_medians_select,
+    weighted_select,
+)
+
+
+class TestSelectKthProperties:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_quickselect_matches_sorted(self, data, picker):
+        k = picker.draw(st.integers(0, len(data) - 1))
+        assert select_kth(data, k) == sorted(data)[k]
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_median_of_medians_matches_sorted(self, data, picker):
+        k = picker.draw(st.integers(0, len(data) - 1))
+        assert median_of_medians_select(data, k) == sorted(data)[k]
+
+
+class TestWeightedSelectProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.integers(1, 5)),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda pair: pair[0],
+        ),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_expanded_multiset(self, weighted_items, picker):
+        items = [item for item, _ in weighted_items]
+        weights = [weight for _, weight in weighted_items]
+        expanded = sorted(item for item, weight in weighted_items for _ in range(weight))
+        k = picker.draw(st.integers(0, len(expanded) - 1))
+        item, preceding = weighted_select(items, weights, k)
+        assert item == expanded[k]
+        assert preceding == sum(w for i, w in zip(items, weights) if i < item)
+
+
+class TestSortedMatrixProperties:
+    @given(
+        st.lists(st.integers(-30, 30), min_size=1, max_size=12),
+        st.lists(st.integers(-30, 30), min_size=1, max_size=12),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_x_plus_y_matches_brute_force(self, xs, ys, picker):
+        sums = sorted(x + y for x in xs for y in ys)
+        k = picker.draw(st.integers(0, len(sums) - 1))
+        assert select_in_x_plus_y(xs, ys, k) == sums[k]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(-20, 20), min_size=1, max_size=6),
+                st.lists(st.integers(-20, 20), min_size=1, max_size=6),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_union_selection_matches_brute_force(self, specs, picker):
+        matrices = [
+            SortedMatrix(rows=tuple(sorted(rows)), cols=tuple(sorted(cols)))
+            for rows, cols in specs
+        ]
+        values = sorted(r + c for m in matrices for r in m.rows for c in m.cols)
+        k = picker.draw(st.integers(0, len(values) - 1))
+        assert select_in_sorted_matrix_union(matrices, k) == values[k]
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=8),
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=8),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_float_weights(self, xs, ys, picker):
+        sums = sorted(x + y for x in xs for y in ys)
+        k = picker.draw(st.integers(0, len(sums) - 1))
+        got = select_in_x_plus_y(xs, ys, k)
+        assert abs(got - sums[k]) < 1e-9

@@ -1,0 +1,138 @@
+"""Property-based tests: direct access agrees with the materialised oracle.
+
+The strategies build small random databases for a family of free-connex
+queries and trio-free orders; the properties assert the core contracts of the
+direct-access structure:
+
+* the access sequence equals the sorted oracle answer list,
+* inverted access is the left inverse of access,
+* out-of-bounds indexes are rejected,
+* ``count`` equals the oracle count without enumerating.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    LexDirectAccess,
+    LexOrder,
+    OutOfBoundsError,
+    Relation,
+)
+from repro.workloads import paper_queries as pq
+from tests.helpers import sorted_answers
+
+import pytest
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def binary_relation(name, attrs, max_rows=12, domain=5):
+    rows = st.lists(
+        st.tuples(st.integers(0, domain - 1), st.integers(0, domain - 1)),
+        max_size=max_rows,
+    )
+    return rows.map(lambda rs: Relation(name, attrs, sorted(set(rs))))
+
+
+@st.composite
+def two_path_instance(draw):
+    r = draw(binary_relation("R", ("x", "y")))
+    s = draw(binary_relation("S", ("y", "z")))
+    order_variables = draw(
+        st.sampled_from([("x", "y", "z"), ("y", "x", "z"), ("z", "y", "x"), ("y", "z", "x")])
+    )
+    return Database([r, s]), LexOrder(order_variables)
+
+
+@st.composite
+def q3_instance(draw):
+    r = draw(binary_relation("R", ("v1", "v3"), max_rows=8, domain=4))
+    s = draw(binary_relation("S", ("v2", "v4"), max_rows=8, domain=4))
+    return Database([r, s])
+
+
+@st.composite
+def star_instance(draw):
+    r1 = draw(binary_relation("R1", ("c", "x1"), max_rows=8, domain=4))
+    r2 = draw(binary_relation("R2", ("c", "x2"), max_rows=8, domain=4))
+    return Database([r1, r2])
+
+
+STAR_QUERY = ConjunctiveQuery(
+    ("c", "x1", "x2"), [Atom("R1", ("c", "x1")), Atom("R2", ("c", "x2"))], name="Qstar"
+)
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestTwoPathProperties:
+    @given(two_path_instance())
+    @settings(max_examples=60, deadline=None)
+    def test_access_sequence_equals_oracle(self, instance):
+        database, order = instance
+        access = LexDirectAccess(pq.TWO_PATH, database, order)
+        assert list(access) == sorted_answers(pq.TWO_PATH, database, order=order)
+
+    @given(two_path_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_inverted_access_is_inverse(self, instance):
+        database, order = instance
+        access = LexDirectAccess(pq.TWO_PATH, database, order)
+        for k in range(access.count):
+            assert access.inverted_access(access.access(k)) == k
+
+    @given(two_path_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_count_matches_oracle(self, instance):
+        database, order = instance
+        access = LexDirectAccess(pq.TWO_PATH, database, order)
+        assert access.count == len(sorted_answers(pq.TWO_PATH, database))
+
+    @given(two_path_instance(), st.integers(-3, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_out_of_bounds_rejected(self, instance, offset):
+        database, order = instance
+        access = LexDirectAccess(pq.TWO_PATH, database, order)
+        bad_index = access.count + abs(offset)
+        with pytest.raises(OutOfBoundsError):
+            access.access(bad_index)
+        with pytest.raises(OutOfBoundsError):
+            access.access(-1 - abs(offset))
+
+
+class TestOtherQueryShapes:
+    @given(q3_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_cartesian_product_query(self, database):
+        access = LexDirectAccess(pq.Q3, database, pq.Q3_ORDER)
+        assert list(access) == sorted_answers(pq.Q3, database, order=pq.Q3_ORDER)
+
+    @given(star_instance())
+    @settings(max_examples=40, deadline=None)
+    def test_star_query_with_interleaved_order(self, database):
+        order = LexOrder(("x1", "c", "x2"))
+        access = LexDirectAccess(STAR_QUERY, database, order)
+        assert list(access) == sorted_answers(STAR_QUERY, database, order=order)
+
+    @given(q3_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_partial_orders_sort_their_prefix(self, database):
+        order = LexOrder(("v2", "v3"))
+        access = LexDirectAccess(pq.Q3, database, order)
+        answers = list(access)
+        keys = [(a[1], a[2]) for a in answers]
+        assert keys == sorted(keys)
+        assert sorted(answers) == sorted_answers(pq.Q3, database)
+
+    @given(two_path_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_next_answer_index_of_answers_is_identity(self, instance):
+        database, order = instance
+        access = LexDirectAccess(pq.TWO_PATH, database, order)
+        for k in range(access.count):
+            assert access.next_answer_index(access.access(k)) == k

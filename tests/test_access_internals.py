@@ -1,0 +1,105 @@
+"""Lower-level tests for the access machinery (buckets, locate, descending orders)."""
+
+import pytest
+
+from repro import LexDirectAccess, LexOrder, MaterializedBaseline
+from repro.core.access import _locate_tuple
+from repro.core.layered_tree import build_layered_join_tree
+from repro.core.preprocessing import Bucket, preprocess
+from repro.core.reduction import eliminate_projections
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for, sorted_answers
+
+
+def make_bucket(weights):
+    bucket = Bucket(key=(), tuples=[(i,) for i in range(len(weights))])
+    running = 0
+    for weight in weights:
+        bucket.weights.append(weight)
+        bucket.starts.append(running)
+        running += weight
+        bucket.ends.append(running)
+        bucket.layer_values.append(len(bucket.layer_values))
+    bucket.total = running
+    return bucket
+
+
+class TestLocateTuple:
+    def test_unit_weights(self):
+        bucket = make_bucket([1, 1, 1, 1])
+        assert [_locate_tuple(bucket, 1, k) for k in range(4)] == [0, 1, 2, 3]
+
+    def test_mixed_weights(self):
+        bucket = make_bucket([3, 1, 2])
+        expected = [0, 0, 0, 1, 2, 2]
+        assert [_locate_tuple(bucket, 1, k) for k in range(6)] == expected
+
+    def test_with_factor(self):
+        bucket = make_bucket([2, 1])
+        # factor 3: ranges are [0, 6) for the first tuple and [6, 9) for the second.
+        assert _locate_tuple(bucket, 3, 5) == 0
+        assert _locate_tuple(bucket, 3, 6) == 1
+        assert _locate_tuple(bucket, 3, 8) == 1
+
+    def test_single_tuple(self):
+        bucket = make_bucket([7])
+        assert _locate_tuple(bucket, 2, 13) == 0
+
+
+class TestBucketLookups:
+    def setup_method(self):
+        reduction = eliminate_projections(pq.Q3, pq.FIGURE4_DATABASE)
+        tree = build_layered_join_tree(reduction.query, pq.Q3_ORDER)
+        self.instance = preprocess(tree, reduction.database)
+
+    def test_find_by_value_hit_and_miss(self):
+        bucket = self.instance.layer(1).bucket(())
+        assert bucket.find_by_value("a1") == 0
+        assert bucket.find_by_value("a2") == 1
+        assert bucket.find_by_value("a3") is None
+
+    def test_first_index_at_least(self):
+        bucket = self.instance.layer(4).bucket(("b1",))
+        assert bucket.first_index_at_least("d0") == 0
+        assert bucket.first_index_at_least("d2") == 1
+        assert bucket.first_index_at_least("d9") == 3
+
+    def test_missing_bucket_returns_none(self):
+        assert self.instance.layer(3).bucket(("nope",)) is None
+
+
+class TestDescendingOrders:
+    def test_descending_component_matches_baseline(self):
+        db = random_database_for(pq.Q3, 15, 4, seed=21)
+        order = LexOrder(("v1", "v2", "v3", "v4"), descending=("v2", "v4"))
+        # The generator produces integer values, so descending components work.
+        access = LexDirectAccess(pq.Q3, db, order)
+        assert list(access) == sorted_answers(pq.Q3, db, order=order)
+
+    def test_descending_inverted_access(self):
+        db = random_database_for(pq.TWO_PATH, 15, 4, seed=22)
+        order = LexOrder(("x", "y", "z"), descending=("y",))
+        access = LexDirectAccess(pq.TWO_PATH, db, order)
+        for k in range(access.count):
+            assert access.inverted_access(access[k]) == k
+
+    def test_non_numeric_descending_rejected(self):
+        order = LexOrder(("v1", "v2", "v3", "v4"), descending=("v1",))
+        from repro.exceptions import WeightError
+
+        with pytest.raises(WeightError):
+            LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, order)  # values are strings
+
+
+class TestConsistencyAcrossApis:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_direct_access_selection_and_baseline_agree(self, seed):
+        from repro import selection_lex
+
+        db = random_database_for(pq.TWO_PATH, 20, 4, seed=seed)
+        order = LexOrder(("y", "z", "x"))
+        access = LexDirectAccess(pq.TWO_PATH, db, order)
+        baseline = MaterializedBaseline(pq.TWO_PATH, db, order=order)
+        for k in range(access.count):
+            assert access[k] == baseline.access(k)
+            assert selection_lex(pq.TWO_PATH, db, order, k) == baseline.access(k)

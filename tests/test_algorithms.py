@@ -1,0 +1,175 @@
+"""Tests for the classic selection algorithms in :mod:`repro.algorithms`."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    SortedMatrix,
+    count_at_most,
+    median_of_medians_select,
+    select_in_sorted_matrix_union,
+    select_in_x_plus_y,
+    select_kth,
+    weighted_select,
+)
+from repro.algorithms.sorted_matrix import rank_of_value
+from repro.algorithms.xy_selection import median_of_x_plus_y
+from repro.exceptions import OutOfBoundsError
+
+
+class TestSelectKth:
+    def test_matches_sorting(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            data = [rng.randrange(100) for _ in range(rng.randrange(1, 50))]
+            k = rng.randrange(len(data))
+            assert select_kth(data, k) == sorted(data)[k]
+
+    def test_with_key_function(self):
+        data = ["aaa", "b", "cc"]
+        assert select_kth(data, 0, key=len) == "b"
+        assert select_kth(data, 2, key=len) == "aaa"
+
+    def test_out_of_bounds(self):
+        with pytest.raises(OutOfBoundsError):
+            select_kth([1, 2, 3], 3)
+        with pytest.raises(OutOfBoundsError):
+            select_kth([1, 2, 3], -1)
+
+    def test_duplicates(self):
+        data = [5, 5, 5, 1, 1]
+        assert [select_kth(data, k) for k in range(5)] == [1, 1, 5, 5, 5]
+
+
+class TestMedianOfMedians:
+    def test_matches_sorting(self):
+        rng = random.Random(1)
+        for _ in range(15):
+            data = [rng.randrange(1000) for _ in range(rng.randrange(1, 200))]
+            k = rng.randrange(len(data))
+            assert median_of_medians_select(data, k) == sorted(data)[k]
+
+    def test_worst_case_sorted_input(self):
+        data = list(range(500))
+        assert median_of_medians_select(data, 250) == 250
+
+    def test_out_of_bounds(self):
+        with pytest.raises(OutOfBoundsError):
+            median_of_medians_select([1], 1)
+
+
+class TestWeightedSelect:
+    def test_simple_case(self):
+        items = [10, 20, 30]
+        weights = [2, 3, 1]
+        # Expanded multiset: 10,10,20,20,20,30
+        expected = [10, 10, 20, 20, 20, 30]
+        for k, value in enumerate(expected):
+            item, preceding = weighted_select(items, weights, k)
+            assert item == value
+            assert preceding == sum(w for i, w in zip(items, weights) if i < item)
+
+    def test_zero_weight_items_skipped(self):
+        item, preceding = weighted_select(["a", "b"], [0, 4], 2)
+        assert item == "b" and preceding == 0
+
+    def test_matches_expansion_on_random_inputs(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            items = rng.sample(range(100), rng.randrange(1, 12))
+            weights = [rng.randrange(1, 6) for _ in items]
+            expanded = sorted(
+                value for value, weight in zip(items, weights) for _ in range(weight)
+            )
+            k = rng.randrange(len(expanded))
+            item, preceding = weighted_select(items, weights, k)
+            assert item == expanded[k]
+
+    def test_out_of_bounds(self):
+        with pytest.raises(OutOfBoundsError):
+            weighted_select([1], [2], 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_select([1, 2], [1], 0)
+
+
+class TestSortedMatrix:
+    def brute_force(self, matrices):
+        values = []
+        for m in matrices:
+            values.extend(r + c for r in m.rows for c in m.cols)
+        return sorted(values)
+
+    def test_count_at_most(self):
+        matrix = SortedMatrix(rows=(1, 2, 3), cols=(10, 20))
+        assert count_at_most(matrix, 12) == 2   # 11, 12
+        assert count_at_most(matrix, 0) == 0
+        assert count_at_most(matrix, 100) == 6
+
+    def test_selection_single_matrix(self):
+        matrix = SortedMatrix(rows=(1, 2, 3), cols=(10, 20))
+        expected = self.brute_force([matrix])
+        for k in range(len(expected)):
+            assert select_in_sorted_matrix_union([matrix], k) == expected[k]
+
+    def test_selection_union_of_matrices(self):
+        rng = random.Random(3)
+        matrices = [
+            SortedMatrix(
+                rows=tuple(sorted(rng.randrange(50) for _ in range(rng.randrange(1, 6)))),
+                cols=tuple(sorted(rng.randrange(50) for _ in range(rng.randrange(1, 6)))),
+            )
+            for _ in range(4)
+        ]
+        expected = self.brute_force(matrices)
+        for k in range(0, len(expected), 3):
+            assert select_in_sorted_matrix_union(matrices, k) == expected[k]
+
+    def test_selection_with_duplicate_values(self):
+        matrix = SortedMatrix(rows=(0, 0, 0), cols=(5, 5))
+        for k in range(6):
+            assert select_in_sorted_matrix_union([matrix], k) == 5
+
+    def test_selection_with_float_weights(self):
+        rng = random.Random(4)
+        matrix = SortedMatrix(
+            rows=tuple(sorted(rng.uniform(0, 1) for _ in range(8))),
+            cols=tuple(sorted(rng.uniform(0, 1) for _ in range(5))),
+        )
+        expected = self.brute_force([matrix])
+        for k in (0, 7, 20, 39):
+            assert select_in_sorted_matrix_union([matrix], k) == pytest.approx(expected[k])
+
+    def test_selection_with_negative_weights(self):
+        matrix = SortedMatrix(rows=(-5, -1, 3), cols=(-2, 4))
+        expected = self.brute_force([matrix])
+        for k in range(len(expected)):
+            assert select_in_sorted_matrix_union([matrix], k) == expected[k]
+
+    def test_out_of_bounds(self):
+        matrix = SortedMatrix(rows=(1,), cols=(1,))
+        with pytest.raises(OutOfBoundsError):
+            select_in_sorted_matrix_union([matrix], 1)
+
+    def test_rank_of_value(self):
+        matrix = SortedMatrix(rows=(1, 2), cols=(10, 20))
+        below, at_most = rank_of_value([matrix], 12)
+        assert below == 1   # only 11
+        assert at_most == 2  # 11 and 12
+
+
+class TestXPlusY:
+    def test_matches_brute_force(self):
+        rng = random.Random(5)
+        xs = [rng.randrange(100) for _ in range(10)]
+        ys = [rng.randrange(100) for _ in range(7)]
+        sums = sorted(x + y for x in xs for y in ys)
+        for k in range(0, len(sums), 5):
+            assert select_in_x_plus_y(xs, ys, k) == sums[k]
+
+    def test_median(self):
+        xs, ys = [1, 2, 3], [10, 20]
+        sums = sorted(x + y for x in xs for y in ys)
+        assert median_of_x_plus_y(xs, ys) == sums[(len(sums) - 1) // 2]

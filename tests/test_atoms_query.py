@@ -1,0 +1,98 @@
+"""Unit tests for :class:`Atom` and :class:`ConjunctiveQuery`."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, Database, Relation, query
+from repro.engine.naive import evaluate_naive
+from repro.exceptions import QueryStructureError
+
+
+TWO_PATH = ConjunctiveQuery(("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+
+
+class TestAtom:
+    def test_variable_set(self):
+        atom = Atom("R", ("x", "y", "x"))
+        assert atom.variable_set == frozenset({"x", "y"})
+        assert atom.has_repeated_variables
+
+    def test_str(self):
+        assert str(Atom("R", ("x", "y"))) == "R(x, y)"
+
+    def test_atoms_are_hashable_values(self):
+        assert Atom("R", ("x",)) == Atom("R", ["x"])
+        assert hash(Atom("R", ("x",))) == hash(Atom("R", ("x",)))
+
+
+class TestConjunctiveQuery:
+    def test_free_and_existential_variables(self):
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))])
+        assert q.free_variables == ("x",)
+        assert q.existential_variables == frozenset({"y"})
+        assert q.has_projections and not q.is_full
+
+    def test_full_query(self):
+        assert TWO_PATH.is_full
+        assert not TWO_PATH.is_boolean
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery((), [Atom("R", ("x",))])
+        assert q.is_boolean
+
+    def test_head_variable_must_be_in_body(self):
+        with pytest.raises(QueryStructureError):
+            ConjunctiveQuery(("v",), [Atom("R", ("x",))])
+
+    def test_repeated_head_variables_rejected(self):
+        with pytest.raises(QueryStructureError):
+            ConjunctiveQuery(("x", "x"), [Atom("R", ("x",))])
+
+    def test_self_join_detection(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x",)), Atom("R", ("y",))])
+        assert not q.is_self_join_free
+        assert TWO_PATH.is_self_join_free
+
+    def test_hypergraph_edges(self):
+        h = TWO_PATH.hypergraph()
+        assert set(h.edges) == {frozenset({"x", "y"}), frozenset({"y", "z"})}
+
+    def test_free_hypergraph(self):
+        q = ConjunctiveQuery(("x", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert set(q.free_hypergraph().edges) == {frozenset({"x"}), frozenset({"z"})}
+
+    def test_atoms_containing(self):
+        assert len(TWO_PATH.atoms_containing("y")) == 2
+        assert len(TWO_PATH.atoms_containing("x")) == 1
+
+    def test_query_helper_constructor(self):
+        q = query("Q", ["x", "y"], ("R", ["x", "y"]))
+        assert q.name == "Q" and q.head == ("x", "y")
+
+    def test_str_rendering(self):
+        assert "R(x, y)" in str(TWO_PATH)
+
+
+class TestNormalize:
+    def test_normalize_self_join_copies_relations(self):
+        q = ConjunctiveQuery(("x", "y", "z"), [Atom("R", ("x", "y")), Atom("R", ("y", "z"))])
+        db = Database([Relation("R", ("a", "b"), [(1, 2), (2, 3)])])
+        normalized, normalized_db = q.normalize(db)
+        assert normalized.is_self_join_free
+        assert evaluate_naive(normalized, normalized_db) == evaluate_naive(q, db)
+
+    def test_normalize_repeated_variable(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "x", "y"))])
+        db = Database([Relation("R", ("a", "b", "c"), [(1, 1, 5), (1, 2, 6), (3, 3, 7)])])
+        normalized, normalized_db = q.normalize(db)
+        assert all(not atom.has_repeated_variables for atom in normalized.atoms)
+        assert evaluate_naive(normalized, normalized_db) == [(1, 5), (3, 7)]
+
+    def test_normalize_without_database(self):
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "x"))])
+        normalized, db = q.normalize()
+        assert db is None
+        assert normalized.atoms[0].variables == ("x",)
+
+    def test_normalize_is_identity_for_clean_queries(self):
+        normalized, _ = TWO_PATH.normalize()
+        assert normalized.atoms == TWO_PATH.atoms

@@ -1,0 +1,126 @@
+"""Tests for the materialised baselines, workload generators and bench harness."""
+
+import pytest
+
+from repro import LexOrder, MaterializedBaseline, NotAnAnswerError, OutOfBoundsError, Weights
+from repro.baselines import materialized_selection
+from repro.benchharness import format_table, growth_exponent, measure_scaling
+from repro.workloads import (
+    generate_path_database,
+    generate_product_database,
+    generate_star_database,
+    generate_visits_cases_database,
+    generate_weights,
+)
+from repro.workloads import paper_queries as pq
+from tests.helpers import sorted_answers
+
+
+class TestMaterializedBaseline:
+    def test_lex_order(self):
+        baseline = MaterializedBaseline(pq.TWO_PATH, pq.FIGURE2_DATABASE, order=pq.FIGURE2_LEX_XYZ)
+        assert list(baseline.answers) == pq.FIGURE2_EXPECTED_XYZ
+        assert baseline.access(0) == (1, 2, 5)
+        assert baseline[-1] == (6, 2, 5)
+
+    def test_sum_order(self):
+        baseline = MaterializedBaseline(pq.TWO_PATH, pq.FIGURE2_DATABASE, weights=Weights.identity())
+        weights = [baseline.answer_weight(k) for k in range(baseline.count)]
+        assert weights == sorted(weights)
+
+    def test_both_orders_rejected(self):
+        with pytest.raises(ValueError):
+            MaterializedBaseline(
+                pq.TWO_PATH, pq.FIGURE2_DATABASE, order=pq.FIGURE2_LEX_XYZ, weights=Weights.identity()
+            )
+
+    def test_inverted_access(self):
+        baseline = MaterializedBaseline(pq.TWO_PATH, pq.FIGURE2_DATABASE, order=pq.FIGURE2_LEX_XYZ)
+        assert baseline.inverted_access((1, 5, 4)) == 2
+        with pytest.raises(NotAnAnswerError):
+            baseline.inverted_access((0, 0, 0))
+
+    def test_out_of_bounds(self):
+        baseline = MaterializedBaseline(pq.TWO_PATH, pq.FIGURE2_DATABASE)
+        with pytest.raises(OutOfBoundsError):
+            baseline.access(baseline.count)
+
+    def test_materialized_selection_helper(self):
+        assert materialized_selection(
+            pq.TWO_PATH, pq.FIGURE2_DATABASE, 2, order=pq.FIGURE2_LEX_XYZ
+        ) == (1, 5, 4)
+
+    def test_works_for_intractable_orders(self):
+        baseline = MaterializedBaseline(pq.TWO_PATH, pq.FIGURE2_DATABASE, order=pq.FIGURE2_LEX_XZY)
+        assert list(baseline.answers) == pq.FIGURE2_EXPECTED_XZY
+
+
+class TestGenerators:
+    def test_path_database_shape(self):
+        db = generate_path_database(50, 10, length=2, seed=1)
+        assert set(db.relation_names) == {"R", "S"}
+        assert db.relation("R").attributes == ("x", "y")
+        assert db.relation("S").attributes == ("y", "z")
+        assert db.size() <= 100
+
+    def test_path_database_deterministic(self):
+        assert generate_path_database(30, 5, seed=3).relation("R").rows == generate_path_database(
+            30, 5, seed=3
+        ).relation("R").rows
+
+    def test_star_database_shares_centre(self):
+        db = generate_star_database(20, 5, branches=3, seed=2)
+        assert set(db.relation_names) == {"R1", "R2", "R3"}
+        assert all(db.relation(name).attributes[0] == "c" for name in db.relation_names)
+
+    def test_product_database(self):
+        db = generate_product_database(15, 30, seed=4)
+        assert db.relation("R").attributes == ("x",)
+        assert db.relation("S").attributes == ("y",)
+
+    def test_visits_cases_database(self):
+        db = generate_visits_cases_database(10, 4, 8, seed=5)
+        assert set(db.relation_names) == {"Visits", "Cases"}
+        answers = sorted_answers(pq.VISITS_CASES, db)
+        assert all(len(a) == 5 for a in answers)
+
+    def test_visits_cases_single_report_satisfies_fd(self):
+        db = generate_visits_cases_database(10, 4, 8, seed=6, single_report_per_city=True)
+        pq.VISITS_CASES_CITY_KEY.validate_against(pq.VISITS_CASES, db)
+
+    def test_generate_weights_covers_active_domains(self):
+        db = generate_path_database(20, 6, seed=7)
+        weights = generate_weights(db, {"x": "x", "y": "y", "z": "z"}, seed=8)
+        for relation in db:
+            for attribute in relation.attributes:
+                for value in relation.active_domain(attribute):
+                    assert isinstance(weights.weight(attribute, value), float)
+
+
+class TestBenchHarness:
+    def test_growth_exponent_of_linear_series(self):
+        sizes = [100, 200, 400, 800]
+        seconds = [0.01 * n for n in sizes]
+        assert growth_exponent(sizes, seconds) == pytest.approx(1.0, abs=0.01)
+
+    def test_growth_exponent_of_quadratic_series(self):
+        sizes = [100, 200, 400]
+        seconds = [1e-6 * n * n for n in sizes]
+        assert growth_exponent(sizes, seconds) == pytest.approx(2.0, abs=0.01)
+
+    def test_measure_scaling_runs_operations(self):
+        calls = []
+        result = measure_scaling(
+            "demo",
+            [10, 20],
+            setup=lambda n: n,
+            operation=lambda n: calls.append(n),
+            repeats=1,
+        )
+        assert result.sizes == [10, 20]
+        assert calls == [10, 20]
+        assert "demo" in result.summary()
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+        assert "T" in text and "bb" in text and "30" in text

@@ -1,0 +1,113 @@
+"""Tests for the LEX dichotomies (Theorems 3.3, 4.1, 6.1) — classification only."""
+
+import pytest
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    LexOrder,
+    classify_direct_access_lex,
+    classify_selection_lex,
+)
+from repro.exceptions import QueryStructureError
+from repro.workloads import paper_queries as pq
+
+
+class TestDirectAccessLexClassification:
+    def test_two_path_xyz_tractable(self):
+        result = classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "y", "z")))
+        assert result.tractable
+        assert result.guarantee == "<n log n, log n>"
+        assert result.theorem == "Theorem 3.3"
+
+    def test_two_path_xzy_intractable_with_trio_witness(self):
+        result = classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z", "y")))
+        assert result.intractable
+        assert result.witness is not None and result.witness[2] == "y"
+        assert "sparseBMM" in result.hypotheses
+
+    def test_partial_order_not_l_connex(self):
+        result = classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z")))
+        assert result.intractable
+        assert result.theorem == "Theorem 4.1"
+        assert "connex" in result.reason
+
+    def test_partial_order_tractable(self):
+        assert classify_direct_access_lex(pq.TWO_PATH, LexOrder(("z", "y"))).tractable
+        assert classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "y"))).tractable
+
+    def test_non_free_connex_projection_intractable(self):
+        result = classify_direct_access_lex(pq.TWO_PATH_ENDPOINTS, LexOrder(("x", "z")))
+        assert result.intractable
+        assert "free-connex" in result.reason
+
+    def test_cyclic_query_intractable(self):
+        result = classify_direct_access_lex(pq.TRIANGLE, LexOrder(("x", "y", "z")))
+        assert result.intractable
+
+    def test_visits_cases_orders_from_introduction(self):
+        assert classify_direct_access_lex(pq.VISITS_CASES, pq.VISITS_CASES_BAD_ORDER).intractable
+        assert classify_direct_access_lex(pq.VISITS_CASES, pq.VISITS_CASES_BAD_PARTIAL).intractable
+        assert classify_direct_access_lex(pq.VISITS_CASES, pq.VISITS_CASES_GOOD_ORDER).tractable
+
+    def test_section_2_5_queries_supported(self):
+        # Q3–Q6 with their natural variable order are all tractable for our
+        # algorithm even though prior structures cannot handle them.
+        for query, order in [
+            (pq.Q3, pq.Q3_ORDER),
+            (pq.Q4, pq.Q4_ORDER),
+            (pq.Q5, pq.Q5_ORDER),
+            (pq.Q6, pq.Q6_ORDER),
+        ]:
+            assert classify_direct_access_lex(query, order).tractable, query.name
+
+    def test_self_join_outside_tractable_class_is_unknown(self):
+        q = ConjunctiveQuery(
+            ("x", "z", "y"), [Atom("R", ("x", "y")), Atom("R", ("y", "z"))]
+        )
+        result = classify_direct_access_lex(q, LexOrder(("x", "z", "y")))
+        assert result.verdict == "unknown"
+
+    def test_order_variable_must_be_free(self):
+        with pytest.raises(QueryStructureError):
+            classify_direct_access_lex(pq.TWO_PATH_ENDPOINTS, LexOrder(("y",)))
+
+    def test_tractable_partial_iff_prefix_of_tractable_complete(self):
+        # Theorem 4.1's "interestingly" remark: a partial order is tractable
+        # iff it can be completed to a tractable full order.
+        from repro.core.partial_order import complete_order
+
+        for variables in [("x",), ("y",), ("z",), ("x", "y"), ("x", "z"), ("z", "y")]:
+            order = LexOrder(variables)
+            verdict = classify_direct_access_lex(pq.TWO_PATH, order).tractable
+            completion = complete_order(pq.TWO_PATH, order)
+            has_tractable_completion = completion is not None and classify_direct_access_lex(
+                pq.TWO_PATH, completion
+            ).tractable
+            assert verdict == has_tractable_completion
+
+
+class TestSelectionLexClassification:
+    def test_free_connex_always_tractable(self):
+        assert classify_selection_lex(pq.TWO_PATH, LexOrder(("x", "z", "y"))).tractable
+        assert classify_selection_lex(pq.TWO_PATH, LexOrder(("x", "z"))).tractable
+        assert classify_selection_lex(pq.TWO_PATH).tractable
+
+    def test_non_free_connex_intractable(self):
+        result = classify_selection_lex(pq.TWO_PATH_ENDPOINTS)
+        assert result.intractable
+        assert "SETH" in result.hypotheses
+
+    def test_cyclic_intractable(self):
+        assert classify_selection_lex(pq.TRIANGLE).intractable
+
+    def test_selection_weaker_than_direct_access(self):
+        # Every order with tractable direct access also has tractable selection.
+        for name, (query, order) in pq.CATALOG.items():
+            da = classify_direct_access_lex(query, order)
+            sel = classify_selection_lex(query, order)
+            if da.tractable:
+                assert sel.tractable, name
+
+    def test_guarantee_string(self):
+        assert classify_selection_lex(pq.TWO_PATH).guarantee == "<1, n>"

@@ -1,0 +1,134 @@
+"""Tests for the SUM dichotomies (Theorems 5.1 and 7.3) — classification only."""
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    classify_all,
+    classify_direct_access_sum,
+    classify_selection_sum,
+)
+from repro.workloads import paper_queries as pq
+
+
+class TestDirectAccessSumClassification:
+    def test_two_path_intractable(self):
+        result = classify_direct_access_sum(pq.TWO_PATH)
+        assert result.intractable
+        assert "3SUM" in result.hypotheses
+
+    def test_single_atom_query_tractable(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y", "z"))])
+        result = classify_direct_access_sum(q)
+        assert result.tractable and result.guarantee == "<n log n, 1>"
+
+    def test_projection_into_single_atom_tractable(self):
+        # Example 1.1: SUM over x + y with z projected away is tractable.
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert classify_direct_access_sum(q).tractable
+
+    def test_projection_to_endpoints_intractable(self):
+        # Example 1.1: SUM over x + z with y projected away (not free-connex).
+        assert classify_direct_access_sum(pq.TWO_PATH_ENDPOINTS).intractable
+
+    def test_cartesian_product_intractable(self):
+        # Section 5: the Visits × Cases product is hard for SUM even though
+        # every LEX order is tractable for it.
+        assert classify_direct_access_sum(pq.VISITS_CASES_PRODUCT).intractable
+        assert classify_direct_access_sum(pq.X_PLUS_Y).intractable
+
+    def test_cyclic_intractable_by_hyperclique(self):
+        result = classify_direct_access_sum(pq.TRIANGLE)
+        assert result.intractable and "Hyperclique" in result.hypotheses
+
+    def test_figure8_rows(self):
+        # Figure 8: acyclic & α_free = 1 → possible; α_free = 2 and ≥ 3 → 3SUM-hard.
+        single = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))])
+        assert classify_direct_access_sum(single).tractable
+        two_independent = pq.TWO_PATH
+        assert classify_direct_access_sum(two_independent).details["alpha_free"] == 2
+        assert classify_direct_access_sum(two_independent).intractable
+        three_independent = ConjunctiveQuery(
+            ("x", "y", "z"),
+            [Atom("R", ("x",)), Atom("S", ("y",)), Atom("T", ("z",))],
+        )
+        result = classify_direct_access_sum(three_independent)
+        assert result.intractable and result.details["alpha_free"] == 3
+
+    def test_witness_is_independent_set(self):
+        result = classify_direct_access_sum(pq.TWO_PATH)
+        assert set(result.witness) == {"x", "z"}
+
+
+class TestSelectionSumClassification:
+    def test_two_path_tractable(self):
+        result = classify_selection_sum(pq.TWO_PATH)
+        assert result.tractable and result.guarantee == "<1, n log n>"
+
+    def test_three_path_intractable(self):
+        assert classify_selection_sum(pq.THREE_PATH).intractable
+
+    def test_three_path_projection_tractable(self):
+        # Example 7.4: projecting u away makes T's free edge absorbed.
+        assert classify_selection_sum(pq.THREE_PATH_PROJECTED).tractable
+
+    def test_example_7_2_fmh_reported_but_not_free_connex(self):
+        # Example 7.2 is used by the paper only to illustrate fmh counting;
+        # it has fmh = 2 yet is not free-connex (x–y–z is a free path), so it
+        # still falls on the hard side of Theorem 7.3.
+        result = classify_selection_sum(pq.EXAMPLE_7_2)
+        assert result.details["fmh"] == 2
+        assert not result.details["free_connex"]
+        assert result.intractable
+
+    def test_x_plus_y_tractable(self):
+        assert classify_selection_sum(pq.X_PLUS_Y).tractable
+
+    def test_visits_cases_tractable(self):
+        # The paper: selection by SUM is quasilinear for Visits ⋈ Cases.
+        assert classify_selection_sum(pq.VISITS_CASES).tractable
+
+    def test_non_free_connex_intractable(self):
+        assert classify_selection_sum(pq.TWO_PATH_ENDPOINTS).intractable
+
+    def test_cyclic_intractable(self):
+        assert classify_selection_sum(pq.TRIANGLE).intractable
+
+    def test_direct_access_tractability_implies_selection(self):
+        for name, (query, _) in pq.CATALOG.items():
+            da = classify_direct_access_sum(query)
+            sel = classify_selection_sum(query)
+            if da.tractable:
+                assert sel.tractable, name
+
+
+class TestClassifyAll:
+    def test_returns_all_four_with_order(self):
+        results = classify_all(pq.TWO_PATH, pq.FIGURE2_LEX_XZY)
+        assert set(results) == {
+            "direct_access_lex",
+            "selection_lex",
+            "direct_access_sum",
+            "selection_sum",
+        }
+
+    def test_returns_three_without_order(self):
+        results = classify_all(pq.TWO_PATH)
+        assert "direct_access_lex" not in results
+        assert results["selection_sum"].tractable
+
+    def test_figure_1_region_membership(self):
+        # Figure 1 sanity: the 2-path with a good order sits in the innermost
+        # region (everything tractable except SUM direct access), while the
+        # endpoint projection sits outside free-connex (everything hard).
+        good = classify_all(pq.TWO_PATH, pq.FIGURE2_LEX_XYZ)
+        assert good["direct_access_lex"].tractable
+        assert good["selection_lex"].tractable
+        assert good["selection_sum"].tractable
+        assert good["direct_access_sum"].intractable
+
+        bad = classify_all(pq.TWO_PATH_ENDPOINTS, pq.FIGURE2_LEX_XZY.prefix(0).extended(["x", "z"]))
+        assert all(not c.tractable for c in bad.values())
+
+    def test_summary_text(self):
+        result = classify_direct_access_sum(pq.TWO_PATH)
+        assert "intractable" in result.summary()

@@ -1,0 +1,96 @@
+"""Unit tests for S-connexity, S-paths and chordless paths."""
+
+from repro.hypergraph import (
+    Hypergraph,
+    chordless_paths,
+    ext_connex_witness,
+    find_chordless_path_of_length,
+    find_s_path,
+    is_chordless,
+    is_s_connex,
+)
+
+
+TWO_PATH = Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+THREE_PATH = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "u"}])
+
+
+class TestSConnex:
+    def test_two_path_full_variable_set_is_connex(self):
+        assert is_s_connex(TWO_PATH, {"x", "y", "z"})
+
+    def test_two_path_endpoints_not_connex(self):
+        # This is the classical non-free-connex projection Q(x, z).
+        assert not is_s_connex(TWO_PATH, {"x", "z"})
+
+    def test_two_path_prefix_with_join_variable_is_connex(self):
+        assert is_s_connex(TWO_PATH, {"x", "y"})
+        assert is_s_connex(TWO_PATH, {"z", "y"})
+
+    def test_empty_set_is_connex_for_acyclic(self):
+        assert is_s_connex(TWO_PATH, set())
+
+    def test_cyclic_hypergraph_never_connex(self):
+        triangle = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "x"}])
+        assert not is_s_connex(triangle, {"x", "y", "z"})
+
+    def test_three_path_middle_pair_connex(self):
+        assert is_s_connex(THREE_PATH, {"y", "z"})
+
+    def test_three_path_endpoints_not_connex(self):
+        assert not is_s_connex(THREE_PATH, {"x", "u"})
+
+    def test_witness_tree_contains_s_node(self):
+        tree = ext_connex_witness(TWO_PATH, {"x", "y"})
+        assert tree is not None
+        assert tree.find_node_containing({"x", "y"}) is not None
+
+    def test_witness_is_none_when_not_connex(self):
+        assert ext_connex_witness(TWO_PATH, {"x", "z"}) is None
+
+
+class TestSPaths:
+    def test_s_path_found_for_endpoints(self):
+        path = find_s_path(TWO_PATH, frozenset({"x", "z"}))
+        assert path is not None
+        assert path[0] in {"x", "z"} and path[-1] in {"x", "z"}
+        assert all(v == "y" for v in path[1:-1])
+
+    def test_no_s_path_when_connex(self):
+        assert find_s_path(TWO_PATH, frozenset({"x", "y", "z"})) is None
+
+    def test_s_path_endpoints_in_s_and_internal_outside(self):
+        path = find_s_path(THREE_PATH, frozenset({"x", "u"}))
+        assert path is not None
+        assert set(path[1:-1]).isdisjoint({"x", "u"})
+        assert len(path) >= 3
+
+
+class TestChordlessPaths:
+    def test_is_chordless_accepts_path(self):
+        assert is_chordless(THREE_PATH, ["x", "y", "z", "u"])
+
+    def test_is_chordless_rejects_chord(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"x", "z"}, {"x", "y", "z"}])
+        assert not is_chordless(h, ["x", "y", "z"])
+
+    def test_is_chordless_rejects_repeats(self):
+        assert not is_chordless(TWO_PATH, ["x", "y", "x"])
+
+    def test_find_chordless_path_of_length_four(self):
+        path = find_chordless_path_of_length(THREE_PATH, 4)
+        assert path is not None and len(path) == 4
+
+    def test_no_chordless_path_of_length_four_in_two_path(self):
+        assert find_chordless_path_of_length(TWO_PATH, 4) is None
+
+    def test_enumeration_respects_max_length(self):
+        paths = chordless_paths(THREE_PATH, max_length=2)
+        assert all(len(p) == 2 for p in paths)
+        assert len(paths) == 3  # the three edges
+
+    def test_enumeration_deduplicates_directions(self):
+        paths = chordless_paths(TWO_PATH)
+        assert len(paths) == len(set(paths))
+        as_sets = [tuple(sorted(p)) for p in paths]
+        assert len(as_sets) == len(set(as_sets))

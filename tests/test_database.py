@@ -1,0 +1,59 @@
+"""Unit tests for :class:`~repro.engine.database.Database`."""
+
+import pytest
+
+from repro.engine import Database, Relation
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [
+            Relation("R", ("x", "y"), [(1, 2), (3, 4)]),
+            Relation("S", ("y", "z"), [(2, 5)]),
+        ]
+    )
+
+
+class TestDatabase:
+    def test_size_counts_all_tuples(self, db):
+        assert db.size() == 3
+
+    def test_lookup(self, db):
+        assert db["R"].arity == 2
+        assert db.relation("S").rows == ((2, 5),)
+
+    def test_missing_relation_raises(self, db):
+        with pytest.raises(SchemaError):
+            db.relation("T")
+
+    def test_contains_and_names(self, db):
+        assert "R" in db and "T" not in db
+        assert db.relation_names == ("R", "S")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([Relation("R", ("x",), []), Relation("R", ("y",), [])])
+
+    def test_with_relation_replaces(self, db):
+        updated = db.with_relation(Relation("R", ("x", "y"), [(9, 9)]))
+        assert updated["R"].rows == ((9, 9),)
+        assert db["R"].rows == ((1, 2), (3, 4))  # original untouched
+
+    def test_with_relations_adds(self, db):
+        updated = db.with_relations([Relation("T", ("a",), [(1,)])])
+        assert "T" in updated
+
+    def test_without_relation(self, db):
+        assert "S" not in db.without_relation("S")
+
+    def test_restrict(self, db):
+        assert db.restrict(["S"]).relation_names == ("S",)
+
+    def test_from_dict(self):
+        database = Database.from_dict({"R": (("x",), [(1,), (2,)])})
+        assert database.size() == 2
+
+    def test_iteration(self, db):
+        assert {rel.name for rel in db} == {"R", "S"}

@@ -1,0 +1,168 @@
+"""End-to-end tests for lexicographic direct access (Theorems 3.3 and 4.1)."""
+
+import pytest
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    IntractableQueryError,
+    LexDirectAccess,
+    LexOrder,
+    MaterializedBaseline,
+    OutOfBoundsError,
+    Relation,
+)
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for, sorted_answers
+
+
+class TestFigure2:
+    def test_order_xyz_matches_figure(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        assert [access[i] for i in range(access.count)] == pq.FIGURE2_EXPECTED_XYZ
+
+    def test_intractable_order_xzy_rejected(self):
+        with pytest.raises(IntractableQueryError) as excinfo:
+            LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XZY)
+        assert excinfo.value.classification is not None
+
+    def test_count_without_enumeration(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        assert len(access) == 5
+
+    def test_out_of_bounds(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        with pytest.raises(OutOfBoundsError):
+            access.access(5)
+        with pytest.raises(OutOfBoundsError):
+            access.access(-1)
+
+    def test_negative_indexing_via_getitem(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        assert access[-1] == pq.FIGURE2_EXPECTED_XYZ[-1]
+
+    def test_slicing(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        assert access[1:3] == pq.FIGURE2_EXPECTED_XYZ[1:3]
+
+    def test_iteration_yields_sorted_answers(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        assert list(access) == pq.FIGURE2_EXPECTED_XYZ
+
+
+class TestExample37:
+    def test_access_index_12(self):
+        access = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, pq.Q3_ORDER)
+        assert access[pq.EXAMPLE_3_7_INDEX] == pq.EXAMPLE_3_7_ANSWER
+
+    def test_all_16_answers_in_order(self):
+        access = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, pq.Q3_ORDER)
+        baseline = MaterializedBaseline(pq.Q3, pq.FIGURE4_DATABASE, order=pq.Q3_ORDER)
+        assert list(access) == list(baseline.answers)
+        assert access.count == 16
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize(
+        "query,order",
+        [
+            (pq.TWO_PATH, LexOrder(("x", "y", "z"))),
+            (pq.TWO_PATH, LexOrder(("z", "y", "x"))),
+            (pq.TWO_PATH, LexOrder(("y", "x", "z"))),
+            (pq.Q3, pq.Q3_ORDER),
+            (pq.Q4, pq.Q4_ORDER),
+            (pq.Q5, pq.Q5_ORDER),
+            (pq.Q6, pq.Q6_ORDER),
+        ],
+    )
+    def test_full_orders_match_baseline(self, query, order):
+        db = random_database_for(query, 25, 4, seed=hash(order.variables) % 1000)
+        access = LexDirectAccess(query, db, order)
+        assert list(access) == sorted_answers(query, db, order=order)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_projected_query(self, seed):
+        q = ConjunctiveQuery(
+            ("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qxy"
+        )
+        db = random_database_for(q, 30, 5, seed=seed)
+        access = LexDirectAccess(q, db, LexOrder(("y", "x")))
+        assert list(access) == sorted_answers(q, db, order=LexOrder(("y", "x")))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_partial_order_prefix_respected(self, seed):
+        db = random_database_for(pq.TWO_PATH, 30, 5, seed=seed)
+        order = LexOrder(("z", "y"))
+        access = LexDirectAccess(pq.TWO_PATH, db, order)
+        answers = list(access)
+        # The ordered prefix must be non-decreasing under ⟨z, y⟩ even though the
+        # tie-breaking of x is implementation-defined.
+        keys = [(a[2], a[1]) for a in answers]
+        assert keys == sorted(keys)
+        assert sorted(answers) == sorted_answers(pq.TWO_PATH, db)
+
+    def test_star_query_with_projection(self):
+        q = ConjunctiveQuery(
+            ("c", "x1", "x2"),
+            [Atom("R1", ("c", "x1")), Atom("R2", ("c", "x2")), Atom("R3", ("c", "x3"))],
+            name="Qstar",
+        )
+        db = random_database_for(q, 20, 4, seed=9)
+        order = LexOrder(("x1", "c", "x2"))
+        access = LexDirectAccess(q, db, order)
+        assert list(access) == sorted_answers(q, db, order=order)
+
+    def test_descending_component(self):
+        db = random_database_for(pq.TWO_PATH, 20, 5, seed=13)
+        order = LexOrder(("x", "y", "z"), descending=("x",))
+        access = LexDirectAccess(pq.TWO_PATH, db, order)
+        assert list(access) == sorted_answers(pq.TWO_PATH, db, order=order)
+
+    def test_empty_database(self):
+        db = Database(
+            [Relation("R", ("x", "y"), []), Relation("S", ("y", "z"), [])]
+        )
+        access = LexDirectAccess(pq.TWO_PATH, db, pq.FIGURE2_LEX_XYZ)
+        assert access.count == 0
+        with pytest.raises(OutOfBoundsError):
+            access.access(0)
+
+    def test_self_join_supported_when_tractable(self):
+        q = ConjunctiveQuery(
+            ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("R", ("y", "z"))], name="Qsj"
+        )
+        db = Database([Relation("R", ("a", "b"), [(1, 2), (2, 3), (2, 4), (3, 1)])])
+        access = LexDirectAccess(q, db, LexOrder(("x", "y", "z")))
+        assert list(access) == sorted_answers(q, db, order=LexOrder(("x", "y", "z")))
+
+    def test_enforce_tractability_false_runs_unknown_cases(self):
+        q = ConjunctiveQuery(
+            ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("R", ("y", "z"))], name="Qsj"
+        )
+        db = Database([Relation("R", ("a", "b"), [(1, 2), (2, 3)])])
+        access = LexDirectAccess(q, db, LexOrder(("x", "y", "z")), enforce_tractability=False)
+        assert list(access) == sorted_answers(q, db, order=LexOrder(("x", "y", "z")))
+
+
+class TestBooleanQueries:
+    def test_satisfied_boolean_query(self):
+        q = ConjunctiveQuery((), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        access = LexDirectAccess(q, pq.FIGURE2_DATABASE, LexOrder(()))
+        assert access.count == 1
+        assert access[0] == ()
+
+    def test_unsatisfied_boolean_query(self):
+        q = ConjunctiveQuery((), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        db = Database([Relation("R", ("x", "y"), [(1, 1)]), Relation("S", ("y", "z"), [(2, 2)])])
+        access = LexDirectAccess(q, db, LexOrder(()))
+        assert access.count == 0
+
+
+class TestRankOfPrefix:
+    def test_rank_of_prefix_counts_smaller_groups(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        # Answers with x = 1 come first (4 of them); the x = 6 group starts at 4.
+        assert access.rank_of_prefix((1,)) == 0
+        assert access.rank_of_prefix((6,)) == 4
+        assert access.rank_of_prefix((7,)) == access.count

@@ -1,0 +1,123 @@
+"""Tests for the FD-extension (Definition 8.2) and FD validation."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, Database, FDSet, FunctionalDependency, Relation
+from repro.core import structure as st
+from repro.exceptions import FunctionalDependencyError
+from repro.fds.extension import fd_extension, is_fd_extension_fixpoint
+from repro.workloads import paper_queries as pq
+
+
+class TestFunctionalDependency:
+    def test_trivial_fd_rejected(self):
+        with pytest.raises(FunctionalDependencyError):
+            FunctionalDependency("R", "x", "x")
+
+    def test_fdset_construction_and_dedup(self):
+        fds = FDSet.of(("R", "x", "y"), ("R", "x", "y"), ("S", "y", "z"))
+        assert len(fds) == 2
+        assert str(list(fds)[0]) == "R: x → y"
+
+    def test_transitive_implication(self):
+        fds = FDSet.of(("R", "x", "y"), ("S", "y", "z"))
+        assert fds.transitively_implied("x") == frozenset({"y", "z"})
+        assert fds.transitively_implied("z") == frozenset()
+
+    def test_cyclic_implications_terminate(self):
+        fds = FDSet.of(("R", "x", "y"), ("R", "y", "x"))
+        assert fds.transitively_implied("x") == frozenset({"y"})
+
+    def test_validation_passes_on_satisfying_database(self):
+        db = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 10), (2, 20), (1, 10)]),
+                Relation("S", ("y", "z"), [(10, 1)]),
+            ]
+        )
+        FDSet.of(("R", "x", "y")).validate_against(pq.TWO_PATH, db)
+
+    def test_validation_detects_violation(self):
+        db = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 10), (1, 20)]),
+                Relation("S", ("y", "z"), [(10, 1)]),
+            ]
+        )
+        with pytest.raises(FunctionalDependencyError):
+            FDSet.of(("R", "x", "y")).validate_against(pq.TWO_PATH, db)
+
+    def test_validation_rejects_unknown_relation(self):
+        db = Database([Relation("R", ("x", "y"), [])])
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y"))])
+        with pytest.raises(FunctionalDependencyError):
+            FDSet.of(("T", "x", "y")).validate_against(q, db)
+
+    def test_validation_rejects_variable_outside_atom(self):
+        db = Database([Relation("R", ("x", "y"), []), Relation("S", ("y", "z"), [])])
+        with pytest.raises(FunctionalDependencyError):
+            FDSet.of(("R", "x", "z")).validate_against(pq.TWO_PATH, db)
+
+
+class TestFDExtension:
+    def test_example_8_3_two_path_projection(self):
+        # Q(x, z) :- R(x, y), S(y, z) with S: y → z becomes free-connex.
+        extended, extended_fds = fd_extension(pq.EXAMPLE_8_3_QUERY, pq.EXAMPLE_8_3_FDS)
+        r_atom = next(a for a in extended.atoms if a.relation == "R")
+        assert set(r_atom.variables) == {"x", "y", "z"}
+        assert st.is_free_connex(extended)
+        assert any(fd.relation == "R" and fd.rhs == "z" for fd in extended_fds)
+        assert not st.is_free_connex(pq.EXAMPLE_8_3_QUERY)
+
+    def test_example_8_3_triangle_becomes_acyclic(self):
+        extended, _ = fd_extension(pq.TRIANGLE, FDSet.of(("S", "y", "z")))
+        assert st.is_acyclic_query(extended)
+        assert not st.is_acyclic_query(pq.TRIANGLE)
+
+    def test_example_8_7(self):
+        # Q(x,z,u) :- R(x,y), S(y,z), T(z,u) with T: z → u: S gains u.
+        extended, extended_fds = fd_extension(pq.EXAMPLE_8_7_QUERY, pq.EXAMPLE_8_7_FDS)
+        s_atom = next(a for a in extended.atoms if a.relation == "S")
+        assert set(s_atom.variables) == {"y", "z", "u"}
+        assert any(fd.relation == "S" and fd.lhs == "z" and fd.rhs == "u" for fd in extended_fds)
+        # The extension is still not free-connex (Example 8.7's point).
+        assert not st.is_free_connex(extended)
+
+    def test_step2_makes_implied_variable_free(self):
+        # Q(x) :- R(x, y) with R: x → y: y becomes free in the extension.
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))])
+        extended, _ = fd_extension(q, FDSet.of(("R", "x", "y")))
+        assert set(extended.free_variables) == {"x", "y"}
+
+    def test_extension_without_applicable_fds_is_identity(self):
+        extended, fds = fd_extension(pq.TWO_PATH, FDSet.of(("R", "x", "y")))
+        assert {a.variable_set for a in extended.atoms} == {
+            a.variable_set for a in pq.TWO_PATH.atoms
+        }
+        assert is_fd_extension_fixpoint(pq.TWO_PATH, FDSet.of(("R", "x", "y")))
+
+    def test_extension_is_fixpoint(self):
+        extended, extended_fds = fd_extension(pq.EXAMPLE_8_3_QUERY, pq.EXAMPLE_8_3_FDS)
+        again, again_fds = fd_extension(extended, extended_fds)
+        assert {a.variable_set for a in again.atoms} == {a.variable_set for a in extended.atoms}
+        assert set(again.free_variables) == set(extended.free_variables)
+
+    def test_transitive_chain_of_fds(self):
+        q = ConjunctiveQuery(
+            ("x",),
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z"))],
+            name="Qchain",
+        )
+        extended, _ = fd_extension(q, FDSet.of(("R", "x", "y"), ("S", "y", "z")))
+        assert set(extended.free_variables) == {"x", "y", "z"}
+        r_atom = next(a for a in extended.atoms if a.relation == "R")
+        assert "z" in r_atom.variable_set
+
+    def test_self_join_rejected(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x",)), Atom("R", ("y",))])
+        with pytest.raises(FunctionalDependencyError):
+            fd_extension(q, FDSet.of(("R", "x", "y")))
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(FunctionalDependencyError):
+            fd_extension(pq.TWO_PATH, FDSet.of(("T", "x", "y")))

@@ -1,0 +1,117 @@
+"""Tests for the FD-reordered order (Definition 8.13) and FD classifications."""
+
+from repro import (
+    LexOrder,
+    classify_direct_access_lex,
+    classify_direct_access_sum,
+    classify_selection_lex,
+    classify_selection_sum,
+)
+from repro.fds.fd import FDSet
+from repro.fds.reorder import reorder_lex_order
+from repro.workloads import paper_queries as pq
+
+
+class TestReorderLexOrder:
+    def test_example_8_14_reordering(self):
+        # FD R: v1 → v3 moves v3 right after v1: ⟨v1, v2, v3, v4⟩ → ⟨v1, v3, v2, v4⟩.
+        reordered = reorder_lex_order(
+            pq.EXAMPLE_8_14_QUERY, pq.EXAMPLE_8_14_FDS, pq.EXAMPLE_8_14_ORDER
+        )
+        assert reordered.variables == ("v1", "v3", "v2", "v4")
+
+    def test_example_8_19_grows_the_order(self):
+        # FD S: v2 → v3 adds the existential-but-implied v3 after v2.
+        reordered = reorder_lex_order(
+            pq.EXAMPLE_8_19_QUERY, pq.EXAMPLE_8_19_FDS, pq.EXAMPLE_8_19_ORDER
+        )
+        assert reordered.variables == ("v1", "v2", "v3")
+
+    def test_reordering_without_relevant_fds_is_identity(self):
+        order = LexOrder(("x", "y", "z"))
+        assert reorder_lex_order(pq.TWO_PATH, FDSet.of(("S", "z", "y")), order).variables[:1] == ("x",)
+        assert reorder_lex_order(pq.TWO_PATH, FDSet(), order).variables == order.variables
+
+    def test_transitive_implications_placed_consecutively(self):
+        fds = FDSet.of(("R", "x", "y"), ("S", "y", "z"))
+        reordered = reorder_lex_order(pq.TWO_PATH, fds, LexOrder(("x", "z", "y")))
+        assert reordered.variables[0] == "x"
+        assert set(reordered.variables[1:3]) == {"y", "z"}
+
+    def test_descending_flags_survive(self):
+        order = LexOrder(("x", "z", "y"), descending=("x",))
+        reordered = reorder_lex_order(pq.TWO_PATH, pq.EXAMPLE_1_1_FD_R_X_TO_Y, order)
+        assert reordered.is_descending("x")
+
+
+class TestClassificationWithFDs:
+    """The Example 1.1 FD bullet points and the Section 8 examples."""
+
+    def test_xzy_with_fd_r_y_to_x_tractable(self):
+        result = classify_direct_access_lex(
+            pq.TWO_PATH, pq.FIGURE2_LEX_XZY, fds=pq.EXAMPLE_1_1_FD_R_Y_TO_X
+        )
+        assert result.tractable and result.theorem == "Theorem 8.21"
+
+    def test_xzy_with_fd_s_y_to_z_tractable(self):
+        assert classify_direct_access_lex(
+            pq.TWO_PATH, pq.FIGURE2_LEX_XZY, fds=pq.EXAMPLE_1_1_FD_S_Y_TO_Z
+        ).tractable
+
+    def test_xzy_with_fd_r_x_to_y_tractable(self):
+        # The FD implies the order is equivalent to the tractable ⟨x, y, z⟩.
+        assert classify_direct_access_lex(
+            pq.TWO_PATH, pq.FIGURE2_LEX_XZY, fds=pq.EXAMPLE_1_1_FD_R_X_TO_Y
+        ).tractable
+
+    def test_xzy_with_fd_s_z_to_y_still_intractable(self):
+        assert classify_direct_access_lex(
+            pq.TWO_PATH, pq.FIGURE2_LEX_XZY, fds=pq.EXAMPLE_1_1_FD_S_Z_TO_Y
+        ).intractable
+
+    def test_example_8_14_becomes_tractable(self):
+        without = classify_direct_access_lex(pq.EXAMPLE_8_14_QUERY, pq.EXAMPLE_8_14_ORDER)
+        with_fd = classify_direct_access_lex(
+            pq.EXAMPLE_8_14_QUERY, pq.EXAMPLE_8_14_ORDER, fds=pq.EXAMPLE_8_14_FDS
+        )
+        assert without.intractable and with_fd.tractable
+
+    def test_example_8_19_remains_intractable(self):
+        result = classify_direct_access_lex(
+            pq.EXAMPLE_8_19_QUERY, pq.EXAMPLE_8_19_ORDER, fds=pq.EXAMPLE_8_19_FDS
+        )
+        assert result.intractable
+
+    def test_example_8_3_selection_becomes_tractable(self):
+        without = classify_selection_lex(pq.EXAMPLE_8_3_QUERY)
+        with_fd = classify_selection_lex(pq.EXAMPLE_8_3_QUERY, fds=pq.EXAMPLE_8_3_FDS)
+        assert without.intractable and with_fd.tractable
+        assert with_fd.theorem == "Theorem 8.22"
+
+    def test_example_8_3_sum_direct_access_becomes_tractable(self):
+        # Example 8.3: R gains z, so one atom contains all free variables.
+        without = classify_direct_access_sum(pq.EXAMPLE_8_3_QUERY)
+        with_fd = classify_direct_access_sum(pq.EXAMPLE_8_3_QUERY, fds=pq.EXAMPLE_8_3_FDS)
+        assert without.intractable and with_fd.tractable
+        assert with_fd.theorem == "Theorem 8.9"
+
+    def test_example_8_3_triangle_becomes_tractable_for_sum(self):
+        result = classify_direct_access_sum(pq.TRIANGLE, fds=pq.EXAMPLE_8_3_TRIANGLE_FDS)
+        assert result.tractable
+
+    def test_selection_sum_with_fds(self):
+        result = classify_selection_sum(pq.EXAMPLE_8_3_QUERY, fds=pq.EXAMPLE_8_3_FDS)
+        assert result.tractable and result.theorem == "Theorem 8.10"
+
+    def test_example_8_7_stays_intractable_for_selection(self):
+        result = classify_selection_lex(pq.EXAMPLE_8_7_QUERY, fds=pq.EXAMPLE_8_7_FDS)
+        assert result.intractable
+
+    def test_visits_cases_city_key_fixes_bad_order(self):
+        # The introduction: with "each city occurs at most once in Cases", the
+        # (#cases, age, ...) order becomes tractable.
+        without = classify_direct_access_lex(pq.VISITS_CASES, pq.VISITS_CASES_BAD_ORDER)
+        with_fd = classify_direct_access_lex(
+            pq.VISITS_CASES, pq.VISITS_CASES_BAD_ORDER, fds=pq.VISITS_CASES_CITY_KEY
+        )
+        assert without.intractable and with_fd.tractable

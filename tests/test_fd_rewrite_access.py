@@ -1,0 +1,153 @@
+"""Tests for executing direct access / selection under functional dependencies."""
+
+import pytest
+
+from repro import (
+    Database,
+    FDSet,
+    IntractableQueryError,
+    LexDirectAccess,
+    LexOrder,
+    MaterializedBaseline,
+    Relation,
+    SumDirectAccess,
+    Weights,
+    selection_lex,
+    selection_sum,
+)
+from repro.fds.rewrite import extend_database, rewrite_for_fds
+from repro.engine.naive import evaluate_naive
+from repro.workloads import paper_queries as pq
+
+
+def example_8_14_database():
+    return Database(
+        [
+            Relation("R", ("v1", "v3"), [(1, 10), (2, 20), (3, 30)]),
+            Relation("S", ("v3", "v2"), [(10, "a"), (10, "b"), (20, "a"), (30, "c")]),
+            Relation("T", ("v2", "v4"), [("a", 100), ("b", 200), ("c", 300), ("a", 101)]),
+        ]
+    )
+
+
+def example_8_3_database():
+    # Satisfies S: y → z.
+    return Database(
+        [
+            Relation("R", ("x", "y"), [(1, 5), (1, 2), (6, 2), (7, 9)]),
+            Relation("S", ("y", "z"), [(5, 3), (2, 5), (8, 1)]),
+        ]
+    )
+
+
+class TestExtendDatabase:
+    def test_answers_preserved_after_extension(self):
+        query, fds, db = pq.EXAMPLE_8_3_QUERY, pq.EXAMPLE_8_3_FDS, example_8_3_database()
+        extended_query, extended_fds, extended_db = extend_database(query, db, fds)
+        original = evaluate_naive(query, db)
+        projected = sorted(
+            {
+                tuple(dict(zip(extended_query.free_variables, answer))[v] for v in query.free_variables)
+                for answer in evaluate_naive(extended_query, extended_db)
+            }
+        )
+        assert projected == original
+
+    def test_extended_relation_gains_column(self):
+        _, _, extended_db = extend_database(
+            pq.EXAMPLE_8_3_QUERY, example_8_3_database(), pq.EXAMPLE_8_3_FDS
+        )
+        assert set(extended_db.relation("R").attributes) == {"x", "y", "z"}
+
+    def test_dangling_tuples_dropped_not_invented(self):
+        # R has a tuple with y = 9 that never joins; its z value is undefined,
+        # so the rewrite must drop it rather than invent one.
+        _, _, extended_db = extend_database(
+            pq.EXAMPLE_8_3_QUERY, example_8_3_database(), pq.EXAMPLE_8_3_FDS
+        )
+        assert all(row[extended_db.relation("R").position("y")] != 9 for row in extended_db.relation("R"))
+
+    def test_violating_database_rejected(self):
+        bad = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 5)]),
+                Relation("S", ("y", "z"), [(5, 3), (5, 4)]),  # violates y → z
+            ]
+        )
+        with pytest.raises(Exception):
+            rewrite_for_fds(pq.EXAMPLE_8_3_QUERY, bad, None, pq.EXAMPLE_8_3_FDS)
+
+
+class TestDirectAccessWithFDs:
+    def test_example_8_14_access_matches_baseline(self):
+        db = example_8_14_database()
+        access = LexDirectAccess(
+            pq.EXAMPLE_8_14_QUERY, db, pq.EXAMPLE_8_14_ORDER, fds=pq.EXAMPLE_8_14_FDS
+        )
+        baseline = MaterializedBaseline(pq.EXAMPLE_8_14_QUERY, db, order=pq.EXAMPLE_8_14_ORDER)
+        assert list(access) == list(baseline.answers)
+
+    def test_example_8_14_inverted_access(self):
+        db = example_8_14_database()
+        access = LexDirectAccess(
+            pq.EXAMPLE_8_14_QUERY, db, pq.EXAMPLE_8_14_ORDER, fds=pq.EXAMPLE_8_14_FDS
+        )
+        for k in range(access.count):
+            assert access.inverted_access(access[k]) == k
+
+    def test_example_8_14_without_fd_is_refused(self):
+        with pytest.raises(IntractableQueryError):
+            LexDirectAccess(pq.EXAMPLE_8_14_QUERY, example_8_14_database(), pq.EXAMPLE_8_14_ORDER)
+
+    def test_two_path_xzy_with_key_fd(self):
+        # Example 1.1: ⟨x, z, y⟩ becomes tractable with R: x → y.
+        db = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 5), (6, 2), (7, 2)]),
+                Relation("S", ("y", "z"), [(5, 3), (5, 4), (2, 5), (2, 1)]),
+            ]
+        )
+        access = LexDirectAccess(
+            pq.TWO_PATH, db, pq.FIGURE2_LEX_XZY, fds=pq.EXAMPLE_1_1_FD_R_X_TO_Y
+        )
+        baseline = MaterializedBaseline(pq.TWO_PATH, db, order=pq.FIGURE2_LEX_XZY)
+        assert list(access) == list(baseline.answers)
+
+    def test_projected_head_with_fd_extension(self):
+        # Example 8.3: Q(x, z) with S: y → z — head answers are projections of
+        # the extension's answers, and the order over (x, z) is respected.
+        db = example_8_3_database()
+        order = LexOrder(("x", "z"))
+        access = LexDirectAccess(pq.EXAMPLE_8_3_QUERY, db, order, fds=pq.EXAMPLE_8_3_FDS)
+        baseline = MaterializedBaseline(pq.EXAMPLE_8_3_QUERY, db, order=order)
+        assert list(access) == list(baseline.answers)
+        for k in range(access.count):
+            assert access.inverted_access(access[k]) == k
+
+
+class TestSumAndSelectionWithFDs:
+    def test_sum_direct_access_with_fds(self):
+        db = example_8_3_database()
+        weights = Weights.identity()
+        access = SumDirectAccess(pq.EXAMPLE_8_3_QUERY, db, weights=weights, fds=pq.EXAMPLE_8_3_FDS)
+        baseline = MaterializedBaseline(pq.EXAMPLE_8_3_QUERY, db, weights=weights)
+        got_weights = [weights.answer_weight(("x", "z"), a) for a in access]
+        expected_weights = [weights.answer_weight(("x", "z"), a) for a in baseline.answers]
+        assert got_weights == expected_weights
+
+    def test_selection_lex_with_fds(self):
+        db = example_8_3_database()
+        order = LexOrder(("x", "z"))
+        baseline = MaterializedBaseline(pq.EXAMPLE_8_3_QUERY, db, order=order)
+        for k in range(baseline.count):
+            assert selection_lex(pq.EXAMPLE_8_3_QUERY, db, order, k, fds=pq.EXAMPLE_8_3_FDS) == baseline.access(k)
+
+    def test_selection_sum_with_fds(self):
+        db = example_8_3_database()
+        weights = Weights.identity()
+        baseline = MaterializedBaseline(pq.EXAMPLE_8_3_QUERY, db, weights=weights)
+        for k in range(baseline.count):
+            answer = selection_sum(pq.EXAMPLE_8_3_QUERY, db, k, weights=weights, fds=pq.EXAMPLE_8_3_FDS)
+            assert weights.answer_weight(("x", "z"), answer) == weights.answer_weight(
+                ("x", "z"), baseline.access(k)
+            )

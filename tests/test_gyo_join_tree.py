@@ -1,0 +1,124 @@
+"""Unit tests for GYO reduction, acyclicity, and join-tree construction."""
+
+import pytest
+
+from repro.exceptions import QueryStructureError
+from repro.hypergraph import Hypergraph, build_join_tree, build_join_tree_rooted_at, is_acyclic
+from repro.hypergraph.join_tree import JoinTree
+
+
+class TestAcyclicity:
+    def test_path_is_acyclic(self):
+        assert is_acyclic(Hypergraph(edges=[{"x", "y"}, {"y", "z"}]))
+
+    def test_triangle_is_cyclic(self):
+        triangle = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "x"}])
+        assert not is_acyclic(triangle)
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        covered = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "y", "z"}])
+        assert is_acyclic(covered)
+
+    def test_star_is_acyclic(self):
+        star = Hypergraph(edges=[{"c", "a"}, {"c", "b"}, {"c", "d"}])
+        assert is_acyclic(star)
+
+    def test_cartesian_product_is_acyclic(self):
+        assert is_acyclic(Hypergraph(edges=[{"x"}, {"y"}]))
+
+    def test_cycle_of_length_four_is_cyclic(self):
+        cycle = Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}])
+        assert not is_acyclic(cycle)
+
+    def test_empty_hypergraph_is_acyclic(self):
+        assert is_acyclic(Hypergraph())
+
+    def test_single_edge_is_acyclic(self):
+        assert is_acyclic(Hypergraph(edges=[{"x", "y", "z"}]))
+
+
+class TestJoinTree:
+    def test_join_tree_of_path(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+        tree = build_join_tree(h)
+        assert len(tree) == 2
+        assert tree.satisfies_running_intersection()
+        assert set(tree.nodes) == {frozenset({"x", "y"}), frozenset({"y", "z"})}
+
+    def test_join_tree_of_cyclic_raises(self):
+        triangle = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "x"}])
+        with pytest.raises(QueryStructureError):
+            build_join_tree(triangle)
+
+    def test_join_tree_covers_all_edges(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"c", "d"}, {"b", "e"}])
+        tree = build_join_tree(h)
+        assert tree.covers_edges(h.edges)
+        assert tree.satisfies_running_intersection()
+
+    def test_rerooting_preserves_running_intersection(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        tree = build_join_tree_rooted_at(h, frozenset({"c", "d"}))
+        assert tree.node(tree.root) == frozenset({"c", "d"})
+        assert tree.satisfies_running_intersection()
+        assert len(tree) == 3
+
+    def test_rerooting_at_unknown_node_raises(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        with pytest.raises(QueryStructureError):
+            build_join_tree_rooted_at(h, frozenset({"a", "c"}))
+
+
+class TestJoinTreeStructure:
+    def build_manual_tree(self):
+        tree = JoinTree()
+        root = tree.add_node({"a", "b"})
+        child = tree.add_node({"b", "c"}, parent=root)
+        tree.add_node({"c", "d"}, parent=child)
+        tree.add_node({"b", "e"}, parent=child)
+        return tree
+
+    def test_preorder_starts_at_root(self):
+        tree = self.build_manual_tree()
+        order = list(tree.preorder())
+        assert order[0] == tree.root
+        assert len(order) == 4
+
+    def test_postorder_ends_at_root(self):
+        tree = self.build_manual_tree()
+        order = list(tree.postorder())
+        assert order[-1] == tree.root
+
+    def test_path_between(self):
+        tree = self.build_manual_tree()
+        path = tree.path_between(2, 3)
+        assert path[0] == 2 and path[-1] == 3
+        assert 1 in path  # goes through {b, c}
+
+    def test_running_intersection_violation_detected(self):
+        tree = JoinTree()
+        root = tree.add_node({"a", "b"})
+        middle = tree.add_node({"b", "c"}, parent=root)
+        tree.add_node({"a", "d"}, parent=middle)  # `a` skips the middle node
+        assert not tree.satisfies_running_intersection()
+
+    def test_subtree_vertices(self):
+        tree = self.build_manual_tree()
+        assert tree.subtree_vertices(1) == frozenset({"b", "c", "d", "e"})
+
+    def test_find_node_containing(self):
+        tree = self.build_manual_tree()
+        assert tree.find_node_containing({"c", "d"}) == 2
+        assert tree.find_node_containing({"a", "e"}) is None
+
+    def test_second_root_rejected(self):
+        tree = JoinTree()
+        tree.add_node({"a"})
+        with pytest.raises(QueryStructureError):
+            tree.add_node({"b"})  # missing parent
+
+    def test_unknown_parent_rejected(self):
+        tree = JoinTree()
+        tree.add_node({"a"})
+        with pytest.raises(QueryStructureError):
+            tree.add_node({"b"}, parent=7)

@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.hypergraph.hypergraph`."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def path_hypergraph():
+    # The 2-path query hypergraph: edges {x,y} and {y,z}.
+    return Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+
+
+class TestBasics:
+    def test_vertices_collected_from_edges(self, path_hypergraph):
+        assert path_hypergraph.vertices == frozenset({"x", "y", "z"})
+
+    def test_isolated_vertices_kept(self):
+        h = Hypergraph(vertices=["a"], edges=[{"b", "c"}])
+        assert "a" in h.vertices
+
+    def test_duplicate_edges_removed(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "x"}])
+        assert len(h.edges) == 1
+
+    def test_empty_edge_allowed(self):
+        h = Hypergraph(edges=[set()])
+        assert frozenset() in h.edges
+
+    def test_equality_ignores_edge_order(self):
+        a = Hypergraph(edges=[{"x"}, {"y"}])
+        b = Hypergraph(edges=[{"y"}, {"x"}])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestNeighbors:
+    def test_neighbors_of_middle_vertex(self, path_hypergraph):
+        assert path_hypergraph.neighbors("y") == frozenset({"x", "z"})
+
+    def test_endpoints_are_not_neighbors(self, path_hypergraph):
+        assert not path_hypergraph.are_neighbors("x", "z")
+
+    def test_vertex_not_neighbor_of_itself(self, path_hypergraph):
+        assert not path_hypergraph.are_neighbors("y", "y")
+
+    def test_edges_containing(self, path_hypergraph):
+        assert path_hypergraph.edges_containing("x") == frozenset({frozenset({"x", "y"})})
+
+    def test_unknown_vertex_has_no_edges(self, path_hypergraph):
+        assert path_hypergraph.edges_containing("nope") == frozenset()
+
+
+class TestDerived:
+    def test_restrict_intersects_edges(self, path_hypergraph):
+        restricted = path_hypergraph.restrict({"x", "z"})
+        assert set(restricted.edges) == {frozenset({"x"}), frozenset({"z"})}
+
+    def test_with_edge_adds_edge(self, path_hypergraph):
+        extended = path_hypergraph.with_edge({"x", "z"})
+        assert frozenset({"x", "z"}) in extended.edges
+
+    def test_without_vertex(self, path_hypergraph):
+        reduced = path_hypergraph.without_vertex("y")
+        assert "y" not in reduced.vertices
+        assert all("y" not in e for e in reduced.edges)
+
+
+class TestMaximalEdges:
+    def test_contained_edge_not_maximal(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"x"}])
+        assert h.maximal_edges() == (frozenset({"x", "y"}),)
+        assert h.mh() == 1
+
+    def test_example_7_2_mh(self):
+        # Q(x,z,w) :- R(x,y), S(y,z), T(z,w), U(x): mh = 3.
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "w"}, {"x"}])
+        assert h.mh() == 3
+
+    def test_example_7_2_fmh(self):
+        # Restricted to the free variables {x, z, w}: fmh = 2.
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "w"}, {"x"}])
+        assert h.restrict({"x", "z", "w"}).mh() == 2
+
+    def test_inclusion_equivalence(self):
+        a = Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+        b = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z"}])
+        assert a.is_inclusion_equivalent(b)
+        assert b.is_inclusion_equivalent(a)
+
+    def test_inclusion_equivalence_fails_on_new_variable(self):
+        a = Hypergraph(edges=[{"x", "y"}])
+        b = Hypergraph(edges=[{"x", "y"}, {"z"}])
+        assert not a.is_inclusion_equivalent(b)
+
+    def test_inclusive_extension(self):
+        base = Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+        ext = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"y"}])
+        assert ext.inclusive_extension_of(base)
+        assert not base.inclusive_extension_of(ext)
+
+
+class TestIndependence:
+    def test_path_independent_set(self, path_hypergraph):
+        assert path_hypergraph.is_independent_set({"x", "z"})
+        assert not path_hypergraph.is_independent_set({"x", "y"})
+
+    def test_max_independent_subset_of_path(self, path_hypergraph):
+        assert path_hypergraph.max_independent_subset() == frozenset({"x", "z"})
+
+    def test_independence_number_of_three_path(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "u"}])
+        assert h.independence_number() == 2
+        assert h.independence_number({"x", "y", "z"}) == 2
+
+    def test_independence_restricted_to_candidates(self, path_hypergraph):
+        assert path_hypergraph.independence_number({"y"}) == 1
+
+    def test_single_edge_independence_is_one(self):
+        h = Hypergraph(edges=[{"a", "b", "c"}])
+        assert h.independence_number() == 1
+
+    def test_nonadjacent_pairs(self, path_hypergraph):
+        assert path_hypergraph.all_vertex_pairs_nonadjacent() == (("x", "z"),)

@@ -1,0 +1,104 @@
+"""Tests for layered join trees (Definition 3.4, Lemma 3.9, Figure 3)."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, LexOrder
+from repro.core.layered_tree import build_layered_join_tree
+from repro.core.reduction import eliminate_projections
+from repro.exceptions import QueryStructureError
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for
+
+
+class TestFigure3:
+    """The worked example of Figure 3: Q3 with order ⟨v1, v2, v3, v4⟩."""
+
+    def setup_method(self):
+        self.tree = build_layered_join_tree(pq.Q3, pq.Q3_ORDER)
+
+    def test_four_layers(self):
+        assert len(self.tree) == 4
+
+    def test_layer_nodes_match_figure(self):
+        nodes = {layer.index: set(layer.node_variables) for layer in self.tree.layers}
+        assert nodes[1] == {"v1"}
+        assert nodes[2] == {"v2"}
+        assert nodes[3] == {"v1", "v3"}
+        assert nodes[4] == {"v2", "v4"}
+
+    def test_parents_match_figure(self):
+        parents = {layer.index: layer.parent for layer in self.tree.layers}
+        assert parents[1] is None
+        assert parents[2] == 1      # {v2} hangs under the root
+        assert parents[3] == 1      # {v1, v3} under {v1}
+        assert parents[4] == 2      # {v2, v4} under {v2}
+
+    def test_tree_is_valid_layered_join_tree(self):
+        assert self.tree.is_valid()
+
+    def test_prefix_of_layers_remains_a_tree(self):
+        # Definition 3.4 condition (3): removing the last layers leaves a tree.
+        for j in range(1, 5):
+            kept = [layer for layer in self.tree.layers if layer.index <= j]
+            for layer in kept:
+                assert layer.parent is None or layer.parent <= j
+
+
+class TestConstruction:
+    def test_disruptive_trio_rejected(self):
+        with pytest.raises(QueryStructureError) as excinfo:
+            build_layered_join_tree(pq.TWO_PATH, LexOrder(("x", "z", "y")))
+        assert "disruptive trio" in str(excinfo.value)
+
+    def test_partial_order_rejected(self):
+        with pytest.raises(QueryStructureError):
+            build_layered_join_tree(pq.TWO_PATH, LexOrder(("x", "y")))
+
+    def test_non_full_query_rejected(self):
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))])
+        with pytest.raises(QueryStructureError):
+            build_layered_join_tree(q, LexOrder(("x",)))
+
+    @pytest.mark.parametrize(
+        "query,order",
+        [
+            (pq.TWO_PATH, LexOrder(("x", "y", "z"))),
+            (pq.TWO_PATH, LexOrder(("z", "y", "x"))),
+            (pq.TWO_PATH, LexOrder(("y", "x", "z"))),
+            (pq.Q4, pq.Q4_ORDER),
+            (pq.Q6, pq.Q6_ORDER),
+        ],
+    )
+    def test_trees_are_valid_for_trio_free_orders(self, query, order):
+        tree = build_layered_join_tree(query, order)
+        assert tree.is_valid()
+        assert tree.as_join_tree().satisfies_running_intersection()
+
+    def test_q5_requires_projection_elimination_first(self):
+        # Q5 is full, so it can be layered directly.
+        tree = build_layered_join_tree(pq.Q5, pq.Q5_ORDER)
+        assert tree.is_valid()
+
+    def test_layer_variables_follow_order(self):
+        tree = build_layered_join_tree(pq.Q6, pq.Q6_ORDER)
+        assert [layer.variable for layer in tree.layers] == list(pq.Q6_ORDER.variables)
+
+    def test_source_atom_contains_node(self):
+        tree = build_layered_join_tree(pq.Q6, pq.Q6_ORDER)
+        for layer in tree.layers:
+            assert layer.node_variables <= layer.source_atom.variable_set
+
+    def test_children_inverse_of_parent(self):
+        tree = build_layered_join_tree(pq.Q3, pq.Q3_ORDER)
+        for layer in tree.layers:
+            for child in tree.children(layer.index):
+                assert tree.layer(child).parent == layer.index
+
+    def test_visits_cases_good_order_after_reduction(self):
+        db = random_database_for(pq.VISITS_CASES, 10, 4, seed=7)
+        reduction = eliminate_projections(pq.VISITS_CASES, db)
+        from repro.core.partial_order import require_complete_order
+
+        complete = require_complete_order(reduction.query, pq.VISITS_CASES_GOOD_ORDER)
+        tree = build_layered_join_tree(reduction.query, complete)
+        assert tree.is_valid()

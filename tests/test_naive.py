@@ -1,0 +1,74 @@
+"""Unit tests for the naive oracle evaluator."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, Database, Relation
+from repro.engine.naive import count_naive, evaluate_naive
+from repro.exceptions import SchemaError
+
+
+DB = Database(
+    [
+        Relation("R", ("a", "b"), [(1, 2), (2, 3), (3, 3)]),
+        Relation("S", ("a", "b"), [(2, 5), (3, 5)]),
+    ]
+)
+
+
+class TestNaiveEvaluation:
+    def test_simple_join(self):
+        query = ConjunctiveQuery(("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert evaluate_naive(query, DB) == [(1, 2, 5), (2, 3, 5), (3, 3, 5)]
+
+    def test_projection_deduplicates(self):
+        query = ConjunctiveQuery(("z",), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert evaluate_naive(query, DB) == [(5,)]
+
+    def test_boolean_query_satisfied(self):
+        query = ConjunctiveQuery((), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert evaluate_naive(query, DB) == [()]
+
+    def test_boolean_query_unsatisfied(self):
+        query = ConjunctiveQuery((), [Atom("R", ("x", "x"))])
+        db = Database([Relation("R", ("a", "b"), [(1, 2)])])
+        assert evaluate_naive(query, db) == []
+
+    def test_repeated_variable_in_atom_filters(self):
+        query = ConjunctiveQuery(("x",), [Atom("R", ("x", "x"))])
+        db = Database([Relation("R", ("a", "b"), [(1, 1), (1, 2), (3, 3)])])
+        assert evaluate_naive(query, db) == [(1,), (3,)]
+
+    def test_self_join(self):
+        query = ConjunctiveQuery(
+            ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("R", ("y", "z"))]
+        )
+        db = Database([Relation("R", ("a", "b"), [(1, 2), (2, 3)])])
+        assert evaluate_naive(query, db) == [(1, 2, 3)]
+
+    def test_cyclic_query(self):
+        triangle = ConjunctiveQuery(
+            ("x", "y", "z"),
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "x"))],
+        )
+        db = Database(
+            [
+                Relation("R", ("a", "b"), [(1, 2), (2, 3)]),
+                Relation("S", ("a", "b"), [(2, 3), (3, 1)]),
+                Relation("T", ("a", "b"), [(3, 1), (1, 2)]),
+            ]
+        )
+        assert evaluate_naive(triangle, db) == [(1, 2, 3), (2, 3, 1)]
+
+    def test_cartesian_product(self):
+        query = ConjunctiveQuery(("x", "y"), [Atom("A", ("x",)), Atom("B", ("y",))])
+        db = Database([Relation("A", ("v",), [(1,), (2,)]), Relation("B", ("v",), [(5,)])])
+        assert evaluate_naive(query, db) == [(1, 5), (2, 5)]
+
+    def test_arity_mismatch_raises(self):
+        query = ConjunctiveQuery(("x",), [Atom("R", ("x",))])
+        with pytest.raises(SchemaError):
+            evaluate_naive(query, DB)
+
+    def test_count(self):
+        query = ConjunctiveQuery(("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert count_naive(query, DB) == 3

@@ -1,0 +1,72 @@
+"""Unit tests for the relational operators."""
+
+import pytest
+
+from repro.engine import Relation, group_counts, hash_join, semijoin
+from repro.engine.operators import cross_product
+
+
+R = Relation("R", ("x", "y"), [(1, "a"), (2, "a"), (3, "b")])
+S = Relation("S", ("y", "z"), [("a", 10), ("a", 20), ("c", 30)])
+
+
+class TestHashJoin:
+    def test_natural_join_on_shared_attribute(self):
+        joined = hash_join(R, S)
+        assert joined.attributes == ("x", "y", "z")
+        assert sorted(joined.rows) == [(1, "a", 10), (1, "a", 20), (2, "a", 10), (2, "a", 20)]
+
+    def test_join_without_shared_attributes_is_product(self):
+        a = Relation("A", ("x",), [(1,), (2,)])
+        b = Relation("B", ("y",), [(3,)])
+        joined = hash_join(a, b)
+        assert sorted(joined.rows) == [(1, 3), (2, 3)]
+
+    def test_join_with_empty_side_is_empty(self):
+        empty = Relation("E", ("y", "z"), [])
+        assert len(hash_join(R, empty)) == 0
+
+    def test_join_preserves_duplicates(self):
+        left = Relation("L", ("x",), [(1,), (1,)])
+        right = Relation("R2", ("x",), [(1,)])
+        assert len(hash_join(left, right)) == 2
+
+    def test_join_on_all_attributes(self):
+        other = Relation("R2", ("x", "y"), [(1, "a"), (9, "z")])
+        joined = hash_join(R, other)
+        assert joined.rows == ((1, "a"),)
+
+
+class TestSemijoin:
+    def test_keeps_matching_rows(self):
+        reduced = semijoin(R, S)
+        assert sorted(reduced.rows) == [(1, "a"), (2, "a")]
+
+    def test_disjoint_schemas_depend_on_nonemptiness(self):
+        other = Relation("T", ("w",), [(1,)])
+        assert len(semijoin(R, other)) == len(R)
+        assert len(semijoin(R, Relation("T", ("w",), []))) == 0
+
+    def test_semijoin_keeps_schema(self):
+        assert semijoin(R, S).attributes == R.attributes
+
+
+class TestGroupCounts:
+    def test_counts_per_group(self):
+        counts = group_counts(R, ("y",))
+        assert counts == {("a",): 2, ("b",): 1}
+
+    def test_counts_on_empty_group_key(self):
+        counts = group_counts(R, ())
+        assert counts == {(): 3}
+
+
+class TestCrossProduct:
+    def test_product_size(self):
+        a = Relation("A", ("x",), [(1,), (2,)])
+        b = Relation("B", ("y",), [(3,), (4,)])
+        assert len(cross_product(a, b)) == 4
+
+    def test_overlapping_schema_rejected(self):
+        with pytest.raises(ValueError):
+            cross_product(R, Relation("B", ("y",), [("a",)]))

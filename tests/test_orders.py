@@ -1,0 +1,100 @@
+"""Unit tests for lexicographic orders and weight functions."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, LexOrder, Weights
+from repro.core.orders import SumOrder
+from repro.exceptions import QueryStructureError, WeightError
+
+
+TWO_PATH = ConjunctiveQuery(("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+
+
+class TestLexOrder:
+    def test_basic_accessors(self):
+        order = LexOrder(("x", "z", "y"))
+        assert list(order) == ["x", "z", "y"]
+        assert order.position("z") == 1
+        assert "y" in order and "w" not in order
+        assert len(order) == 3
+
+    def test_repeated_variables_rejected(self):
+        with pytest.raises(QueryStructureError):
+            LexOrder(("x", "x"))
+
+    def test_descending_must_be_subset(self):
+        with pytest.raises(QueryStructureError):
+            LexOrder(("x",), descending=("y",))
+
+    def test_partial_detection(self):
+        assert LexOrder(("x", "z")).is_partial_for(TWO_PATH)
+        assert not LexOrder(("x", "y", "z")).is_partial_for(TWO_PATH)
+
+    def test_validate_for_rejects_non_free_variables(self):
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))])
+        with pytest.raises(QueryStructureError):
+            LexOrder(("y",)).validate_for(q)
+
+    def test_prefix_and_extended(self):
+        order = LexOrder(("x", "z", "y"))
+        assert order.prefix(2).variables == ("x", "z")
+        assert order.extended(["y", "w"]).variables == ("x", "z", "y", "w")
+
+    def test_sort_key_orders_tuples(self):
+        order = LexOrder(("z", "x"))
+        key = order.sort_key(("x", "y", "z"))
+        answers = [(1, 0, 9), (2, 0, 3), (0, 0, 3)]
+        assert sorted(answers, key=key) == [(0, 0, 3), (2, 0, 3), (1, 0, 9)]
+
+    def test_sort_key_descending_numeric(self):
+        order = LexOrder(("x",), descending=("x",))
+        key = order.sort_key(("x",))
+        assert sorted([(1,), (3,), (2,)], key=key) == [(3,), (2,), (1,)]
+
+    def test_sort_key_descending_non_numeric_raises(self):
+        order = LexOrder(("x",), descending=("x",))
+        key = order.sort_key(("x",))
+        with pytest.raises(WeightError):
+            key(("a",))
+
+    def test_str(self):
+        assert str(LexOrder(("x", "y"), descending=("y",))) == "⟨x, y↓⟩"
+
+
+class TestWeights:
+    def test_explicit_weights(self):
+        weights = Weights({"x": {1: 5.0, 2: 7.0}})
+        assert weights.weight("x", 1) == 5.0
+        assert weights.weight("x", 3) == 0.0  # default
+
+    def test_identity_weights(self):
+        weights = Weights.identity()
+        assert weights.weight("anything", 4) == 4
+        with pytest.raises(WeightError):
+            weights.weight("anything", "not numeric")
+
+    def test_identity_for_selected_variables(self):
+        weights = Weights.identity(["x"])
+        assert weights.weight("x", 3) == 3
+        assert weights.weight("y", "text") == 0.0
+
+    def test_missing_weight_without_default_raises(self):
+        weights = Weights({"x": {1: 5.0}}, default=None)
+        with pytest.raises(WeightError):
+            weights.weight("x", 2)
+
+    def test_answer_weight_sums_free_variables(self):
+        weights = Weights({"x": {1: 5.0}, "y": {2: 7.0}})
+        assert weights.answer_weight(("x", "y"), (1, 2)) == 12.0
+
+    def test_tuple_weight_charges_only_selected_variables(self):
+        weights = Weights.identity()
+        assert weights.tuple_weight(("x", "y"), (3, 4), charged={"x"}) == 3
+
+    def test_set_weight_chains(self):
+        weights = Weights().set_weight("x", "a", 2.0).set_weight("x", "b", 3.0)
+        assert weights.weight("x", "b") == 3.0
+
+    def test_sum_order_wrapper(self):
+        order = SumOrder(Weights.identity())
+        assert order.answer_weight(("x", "y"), (1, 2)) == 3

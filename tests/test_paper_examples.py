@@ -1,0 +1,176 @@
+"""Integration tests that walk through every worked example of the paper.
+
+These tests are the "paper fidelity" layer: each one cites the example or
+figure it reproduces and asserts the exact outcome the paper states.
+"""
+
+import pytest
+
+from repro import (
+    IntractableQueryError,
+    LexDirectAccess,
+    LexOrder,
+    MaterializedBaseline,
+    Weights,
+    classify_direct_access_lex,
+    classify_direct_access_sum,
+    classify_selection_lex,
+    classify_selection_sum,
+    selection_lex,
+    selection_sum,
+)
+from repro.core.layered_tree import build_layered_join_tree
+from repro.workloads import paper_queries as pq
+from tests.helpers import answer_weights_multiset, random_database_for
+
+
+class TestExample11CaseTable:
+    """The eleven bullet points of Example 1.1."""
+
+    def test_lex_xyz_direct_access_tractable(self):
+        assert classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "y", "z"))).tractable
+
+    def test_lex_xzy_direct_access_intractable_but_selection_tractable(self):
+        assert classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z", "y"))).intractable
+        assert classify_selection_lex(pq.TWO_PATH, LexOrder(("x", "z", "y"))).tractable
+
+    def test_lex_xz_partial_direct_access_intractable_but_selection_tractable(self):
+        assert classify_direct_access_lex(pq.TWO_PATH, LexOrder(("x", "z"))).intractable
+        assert classify_selection_lex(pq.TWO_PATH, LexOrder(("x", "z"))).tractable
+
+    def test_lex_xz_with_projection_selection_intractable(self):
+        assert classify_selection_lex(pq.TWO_PATH_ENDPOINTS, LexOrder(("x", "z"))).intractable
+
+    def test_fd_cases(self):
+        order = LexOrder(("x", "z", "y"))
+        assert classify_direct_access_lex(pq.TWO_PATH, order, fds=pq.EXAMPLE_1_1_FD_R_Y_TO_X).tractable
+        assert classify_direct_access_lex(pq.TWO_PATH, order, fds=pq.EXAMPLE_1_1_FD_S_Y_TO_Z).tractable
+        assert classify_direct_access_lex(pq.TWO_PATH, order, fds=pq.EXAMPLE_1_1_FD_R_X_TO_Y).tractable
+        assert classify_direct_access_lex(pq.TWO_PATH, order, fds=pq.EXAMPLE_1_1_FD_S_Z_TO_Y).intractable
+
+    def test_sum_xyz_direct_access_intractable_selection_tractable(self):
+        assert classify_direct_access_sum(pq.TWO_PATH).intractable
+        assert classify_selection_sum(pq.TWO_PATH).tractable
+
+    def test_sum_with_projection_cases(self):
+        from repro import Atom, ConjunctiveQuery
+
+        q_xy = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert classify_direct_access_sum(q_xy).tractable
+        assert classify_selection_sum(pq.TWO_PATH_ENDPOINTS).intractable
+
+
+class TestFigure2:
+    """Figure 2: the three orderings of the example database's answers."""
+
+    def test_lex_xyz_ordering(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        assert list(access) == pq.FIGURE2_EXPECTED_XYZ
+
+    def test_lex_xzy_ordering_via_selection(self):
+        got = [
+            selection_lex(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XZY, k)
+            for k in range(5)
+        ]
+        assert got == pq.FIGURE2_EXPECTED_XZY
+
+    def test_sum_ordering_weights(self):
+        weights = Weights.identity()
+        expected = [8, 9, 10, 12, 13]
+        assert answer_weights_multiset(pq.TWO_PATH, pq.FIGURE2_DATABASE, weights) == expected
+        got = [
+            weights.answer_weight(("x", "y", "z"), selection_sum(pq.TWO_PATH, pq.FIGURE2_DATABASE, k))
+            for k in range(5)
+        ]
+        assert got == expected
+
+    def test_median_is_third_answer(self):
+        # Example 1.1 asks for the median (3rd answer, index 2).
+        assert selection_lex(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ, 2) == (1, 5, 4)
+
+
+class TestSection25PriorWork:
+    """Section 2.5: queries unsupported by earlier structures but covered here."""
+
+    @pytest.mark.parametrize(
+        "query,order",
+        [(pq.Q3, pq.Q3_ORDER), (pq.Q4, pq.Q4_ORDER), (pq.Q5, pq.Q5_ORDER), (pq.Q6, pq.Q6_ORDER)],
+    )
+    def test_direct_access_runs_and_matches_baseline(self, query, order):
+        db = random_database_for(query, 12, 3, seed=len(query.name))
+        access = LexDirectAccess(query, db, order)
+        baseline = MaterializedBaseline(query, db, order=order)
+        assert list(access) == list(baseline.answers)
+
+    def test_q1_q2_hierarchical_examples_are_free_connex(self):
+        from repro.core.structure import is_free_connex
+
+        assert is_free_connex(pq.Q1_HIERARCHICAL)
+        assert is_free_connex(pq.Q2_HIERARCHICAL)
+
+
+class TestFigure3Through5:
+    """The worked example of Section 3.1."""
+
+    def test_figure3_layered_tree(self):
+        tree = build_layered_join_tree(pq.Q3, pq.Q3_ORDER)
+        assert [set(layer.node_variables) for layer in tree.layers] == [
+            {"v1"},
+            {"v2"},
+            {"v1", "v3"},
+            {"v2", "v4"},
+        ]
+
+    def test_example_3_7_access(self):
+        access = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, pq.Q3_ORDER)
+        assert access[12] == ("a2", "b1", "c3", "d2")
+
+    def test_example_3_5_inclusion_equivalent_hypergraph(self):
+        tree = build_layered_join_tree(pq.Q3, pq.Q3_ORDER)
+        join_tree = tree.as_join_tree()
+        assert join_tree.is_join_tree_of_inclusion_equivalent(
+            [atom.variable_set for atom in pq.Q3.atoms]
+        )
+
+
+class TestIntroductionVisitsCases:
+    """The epidemiological example of the introduction."""
+
+    def test_bad_order_is_refused_without_fd(self):
+        db = random_database_for(pq.VISITS_CASES, 10, 3, seed=1)
+        with pytest.raises(IntractableQueryError):
+            LexDirectAccess(pq.VISITS_CASES, db, pq.VISITS_CASES_BAD_ORDER)
+
+    def test_good_order_runs(self):
+        from repro.workloads.generators import generate_visits_cases_database
+
+        db = generate_visits_cases_database(12, 4, 8, seed=2)
+        access = LexDirectAccess(pq.VISITS_CASES, db, pq.VISITS_CASES_GOOD_ORDER)
+        baseline = MaterializedBaseline(pq.VISITS_CASES, db, order=pq.VISITS_CASES_GOOD_ORDER)
+        assert list(access) == list(baseline.answers)
+
+    def test_bad_order_with_city_key_fd_runs(self):
+        from repro.workloads.generators import generate_visits_cases_database
+
+        db = generate_visits_cases_database(12, 4, 8, seed=3, single_report_per_city=True)
+        access = LexDirectAccess(
+            pq.VISITS_CASES, db, pq.VISITS_CASES_BAD_ORDER, fds=pq.VISITS_CASES_CITY_KEY
+        )
+        baseline = MaterializedBaseline(pq.VISITS_CASES, db, order=pq.VISITS_CASES_BAD_ORDER)
+        assert list(access) == list(baseline.answers)
+
+    def test_product_query_all_lex_tractable_sum_not(self):
+        order = LexOrder(("c1", "d", "x", "p", "a", "c2"))
+        assert classify_direct_access_lex(pq.VISITS_CASES_PRODUCT, order).tractable
+        assert classify_direct_access_sum(pq.VISITS_CASES_PRODUCT).intractable
+
+
+class TestExample62:
+    def test_selection_tractable_even_with_trio_or_without_l_connexity(self):
+        db = random_database_for(pq.EXAMPLE_3_1, 15, 4, seed=4)
+        # ⟨v1, v2, v3⟩ has a disruptive trio; ⟨v1, v2⟩ is not L-connex.
+        for order in (LexOrder(("v1", "v2", "v3")), LexOrder(("v1", "v2"))):
+            classification = classify_selection_lex(pq.EXAMPLE_3_1, order)
+            assert classification.tractable
+            answer = selection_lex(pq.EXAMPLE_3_1, db, order, 0)
+            assert len(answer) == 3

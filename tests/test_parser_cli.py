@@ -1,0 +1,106 @@
+"""Tests for the query/order/FD text parser and the command-line interface."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.parser import parse_fds, parse_order, parse_query
+from repro.exceptions import FunctionalDependencyError, QueryStructureError
+from repro.workloads import paper_queries as pq
+
+
+class TestParseQuery:
+    def test_two_path(self):
+        query = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        assert query.head == ("x", "y", "z")
+        assert [a.relation for a in query.atoms] == ["R", "S"]
+        assert query == pq.TWO_PATH
+
+    def test_boolean_query(self):
+        query = parse_query("Q() :- R(x, y)")
+        assert query.is_boolean
+
+    def test_projection(self):
+        query = parse_query("Answer(x, z) :- R(x, y), S(y, z)")
+        assert query.name == "Answer"
+        assert query.existential_variables == frozenset({"y"})
+
+    def test_unary_atoms_and_whitespace(self):
+        query = parse_query("  Q( x )  :-  R( x ) ,S(x,  y)  ")
+        assert query.head == ("x",)
+        assert query.atoms[0].variables == ("x",)
+
+    def test_explicit_name_overrides(self):
+        assert parse_query("Q(x) :- R(x)", name="Renamed").name == "Renamed"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Q(x) R(x)",                 # missing :-
+            "Q(x :- R(x)",               # malformed head
+            "Q(x) :- ",                  # empty body
+            "Q(x) :- R(x) S(x)",         # missing comma
+            "Q(x) :- R(x,)",             # dangling comma variable
+            "Q(1x) :- R(1x)",            # invalid identifier
+        ],
+    )
+    def test_malformed_queries_rejected(self, bad):
+        with pytest.raises(QueryStructureError):
+            parse_query(bad)
+
+    def test_head_variable_missing_from_body_rejected(self):
+        with pytest.raises(QueryStructureError):
+            parse_query("Q(w) :- R(x, y)")
+
+
+class TestParseOrder:
+    def test_simple_order(self):
+        order = parse_order("x, z, y")
+        assert order.variables == ("x", "z", "y")
+        assert not order.descending
+
+    def test_descending_markers(self):
+        order = parse_order("cases desc, city, age descending")
+        assert order.variables == ("cases", "city", "age")
+        assert set(order.descending) == {"cases", "age"}
+
+    def test_empty_order(self):
+        assert len(parse_order("")) == 0
+
+    @pytest.mark.parametrize("bad", ["x y z", "x, 1y", "x,, y", "x desc asc"])
+    def test_malformed_orders_rejected(self, bad):
+        with pytest.raises(QueryStructureError):
+            parse_order(bad)
+
+
+class TestParseFDs:
+    def test_arrow_styles(self):
+        fds = parse_fds(["R: x -> y", "S: y → z"])
+        assert len(fds) == 2
+
+    def test_malformed_fd_rejected(self):
+        with pytest.raises(FunctionalDependencyError):
+            parse_fds(["R x -> y"])
+
+
+class TestCLI:
+    def test_tractable_combination_exits_zero(self, capsys):
+        code = cli_main(["Q(x, y) :- R(x, y, z)", "--order", "x, y"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "tractable" in output and "Theorem" in output
+
+    def test_intractable_combination_exits_one(self, capsys):
+        code = cli_main(["Q(x, y, z) :- R(x, y), S(y, z)", "--order", "x, z, y", "--explain"])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "disruptive trio" in output
+        assert "sparseBMM" in output
+
+    def test_fd_flag_changes_verdict(self, capsys):
+        without = cli_main(["Q(x, z) :- R(x, y), S(y, z)"])
+        with_fd = cli_main(["Q(x, z) :- R(x, y), S(y, z)", "--fd", "S: y -> z"])
+        assert without == 1 and with_fd == 0
+
+    def test_order_echoed_in_output(self, capsys):
+        cli_main(["Q(x, y, z) :- R(x, y), S(y, z)", "--order", "x, y, z"])
+        assert "⟨x, y, z⟩" in capsys.readouterr().out

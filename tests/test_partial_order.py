@@ -1,0 +1,71 @@
+"""Tests for partial-order completion (Lemma 4.4)."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, LexOrder
+from repro.core.partial_order import complete_order, require_complete_order
+from repro.core.structure import has_disruptive_trio
+from repro.exceptions import QueryStructureError
+from repro.workloads import paper_queries as pq
+
+
+class TestCompleteOrder:
+    def test_completion_starts_with_prefix(self):
+        completed = complete_order(pq.TWO_PATH, LexOrder(("z", "y")))
+        assert completed is not None
+        assert completed.variables[:2] == ("z", "y")
+        assert set(completed.variables) == {"x", "y", "z"}
+
+    def test_completion_has_no_disruptive_trio(self):
+        for prefix in [("x",), ("y",), ("z", "y"), ("x", "y")]:
+            completed = complete_order(pq.TWO_PATH, LexOrder(prefix))
+            assert completed is not None
+            assert not has_disruptive_trio(pq.TWO_PATH, completed)
+
+    def test_prefix_with_trio_cannot_complete(self):
+        assert complete_order(pq.TWO_PATH, LexOrder(("x", "z", "y"))) is None
+
+    def test_empty_prefix_always_completable_for_acyclic_full(self):
+        completed = complete_order(pq.Q5, LexOrder(()))
+        assert completed is not None
+        assert not has_disruptive_trio(pq.Q5, completed)
+
+    def test_non_l_connex_prefix_may_still_complete(self):
+        # ⟨x, z⟩ on the 2-path has no trio among its own variables and can be
+        # completed (x, z, then y creates a trio — so the only valid completion
+        # would have to avoid it; none exists). Lemma 4.4 only applies under
+        # L-connexity, and indeed no trio-free completion starts with (x, z).
+        assert complete_order(pq.TWO_PATH, LexOrder(("x", "z"))) is None
+
+    def test_full_order_returned_unchanged(self):
+        order = LexOrder(("x", "y", "z"))
+        assert complete_order(pq.TWO_PATH, order).variables == order.variables
+
+    def test_visits_cases_good_partial_order(self):
+        completed = complete_order(pq.VISITS_CASES, LexOrder(("cases", "city")))
+        assert completed is not None
+        assert not has_disruptive_trio(pq.VISITS_CASES, completed)
+
+    def test_descending_flags_preserved(self):
+        completed = complete_order(pq.TWO_PATH, LexOrder(("z",), descending=("z",)))
+        assert completed.is_descending("z")
+
+    def test_require_complete_order_raises_with_witness(self):
+        with pytest.raises(QueryStructureError):
+            require_complete_order(pq.TWO_PATH, LexOrder(("x", "z", "y")))
+
+    def test_star_query_backtracking(self):
+        q = ConjunctiveQuery(
+            ("c", "x1", "x2", "x3"),
+            [Atom("R1", ("c", "x1")), Atom("R2", ("c", "x2")), Atom("R3", ("c", "x3"))],
+            name="Qstar",
+        )
+        # Leaves of a star are pairwise non-neighbours, so the centre must come
+        # before the second leaf in any trio-free completion.
+        completed = complete_order(q, LexOrder(("x1",)))
+        assert completed is not None
+        assert not has_disruptive_trio(q, completed)
+        position_c = completed.variables.index("c")
+        later_leaves = [v for v in completed.variables[position_c + 1 :] if v != "c"]
+        earlier_leaves = [v for v in completed.variables[:position_c]]
+        assert len(earlier_leaves) <= 1

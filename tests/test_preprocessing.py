@@ -1,0 +1,105 @@
+"""Tests for the preprocessing phase (Section 3.1, Figure 4)."""
+
+from repro.core.layered_tree import build_layered_join_tree
+from repro.core.preprocessing import preprocess
+from repro.core.reduction import eliminate_projections
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for
+from repro.engine.naive import count_naive
+
+
+def build_figure4_instance():
+    reduction = eliminate_projections(pq.Q3, pq.FIGURE4_DATABASE)
+    # The reduced atoms are projections; the full query equals Q3 itself here
+    # (both atoms are already over free variables), so the layered tree mirrors
+    # Figure 3.
+    tree = build_layered_join_tree(reduction.query, pq.Q3_ORDER)
+    return preprocess(tree, reduction.database)
+
+
+class TestFigure4Counts:
+    """The exact weights and start indices shown in Figure 4."""
+
+    def setup_method(self):
+        self.instance = build_figure4_instance()
+
+    def test_total_count(self):
+        assert self.instance.count == 16
+
+    def test_root_layer_weights(self):
+        # R' (layer 1, values a1/a2) both have weight 8 and starts 0/8.
+        layer = self.instance.layer(1)
+        bucket = layer.bucket(())
+        values = [row[layer.value_position] for row in bucket.tuples]
+        assert values == ["a1", "a2"]
+        assert bucket.weights == [8, 8]
+        assert bucket.starts == [0, 8]
+        assert bucket.total == 16
+
+    def test_layer2_weights(self):
+        # S' (layer 2, values b1/b2) have weights 3 and 1.
+        layer = self.instance.layer(2)
+        bucket = layer.bucket(())
+        values = [row[layer.value_position] for row in bucket.tuples]
+        assert values == ["b1", "b2"]
+        assert bucket.weights == [3, 1]
+        assert bucket.starts == [0, 3]
+
+    def test_layer3_buckets(self):
+        # R (layer 3) is split into buckets by v1 = a1 / a2, each of weight 2.
+        layer = self.instance.layer(3)
+        bucket_a1 = layer.bucket(("a1",))
+        bucket_a2 = layer.bucket(("a2",))
+        assert bucket_a1.weights == [1, 1] and bucket_a1.starts == [0, 1]
+        assert bucket_a2.weights == [1, 1] and bucket_a2.starts == [0, 1]
+        assert [row[layer.value_position] for row in bucket_a1.tuples] == ["c1", "c2"]
+        assert [row[layer.value_position] for row in bucket_a2.tuples] == ["c2", "c3"]
+
+    def test_layer4_buckets(self):
+        # S (layer 4): bucket b1 holds d1,d2,d3 with starts 0,1,2; bucket b2 holds d4.
+        layer = self.instance.layer(4)
+        bucket_b1 = layer.bucket(("b1",))
+        bucket_b2 = layer.bucket(("b2",))
+        assert bucket_b1.weights == [1, 1, 1]
+        assert bucket_b1.starts == [0, 1, 2]
+        assert [row[layer.value_position] for row in bucket_b1.tuples] == ["d1", "d2", "d3"]
+        assert bucket_b2.weights == [1]
+
+    def test_ends_are_start_plus_weight(self):
+        for layer_index in range(1, 5):
+            layer = self.instance.layer(layer_index)
+            for bucket in layer.buckets.values():
+                for start, weight, end in zip(bucket.starts, bucket.weights, bucket.ends):
+                    assert end == start + weight
+                assert bucket.ends[-1] == bucket.total
+
+
+class TestPreprocessingInvariants:
+    def test_count_matches_oracle_on_random_databases(self):
+        for seed in range(5):
+            db = random_database_for(pq.TWO_PATH, 30, 6, seed=seed)
+            reduction = eliminate_projections(pq.TWO_PATH, db)
+            tree = build_layered_join_tree(reduction.query, pq.FIGURE2_LEX_XYZ)
+            instance = preprocess(tree, reduction.database)
+            assert instance.count == count_naive(pq.TWO_PATH, db)
+
+    def test_empty_database_gives_zero_count(self):
+        db = random_database_for(pq.TWO_PATH, 0, 3)
+        reduction = eliminate_projections(pq.TWO_PATH, db)
+        tree = build_layered_join_tree(reduction.query, pq.FIGURE2_LEX_XYZ)
+        assert preprocess(tree, reduction.database).count == 0
+
+    def test_bucket_weights_are_positive_after_reduction(self):
+        db = random_database_for(pq.Q4, 20, 5, seed=11)
+        reduction = eliminate_projections(pq.Q4, db)
+        tree = build_layered_join_tree(reduction.query, pq.Q4_ORDER)
+        instance = preprocess(tree, reduction.database)
+        for layer_index in range(1, len(instance.layers) + 1):
+            for bucket in instance.layer(layer_index).buckets.values():
+                assert all(weight > 0 for weight in bucket.weights)
+
+    def test_layer_values_sorted_within_buckets(self):
+        instance = build_figure4_instance()
+        for layer_index in range(1, 5):
+            for bucket in instance.layer(layer_index).buckets.values():
+                assert bucket.layer_values == sorted(bucket.layer_values)

@@ -1,0 +1,101 @@
+"""Tests for the package-level public API and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    FunctionalDependencyError,
+    IntractableQueryError,
+    NotAnAnswerError,
+    OutOfBoundsError,
+    QueryStructureError,
+    ReproError,
+    SchemaError,
+    WeightError,
+)
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_present(self):
+        for name in [
+            "ConjunctiveQuery",
+            "LexDirectAccess",
+            "SumDirectAccess",
+            "selection_lex",
+            "selection_sum",
+            "classify_all",
+            "parse_query",
+            "quantile",
+            "FDSet",
+        ]:
+            assert name in repro.__all__
+
+    def test_quickstart_snippet_from_readme(self):
+        # The README quickstart must stay executable as written.
+        from repro import Atom, ConjunctiveQuery, Database, LexDirectAccess, LexOrder, Relation
+
+        query = ConjunctiveQuery(
+            ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))]
+        )
+        database = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 5), (1, 2), (6, 2)]),
+                Relation("S", ("y", "z"), [(5, 3), (5, 4), (5, 6), (2, 5)]),
+            ]
+        )
+        access = LexDirectAccess(query, database, LexOrder(("x", "y", "z")))
+        assert len(access) == 5
+        assert access[2] == (1, 5, 4)
+        assert access.inverted_access((1, 5, 4)) == 2
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            QueryStructureError,
+            IntractableQueryError,
+            OutOfBoundsError,
+            NotAnAnswerError,
+            SchemaError,
+            FunctionalDependencyError,
+            WeightError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_out_of_bounds_is_an_index_error(self):
+        assert issubclass(OutOfBoundsError, IndexError)
+
+    def test_not_an_answer_is_a_key_error(self):
+        assert issubclass(NotAnAnswerError, KeyError)
+
+    def test_intractable_error_carries_classification(self):
+        from repro.workloads import paper_queries as pq
+        from repro import LexDirectAccess
+
+        with pytest.raises(IntractableQueryError) as excinfo:
+            LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XZY)
+        classification = excinfo.value.classification
+        assert classification is not None
+        assert classification.intractable
+        assert classification.witness is not None
+
+    def test_catching_base_class_catches_everything(self):
+        from repro.workloads import paper_queries as pq
+        from repro import LexDirectAccess
+
+        try:
+            LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XZY)
+        except ReproError:
+            caught = True
+        assert caught

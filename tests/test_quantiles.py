@@ -1,0 +1,111 @@
+"""Tests for the quantile convenience helpers."""
+
+import pytest
+
+from repro import Database, LexDirectAccess, LexOrder, Relation, Weights
+from repro.core.quantiles import (
+    count_answers,
+    median,
+    quantile,
+    quantile_index,
+    quantile_table,
+    selection_quantile_lex,
+    selection_quantile_sum,
+)
+from repro.exceptions import OutOfBoundsError
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for, sorted_answers
+
+
+ACCESS = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+
+
+class TestQuantileIndex:
+    def test_endpoints(self):
+        assert quantile_index(5, 0.0) == 0
+        assert quantile_index(5, 1.0) == 4
+
+    def test_median_index(self):
+        assert quantile_index(5, 0.5) == 2
+        assert quantile_index(4, 0.5) == 2
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            quantile_index(5, 1.5)
+
+    def test_empty_result(self):
+        with pytest.raises(OutOfBoundsError):
+            quantile_index(0, 0.5)
+
+
+class TestAccessorQuantiles:
+    def test_quantile_values(self):
+        assert quantile(ACCESS, 0.0) == (1, 2, 5)
+        assert quantile(ACCESS, 1.0) == (6, 2, 5)
+
+    def test_median(self):
+        assert median(ACCESS) == (1, 5, 4)
+
+    def test_quantile_table(self):
+        table = quantile_table(ACCESS, (0.0, 0.5, 1.0))
+        assert table[0.0] == (1, 2, 5) and table[1.0] == (6, 2, 5)
+
+    def test_median_of_empty_structure(self):
+        empty = LexDirectAccess(
+            pq.TWO_PATH,
+            Database([Relation("R", ("x", "y"), []), Relation("S", ("y", "z"), [])]),
+            pq.FIGURE2_LEX_XYZ,
+        )
+        with pytest.raises(OutOfBoundsError):
+            median(empty)
+
+
+class TestCountAnswers:
+    def test_count_on_figure2(self):
+        assert count_answers(pq.TWO_PATH, pq.FIGURE2_DATABASE) == 5
+
+    def test_count_matches_oracle(self):
+        for seed in range(3):
+            db = random_database_for(pq.Q4, 25, 5, seed=seed)
+            assert count_answers(pq.Q4, db) == len(sorted_answers(pq.Q4, db))
+
+    def test_count_with_projection(self):
+        db = random_database_for(pq.TWO_PATH, 20, 4, seed=5)
+        from repro import Atom, ConjunctiveQuery
+
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        assert count_answers(q, db) == len(sorted_answers(q, db))
+
+    def test_count_boolean(self):
+        from repro import Atom, ConjunctiveQuery
+
+        q = ConjunctiveQuery((), [Atom("R", ("x", "y"))])
+        assert count_answers(q, pq.FIGURE2_DATABASE) == 1
+
+    def test_count_with_fds(self):
+        db = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 5), (6, 2)]),
+                Relation("S", ("y", "z"), [(5, 3), (2, 5)]),
+            ]
+        )
+        assert count_answers(pq.EXAMPLE_8_3_QUERY, db, fds=pq.EXAMPLE_8_3_FDS) == 2
+
+
+class TestSelectionQuantiles:
+    def test_lex_quantiles_match_direct_access(self):
+        for fraction in (0.0, 0.3, 0.5, 0.9, 1.0):
+            assert selection_quantile_lex(
+                pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ, fraction
+            ) == quantile(ACCESS, fraction)
+
+    def test_sum_quantile_weight_is_correct(self):
+        weights = Weights.identity()
+        answer = selection_quantile_sum(pq.TWO_PATH, pq.FIGURE2_DATABASE, 0.5, weights=weights)
+        assert weights.answer_weight(("x", "y", "z"), answer) == 10
+
+    def test_precomputed_count_is_honoured(self):
+        answer = selection_quantile_lex(
+            pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ, 1.0, count=5
+        )
+        assert answer == (6, 2, 5)

@@ -1,0 +1,57 @@
+"""Tests for uniform random-order enumeration."""
+
+import random
+from collections import Counter
+
+from repro import LexDirectAccess, RandomOrderEnumerator
+from repro.core.random_order import LazyPermutation
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for, sorted_answers
+
+
+class TestLazyPermutation:
+    def test_is_a_permutation(self):
+        for n in (0, 1, 5, 17):
+            permutation = list(LazyPermutation(n, random.Random(0)))
+            assert sorted(permutation) == list(range(n))
+
+    def test_different_seeds_differ(self):
+        a = list(LazyPermutation(20, random.Random(1)))
+        b = list(LazyPermutation(20, random.Random(2)))
+        assert a != b
+
+    def test_uniformity_of_first_element(self):
+        # The first element of the permutation should be (roughly) uniform.
+        counts = Counter(LazyPermutation(4, random.Random(seed)).next_index() for seed in range(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        assert max(counts.values()) < 2000 * 0.35
+
+
+class TestRandomOrderEnumerator:
+    def test_enumerates_all_answers_exactly_once(self):
+        db = random_database_for(pq.TWO_PATH, 20, 4, seed=3)
+        access = LexDirectAccess(pq.TWO_PATH, db, pq.FIGURE2_LEX_XYZ)
+        enumerator = RandomOrderEnumerator(access, seed=42)
+        produced = list(enumerator)
+        assert sorted(produced) == sorted_answers(pq.TWO_PATH, db)
+
+    def test_sample_without_replacement(self):
+        access = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, pq.Q3_ORDER)
+        sample = RandomOrderEnumerator(access, seed=7).sample(10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_prefix_distribution_is_roughly_uniform(self):
+        access = LexDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ)
+        first = Counter(
+            RandomOrderEnumerator(access, seed=seed).sample(1)[0] for seed in range(1000)
+        )
+        assert set(first) == set(pq.FIGURE2_EXPECTED_XYZ)
+        assert max(first.values()) < 1000 * 0.3
+
+    def test_works_with_materialized_baseline(self):
+        from repro import MaterializedBaseline
+
+        baseline = MaterializedBaseline(pq.TWO_PATH, pq.FIGURE2_DATABASE, order=pq.FIGURE2_LEX_XYZ)
+        produced = list(RandomOrderEnumerator(baseline, seed=0))
+        assert sorted(produced) == sorted(pq.FIGURE2_EXPECTED_XYZ)

@@ -1,0 +1,100 @@
+"""Tests for projection elimination (Proposition 2.3)."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, Database, Relation
+from repro.core.reduction import eliminate_projections, reduce_database_over_query
+from repro.engine.naive import evaluate_naive
+from repro.core import structure as st
+from repro.exceptions import QueryStructureError
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for
+
+
+class TestReduceDatabase:
+    def test_dangling_tuples_removed(self):
+        db = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 10), (2, 20)]),
+                Relation("S", ("y", "z"), [(10, 100), (30, 300)]),
+            ]
+        )
+        reduced = reduce_database_over_query(pq.TWO_PATH, db)
+        by_name = {rel.name: rel for rel in reduced}
+        assert by_name["R"].rows == ((1, 10),)
+        assert by_name["S"].rows == ((10, 100),)
+
+    def test_reduced_relations_use_variable_attributes(self):
+        db = random_database_for(pq.TWO_PATH, 10, 5, seed=1)
+        reduced = reduce_database_over_query(pq.TWO_PATH, db)
+        assert reduced[0].attributes == ("x", "y")
+        assert reduced[1].attributes == ("y", "z")
+
+
+class TestEliminateProjections:
+    def test_rejects_non_free_connex(self):
+        db = random_database_for(pq.TWO_PATH_ENDPOINTS, 5, 3)
+        with pytest.raises(QueryStructureError):
+            eliminate_projections(pq.TWO_PATH_ENDPOINTS, db)
+
+    def test_full_query_unchanged_semantically(self):
+        db = random_database_for(pq.TWO_PATH, 20, 6, seed=2)
+        reduction = eliminate_projections(pq.TWO_PATH, db)
+        assert reduction.query.is_full
+        assert sorted(evaluate_naive(reduction.query, reduction.database)) == sorted(
+            evaluate_naive(pq.TWO_PATH, db)
+        )
+
+    def test_projected_query_answers_preserved(self):
+        q = ConjunctiveQuery(
+            ("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qproj"
+        )
+        db = random_database_for(q, 25, 5, seed=3)
+        reduction = eliminate_projections(q, db)
+        assert reduction.query.is_full
+        assert set(reduction.query.free_variables) == {"x", "y"}
+        assert sorted(evaluate_naive(reduction.query, reduction.database)) == sorted(
+            evaluate_naive(q, db)
+        )
+
+    def test_reduced_query_is_acyclic_and_smaller(self):
+        q = ConjunctiveQuery(
+            ("x", "y", "w"),
+            [Atom("R", ("x", "y")), Atom("S", ("y", "w")), Atom("T", ("w", "u"))],
+            name="Qmid",
+        )
+        db = random_database_for(q, 20, 4, seed=4)
+        reduction = eliminate_projections(q, db)
+        assert st.is_acyclic_query(reduction.query)
+        assert reduction.database.size() <= db.size() + sum(len(r) for r in db)
+        assert sorted(evaluate_naive(reduction.query, reduction.database)) == sorted(
+            evaluate_naive(q, db)
+        )
+
+    def test_neighbour_structure_preserved(self):
+        # Lemma 3.10: the reduction introduces no new free-variable adjacencies
+        # and loses none, so disruptive trios are preserved in both directions.
+        q = pq.VISITS_CASES
+        db = random_database_for(q, 10, 4, seed=5)
+        reduction = eliminate_projections(q, db)
+        assert st.free_neighbor_pairs(q) == st.free_neighbor_pairs(reduction.query)
+
+    def test_boolean_query_reduces_to_emptiness_flag(self):
+        q = ConjunctiveQuery((), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        db = Database(
+            [
+                Relation("R", ("x", "y"), [(1, 10)]),
+                Relation("S", ("y", "z"), [(10, 100)]),
+            ]
+        )
+        reduction = eliminate_projections(q, db)
+        assert evaluate_naive(reduction.query, reduction.database) == [()]
+
+    def test_source_atoms_recorded(self):
+        db = random_database_for(pq.TWO_PATH, 10, 4, seed=6)
+        reduction = eliminate_projections(pq.TWO_PATH, db)
+        assert set(reduction.source_atoms) == {a.relation for a in reduction.query.atoms}
+
+    def test_q3_cartesian_product_reduction(self):
+        reduction = eliminate_projections(pq.Q3, pq.FIGURE4_DATABASE)
+        assert len(evaluate_naive(reduction.query, reduction.database)) == 16

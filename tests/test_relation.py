@@ -1,0 +1,116 @@
+"""Unit tests for the :class:`~repro.engine.relation.Relation` value object."""
+
+import pytest
+
+from repro.engine import Relation
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def people():
+    return Relation(
+        "People",
+        ("name", "age", "city"),
+        [("ann", 34, "boston"), ("bob", 51, "boston"), ("cid", 34, "nyc")],
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, people):
+        assert people.name == "People"
+        assert people.arity == 3
+        assert len(people) == 3
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("x", "x"), [])
+
+    def test_wrong_arity_row_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("x", "y"), [(1,)])
+
+    def test_contains(self, people):
+        assert ("ann", 34, "boston") in people
+        assert ("zoe", 1, "la") not in people
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts("R", ("x", "y"), [{"x": 1, "y": 2}, {"y": 4, "x": 3}])
+        assert relation.rows == ((1, 2), (3, 4))
+
+    def test_as_dicts_roundtrip(self, people):
+        assert people.as_dicts()[0] == {"name": "ann", "age": 34, "city": "boston"}
+
+
+class TestAccessors:
+    def test_position_and_value(self, people):
+        assert people.position("age") == 1
+        assert people.value(("ann", 34, "boston"), "city") == "boston"
+
+    def test_position_unknown_attribute(self, people):
+        with pytest.raises(SchemaError):
+            people.position("height")
+
+    def test_values_of_keeps_duplicates(self, people):
+        assert people.values_of("age") == [34, 51, 34]
+
+    def test_active_domain_deduplicates(self, people):
+        assert people.active_domain("age") == [34, 51]
+
+    def test_has_attribute(self, people):
+        assert people.has_attribute("city")
+        assert not people.has_attribute("country")
+
+
+class TestAlgebra:
+    def test_project_distinct(self, people):
+        projected = people.project(("city",))
+        assert sorted(projected.rows) == [("boston",), ("nyc",)]
+
+    def test_project_without_distinct(self, people):
+        projected = people.project(("city",), distinct=False)
+        assert len(projected) == 3
+
+    def test_project_reorders_columns(self, people):
+        projected = people.project(("city", "name"))
+        assert ("boston", "ann") in projected.rows
+
+    def test_select_equals(self, people):
+        boston = people.select_equals({"city": "boston"})
+        assert len(boston) == 2
+
+    def test_select_predicate(self, people):
+        young = people.select(lambda row: row["age"] < 40)
+        assert {row[0] for row in young} == {"ann", "cid"}
+
+    def test_rename_attributes(self, people):
+        renamed = people.rename(mapping={"name": "person"})
+        assert renamed.attributes == ("person", "age", "city")
+
+    def test_distinct_removes_duplicates(self):
+        relation = Relation("R", ("x",), [(1,), (1,), (2,)])
+        assert relation.distinct().rows == ((1,), (2,))
+
+    def test_sorted_by(self, people):
+        ordered = people.sorted_by(("age", "name"))
+        assert [row[0] for row in ordered] == ["ann", "cid", "bob"]
+
+    def test_group_by(self, people):
+        groups = people.group_by(("city",))
+        assert set(groups) == {("boston",), ("nyc",)}
+        assert len(groups[("boston",)]) == 2
+
+    def test_extend_drops_unmapped_rows(self):
+        relation = Relation("R", ("x",), [(1,), (2,)])
+        extended = relation.extend("y", {(1,): "a"})
+        assert extended.attributes == ("x", "y")
+        assert extended.rows == ((1, "a"),)
+
+    def test_with_rows_same_schema(self, people):
+        replaced = people.with_rows([("dee", 20, "la")])
+        assert replaced.attributes == people.attributes
+        assert len(replaced) == 1
+
+    def test_equality_is_order_insensitive(self):
+        a = Relation("R", ("x",), [(1,), (2,)])
+        b = Relation("R", ("x",), [(2,), (1,)])
+        assert a == b

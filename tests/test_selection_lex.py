@@ -1,0 +1,126 @@
+"""Tests for selection by lexicographic orders (Theorem 6.1)."""
+
+import pytest
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    IntractableQueryError,
+    LexOrder,
+    OutOfBoundsError,
+    selection_lex,
+)
+from repro.core.selection_lex import value_histogram
+from repro.core.reduction import eliminate_projections
+from repro.workloads import paper_queries as pq
+from tests.helpers import random_database_for, sorted_answers
+
+
+class TestValueHistogram:
+    def test_histogram_on_figure2(self):
+        reduction = eliminate_projections(pq.TWO_PATH, pq.FIGURE2_DATABASE)
+        histogram = value_histogram(reduction.query, reduction.database, "x")
+        assert histogram == {1: 4, 6: 1}
+
+    def test_histogram_middle_variable(self):
+        reduction = eliminate_projections(pq.TWO_PATH, pq.FIGURE2_DATABASE)
+        histogram = value_histogram(reduction.query, reduction.database, "y")
+        assert histogram == {2: 2, 5: 3}
+
+    def test_histogram_sums_to_answer_count(self):
+        db = random_database_for(pq.Q4, 25, 5, seed=3)
+        reduction = eliminate_projections(pq.Q4, db)
+        for variable in reduction.query.free_variables:
+            histogram = value_histogram(reduction.query, reduction.database, variable)
+            assert sum(histogram.values()) == len(sorted_answers(pq.Q4, db))
+
+
+class TestSelectionLexOnFigure2:
+    def test_order_with_disruptive_trio_still_selectable(self):
+        # ⟨x, z, y⟩ has a disruptive trio (no direct access), yet selection works.
+        got = [
+            selection_lex(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XZY, k)
+            for k in range(5)
+        ]
+        assert got == pq.FIGURE2_EXPECTED_XZY
+
+    def test_order_xyz(self):
+        got = [
+            selection_lex(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ, k)
+            for k in range(5)
+        ]
+        assert got == pq.FIGURE2_EXPECTED_XYZ
+
+    def test_median_answer(self):
+        median = selection_lex(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XZY, 2)
+        assert median == (1, 2, 5)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(OutOfBoundsError):
+            selection_lex(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ, 5)
+        with pytest.raises(OutOfBoundsError):
+            selection_lex(pq.TWO_PATH, pq.FIGURE2_DATABASE, pq.FIGURE2_LEX_XYZ, -1)
+
+
+class TestSelectionLexGeneral:
+    @pytest.mark.parametrize(
+        "order",
+        [
+            LexOrder(("x", "y", "z")),
+            LexOrder(("x", "z", "y")),
+            LexOrder(("z", "x", "y")),
+            LexOrder(("y", "z", "x")),
+        ],
+    )
+    def test_every_order_matches_baseline(self, order):
+        db = random_database_for(pq.TWO_PATH, 25, 5, seed=sum(map(ord, "".join(order.variables))))
+        expected = sorted_answers(pq.TWO_PATH, db, order=order)
+        for k in range(0, len(expected), max(1, len(expected) // 7)):
+            assert selection_lex(pq.TWO_PATH, db, order, k) == expected[k]
+
+    def test_partial_order_prefix_consistent(self):
+        db = random_database_for(pq.TWO_PATH, 20, 4, seed=8)
+        order = LexOrder(("z",))
+        expected_prefix = [a[2] for a in sorted_answers(pq.TWO_PATH, db, order=order)]
+        for k in range(len(expected_prefix)):
+            assert selection_lex(pq.TWO_PATH, db, order, k)[2] == expected_prefix[k]
+
+    def test_non_l_connex_order_supported(self):
+        # Selection works even for orders where direct access is impossible
+        # because the query is not L-connex (Example 6.2).
+        db = random_database_for(pq.TWO_PATH, 20, 4, seed=9)
+        order = LexOrder(("x", "z"))
+        answers = sorted_answers(pq.TWO_PATH, db, order=order)
+        for k in range(0, len(answers), max(1, len(answers) // 5)):
+            got = selection_lex(pq.TWO_PATH, db, order, k)
+            assert (got[0], got[2]) == (answers[k][0], answers[k][2])
+
+    def test_projected_query(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))])
+        db = random_database_for(q, 30, 5, seed=10)
+        order = LexOrder(("y", "x"))
+        expected = sorted_answers(q, db, order=order)
+        for k in range(0, len(expected), max(1, len(expected) // 6)):
+            assert selection_lex(q, db, order, k) == expected[k]
+
+    def test_non_free_connex_rejected(self):
+        db = random_database_for(pq.TWO_PATH_ENDPOINTS, 10, 4)
+        with pytest.raises(IntractableQueryError):
+            selection_lex(pq.TWO_PATH_ENDPOINTS, db, LexOrder(("x", "z")), 0)
+
+    def test_star_query_selection(self):
+        q = ConjunctiveQuery(
+            ("c", "x1", "x2"),
+            [Atom("R1", ("c", "x1")), Atom("R2", ("c", "x2"))],
+            name="Qstar2",
+        )
+        db = random_database_for(q, 25, 4, seed=11)
+        order = LexOrder(("x2", "x1", "c"))
+        expected = sorted_answers(q, db, order=order)
+        for k in range(0, len(expected), max(1, len(expected) // 6)):
+            assert selection_lex(q, db, order, k) == expected[k]
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery((), [Atom("R", ("x", "y"))])
+        db = random_database_for(q, 5, 3, seed=1)
+        assert selection_lex(q, db, LexOrder(()), 0) == ()

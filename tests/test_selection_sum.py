@@ -1,0 +1,152 @@
+"""Tests for selection by SUM (Theorem 7.3) and SUM direct access (Theorem 5.1)."""
+
+import pytest
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    IntractableQueryError,
+    OutOfBoundsError,
+    SumDirectAccess,
+    Weights,
+    median_by_sum,
+    selection_sum,
+)
+from repro.workloads import paper_queries as pq
+from tests.helpers import answer_weights_multiset, random_database_for, sorted_answers
+
+
+IDENTITY = Weights.identity()
+
+
+class TestSelectionSumTwoPath:
+    def test_matches_figure2_weights(self):
+        expected = answer_weights_multiset(pq.TWO_PATH, pq.FIGURE2_DATABASE, IDENTITY)
+        for k in range(len(expected)):
+            answer = selection_sum(pq.TWO_PATH, pq.FIGURE2_DATABASE, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(pq.TWO_PATH.free_variables, answer) == expected[k]
+
+    def test_selected_answers_are_real_answers(self):
+        answers = set(sorted_answers(pq.TWO_PATH, pq.FIGURE2_DATABASE))
+        for k in range(5):
+            assert selection_sum(pq.TWO_PATH, pq.FIGURE2_DATABASE, k, weights=IDENTITY) in answers
+
+    def test_out_of_bounds(self):
+        with pytest.raises(OutOfBoundsError):
+            selection_sum(pq.TWO_PATH, pq.FIGURE2_DATABASE, 5, weights=IDENTITY)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_databases_weight_profile(self, seed):
+        db = random_database_for(pq.TWO_PATH, 25, 5, seed=seed)
+        expected = answer_weights_multiset(pq.TWO_PATH, db, IDENTITY)
+        for k in range(0, len(expected), max(1, len(expected) // 8)):
+            answer = selection_sum(pq.TWO_PATH, db, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(pq.TWO_PATH.free_variables, answer) == expected[k]
+
+    def test_every_rank_is_consistent(self):
+        # Collecting selection over all k must produce every answer exactly once.
+        db = random_database_for(pq.TWO_PATH, 15, 4, seed=5)
+        expected = sorted_answers(pq.TWO_PATH, db)
+        got = sorted(
+            selection_sum(pq.TWO_PATH, db, k, weights=IDENTITY) for k in range(len(expected))
+        )
+        assert got == expected
+
+
+class TestSelectionSumOtherShapes:
+    def test_cartesian_product_x_plus_y(self):
+        db = random_database_for(pq.X_PLUS_Y, 12, 20, seed=6)
+        expected = answer_weights_multiset(pq.X_PLUS_Y, db, IDENTITY)
+        for k in range(0, len(expected), max(1, len(expected) // 10)):
+            answer = selection_sum(pq.X_PLUS_Y, db, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(("x", "y"), answer) == expected[k]
+
+    def test_single_atom_query(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y", "z"))], name="Qwide")
+        db = random_database_for(q, 30, 6, seed=7)
+        expected = answer_weights_multiset(q, db, IDENTITY)
+        for k in range(0, len(expected), max(1, len(expected) // 8)):
+            answer = selection_sum(q, db, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(("x", "y"), answer) == expected[k]
+
+    def test_projected_three_path(self):
+        # Example 7.4: Q'_3 keeps fmh = 2, so selection is tractable.
+        q = pq.THREE_PATH_PROJECTED
+        db = random_database_for(q, 15, 4, seed=8)
+        expected = answer_weights_multiset(q, db, IDENTITY)
+        for k in range(0, len(expected), max(1, len(expected) // 6)):
+            answer = selection_sum(q, db, k, weights=IDENTITY)
+            assert IDENTITY.answer_weight(q.free_variables, answer) == expected[k]
+
+    def test_explicit_weight_functions(self):
+        weights = Weights({"x": {1: 100.0, 6: 0.0}, "y": {2: 1.0, 5: 2.0}, "z": {}}, default=0.0)
+        expected = answer_weights_multiset(pq.TWO_PATH, pq.FIGURE2_DATABASE, weights)
+        for k in range(5):
+            answer = selection_sum(pq.TWO_PATH, pq.FIGURE2_DATABASE, k, weights=weights)
+            assert weights.answer_weight(("x", "y", "z"), answer) == expected[k]
+
+    def test_three_path_rejected(self):
+        db = random_database_for(pq.THREE_PATH, 10, 3, seed=9)
+        with pytest.raises(IntractableQueryError):
+            selection_sum(pq.THREE_PATH, db, 0, weights=IDENTITY)
+
+    def test_median_by_sum(self):
+        median = median_by_sum(pq.TWO_PATH, pq.FIGURE2_DATABASE, weights=IDENTITY)
+        expected = answer_weights_multiset(pq.TWO_PATH, pq.FIGURE2_DATABASE, IDENTITY)
+        assert IDENTITY.answer_weight(("x", "y", "z"), median) == expected[(len(expected) - 1) // 2]
+
+    def test_visits_cases_selection(self):
+        from repro.workloads.generators import generate_visits_cases_database
+
+        db = generate_visits_cases_database(15, 5, 10, seed=1)
+        weights = Weights.identity(["cases", "age"])
+        expected = answer_weights_multiset(pq.VISITS_CASES, db, weights)
+        for k in range(0, len(expected), max(1, len(expected) // 6)):
+            answer = selection_sum(pq.VISITS_CASES, db, k, weights=weights)
+            assert weights.answer_weight(pq.VISITS_CASES.free_variables, answer) == expected[k]
+
+
+class TestSumDirectAccess:
+    def test_tractable_single_atom_case(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qxy")
+        db = random_database_for(q, 25, 5, seed=10)
+        access = SumDirectAccess(q, db, weights=IDENTITY)
+        expected = sorted_answers(q, db, weights=IDENTITY)
+        assert list(access) == expected
+        assert [access[i] for i in range(access.count)] == expected
+
+    def test_weights_non_decreasing(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qxy")
+        db = random_database_for(q, 25, 5, seed=11)
+        access = SumDirectAccess(q, db, weights=IDENTITY)
+        weights = [access.answer_weight(i) for i in range(access.count)]
+        assert weights == sorted(weights)
+
+    def test_inverted_access_round_trip(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qxy")
+        db = random_database_for(q, 20, 4, seed=12)
+        access = SumDirectAccess(q, db, weights=IDENTITY)
+        for k in range(access.count):
+            assert access.inverted_access(access[k]) == k
+
+    def test_weight_lookup(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qxy")
+        db = random_database_for(q, 20, 4, seed=13)
+        access = SumDirectAccess(q, db, weights=IDENTITY)
+        for k in range(access.count):
+            weight = access.answer_weight(k)
+            first = access.weight_lookup(weight)
+            assert first is not None and access.answer_weight(first) == weight
+            assert first == 0 or access.answer_weight(first - 1) < weight
+        assert access.weight_lookup(-1e18) is None
+
+    def test_two_path_rejected_for_sum_direct_access(self):
+        with pytest.raises(IntractableQueryError):
+            SumDirectAccess(pq.TWO_PATH, pq.FIGURE2_DATABASE, weights=IDENTITY)
+
+    def test_out_of_bounds(self):
+        q = ConjunctiveQuery(("x",), [Atom("R", ("x", "y"))], name="Qx")
+        db = random_database_for(q, 10, 4, seed=14)
+        access = SumDirectAccess(q, db, weights=IDENTITY)
+        with pytest.raises(OutOfBoundsError):
+            access.access(access.count)

@@ -1,0 +1,154 @@
+"""Unit tests for the structural predicates behind the dichotomies."""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, LexOrder
+from repro.core import structure as st
+from repro.workloads import paper_queries as pq
+
+
+class TestConnexity:
+    def test_two_path_is_free_connex(self):
+        assert st.is_free_connex(pq.TWO_PATH)
+
+    def test_endpoint_projection_is_not_free_connex(self):
+        assert not st.is_free_connex(pq.TWO_PATH_ENDPOINTS)
+        assert st.free_path_witness(pq.TWO_PATH_ENDPOINTS) is not None
+
+    def test_triangle_not_free_connex(self):
+        assert not st.is_free_connex(pq.TRIANGLE)
+        assert st.is_acyclic_query(pq.TWO_PATH)
+        assert not st.is_acyclic_query(pq.TRIANGLE)
+
+    def test_l_connexity_of_partial_orders(self):
+        assert st.is_l_connex(pq.TWO_PATH, LexOrder(("x", "y")))
+        assert not st.is_l_connex(pq.TWO_PATH, LexOrder(("x", "z")))
+        witness = st.l_path_witness(pq.TWO_PATH, LexOrder(("x", "z")))
+        assert witness is not None and witness[1] == "y"
+
+
+class TestDisruptiveTrio:
+    def test_two_path_xzy_has_trio(self):
+        trio = st.find_disruptive_trio(pq.TWO_PATH, LexOrder(("x", "z", "y")))
+        assert trio is not None
+        assert set(trio) == {"x", "y", "z"} and trio[2] == "y"
+
+    def test_two_path_xyz_has_no_trio(self):
+        assert not st.has_disruptive_trio(pq.TWO_PATH, LexOrder(("x", "y", "z")))
+
+    def test_trio_requires_all_three_in_order(self):
+        # With only (x, z) ordered, y has no position, so no trio exists.
+        assert not st.has_disruptive_trio(pq.TWO_PATH, LexOrder(("x", "z")))
+
+    def test_visits_cases_intro_example(self):
+        trio = st.find_disruptive_trio(pq.VISITS_CASES, pq.VISITS_CASES_BAD_ORDER)
+        assert trio is not None
+        assert trio[2] == "city" and set(trio[:2]) == {"cases", "age"}
+        assert not st.has_disruptive_trio(pq.VISITS_CASES, pq.VISITS_CASES_GOOD_ORDER)
+
+    def test_q3_interleaved_order_has_no_trio(self):
+        assert not st.has_disruptive_trio(pq.Q3, pq.Q3_ORDER)
+
+    def test_example_3_1(self):
+        assert st.has_disruptive_trio(pq.EXAMPLE_3_1, pq.EXAMPLE_3_1_ORDER)
+
+
+class TestReverseEliminationOrder:
+    @pytest.mark.parametrize(
+        "order",
+        [("x", "y", "z"), ("z", "y", "x"), ("y", "x", "z"), ("x", "z", "y")],
+    )
+    def test_equivalence_with_disruptive_trio_on_two_path(self, order):
+        # Remark 1: absence of disruptive trios ⇔ reverse elimination order
+        # (for full CQs and complete orders).
+        lex = LexOrder(order)
+        assert st.is_reverse_elimination_order(pq.TWO_PATH, lex) == (
+            not st.has_disruptive_trio(pq.TWO_PATH, lex)
+        )
+
+    @pytest.mark.parametrize(
+        "order",
+        [
+            ("v1", "v2", "v3", "v4"),
+            ("v1", "v3", "v2", "v4"),
+            ("v3", "v1", "v4", "v2"),
+            ("v1", "v2", "v4", "v3"),
+        ],
+    )
+    def test_equivalence_on_q3(self, order):
+        lex = LexOrder(order)
+        assert st.is_reverse_elimination_order(pq.Q3, lex) == (
+            not st.has_disruptive_trio(pq.Q3, lex)
+        )
+
+
+class TestIndependenceAndHyperedges:
+    def test_alpha_free_of_paper_queries(self):
+        assert st.alpha_free(pq.TWO_PATH) == 2            # {x, z}
+        assert st.alpha_free(pq.THREE_PATH) == 2           # {x, z} or {y, u}
+        assert st.alpha_free(pq.EXAMPLE_5_3) == 2          # Example 5.3
+        assert st.alpha_free(pq.VISITS_CASES_PRODUCT) == 2  # one variable per atom
+        assert st.alpha_free(pq.X_PLUS_Y) == 2
+
+    def test_max_independent_free_set_is_independent(self):
+        independent = st.max_independent_free_set(pq.THREE_PATH)
+        assert pq.THREE_PATH.hypergraph().is_independent_set(independent)
+
+    def test_mh_and_fmh_of_example_7_2(self):
+        assert st.mh(pq.EXAMPLE_7_2) == 3
+        assert st.fmh(pq.EXAMPLE_7_2) == 2
+
+    def test_fmh_of_three_path_variants(self):
+        assert st.fmh(pq.THREE_PATH) == 3
+        assert st.fmh(pq.THREE_PATH_PROJECTED) == 2
+        assert st.fmh(pq.TWO_PATH) == 2
+
+    def test_alpha_free_at_most_fmh(self):
+        # Remark 4 of the paper.
+        for query, _ in pq.CATALOG.values():
+            assert st.alpha_free(query) <= max(st.fmh(query), st.alpha_free(query))
+            if st.is_acyclic_query(query):
+                assert st.alpha_free(query) <= st.fmh(query) or st.fmh(query) == 0
+
+    def test_covering_atom(self):
+        q = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y", "z"))])
+        atom = st.atom_containing_all_free_variables(q)
+        assert atom is not None and atom.relation == "R"
+        assert st.atom_containing_all_free_variables(pq.TWO_PATH) is None
+
+    def test_lemma_5_4_equivalence(self):
+        # For acyclic CQs: an atom covers all free variables iff α_free ≤ 1.
+        for query, _ in pq.CATALOG.values():
+            if not st.is_acyclic_query(query):
+                continue
+            covered = st.atom_containing_all_free_variables(query) is not None
+            assert covered == (st.alpha_free(query) <= 1)
+
+
+class TestContraction:
+    def test_example_7_6_contraction(self):
+        contracted = st.maximal_contraction(pq.EXAMPLE_7_6)
+        assert len(contracted.atoms) == 2
+        assert st.mh(pq.EXAMPLE_7_6) == 2
+        variables = set(contracted.variables)
+        # u was absorbed by x; S(y) absorbed by R; R and U absorb each other.
+        assert "u" not in variables or "x" not in variables
+
+    def test_contraction_of_already_contracted_query_is_identity(self):
+        contracted = st.maximal_contraction(pq.TWO_PATH)
+        assert {a.variable_set for a in contracted.atoms} == {
+            frozenset({"x", "y"}),
+            frozenset({"y", "z"}),
+        }
+
+    def test_absorbed_atoms_detection(self):
+        absorbed = st.absorbed_atoms(pq.EXAMPLE_7_2)
+        assert any(atom.relation == "U" for atom in absorbed)
+
+    def test_absorbed_variable_pairs(self):
+        pairs = st.absorbed_variable_pairs(pq.EXAMPLE_7_6)
+        assert ("u", "x") in pairs or ("u", "y") in pairs
+
+    def test_free_neighbor_pairs(self):
+        pairs = st.free_neighbor_pairs(pq.TWO_PATH)
+        assert ("x", "y") in pairs and ("y", "z") in pairs and ("x", "z") not in pairs

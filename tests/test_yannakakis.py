@@ -1,0 +1,79 @@
+"""Unit tests for the Yannakakis full reducer and acyclic join evaluation."""
+
+from repro.engine import Database, Relation, acyclic_full_join, full_reducer
+from repro.engine.naive import evaluate_naive
+from repro.engine.yannakakis import is_globally_consistent
+from repro.hypergraph import Hypergraph, build_join_tree
+from repro.core.atoms import Atom, ConjunctiveQuery
+
+
+def path_relations():
+    r = Relation("R", ("x", "y"), [(1, 10), (2, 20), (3, 30)])
+    s = Relation("S", ("y", "z"), [(10, 100), (10, 101), (40, 400)])
+    t = Relation("T", ("z", "u"), [(100, "a"), (999, "b")])
+    return r, s, t
+
+
+def path_tree():
+    return build_join_tree(Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "u"}]))
+
+
+class TestFullReducer:
+    def test_dangling_tuples_removed(self):
+        tree = path_tree()
+        relations = self._relations_in_tree_order(tree)
+        reduced = {rel.name: rel for rel in full_reducer(tree, relations)}
+        assert sorted(reduced["R"].rows) == [(1, 10)]
+        assert sorted(reduced["S"].rows) == [(10, 100)]
+        assert sorted(reduced["T"].rows) == [(100, "a")]
+
+    def test_reduction_is_idempotent(self):
+        tree = path_tree()
+        reduced = full_reducer(tree, self._relations_in_tree_order(tree))
+        assert is_globally_consistent(tree, reduced)
+
+    def test_every_reduced_tuple_joins(self):
+        # Global consistency: each remaining tuple participates in the join.
+        tree = path_tree()
+        relations = self._relations_in_tree_order(tree)
+        reduced = full_reducer(tree, relations)
+        result = acyclic_full_join(tree, reduced)
+        for relation in reduced:
+            for row in relation:
+                mapping = dict(zip(relation.attributes, row))
+                assert any(
+                    all(result.value(out, a) == v for a, v in mapping.items())
+                    for out in result
+                )
+
+    def _relations_in_tree_order(self, tree):
+        r, s, t = path_relations()
+        by_vars = {frozenset(r.attributes): r, frozenset(s.attributes): s, frozenset(t.attributes): t}
+        return [by_vars[tree.node(i)] for i in range(len(tree))]
+
+
+class TestAcyclicFullJoin:
+    def test_matches_naive_evaluation(self):
+        r, s, t = path_relations()
+        query = ConjunctiveQuery(
+            ("x", "y", "z", "u"),
+            [Atom("R", ("x", "y")), Atom("S", ("y", "z")), Atom("T", ("z", "u"))],
+        )
+        database = Database([r, s, t])
+        tree = path_tree()
+        by_vars = {frozenset(rel.attributes): rel for rel in (r, s, t)}
+        relations = [by_vars[tree.node(i)] for i in range(len(tree))]
+        joined = acyclic_full_join(tree, relations)
+        projected = sorted(joined.project(("x", "y", "z", "u")).rows)
+        assert projected == evaluate_naive(query, database)
+
+    def test_empty_input_produces_empty_join(self):
+        tree = path_tree()
+        empty = [
+            Relation("R", ("x", "y"), []),
+            Relation("S", ("y", "z"), []),
+            Relation("T", ("z", "u"), []),
+        ]
+        by_vars = {frozenset(rel.attributes): rel for rel in empty}
+        relations = [by_vars[tree.node(i)] for i in range(len(tree))]
+        assert len(acyclic_full_join(tree, relations)) == 0
