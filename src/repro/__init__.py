@@ -59,6 +59,11 @@ from repro.core.quantiles import (
     selection_quantile_lex,
     selection_quantile_sum,
 )
+from repro.engine.backends import (
+    available_backends,
+    get_default_backend,
+    set_default_backend,
+)
 from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.fds.fd import FDSet, FunctionalDependency
@@ -103,6 +108,9 @@ __all__ = [
     "selection_quantile_sum",
     "Database",
     "Relation",
+    "available_backends",
+    "get_default_backend",
+    "set_default_backend",
     "FDSet",
     "FunctionalDependency",
     "SumRankedEnumerator",

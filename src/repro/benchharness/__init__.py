@@ -7,7 +7,20 @@ models.  This subpackage provides the measurement loop and the growth-rate
 summaries used both by the pytest-benchmark modules and by ``EXPERIMENTS.md``.
 """
 
-from repro.benchharness.scaling import ScalingResult, measure_scaling, growth_exponent
+from repro.benchharness.scaling import (
+    ScalingResult,
+    compare_backends,
+    growth_exponent,
+    measure_scaling,
+    write_backend_comparison,
+)
 from repro.benchharness.reporting import format_table
 
-__all__ = ["ScalingResult", "measure_scaling", "growth_exponent", "format_table"]
+__all__ = [
+    "ScalingResult",
+    "compare_backends",
+    "format_table",
+    "growth_exponent",
+    "measure_scaling",
+    "write_backend_comparison",
+]

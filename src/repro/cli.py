@@ -39,14 +39,32 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain", action="store_true", help="also print reasons, witnesses and hypotheses"
     )
+    parser.add_argument(
+        "--backend",
+        choices=("row", "columnar"),
+        default=None,
+        help="storage/execution backend for any evaluation this process performs "
+        "(sets the process default; 'columnar' requires NumPy)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_argument_parser().parse_args(argv)
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
     query = parse_query(args.query)
     order = parse_order(args.order) if args.order else None
     fds = parse_fds(args.fd) if args.fd else None
+
+    backend_line = None
+    if args.backend is not None:
+        from repro.engine.backends import BackendUnavailableError, set_default_backend
+
+        try:
+            set_default_backend(args.backend)
+        except BackendUnavailableError as exc:
+            parser.error(str(exc))
+        backend_line = f"backend: {args.backend}"
 
     results = classify_all(query, order, fds=fds)
 
@@ -65,6 +83,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"order: {order}")
     if fds:
         print("FDs:   " + ", ".join(str(fd) for fd in fds))
+    if backend_line:
+        print(backend_line)
     print()
     print(format_table(["problem", "verdict", "guarantee", "theorem"], rows))
 

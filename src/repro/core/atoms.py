@@ -196,9 +196,12 @@ class ConjunctiveQuery:
                         for row in base
                         if all(row[p] == row[first_position[v]] for p, v in enumerate(variables))
                     ]
+                    renamed = Relation(
+                        relation_name, tuple(unique_vars), rows, backend=base.backend
+                    )
                 else:
-                    rows = list(base.rows)
-                new_relations.append(Relation(relation_name, tuple(unique_vars), rows).distinct())
+                    renamed = base.renamed_to(relation_name, tuple(unique_vars))
+                new_relations.append(renamed.distinct())
 
         new_query = ConjunctiveQuery(self._head, new_atoms, name=self._name)
         if database is None:

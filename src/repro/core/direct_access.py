@@ -57,6 +57,11 @@ class LexDirectAccess:
         classified intractable.  Setting it to ``False`` lets callers run the
         algorithm anyway on inputs whose hardness is unknown (e.g. self-joins);
         it still fails if no layered join tree exists.
+    backend:
+        Storage backend for the preprocessing pipeline (``"row"`` or
+        ``"columnar"``); ``None`` keeps the database's own backends.  The
+        whole hot path — projections, semi-join reduction, bucket sorting and
+        the counting DP — then runs on that backend.
     """
 
     def __init__(
@@ -66,7 +71,10 @@ class LexDirectAccess:
         order: LexOrder,
         fds=None,
         enforce_tractability: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None:
+            database = database.to_backend(backend)
         self._original_query = query
         self._original_order = order
         self.classification = classify_direct_access_lex(query, order, fds=fds)

@@ -16,37 +16,100 @@ The resulting :class:`PreprocessedInstance` is the data structure that both the
 access and the inverted-access routines of :mod:`repro.core.access` operate on.
 All counts are exact Python integers, so answer sets far larger than 2^53 are
 handled without loss.
+
+Steps 3–5 have two implementations.  The reference path loops over Python
+tuples.  When a node relation lives on the columnar backend, a vectorized path
+runs instead: grouping and sorting collapse into one ``np.lexsort`` over the
+dictionary codes, the per-tuple child-weight lookups become ``searchsorted``
+probes into the child layer's packed bucket-key array, and the prefix sums are
+a single ``np.cumsum``.  The vectorized path bails out (to the reference path)
+whenever exactness would be at risk — in particular when the worst-case bucket
+totals could exceed int64, so answer counts beyond 2^62 still use exact Python
+integers.  Both paths produce identical buckets.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atoms import ConjunctiveQuery
 from repro.core.layered_tree import LayeredJoinTree
 from repro.core.orders import LexOrder
+from repro.engine.backends import HAS_NUMPY, ColumnarStorage
 from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.engine.yannakakis import full_reducer
+
+if HAS_NUMPY:
+    import numpy as np
+
+    from repro.engine.backends.columnar import pack_codes, translation_table
+
+#: Vectorized bucket totals stay below this bound; larger counts take the
+#: exact Python-int path.
+_INT64_SAFE = 2 ** 62
+
+
+class _ReversedValue:
+    """A comparison-reversing wrapper: orders exactly opposite to its value.
+
+    Supports descending lexicographic components over arbitrary (sortable)
+    domains — strings, dates, tuples — where the numeric negation trick does
+    not apply.  Binary search stays applicable because a list sorted by
+    descending values is ascending in their wrappers.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, _ReversedValue):
+            return NotImplemented
+        return other.value < self.value
+
+    def __le__(self, other) -> bool:
+        if not isinstance(other, _ReversedValue):
+            return NotImplemented
+        return other.value <= self.value
+
+    def __gt__(self, other) -> bool:
+        if not isinstance(other, _ReversedValue):
+            return NotImplemented
+        return other.value > self.value
+
+    def __ge__(self, other) -> bool:
+        if not isinstance(other, _ReversedValue):
+            return NotImplemented
+        return other.value >= self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _ReversedValue) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("_ReversedValue", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"desc({self.value!r})"
 
 
 def _order_key(value, descending: bool):
     """Sort key for a single domain value, honouring per-variable direction.
 
-    Descending components are supported for numeric domains only (they are
-    implemented by negating the value, which keeps binary search applicable).
+    Ascending components sort by the value itself.  Descending numeric values
+    are negated (cheap, and binary search stays applicable); every other
+    descending domain is wrapped in :class:`_ReversedValue`, whose comparisons
+    are the reverse of the value's own — so descending string or date orders
+    work instead of raising.
     """
     if not descending:
         return value
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        from repro.exceptions import WeightError
-
-        raise WeightError(
-            f"descending lexicographic components require numeric values, got {value!r}"
-        )
-    return -value
+    if not isinstance(value, bool) and isinstance(value, (int, float)):
+        return -value
+    return _ReversedValue(value)
 
 
 @dataclass
@@ -82,6 +145,25 @@ class Bucket:
 
 
 @dataclass
+class _ColumnarLayerIndex:
+    """Vectorized bucket lookup data of one layer (columnar path only).
+
+    ``packed_keys`` holds the packed key codes of the layer's buckets sorted
+    ascending; ``totals`` the matching bucket totals (int64); ``key_indexes``
+    the per-key-column ``value -> code`` dictionaries of the layer relation's
+    own encoding; ``bases`` the packing bases.  Parents translate their rows
+    into this code space and ``searchsorted`` into ``packed_keys`` to fetch
+    all child-bucket totals in one shot.
+    """
+
+    key_indexes: List[Dict[object, int]]
+    bases: Tuple[int, ...]
+    packed_keys: "np.ndarray"
+    totals: "np.ndarray"
+    max_total: int
+
+
+@dataclass
 class LayerData:
     """Preprocessed data of one layer: its buckets and schema bookkeeping."""
 
@@ -94,6 +176,7 @@ class LayerData:
     buckets: Dict[Tuple, Bucket]
     value_position: int                 # column of the layer variable
     key_positions: Tuple[int, ...]      # columns of the key variables
+    columnar: Optional[_ColumnarLayerIndex] = None
 
     def bucket(self, key: Tuple) -> Optional[Bucket]:
         return self.buckets.get(key)
@@ -126,6 +209,203 @@ class PreprocessedInstance:
 
     def __len__(self) -> int:
         return self._count
+
+
+# ----------------------------------------------------------------------
+# Steps 3-5, reference (row-at-a-time) implementation
+# ----------------------------------------------------------------------
+def _build_layer_rowwise(
+    relation: Relation,
+    value_position: int,
+    key_positions: Tuple[int, ...],
+    descending: bool,
+    child_layers: Sequence[LayerData],
+    child_key_positions: Sequence[Tuple[int, ...]],
+) -> Dict[Tuple, Bucket]:
+    buckets: Dict[Tuple, Bucket] = {}
+    grouped: Dict[Tuple, List[Tuple]] = {}
+    for row in relation:
+        key = tuple(row[p] for p in key_positions)
+        grouped.setdefault(key, []).append(row)
+
+    for key, rows in grouped.items():
+        rows.sort(key=lambda r: _order_key(r[value_position], descending))
+        bucket = Bucket(key=key, tuples=rows)
+        running = 0
+        for row in rows:
+            weight = 1
+            for child, positions in zip(child_layers, child_key_positions):
+                child_key = tuple(row[p] for p in positions)
+                child_bucket = child.bucket(child_key)
+                weight *= child_bucket.total if child_bucket is not None else 0
+            bucket.weights.append(weight)
+            bucket.starts.append(running)
+            running += weight
+            bucket.ends.append(running)
+            bucket.layer_values.append(_order_key(row[value_position], descending))
+        bucket.total = running
+        buckets[key] = bucket
+    return buckets
+
+
+# ----------------------------------------------------------------------
+# Steps 3-5, vectorized (columnar) implementation
+# ----------------------------------------------------------------------
+def _child_totals_vectorized(
+    child_index: _ColumnarLayerIndex,
+    parent_storage: ColumnarStorage,
+    sorted_codes: List["np.ndarray"],
+    positions: Tuple[int, ...],
+) -> Optional["np.ndarray"]:
+    """Per-row totals of the child buckets each parent row points into."""
+    mapped: List[np.ndarray] = []
+    valid = np.ones(len(sorted_codes[0]) if sorted_codes else 0, dtype=bool)
+    for position, key_index in zip(positions, child_index.key_indexes):
+        table = translation_table(parent_storage.domains[position], key_index)
+        codes = table[sorted_codes[position]]
+        valid &= codes >= 0
+        mapped.append(np.maximum(codes, 0))
+
+    if mapped:
+        packed = pack_codes(mapped, child_index.bases)
+        if packed is None:
+            return None
+    else:
+        packed = np.zeros(len(valid), dtype=np.int64)
+
+    keys = child_index.packed_keys
+    if len(keys) == 0:
+        return np.zeros(len(valid), dtype=np.int64)
+    slots = np.searchsorted(keys, packed)
+    clipped = np.minimum(slots, len(keys) - 1)
+    found = valid & (slots < len(keys)) & (keys[clipped] == packed)
+    return np.where(found, child_index.totals[clipped], 0)
+
+
+def _build_layer_columnar(
+    relation: Relation,
+    value_position: int,
+    key_positions: Tuple[int, ...],
+    descending: bool,
+    child_layers: Sequence[LayerData],
+    child_key_positions: Sequence[Tuple[int, ...]],
+) -> Optional[Tuple[Dict[Tuple, Bucket], Optional[_ColumnarLayerIndex]]]:
+    """Vectorized steps 3–5 for one layer; ``None`` means "use the row path".
+
+    Requires every child layer to carry a columnar index and the worst-case
+    totals to fit comfortably in int64 (otherwise exactness demands Python
+    integers and the reference path takes over).
+    """
+    storage = relation.storage
+    if not isinstance(storage, ColumnarStorage):
+        return None
+    child_indexes: List[_ColumnarLayerIndex] = []
+    for child in child_layers:
+        if child.columnar is None:
+            return None
+        child_indexes.append(child.columnar)
+
+    arity = len(relation.attributes)
+    n = len(storage)
+    if n == 0:
+        empty_index = _ColumnarLayerIndex(
+            key_indexes=[storage.domain_index(p) for p in key_positions],
+            bases=tuple(max(1, len(storage.domains[p])) for p in key_positions),
+            packed_keys=np.zeros(0, dtype=np.int64),
+            totals=np.zeros(0, dtype=np.int64),
+            max_total=0,
+        )
+        return {}, empty_index
+
+    # Exactness guard: bound every bucket total by n · Π (child max totals).
+    weight_bound = 1
+    for child_index in child_indexes:
+        weight_bound *= child_index.max_total
+    if n * weight_bound >= _INT64_SAFE:
+        return None
+
+    # Step 3+4 fused: one stable lexsort by (key columns, layer value).
+    value_codes = storage.codes[value_position]
+    sort_columns = (-value_codes if descending else value_codes,) + tuple(
+        storage.codes[p] for p in reversed(key_positions)
+    )
+    order = np.lexsort(sort_columns)
+    sorted_codes = [column[order] for column in storage.codes]
+
+    # Group boundaries: a new bucket starts where any key column changes.
+    if key_positions:
+        change = np.zeros(n, dtype=bool)
+        change[0] = True
+        for p in key_positions:
+            column = sorted_codes[p]
+            change[1:] |= column[1:] != column[:-1]
+        group_starts = np.flatnonzero(change)
+    else:
+        group_starts = np.zeros(1, dtype=np.int64)
+    group_ends = np.append(group_starts[1:], n)
+
+    # Step 5: vectorized counting DP (weights, prefix sums, bucket totals).
+    weights = np.ones(n, dtype=np.int64)
+    for child_index, positions in zip(child_indexes, child_key_positions):
+        totals = _child_totals_vectorized(child_index, storage, sorted_codes, positions)
+        if totals is None:
+            return None
+        weights *= totals
+    ends_global = np.cumsum(weights)
+    starts_global = ends_global - weights
+    base = np.repeat(starts_global[group_starts], group_ends - group_starts)
+    starts = (starts_global - base).tolist()
+    ends = (ends_global - base).tolist()
+    weights_list = weights.tolist()
+
+    # Decode once, column-wise, back to the original Python values.
+    decoded = [
+        storage.domains[j][sorted_codes[j]] for j in range(arity)
+    ]
+    rows_all: List[Tuple] = list(zip(*decoded)) if arity else [()] * n
+    if descending:
+        layer_values_all = [_order_key(v, True) for v in decoded[value_position].tolist()]
+    else:
+        layer_values_all = decoded[value_position].tolist()
+
+    buckets: Dict[Tuple, Bucket] = {}
+    totals_per_bucket: List[int] = []
+    max_total = 0
+    for s, e in zip(group_starts.tolist(), group_ends.tolist()):
+        first = rows_all[s]
+        key = tuple(first[p] for p in key_positions)
+        total = ends[e - 1]
+        buckets[key] = Bucket(
+            key=key,
+            tuples=rows_all[s:e],
+            weights=weights_list[s:e],
+            starts=starts[s:e],
+            ends=ends[s:e],
+            layer_values=layer_values_all[s:e],
+            total=total,
+        )
+        totals_per_bucket.append(total)
+        if total > max_total:
+            max_total = total
+
+    # Lookup index for the parent layer: packed bucket keys are ascending
+    # because rows are key-sorted and the packing is order-preserving.
+    bases = tuple(max(1, len(storage.domains[p])) for p in key_positions)
+    if key_positions:
+        packed = pack_codes([sorted_codes[p][group_starts] for p in key_positions], bases)
+    else:
+        packed = np.zeros(1, dtype=np.int64)
+    if packed is None:
+        columnar_index = None
+    else:
+        columnar_index = _ColumnarLayerIndex(
+            key_indexes=[storage.domain_index(p) for p in key_positions],
+            bases=bases,
+            packed_keys=packed,
+            totals=np.asarray(totals_per_bucket, dtype=np.int64),
+            max_total=max_total,
+        )
+    return buckets, columnar_index
 
 
 def preprocess(
@@ -183,29 +463,20 @@ def preprocess(
             tuple(schema.index(v) for v in child.key_variables) for child in child_layers
         ]
 
-        buckets: Dict[Tuple, Bucket] = {}
-        grouped: Dict[Tuple, List[Tuple]] = {}
-        for row in relation:
-            key = tuple(row[p] for p in key_positions)
-            grouped.setdefault(key, []).append(row)
-
-        for key, rows in grouped.items():
-            rows.sort(key=lambda r: _order_key(r[value_position], descending))
-            bucket = Bucket(key=key, tuples=rows)
-            running = 0
-            for row in rows:
-                weight = 1
-                for child, positions in zip(child_layers, child_key_positions):
-                    child_key = tuple(row[p] for p in positions)
-                    child_bucket = child.bucket(child_key)
-                    weight *= child_bucket.total if child_bucket is not None else 0
-                bucket.weights.append(weight)
-                bucket.starts.append(running)
-                running += weight
-                bucket.ends.append(running)
-                bucket.layer_values.append(_order_key(row[value_position], descending))
-            bucket.total = running
-            buckets[key] = bucket
+        columnar_index: Optional[_ColumnarLayerIndex] = None
+        buckets: Optional[Dict[Tuple, Bucket]] = None
+        if HAS_NUMPY:
+            built = _build_layer_columnar(
+                relation, value_position, key_positions, descending,
+                child_layers, child_key_positions,
+            )
+            if built is not None:
+                buckets, columnar_index = built
+        if buckets is None:
+            buckets = _build_layer_rowwise(
+                relation, value_position, key_positions, descending,
+                child_layers, child_key_positions,
+            )
 
         layer_data[layer.index] = LayerData(
             index=layer.index,
@@ -217,6 +488,7 @@ def preprocess(
             buckets=buckets,
             value_position=value_position,
             key_positions=key_positions,
+            columnar=columnar_index,
         )
 
     return PreprocessedInstance(query, order, tree, layer_data)

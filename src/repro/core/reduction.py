@@ -71,7 +71,8 @@ def reduce_database_over_query(query: ConjunctiveQuery, database: Database) -> L
         if atom is None:  # pragma: no cover - GYO nodes come from atoms
             raise QueryStructureError(f"no atom matches join-tree node {set(node_vars)}")
         base = database.relation(atom.relation)
-        renamed = Relation(atom.relation, atom.variables, base.rows)
+        # Positional rename shares the base storage (backend preserved).
+        renamed = base.renamed_to(atom.relation, atom.variables)
         node_relations.append(renamed.distinct())
 
     reduced_nodes = full_reducer(tree, node_relations)
@@ -85,7 +86,7 @@ def reduce_database_over_query(query: ConjunctiveQuery, database: Database) -> L
     result = []
     for atom in query.atoms:
         reduced = by_vars[atom.variable_set]
-        result.append(Relation(atom.relation, atom.variables, reduced.project(atom.variables).rows))
+        result.append(reduced.project(atom.variables, name=atom.relation))
     return result
 
 

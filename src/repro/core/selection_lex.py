@@ -50,19 +50,29 @@ def value_histogram(query: ConjunctiveQuery, database: Database, variable: str) 
     # an atom with that exact variable set.
     node_relations: List[Relation] = []
     active_domain: Dict[object, None] = {}
+    domain_backend = "row"
     for atom in query.atoms:
         if variable in atom.variable_set:
             relation = database.relation(atom.relation)
+            domain_backend = relation.backend
             for value in relation.values_of(variable):
                 active_domain.setdefault(value, None)
     for node_id in range(len(tree)):
         node_vars = tree.node(node_id)
         if node_vars == unary:
-            node_relations.append(Relation("__domain__", (variable,), [(v,) for v in active_domain]))
+            node_relations.append(
+                Relation(
+                    "__domain__",
+                    (variable,),
+                    [(v,) for v in active_domain],
+                    backend=domain_backend,
+                )
+            )
             continue
         atom = next(a for a in query.atoms if a.variable_set == node_vars)
         base = database.relation(atom.relation)
-        node_relations.append(Relation(atom.relation, atom.variables, base.rows).distinct())
+        # Positional rename keeps the base relation's storage backend.
+        node_relations.append(base.renamed_to(atom.relation, atom.variables).distinct())
 
     reduced = full_reducer(tree, node_relations)
 
@@ -115,6 +125,7 @@ def selection_lex(
     k: int,
     fds=None,
     enforce_tractability: bool = True,
+    backend: Optional[str] = None,
 ) -> Tuple:
     """Return the ``k``-th answer (0-based) of ``query`` on ``database`` under ``order``.
 
@@ -126,6 +137,8 @@ def selection_lex(
     and :class:`IntractableQueryError` when the query is not free-connex
     (Theorem 6.1's hard side).
     """
+    if backend is not None:
+        database = database.to_backend(backend)
     classification = classify_selection_lex(query, order, fds=fds)
     if enforce_tractability and classification.verdict == "intractable":
         raise IntractableQueryError(

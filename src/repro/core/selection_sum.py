@@ -140,6 +140,7 @@ def selection_sum(
     weights: Optional[Weights] = None,
     fds=None,
     enforce_tractability: bool = True,
+    backend: Optional[str] = None,
 ) -> Tuple:
     """Return the ``k``-th answer (0-based) ordered by sum of attribute weights.
 
@@ -149,6 +150,8 @@ def selection_sum(
     tractable class of Theorem 7.3 and :class:`OutOfBoundsError` for invalid
     indexes.
     """
+    if backend is not None:
+        database = database.to_backend(backend)
     weights = weights if weights is not None else Weights.identity()
     classification = classify_selection_sum(query, fds=fds)
     if enforce_tractability and classification.verdict == "intractable":

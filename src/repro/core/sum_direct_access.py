@@ -43,7 +43,10 @@ class SumDirectAccess:
         weights: Optional[Weights] = None,
         fds=None,
         enforce_tractability: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None:
+            database = database.to_backend(backend)
         self._original_query = query
         self.weights = weights if weights is not None else Weights.identity()
         self.classification = classify_direct_access_sum(query, fds=fds)

@@ -1,0 +1,30 @@
+"""Pluggable storage backends for relations (row tuples vs NumPy columns)."""
+
+from repro.engine.backends.base import (
+    BackendUnavailableError,
+    Storage,
+    available_backends,
+    backend_available,
+    build_storage,
+    get_default_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.engine.backends.row import RowStorage
+from repro.engine.backends.columnar import HAS_NUMPY, ColumnarStorage
+
+__all__ = [
+    "BackendUnavailableError",
+    "ColumnarStorage",
+    "HAS_NUMPY",
+    "RowStorage",
+    "Storage",
+    "available_backends",
+    "backend_available",
+    "build_storage",
+    "get_default_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,361 @@
+"""The columnar backend: dictionary-encoded NumPy arrays.
+
+Every column of a relation is stored as
+
+* ``codes`` — an ``int64`` array of dictionary codes, one entry per row, and
+* ``domain`` — an object-dtype array of the distinct column values, sorted
+  ascending with Python's own comparison semantics.
+
+Because the domain is sorted, *code order equals value order*: sorting,
+grouping and binary searching can run entirely on the integer codes and still
+agree byte-for-byte with the row backend's tuple comparisons.  Decoding is a
+single fancy-indexing pass per column, and it returns the original Python
+objects (the domain array holds references, not converted scalars), so
+answers produced through this backend are identical to the row backend's.
+
+The module also hosts the vectorized relational kernels used by
+:mod:`repro.engine.operators` (semi-join, natural join, grouping) and by the
+preprocessing fast path.  Each kernel returns ``None`` when it cannot handle
+an input (cross-backend operands, unencodable values, key spaces too large to
+pack); callers then fall back to the row implementation, so the kernels are
+pure accelerators, never semantic forks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.backends.base import Row, Storage, register_backend
+
+try:  # NumPy is an optional dependency (the `[columnar]` extra).
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+HAS_NUMPY = _np is not None
+
+#: Packed multi-column keys must stay below this bound to live in int64.
+_PACK_LIMIT = 2 ** 62
+
+
+class ColumnEncodingError(ValueError):
+    """Raised when a column cannot be dictionary-encoded (builder falls back)."""
+
+
+def _encode_column(values: Sequence) -> Tuple["_np.ndarray", "_np.ndarray"]:
+    """Dictionary-encode one column; raises :class:`ColumnEncodingError`.
+
+    The domain is sorted with Python comparisons so that code order equals
+    value order.  Rejected (the relation then falls back to row storage):
+    unhashable or mutually incomparable values, and columns mixing distinct
+    representations of ``==``-equal values (``True`` vs ``1``, ``1`` vs
+    ``1.0``, ``-0.0`` vs ``0.0``) — decoding those would canonicalize values
+    and break the byte-identical-answers contract.
+    """
+    try:
+        domain = sorted(set(values))
+    except TypeError as exc:
+        raise ColumnEncodingError(str(exc)) from None
+    for value in domain:
+        if value != value:  # NaN: comparisons return False instead of raising,
+            # so sorted() cannot order the domain — fall back to row storage.
+            raise ColumnEncodingError("column contains NaN (no total order)")
+    index = {value: code for code, value in enumerate(domain)}
+
+    # For these types, same-type equality implies an identical repr — except
+    # float signed zero, which gets its own check — so decoding the set's
+    # representative cannot change the value's observable representation.
+    exact_types = (int, str, float, bool, bytes)
+
+    def codes_checked():
+        for value in values:
+            code = index[value]
+            representative = domain[code]
+            if representative is not value:
+                value_type = type(value)
+                if value_type is not type(representative):
+                    raise ColumnEncodingError(
+                        f"mixed representations of equal values: "
+                        f"{representative!r} vs {value!r}"
+                    )
+                if value_type is float:
+                    if value == 0.0 and str(representative) != str(value):
+                        raise ColumnEncodingError("column mixes -0.0 and 0.0")
+                elif value_type not in exact_types and repr(representative) != repr(value):
+                    # e.g. Decimal('1.0') vs Decimal('1.00'): == holds but the
+                    # representative is distinguishable from the original.
+                    raise ColumnEncodingError(
+                        f"equal values with distinguishable representations: "
+                        f"{representative!r} vs {value!r}"
+                    )
+            yield code
+
+    codes = _np.fromiter(codes_checked(), dtype=_np.int64, count=len(values))
+    domain_array = _np.empty(len(domain), dtype=object)
+    domain_array[:] = domain
+    return codes, domain_array
+
+
+class ColumnarStorage(Storage):
+    """Dictionary-encoded columnar storage of one relation."""
+
+    backend_name = "columnar"
+
+    __slots__ = ("codes", "domains", "length", "_materialized", "_domain_indexes")
+
+    def __init__(
+        self,
+        codes: List["_np.ndarray"],
+        domains: List["_np.ndarray"],
+        length: int,
+    ) -> None:
+        self.codes = codes
+        self.domains = domains
+        self.length = length
+        self._materialized: Optional[List[Row]] = None
+        self._domain_indexes: List[Optional[Dict[object, int]]] = [None] * len(codes)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: List[Row], arity: int) -> Storage:
+        """Encode materialized rows; falls back to row storage when impossible."""
+        from repro.engine.backends.row import RowStorage
+
+        if _np is None:
+            return RowStorage(rows)
+        columns = list(zip(*rows)) if rows else [() for _ in range(arity)]
+        codes: List[_np.ndarray] = []
+        domains: List[_np.ndarray] = []
+        try:
+            for values in columns:
+                column_codes, domain = _encode_column(values)
+                codes.append(column_codes)
+                domains.append(domain)
+        except ColumnEncodingError:
+            return RowStorage(rows)
+        storage = cls(codes, domains, len(rows))
+        storage._materialized = rows
+        return storage
+
+    # ------------------------------------------------------------------
+    # Storage interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.length
+
+    def column_count(self) -> int:
+        return len(self.codes)
+
+    def materialize(self) -> List[Row]:
+        if self._materialized is None:
+            if not self.codes:  # nullary relation: rows are empty tuples
+                self._materialized = [()] * self.length
+            else:
+                decoded = [domain[col] for domain, col in zip(self.domains, self.codes)]
+                self._materialized = list(zip(*decoded)) if self.length else []
+        return self._materialized
+
+    def take(self, indices) -> "ColumnarStorage":
+        idx = _np.asarray(indices, dtype=_np.int64)
+        return ColumnarStorage([col[idx] for col in self.codes], list(self.domains), len(idx))
+
+    def project(self, positions: Sequence[int]) -> "ColumnarStorage":
+        positions = list(positions)
+        return ColumnarStorage(
+            [self.codes[p] for p in positions],
+            [self.domains[p] for p in positions],
+            self.length,
+        )
+
+    def distinct(self) -> "ColumnarStorage":
+        if self.length == 0 or not self.codes:
+            if not self.codes and self.length > 0:
+                return ColumnarStorage([], [], 1)
+            return self
+        keys = self.row_keys(range(len(self.codes)))
+        _, first = _np.unique(keys, return_index=True)
+        first.sort()
+        return self.take(first)
+
+    def select_equals(self, conditions: Sequence[Tuple[int, object]]) -> "ColumnarStorage":
+        mask = _np.ones(self.length, dtype=bool)
+        for position, value in conditions:
+            try:
+                code = self.domain_index(position).get(value)
+            except TypeError:  # unhashable comparison value: matches nothing
+                code = None
+            if code is None:
+                mask[:] = False
+                break
+            mask &= self.codes[position] == code
+        return self.take(_np.flatnonzero(mask))
+
+    def sort_lex(self, positions: Sequence[int]) -> "ColumnarStorage":
+        positions = list(positions)
+        if not positions or self.length == 0:
+            return self
+        order = _np.lexsort(tuple(self.codes[p] for p in reversed(positions)))
+        return self.take(order)
+
+    # ------------------------------------------------------------------
+    # Columnar-specific helpers
+    # ------------------------------------------------------------------
+    def domain_index(self, position: int) -> Dict[object, int]:
+        """Cached ``value -> code`` mapping for one column."""
+        index = self._domain_indexes[position]
+        if index is None:
+            index = {value: code for code, value in enumerate(self.domains[position].tolist())}
+            self._domain_indexes[position] = index
+        return index
+
+    def row_keys(self, positions: Sequence[int]) -> "_np.ndarray":
+        """A 1D array identifying each row by its values at ``positions``.
+
+        Prefers order-preserving int64 packing; when the combined key space
+        does not fit, falls back to a byte-view key that is equality-correct
+        but not order-correct (fine for dedup/semi-join/grouping-by-hash).
+        """
+        positions = list(positions)
+        if not positions:
+            return _np.zeros(self.length, dtype=_np.int64)
+        sizes = [max(1, len(self.domains[p])) for p in positions]
+        packed = pack_codes([self.codes[p] for p in positions], sizes)
+        if packed is not None:
+            return packed
+        stacked = _np.ascontiguousarray(
+            _np.stack([self.codes[p] for p in positions], axis=1)
+        )
+        return stacked.view([("", stacked.dtype)] * stacked.shape[1]).ravel()
+
+
+def pack_codes(
+    columns: Sequence["_np.ndarray"], sizes: Sequence[int]
+) -> Optional["_np.ndarray"]:
+    """Pack per-column codes into one int64 key, preserving lexicographic order.
+
+    ``sizes[i]`` must exceed every code in ``columns[i]``.  Returns ``None``
+    when the combined key space does not fit in an int64.
+    """
+    space = 1
+    for size in sizes:
+        space *= max(1, size)
+    if space >= _PACK_LIMIT:
+        return None
+    packed = columns[0].copy()
+    for column, size in zip(columns[1:], sizes[1:]):
+        packed *= size
+        packed += column
+    return packed
+
+
+def translation_table(
+    source_domain: "_np.ndarray", target_index: Dict[object, int]
+) -> "_np.ndarray":
+    """Per-source-code target codes (``-1`` where the value is absent)."""
+    return _np.fromiter(
+        (target_index.get(value, -1) for value in source_domain.tolist()),
+        dtype=_np.int64,
+        count=len(source_domain),
+    )
+
+
+def _joint_keys(
+    left: ColumnarStorage,
+    left_positions: Sequence[int],
+    right: ColumnarStorage,
+    right_positions: Sequence[int],
+) -> Optional[Tuple["_np.ndarray", "_np.ndarray", "_np.ndarray"]]:
+    """Join keys of both sides in the *left* code space.
+
+    Returns ``(left_keys, right_keys, right_rows)`` where ``right_rows`` are
+    the indices of the right rows whose key values all exist in the left
+    domains (other rows cannot join).  ``None`` when packing is impossible.
+    """
+    if not left_positions:
+        zeros_left = _np.zeros(len(left), dtype=_np.int64)
+        zeros_right = _np.zeros(len(right), dtype=_np.int64)
+        return zeros_left, zeros_right, _np.arange(len(right), dtype=_np.int64)
+
+    translated: List[_np.ndarray] = []
+    valid = _np.ones(len(right), dtype=bool)
+    for lp, rp in zip(left_positions, right_positions):
+        table = translation_table(right.domains[rp], left.domain_index(lp))
+        mapped = table[right.codes[rp]]
+        valid &= mapped >= 0
+        translated.append(_np.maximum(mapped, 0))
+    right_rows = _np.flatnonzero(valid)
+
+    sizes = [max(1, len(left.domains[p])) for p in left_positions]
+    left_keys = pack_codes([left.codes[p] for p in left_positions], sizes)
+    right_keys = pack_codes([col[right_rows] for col in translated], sizes)
+    if left_keys is None or right_keys is None:
+        return None
+    return left_keys, right_keys, right_rows
+
+
+def semijoin_indices(
+    left: ColumnarStorage,
+    left_positions: Sequence[int],
+    right: ColumnarStorage,
+    right_positions: Sequence[int],
+) -> Optional["_np.ndarray"]:
+    """Indices of left rows with a join partner in ``right`` (left order)."""
+    keys = _joint_keys(left, left_positions, right, right_positions)
+    if keys is None:
+        return None
+    left_keys, right_keys, _ = keys
+    return _np.flatnonzero(_np.isin(left_keys, right_keys))
+
+
+def join_indices(
+    left: ColumnarStorage,
+    left_positions: Sequence[int],
+    right: ColumnarStorage,
+    right_positions: Sequence[int],
+) -> Optional[Tuple["_np.ndarray", "_np.ndarray"]]:
+    """Matching row-index pairs of a natural join, in the row backend's order.
+
+    The result enumerates, for each left row in order, its right matches in
+    right-row order — exactly the order the row backend's hash join emits.
+    """
+    keys = _joint_keys(left, left_positions, right, right_positions)
+    if keys is None:
+        return None
+    left_keys, right_keys, right_rows = keys
+
+    order = _np.argsort(right_keys, kind="stable")
+    sorted_right_keys = right_keys[order]
+    lo = _np.searchsorted(sorted_right_keys, left_keys, side="left")
+    hi = _np.searchsorted(sorted_right_keys, left_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    left_index = _np.repeat(_np.arange(len(left), dtype=_np.int64), counts)
+    group_offsets = _np.repeat(_np.cumsum(counts) - counts, counts)
+    within = _np.arange(total, dtype=_np.int64) - group_offsets
+    right_index = right_rows[order[_np.repeat(lo, counts) + within]]
+    return left_index, right_index
+
+
+def group_first_and_counts(
+    storage: ColumnarStorage, positions: Sequence[int]
+) -> Optional[Tuple["_np.ndarray", "_np.ndarray"]]:
+    """First-occurrence row index and multiplicity of each distinct key."""
+    if len(storage) == 0:
+        empty = _np.zeros(0, dtype=_np.int64)
+        return empty, empty
+    keys = storage.row_keys(positions)
+    _, first, counts = _np.unique(keys, return_index=True, return_counts=True)
+    seen_order = _np.argsort(first, kind="stable")
+    return first[seen_order], counts[seen_order]
+
+
+if HAS_NUMPY:
+    register_backend("columnar", ColumnarStorage.from_rows, available=lambda: True)
+else:  # registered but unavailable: requesting it raises a clear error
+    register_backend(
+        "columnar",
+        lambda rows, arity: (_ for _ in ()).throw(RuntimeError("NumPy missing")),
+        available=lambda: False,
+    )

@@ -13,15 +13,21 @@ class Database:
 
     The paper measures complexity in the total number of tuples ``n``
     (:meth:`size`).  Databases are immutable value objects like relations.
+
+    ``backend`` (optional) converts every relation to the named storage
+    backend on construction; relations already on that backend are adopted
+    as-is.  See :mod:`repro.engine.backends`.
     """
 
     __slots__ = ("_relations",)
 
-    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+    def __init__(self, relations: Iterable[Relation] = (), backend: Optional[str] = None) -> None:
         mapping: Dict[str, Relation] = {}
         for relation in relations:
             if relation.name in mapping:
                 raise SchemaError(f"duplicate relation name {relation.name!r}")
+            if backend is not None:
+                relation = relation.to_backend(backend)
             mapping[relation.name] = relation
         self._relations = mapping
 
@@ -58,6 +64,18 @@ class Database:
         parts = ", ".join(f"{name}({len(rel)})" for name, rel in self._relations.items())
         return f"Database({parts})"
 
+    @property
+    def backend(self) -> str:
+        """The common storage backend of all relations, or ``"mixed"``."""
+        names = {relation.backend for relation in self._relations.values()}
+        if len(names) == 1:
+            return next(iter(names))
+        return "mixed" if names else "row"
+
+    def to_backend(self, backend: Optional[str]) -> "Database":
+        """A copy with every relation converted to the given backend."""
+        return Database(relation.to_backend(backend) for relation in self._relations.values())
+
     # ------------------------------------------------------------------
     # Functional updates
     # ------------------------------------------------------------------
@@ -87,6 +105,13 @@ class Database:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_dict(cls, data: Mapping[str, Tuple[Sequence[str], Iterable[Sequence]]]) -> "Database":
+    def from_dict(
+        cls,
+        data: Mapping[str, Tuple[Sequence[str], Iterable[Sequence]]],
+        backend: Optional[str] = None,
+    ) -> "Database":
         """Build a database from ``{name: (attributes, rows)}``."""
-        return cls(Relation(name, attrs, rows) for name, (attrs, rows) in data.items())
+        return cls(
+            Relation(name, attrs, rows, backend=backend)
+            for name, (attrs, rows) in data.items()
+        )

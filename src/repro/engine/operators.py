@@ -4,12 +4,23 @@ These are the building blocks the Yannakakis reducer, the naive oracle
 evaluator, and the preprocessing phases are composed of: natural hash joins,
 semi-joins, projections, equality selections and grouping counts.  Joins are
 *natural*: attributes with the same name are join attributes.
+
+Every operator has two execution paths.  When both operands live on the
+columnar backend, the join/semi-join/grouping work runs vectorized on the
+dictionary codes (sorted-array probes via :mod:`repro.engine.backends.columnar`)
+and the output relation is assembled column-wise without ever materializing
+intermediate Python tuples.  Otherwise — or when a vectorized kernel declines
+an input (e.g. a key space too wide to pack) — the original row-at-a-time
+implementation runs.  Both paths produce identical relations, rows in
+identical order.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.engine.backends import HAS_NUMPY, ColumnarStorage
+from repro.engine.backends import columnar as col
 from repro.engine.relation import Relation, Row
 
 
@@ -25,6 +36,29 @@ def _key_of(row: Row, positions: Sequence[int]) -> Tuple:
     return tuple(row[p] for p in positions)
 
 
+def _both_columnar(left: Relation, right: Relation) -> bool:
+    return (
+        HAS_NUMPY
+        and isinstance(left.storage, ColumnarStorage)
+        and isinstance(right.storage, ColumnarStorage)
+    )
+
+
+def _concat_columnar(
+    name: str,
+    attributes: Tuple[str, ...],
+    left_part: ColumnarStorage,
+    right_part: ColumnarStorage,
+) -> Relation:
+    """Assemble an output relation from two equally-long column blocks."""
+    storage = ColumnarStorage(
+        left_part.codes + right_part.codes,
+        left_part.domains + right_part.domains,
+        len(left_part),
+    )
+    return Relation._from_storage(name, attributes, storage)
+
+
 def hash_join(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
     """Natural hash join of two relations.
 
@@ -37,6 +71,19 @@ def hash_join(left: Relation, right: Relation, name: Optional[str] = None) -> Re
     right_key = _key_positions(right, shared)
     extra_attrs = tuple(a for a in right.attributes if not left.has_attribute(a))
     extra_positions = tuple(right.position(a) for a in extra_attrs)
+    out_name = name or f"({left.name}⋈{right.name})"
+    out_attrs = left.attributes + extra_attrs
+
+    if _both_columnar(left, right):
+        pair = col.join_indices(left.storage, left_key, right.storage, right_key)
+        if pair is not None:
+            left_index, right_index = pair
+            return _concat_columnar(
+                out_name,
+                out_attrs,
+                left.storage.take(left_index),
+                right.storage.project(extra_positions).take(right_index),
+            )
 
     index: Dict[Tuple, List[Row]] = {}
     for row in right:
@@ -46,20 +93,35 @@ def hash_join(left: Relation, right: Relation, name: Optional[str] = None) -> Re
     for row in left:
         for match in index.get(_key_of(row, left_key), ()):  # type: ignore[arg-type]
             out_rows.append(row + tuple(match[p] for p in extra_positions))
-    return Relation(name or f"({left.name}⋈{right.name})", left.attributes + extra_attrs, out_rows)
+    return Relation(out_name, out_attrs, out_rows, backend=left.backend)
 
 
 def semijoin(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
     """Left semi-join: rows of ``left`` that agree with some row of ``right``."""
     shared = _shared_attributes(left, right)
     if not shared:
-        kept = list(left.rows) if len(right) > 0 else []
-        return Relation(name or left.name, left.attributes, kept)
+        if len(right) > 0:
+            return left if name is None else left.rename(name)
+        return Relation._from_storage(
+            name or left.name, left.attributes, left.storage.take([])
+        )
     left_key = _key_positions(left, shared)
     right_key = _key_positions(right, shared)
+
+    if _both_columnar(left, right):
+        kept = col.semijoin_indices(left.storage, left_key, right.storage, right_key)
+        if kept is not None:
+            return Relation._from_storage(
+                name or left.name, left.attributes, left.storage.take(kept)
+            )
+
     present = {_key_of(row, right_key) for row in right}
-    kept = [row for row in left if _key_of(row, left_key) in present]
-    return Relation(name or left.name, left.attributes, kept)
+    kept = [
+        i for i, row in enumerate(left) if _key_of(row, left_key) in present
+    ]
+    return Relation._from_storage(
+        name or left.name, left.attributes, left.storage.take(kept)
+    )
 
 
 def project(relation: Relation, attributes: Sequence[str], name: Optional[str] = None) -> Relation:
@@ -75,6 +137,14 @@ def select_equals(relation: Relation, assignment: Mapping[str, object], name: Op
 def group_counts(relation: Relation, attributes: Sequence[str]) -> Dict[Tuple, int]:
     """Number of rows per distinct value combination of ``attributes``."""
     positions = _key_positions(relation, attributes)
+
+    if HAS_NUMPY and isinstance(relation.storage, ColumnarStorage):
+        grouped = col.group_first_and_counts(relation.storage, positions)
+        if grouped is not None:
+            first, multiplicities = grouped
+            keys = relation.storage.project(positions).take(first).materialize()
+            return dict(zip(keys, multiplicities.tolist()))
+
     counts: Dict[Tuple, int] = {}
     for row in relation:
         key = _key_of(row, positions)
@@ -87,5 +157,19 @@ def cross_product(left: Relation, right: Relation, name: Optional[str] = None) -
     overlapping = _shared_attributes(left, right)
     if overlapping:
         raise ValueError(f"cross_product requires disjoint schemas; shared: {overlapping}")
+    out_name = name or f"({left.name}×{right.name})"
+    out_attrs = left.attributes + right.attributes
+
+    if _both_columnar(left, right):
+        pair = col.join_indices(left.storage, (), right.storage, ())
+        if pair is not None:
+            left_index, right_index = pair
+            return _concat_columnar(
+                out_name,
+                out_attrs,
+                left.storage.take(left_index),
+                right.storage.take(right_index),
+            )
+
     rows = [l + r for l in left for r in right]
-    return Relation(name or f"({left.name}×{right.name})", left.attributes + right.attributes, rows)
+    return Relation(out_name, out_attrs, rows, backend=left.backend)

@@ -6,6 +6,11 @@ semi-join sweeps over a join tree (leaves-to-root, then root-to-leaves).  After
 the reduction, every remaining tuple of every relation extends to at least one
 answer, which is exactly the guarantee the paper's preprocessing phase relies
 on (Section 3.1, step 2) and the reduction of Proposition 2.3 requires.
+
+Both sweeps are expressed in terms of :func:`~repro.engine.operators.semijoin`,
+which dispatches on the operands' storage backend: on the columnar backend the
+per-tuple dict probes become vectorized sorted-array membership tests, so the
+reducer inherits the backend of its input relations with no code changes here.
 """
 
 from __future__ import annotations
@@ -62,8 +67,9 @@ def acyclic_full_join(tree: JoinTree, relations: Sequence[Relation], name: str =
         for child in tree.children(node_id):
             current = hash_join(current, joined[child])
         joined[node_id] = current
-    result = joined[tree.root]
-    return Relation(name, result.attributes, result.rows)
+    # Rename rather than rebuild: the result keeps the storage backend the
+    # semi-join sweeps and joins produced (columnar stays columnar).
+    return joined[tree.root].rename(name)
 
 
 def is_globally_consistent(tree: JoinTree, relations: Sequence[Relation]) -> bool:

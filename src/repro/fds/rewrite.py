@@ -72,7 +72,8 @@ def extend_database(
     current_relations: Dict[str, Relation] = {}
     for atom in query.atoms:
         base = database.relation(atom.relation)
-        current_relations[atom.relation] = Relation(atom.relation, atom.variables, base.rows)
+        # Positional rename keeps the base relation's storage backend.
+        current_relations[atom.relation] = base.renamed_to(atom.relation, atom.variables)
 
     target_schema: Dict[str, Tuple[str, ...]] = {
         a.relation: a.variables for a in extended_query.atoms

@@ -47,7 +47,10 @@ class SumRankedEnumerator:
         query: ConjunctiveQuery,
         database: Database,
         weights: Optional[Weights] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        if backend is not None:
+            database = database.to_backend(backend)
         self.weights = weights if weights is not None else Weights.identity()
         self._original_free = query.free_variables
 
@@ -75,8 +78,9 @@ class SumRankedEnumerator:
             node_vars = self._tree.node(node_id)
             atom = next(a for a in self._query.atoms if a.variable_set == node_vars)
             self._node_atoms.append(atom)
-            base = database_relation = reduction.database.relation(atom.relation)
-            node_relations.append(Relation(atom.relation, atom.variables, base.rows).distinct())
+            base = reduction.database.relation(atom.relation)
+            # Positional rename keeps the base relation's storage backend.
+            node_relations.append(base.renamed_to(atom.relation, atom.variables).distinct())
         self._relations = full_reducer(self._tree, node_relations)
 
         # Charge each free variable to the first node (in preorder) containing it.

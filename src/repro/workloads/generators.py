@@ -4,6 +4,11 @@ All generators take an explicit ``seed`` so that every experiment is
 reproducible.  Sizes are expressed in tuples per relation; domains can be dense
 (many joins, large answer sets) or sparse (few joins), controlled by the
 ``domain`` parameter relative to the relation size.
+
+Every database generator also accepts a ``backend`` keyword selecting the
+storage backend of the generated relations (``"row"`` / ``"columnar"``;
+``None`` keeps the process default), so benchmark harnesses can build the same
+instance side by side on both backends.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ def generate_path_database(
     seed: Optional[int] = 0,
     relation_names: Optional[Sequence[str]] = None,
     variable_names: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> Database:
     """A database for a path join ``R1(x1,x2), R2(x2,x3), …`` of the given length.
 
@@ -45,7 +51,12 @@ def generate_path_database(
             (rng.randrange(domain), rng.randrange(domain)) for _ in range(num_tuples)
         }
         relations.append(
-            Relation(relation_names[i], (variable_names[i], variable_names[i + 1]), sorted(rows))
+            Relation(
+                relation_names[i],
+                (variable_names[i], variable_names[i + 1]),
+                sorted(rows),
+                backend=backend,
+            )
         )
     return Database(relations)
 
@@ -55,6 +66,7 @@ def generate_star_database(
     domain: int,
     branches: int = 3,
     seed: Optional[int] = 0,
+    backend: Optional[str] = None,
 ) -> Database:
     """A star join: ``R1(c, x1), R2(c, x2), …`` sharing the centre variable ``c``."""
     rng = _rng(seed)
@@ -63,7 +75,9 @@ def generate_star_database(
         rows = {
             (rng.randrange(domain), rng.randrange(domain)) for _ in range(num_tuples)
         }
-        relations.append(Relation(f"R{i + 1}", ("c", f"x{i + 1}"), sorted(rows)))
+        relations.append(
+            Relation(f"R{i + 1}", ("c", f"x{i + 1}"), sorted(rows), backend=backend)
+        )
     return Database(relations)
 
 
@@ -71,12 +85,15 @@ def generate_product_database(
     num_tuples: int,
     domain: int,
     seed: Optional[int] = 0,
+    backend: Optional[str] = None,
 ) -> Database:
     """Two unary relations for the Cartesian product / ``X + Y`` query."""
     rng = _rng(seed)
     xs = sorted({(rng.randrange(domain),) for _ in range(num_tuples)})
     ys = sorted({(rng.randrange(domain),) for _ in range(num_tuples)})
-    return Database([Relation("R", ("x",), xs), Relation("S", ("y",), ys)])
+    return Database(
+        [Relation("R", ("x",), xs, backend=backend), Relation("S", ("y",), ys, backend=backend)]
+    )
 
 
 def generate_visits_cases_database(
@@ -86,6 +103,7 @@ def generate_visits_cases_database(
     visits_per_person: int = 2,
     seed: Optional[int] = 0,
     single_report_per_city: bool = False,
+    backend: Optional[str] = None,
 ) -> Database:
     """Synthetic data for the introduction's ``Visits ⋈ Cases`` example.
 
@@ -114,8 +132,8 @@ def generate_visits_cases_database(
             )
     return Database(
         [
-            Relation("Visits", ("person", "age", "city"), sorted(visits_rows)),
-            Relation("Cases", ("city", "date", "cases"), sorted(cases_rows)),
+            Relation("Visits", ("person", "age", "city"), sorted(visits_rows), backend=backend),
+            Relation("Cases", ("city", "date", "cases"), sorted(cases_rows), backend=backend),
         ]
     )
 

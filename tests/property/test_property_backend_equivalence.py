@@ -1,0 +1,165 @@
+"""Property tests: the row and columnar backends are observationally equal.
+
+For random databases over a family of acyclic queries, every operation of the
+four dichotomy algorithms — direct access, inverted access, selection, and
+ranked enumeration — must return *identical* results (same tuples, same
+order, same exceptions) regardless of the storage backend.  This is the
+contract that makes the columnar backend a pure accelerator.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    LexDirectAccess,
+    LexOrder,
+    OutOfBoundsError,
+    Relation,
+    SumDirectAccess,
+    SumRankedEnumerator,
+    selection_lex,
+    selection_sum,
+)
+from repro.engine.backends import available_backends
+from repro.workloads import paper_queries as pq
+
+pytestmark = pytest.mark.skipif(
+    "columnar" not in available_backends(), reason="columnar backend requires NumPy"
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def relation_rows(arity, max_rows=12, domain=5, values=None):
+    cell = values if values is not None else st.integers(0, domain - 1)
+    return st.lists(st.tuples(*[cell] * arity), max_size=max_rows).map(
+        lambda rows: sorted(set(rows))
+    )
+
+
+@st.composite
+def two_path_instance(draw):
+    r = draw(relation_rows(2))
+    s = draw(relation_rows(2))
+    order_variables = draw(
+        st.sampled_from([("x", "y", "z"), ("y", "x", "z"), ("z", "y", "x")])
+    )
+    database = Database([Relation("R", ("x", "y"), r), Relation("S", ("y", "z"), s)])
+    return database, LexOrder(order_variables)
+
+
+@st.composite
+def star_instance(draw):
+    relations = [
+        Relation(f"R{i + 1}", ("c", f"x{i + 1}"), draw(relation_rows(2, max_rows=8, domain=4)))
+        for i in range(draw(st.integers(2, 3)))
+    ]
+    return Database(relations)
+
+
+@st.composite
+def string_two_path_instance(draw):
+    words = st.sampled_from(["ant", "bee", "cat", "dog", "elk", "fox"])
+    r = draw(relation_rows(2, max_rows=10, values=words))
+    s = draw(relation_rows(2, max_rows=10, values=words))
+    return Database([Relation("R", ("x", "y"), r), Relation("S", ("y", "z"), s)])
+
+
+def star_query(database):
+    atoms = [Atom(rel.name, rel.attributes) for rel in database]
+    head = tuple(dict.fromkeys(v for atom in atoms for v in atom.variables))
+    return ConjunctiveQuery(head, atoms, name="Qstar")
+
+
+SINGLE_ATOM = ConjunctiveQuery(("x", "y"), [Atom("R", ("x", "y"))], name="Qsingle")
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+class TestDirectAccessEquivalence:
+    @given(two_path_instance())
+    @settings(max_examples=50, deadline=None)
+    def test_access_and_inverted_access_agree(self, instance):
+        database, order = instance
+        row = LexDirectAccess(pq.TWO_PATH, database, order, backend="row")
+        columnar = LexDirectAccess(pq.TWO_PATH, database, order, backend="columnar")
+        assert row.count == columnar.count
+        assert list(row) == list(columnar)
+        for k in range(row.count):
+            answer = row.access(k)
+            assert columnar.access(k) == answer
+            assert columnar.inverted_access(answer) == row.inverted_access(answer) == k
+        with pytest.raises(OutOfBoundsError):
+            columnar.access(columnar.count)
+
+    @given(star_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_star_queries_agree(self, database):
+        query = star_query(database)
+        order = LexOrder(query.free_variables)
+        row = LexDirectAccess(query, database, order, backend="row")
+        columnar = LexDirectAccess(query, database, order, backend="columnar")
+        assert list(row) == list(columnar)
+
+    @given(string_two_path_instance())
+    @settings(max_examples=30, deadline=None)
+    def test_string_domains_and_descending_agree(self, database):
+        order = LexOrder(("x", "y", "z"), descending=("x",))
+        row = LexDirectAccess(pq.TWO_PATH, database, order, backend="row")
+        columnar = LexDirectAccess(pq.TWO_PATH, database, order, backend="columnar")
+        assert list(row) == list(columnar)
+        for k in range(row.count):
+            assert columnar.inverted_access(row.access(k)) == k
+
+
+class TestSumEquivalence:
+    @given(relation_rows(2, max_rows=15, domain=8))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_direct_access_agrees(self, rows):
+        database = Database([Relation("R", ("x", "y"), rows)])
+        row = SumDirectAccess(SINGLE_ATOM, database, backend="row")
+        columnar = SumDirectAccess(SINGLE_ATOM, database, backend="columnar")
+        assert list(row) == list(columnar)
+        for k in range(row.count):
+            assert row.answer_weight(k) == columnar.answer_weight(k)
+            assert columnar.inverted_access(row.access(k)) == k
+
+    @given(two_path_instance())
+    @settings(max_examples=25, deadline=None)
+    def test_ranked_enumeration_agrees(self, instance):
+        database, _ = instance
+        row = SumRankedEnumerator(pq.TWO_PATH, database, backend="row")
+        columnar = SumRankedEnumerator(pq.TWO_PATH, database, backend="columnar")
+        assert list(row) == list(columnar)
+
+
+class TestSelectionEquivalence:
+    @given(two_path_instance(), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_lex_agrees(self, instance, k):
+        database, order = instance
+        try:
+            expected = selection_lex(pq.TWO_PATH, database, order, k, backend="row")
+        except OutOfBoundsError:
+            with pytest.raises(OutOfBoundsError):
+                selection_lex(pq.TWO_PATH, database, order, k, backend="columnar")
+            return
+        assert selection_lex(pq.TWO_PATH, database, order, k, backend="columnar") == expected
+
+    @given(relation_rows(2, max_rows=15, domain=8), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_sum_agrees(self, rows, k):
+        database = Database([Relation("R", ("x", "y"), rows)])
+        try:
+            expected = selection_sum(SINGLE_ATOM, database, k, backend="row")
+        except OutOfBoundsError:
+            with pytest.raises(OutOfBoundsError):
+                selection_sum(SINGLE_ATOM, database, k, backend="columnar")
+            return
+        assert selection_sum(SINGLE_ATOM, database, k, backend="columnar") == expected

@@ -83,12 +83,18 @@ class TestDescendingOrders:
         for k in range(access.count):
             assert access.inverted_access(access[k]) == k
 
-    def test_non_numeric_descending_rejected(self):
+    def test_non_numeric_descending_supported(self):
+        # Descending components over non-numeric domains sort via a
+        # comparison-reversing wrapper (they used to raise WeightError).
         order = LexOrder(("v1", "v2", "v3", "v4"), descending=("v1",))
-        from repro.exceptions import WeightError
-
-        with pytest.raises(WeightError):
-            LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, order)  # values are strings
+        access = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, order)  # string values
+        ascending = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, LexOrder(("v1", "v2", "v3", "v4")))
+        # Stable double-sort oracle: ascending on all, then descending on v1.
+        expected = sorted(ascending)
+        expected.sort(key=lambda a: a[0], reverse=True)
+        assert list(access) == expected
+        for k in range(access.count):
+            assert access.inverted_access(access[k]) == k
 
 
 class TestConsistencyAcrossApis:

@@ -1,0 +1,192 @@
+"""Unit tests for the pluggable storage backends and backend selection."""
+
+import pytest
+
+from repro import Database, LexDirectAccess, LexOrder, Relation
+from repro.engine.backends import (
+    BackendUnavailableError,
+    available_backends,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.engine.operators import cross_product, group_counts, hash_join, semijoin
+from repro.workloads import paper_queries as pq
+
+HAS_COLUMNAR = "columnar" in available_backends()
+needs_columnar = pytest.mark.skipif(not HAS_COLUMNAR, reason="requires NumPy")
+
+R_ROWS = [(1, 5), (1, 2), (6, 2), (3, 3), (1, 5)]
+S_ROWS = [(5, 3), (5, 4), (2, 5), (9, 9)]
+
+
+def make_pair(backend):
+    return (
+        Relation("R", ("x", "y"), R_ROWS, backend=backend),
+        Relation("S", ("y", "z"), S_ROWS, backend=backend),
+    )
+
+
+class TestSelection:
+    def test_default_backend_honours_environment(self):
+        import os
+
+        expected = os.environ.get("REPRO_BACKEND", "").strip().lower() or "row"
+        if expected not in available_backends():
+            expected = "row"
+        assert get_default_backend() == expected
+        assert Relation("R", ("x",), [(1,)]).backend == expected
+
+    def test_resolve_unknown_backend_raises(self):
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend("arrow")
+
+    @needs_columnar
+    def test_set_default_backend_round_trip(self):
+        previous = set_default_backend("columnar")
+        try:
+            assert get_default_backend() == "columnar"
+            assert Relation("R", ("x",), [(1,)]).backend == "columnar"
+        finally:
+            set_default_backend(previous)
+
+    @needs_columnar
+    def test_to_backend_round_trip(self):
+        relation = Relation("R", ("x", "y"), R_ROWS)
+        columnar = relation.to_backend("columnar")
+        assert columnar.backend == "columnar"
+        assert columnar.rows == relation.rows
+        assert columnar.to_backend("row").rows == relation.rows
+
+    @needs_columnar
+    def test_database_backend_conversion(self):
+        database = Database(make_pair("row"))
+        assert database.backend == "row"
+        converted = database.to_backend("columnar")
+        assert converted.backend == "columnar"
+        assert converted["R"].rows == database["R"].rows
+
+    @needs_columnar
+    def test_algorithm_backend_kwarg(self):
+        database = Database(make_pair("row"))
+        access = LexDirectAccess(
+            pq.TWO_PATH, database, LexOrder(("x", "y", "z")), backend="columnar"
+        )
+        reference = LexDirectAccess(pq.TWO_PATH, database, LexOrder(("x", "y", "z")))
+        assert list(access) == list(reference)
+
+    @needs_columnar
+    def test_unencodable_columns_fall_back_to_row(self):
+        # Mixed int/str columns cannot be sorted into a dictionary domain;
+        # the columnar builder silently keeps row storage (same semantics).
+        relation = Relation("R", ("x",), [(1,), ("a",)], backend="columnar")
+        assert relation.backend == "row"
+        assert set(relation.rows) == {(1,), ("a",)}
+
+
+@needs_columnar
+class TestColumnarRelationOps:
+    """Every Relation operation matches the row backend, order included."""
+
+    def pair(self):
+        return Relation("R", ("x", "y"), R_ROWS, backend="row"), Relation(
+            "R", ("x", "y"), R_ROWS, backend="columnar"
+        )
+
+    def test_rows_and_iteration(self):
+        row, columnar = self.pair()
+        assert columnar.rows == row.rows
+        assert list(columnar) == list(row)
+        assert len(columnar) == len(row)
+
+    def test_project_distinct_first_seen_order(self):
+        row, columnar = self.pair()
+        assert columnar.project(("x",)).rows == row.project(("x",)).rows
+        assert columnar.project(("y", "x"), distinct=False).rows == row.project(
+            ("y", "x"), distinct=False
+        ).rows
+
+    def test_distinct(self):
+        row, columnar = self.pair()
+        assert columnar.distinct().rows == row.distinct().rows
+
+    def test_select_equals(self):
+        row, columnar = self.pair()
+        assert columnar.select_equals({"x": 1}).rows == row.select_equals({"x": 1}).rows
+        assert columnar.select_equals({"x": 777}).rows == ()
+
+    def test_sorted_by(self):
+        row, columnar = self.pair()
+        assert columnar.sorted_by(("y", "x")).rows == row.sorted_by(("y", "x")).rows
+
+    def test_active_domain_and_values(self):
+        row, columnar = self.pair()
+        assert columnar.active_domain("x") == row.active_domain("x")
+        assert columnar.values_of("y") == row.values_of("y")
+
+    def test_values_decode_to_original_python_objects(self):
+        columnar = Relation("R", ("x",), [(1,), (2,)], backend="columnar")
+        value = columnar.rows[0][0]
+        assert type(value) is int  # no np.int64 leakage into answers
+
+
+@needs_columnar
+class TestColumnarOperators:
+    def test_hash_join_matches_row_backend(self):
+        row = hash_join(*make_pair("row"))
+        columnar = hash_join(*make_pair("columnar"))
+        assert columnar.backend == "columnar"
+        assert columnar.attributes == row.attributes
+        assert columnar.rows == row.rows  # identical order, not just set-equal
+
+    def test_semijoin_matches_row_backend(self):
+        row = semijoin(*make_pair("row"))
+        columnar = semijoin(*make_pair("columnar"))
+        assert columnar.rows == row.rows
+
+    def test_semijoin_disjoint_schemas(self):
+        left = Relation("L", ("a",), [(1,), (2,)], backend="columnar")
+        right_empty = Relation("E", ("b",), [], backend="columnar")
+        right_full = Relation("F", ("b",), [(9,)], backend="columnar")
+        assert semijoin(left, right_full).rows == left.rows
+        assert semijoin(left, right_empty).rows == ()
+
+    def test_group_counts_matches_row_backend(self):
+        row_rel, _ = make_pair("row")
+        col_rel, _ = make_pair("columnar")
+        assert group_counts(col_rel, ("x",)) == group_counts(row_rel, ("x",))
+
+    def test_cross_product_matches_row_backend(self):
+        left_r = Relation("L", ("a",), [(1,), (2,)], backend="row")
+        right_r = Relation("Rt", ("b",), [(7,), (8,)], backend="row")
+        row = cross_product(left_r, right_r)
+        columnar = cross_product(
+            left_r.to_backend("columnar"), right_r.to_backend("columnar")
+        )
+        assert columnar.rows == row.rows
+
+    def test_mixed_backends_still_work(self):
+        left = Relation("R", ("x", "y"), R_ROWS, backend="columnar")
+        right = Relation("S", ("y", "z"), S_ROWS, backend="row")
+        assert hash_join(left, right).rows == hash_join(*make_pair("row")).rows
+
+
+class TestCliBackendFlag:
+    def test_backend_flag_prints_backend(self, capsys):
+        from repro.cli import main
+
+        code = main(["Q(x, y) :- R(x, y)", "--order", "x, y", "--backend", "row"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend: row" in out
+
+    @needs_columnar
+    def test_backend_flag_sets_process_default(self):
+        from repro.cli import main
+
+        previous = get_default_backend()
+        try:
+            main(["Q(x, y) :- R(x, y)", "--backend", "columnar"])
+            assert get_default_backend() == "columnar"
+        finally:
+            set_default_backend(previous)

@@ -1,0 +1,103 @@
+"""Descending lexicographic components over non-numeric domains.
+
+``_order_key`` used to reject any descending component whose values were not
+numeric; it now wraps such values in a comparison-reversing wrapper, so
+descending string (or date, or tuple) orders work end to end — through
+preprocessing, access, inverted access and both storage backends.
+"""
+
+import pytest
+
+from repro import Database, LexDirectAccess, LexOrder, Relation
+from repro.core.preprocessing import _order_key, _ReversedValue
+from repro.engine.backends import available_backends
+from repro.workloads import paper_queries as pq
+
+
+class TestOrderKey:
+    def test_ascending_is_identity(self):
+        assert _order_key("b", False) == "b"
+        assert _order_key(3, False) == 3
+
+    def test_descending_numeric_negates(self):
+        assert _order_key(3, True) == -3
+        assert _order_key(-2.5, True) == 2.5
+
+    def test_descending_strings_reverse_comparisons(self):
+        a, b = _order_key("apple", True), _order_key("banana", True)
+        assert b < a and a > b and b <= a and a >= b
+        assert _order_key("apple", True) == _order_key("apple", True)
+        assert sorted([a, b]) == [b, a]  # "banana" first: descending order
+
+    def test_descending_bool_uses_wrapper(self):
+        # bools are excluded from the negation fast path (True == 1 pitfalls).
+        key = _order_key(True, True)
+        assert isinstance(key, _ReversedValue)
+        assert key < _order_key(False, True)
+
+    def test_wrapper_is_hashable_and_sortable_with_bisect(self):
+        from bisect import bisect_left
+
+        keys = [_order_key(w, True) for w in ["delta", "charlie", "bravo", "alpha"]]
+        assert keys == sorted(keys)
+        assert bisect_left(keys, _order_key("charlie", True)) == 1
+        assert len({_order_key("x", True), _order_key("x", True)}) == 1
+
+
+def string_two_path_database():
+    return Database(
+        [
+            Relation(
+                "R",
+                ("x", "y"),
+                [("ant", "bee"), ("ant", "fox"), ("cat", "bee"), ("elk", "owl")],
+            ),
+            Relation(
+                "S",
+                ("y", "z"),
+                [("bee", "cow"), ("bee", "ape"), ("fox", "hen"), ("owl", "hen")],
+            ),
+        ]
+    )
+
+
+def descending_first_oracle(access_ascending):
+    # Stable double-sort: ascending on the full tuple, then descending on x.
+    answers = sorted(access_ascending)
+    answers.sort(key=lambda a: a[0], reverse=True)
+    return answers
+
+
+class TestDescendingStringDirectAccess:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_access_sequence_matches_oracle(self, backend):
+        database = string_two_path_database()
+        order = LexOrder(("x", "y", "z"), descending=("x",))
+        ascending = LexDirectAccess(
+            pq.TWO_PATH, database, LexOrder(("x", "y", "z")), backend=backend
+        )
+        access = LexDirectAccess(pq.TWO_PATH, database, order, backend=backend)
+        assert list(access) == descending_first_oracle(ascending)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_inverted_access_round_trips(self, backend):
+        database = string_two_path_database()
+        order = LexOrder(("x", "y", "z"), descending=("x",))
+        access = LexDirectAccess(pq.TWO_PATH, database, order, backend=backend)
+        for k in range(access.count):
+            assert access.inverted_access(access[k]) == k
+
+    def test_all_components_descending(self):
+        database = string_two_path_database()
+        order = LexOrder(("x", "y", "z"), descending=("x", "y", "z"))
+        access = LexDirectAccess(pq.TWO_PATH, database, order)
+        ascending = LexDirectAccess(pq.TWO_PATH, database, LexOrder(("x", "y", "z")))
+        assert list(access) == sorted(ascending, reverse=True)
+
+    def test_descending_q3_figure4(self):
+        # The Figure 4 database uses string values a1/b2/…; v1 descending must
+        # reverse the primary grouping while keeping the rest ascending.
+        order = LexOrder(("v1", "v2", "v3", "v4"), descending=("v1",))
+        access = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, order)
+        ascending = LexDirectAccess(pq.Q3, pq.FIGURE4_DATABASE, pq.Q3_ORDER)
+        assert list(access) == descending_first_oracle(ascending)
