@@ -1,0 +1,180 @@
+"""Serving throughput: looped vs batched vs threaded access, per backend.
+
+The serving subsystem's performance claim is that `batch_access` amortizes the
+per-request Python overhead that dominates at serving scale: on the columnar
+backend the batched layer walk issues *one* segmented binary-search probe per
+layer for a whole batch of ranks, where looped single access pays the Python
+walk per rank.  This benchmark replays a Zipf-skewed rank workload (the shape
+of real traffic: a hot head, a long tail) against a prepared two-path plan in
+all three modes of :mod:`repro.benchharness.replay` and writes
+``BENCH_service_throughput.json`` at the repository root, with
+batched-vs-single speedups per backend.
+
+Acceptance number: batched throughput at batch size 1024 must be ≥ 3× the
+looped single-access baseline (asserted standalone on the full run; the
+``--smoke`` run and the pytest variant only check the plumbing, since shared
+CI machines are too noisy for hard performance assertions).
+
+Run standalone for the canonical artifact::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [n] [requests]
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # standalone invocation (CI smoke) must not require pytest
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+from repro import LexOrder
+from repro.benchharness import format_table, run_replay, write_service_throughput
+from repro.engine.backends import available_backends
+from repro.service import QueryService
+from repro.workloads import paper_queries as pq
+from repro.workloads.generators import generate_path_database
+
+ORDER = LexOrder(("x", "y", "z"))
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service_throughput.json"
+
+#: Full-run knobs (the standalone defaults); --smoke shrinks all of them.
+FULL_TUPLES = 100_000
+FULL_REQUESTS = 200_000
+BATCH_SIZES = (64, 1024)
+THREADS = 4
+ZIPF_SKEW = 1.1
+
+
+def build_service(num_tuples: int) -> QueryService:
+    """One service with the same path database registered once per run."""
+    service = QueryService(max_plans=8)
+    domain = max(8, int(num_tuples ** 0.5))
+    service.register_database(
+        "bench", generate_path_database(num_tuples, domain, seed=num_tuples)
+    )
+    return service
+
+
+def run_bench(
+    num_tuples: int,
+    num_requests: int,
+    batch_sizes=BATCH_SIZES,
+    threads: int = THREADS,
+    artifact=None,
+):
+    service = build_service(num_tuples)
+
+    def prepare(backend: str):
+        return service.prepare("bench", pq.TWO_PATH, order=ORDER, backend=backend)
+
+    backends = list(available_backends())
+    results = run_replay(
+        prepare,
+        backends,
+        num_requests=num_requests,
+        batch_sizes=batch_sizes,
+        threads=threads,
+        skew=ZIPF_SKEW,
+    )
+    document = write_service_throughput(
+        str(artifact or ARTIFACT),
+        results,
+        metadata={
+            "query": str(pq.TWO_PATH),
+            "order": str(ORDER),
+            "tuples_per_relation": num_tuples,
+            "requests": num_requests,
+            "zipf_skew": ZIPF_SKEW,
+            "backends": backends,
+        },
+    )
+    return results, document
+
+
+def print_results(results) -> None:
+    single = {r.backend: r.throughput for r in results if r.mode == "single"}
+    rows = []
+    for result in results:
+        speedup = "-"
+        if result.mode != "single" and single.get(result.backend):
+            speedup = f"{result.throughput / single[result.backend]:.2f}x"
+        rows.append(
+            (
+                result.backend,
+                result.mode,
+                result.batch_size,
+                result.threads,
+                f"{result.throughput:,.0f}",
+                speedup,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["backend", "mode", "batch", "threads", "req/s", "vs single"],
+            rows,
+            title="service replay throughput (Zipf-skewed ranks)",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Pytest variant: plumbing smoke (timings too noisy for hard assertions)
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    def test_service_throughput_artifact(tmp_path):
+        scratch = tmp_path / "BENCH_service_throughput.json"
+        results, document = run_bench(
+            2000, 4000, batch_sizes=(64, 256), threads=2, artifact=scratch
+        )
+        print_results(results)
+        assert scratch.exists()
+        assert {run["mode"] for run in document["runs"]} == {
+            "single", "batched", "threaded"
+        }
+        for backend in available_backends():
+            modes = [r for r in results if r.backend == backend]
+            assert sum(r.mode == "single" for r in modes) == 1
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    argv = [a for a in argv if a != "--smoke"]
+    if smoke:
+        num_tuples, num_requests = 2000, 8000
+        batch_sizes, threads = (64, 1024), 2
+    else:
+        numbers = [int(a) for a in argv]
+        num_tuples = numbers[0] if numbers else FULL_TUPLES
+        num_requests = numbers[1] if len(numbers) > 1 else FULL_REQUESTS
+        batch_sizes, threads = BATCH_SIZES, THREADS
+
+    results, document = run_bench(
+        num_tuples, num_requests, batch_sizes=batch_sizes, threads=threads
+    )
+    print_results(results)
+    print(f"\nwrote {ARTIFACT}")
+
+    if not smoke and "columnar" in available_backends():
+        batched = {
+            (r.backend, r.batch_size): r.throughput
+            for r in results
+            if r.mode == "batched"
+        }
+        single = {r.backend: r.throughput for r in results if r.mode == "single"}
+        speedup = batched[("columnar", 1024)] / single["columnar"]
+        print(f"columnar batched[1024] vs single: {speedup:.2f}x (acceptance: >= 3x)")
+        assert speedup >= 3.0, (
+            f"batched[1024] speedup {speedup:.2f}x below the 3x acceptance bar"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

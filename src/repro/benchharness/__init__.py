@@ -14,13 +14,29 @@ from repro.benchharness.scaling import (
     measure_scaling,
     write_backend_comparison,
 )
+from repro.benchharness.replay import (
+    ReplayResult,
+    replay_batched,
+    replay_single,
+    replay_threaded,
+    run_replay,
+    write_service_throughput,
+    zipf_ranks,
+)
 from repro.benchharness.reporting import format_table
 
 __all__ = [
+    "ReplayResult",
     "ScalingResult",
     "compare_backends",
     "format_table",
     "growth_exponent",
     "measure_scaling",
+    "replay_batched",
+    "replay_single",
+    "replay_threaded",
+    "run_replay",
     "write_backend_comparison",
+    "write_service_throughput",
+    "zipf_ranks",
 ]

@@ -1,0 +1,216 @@
+"""Workload replay: serving-shaped throughput measurements over prepared plans.
+
+Real serving traffic is skewed (a few hot ranks, a long tail) and arrives in
+batches on many connections.  This module replays such workloads against
+anything exposing the plan operation surface (``access(k)`` /
+``batch_access(ks)`` — a :class:`~repro.core.direct_access.LexDirectAccess`,
+a :class:`~repro.service.PreparedPlan`, …) in three modes:
+
+* ``single``   — one ``access(k)`` call per request (the per-request Python
+  overhead baseline),
+* ``batched``  — ``batch_access`` over consecutive slices of the workload
+  (the vectorized hot path; the batch size is the knob),
+* ``threaded`` — the batched workload partitioned across worker threads, as
+  the HTTP front-end would serve it (GIL-bound: this measures that serving
+  threads do not *hurt*, not a parallel speedup).
+
+Ranks are drawn from a Zipf-like distribution over the answer space
+(:func:`zipf_ranks`), seeded for reproducibility.  Results serialize to the
+``BENCH_service_throughput.json`` artifact with batched-vs-single speedups
+per backend so the serving-performance trajectory stays machine-checkable
+across PRs (same idea as ``BENCH_backend_comparison.json``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+
+def zipf_ranks(
+    num_requests: int,
+    universe: int,
+    skew: float = 1.1,
+    seed: Optional[int] = 0,
+) -> List[int]:
+    """``num_requests`` ranks in ``[0, universe)`` with Zipf(``skew``) popularity.
+
+    Popularity follows ``1 / (i + 1)^skew`` over Zipf indices, which are then
+    scattered across the whole rank range by a seeded affine permutation
+    (``rank = (index·step + offset) mod universe`` with ``step`` coprime to
+    ``universe``) so the hot set hits different buckets instead of clustering
+    at rank 0.  The Zipf support is truncated to ``max(1024, num_requests)``
+    indices — with ``skew > 1`` essentially all mass sits in that head, and
+    the truncation keeps setup O(num_requests) even when the answer space has
+    tens of millions of ranks (a join's count grows superlinearly in ``n``).
+    Pure Python on purpose: the generator must exist on NumPy-less installs.
+    """
+    if universe <= 0:
+        return []
+    rng = random.Random(seed)
+    support = min(universe, max(1024, num_requests))
+    cumulative: List[float] = []
+    total = 0.0
+    for i in range(support):
+        total += 1.0 / (i + 1) ** skew
+        cumulative.append(total)
+    # A multiplicative step coprime to the universe gives a bijection, so
+    # distinct Zipf indices land on distinct, spread-out ranks.
+    step = 0x9E3779B1 % universe or 1
+    while math.gcd(step, universe) != 1:
+        step += 1
+    offset = rng.randrange(universe)
+    return [
+        ((bisect.bisect_left(cumulative, rng.random() * total)) * step + offset) % universe
+        for _ in range(num_requests)
+    ]
+
+
+@dataclass
+class ReplayResult:
+    """Throughput of one replay run (one backend × mode × batch size)."""
+
+    label: str
+    backend: str
+    mode: str                 # "single" | "batched" | "threaded"
+    batch_size: int           # 1 for single mode
+    threads: int              # 1 unless threaded
+    requests: int
+    seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Requests served per second."""
+        return self.requests / self.seconds if self.seconds > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "backend": self.backend,
+            "mode": self.mode,
+            "batch_size": self.batch_size,
+            "threads": self.threads,
+            "requests": self.requests,
+            "seconds": round(self.seconds, 6),
+            "throughput_rps": round(self.throughput, 1),
+        }
+
+
+def _batches(ranks: Sequence[int], batch_size: int) -> List[Sequence[int]]:
+    return [ranks[i:i + batch_size] for i in range(0, len(ranks), batch_size)]
+
+
+def replay_single(plan, ranks: Sequence[int], backend: str = "?", label: str = "") -> ReplayResult:
+    """One ``access`` call per request."""
+    access = plan.access
+    start = time.perf_counter()
+    for k in ranks:
+        access(k)
+    elapsed = time.perf_counter() - start
+    return ReplayResult(label or "single", backend, "single", 1, 1, len(ranks), elapsed)
+
+
+def replay_batched(
+    plan, ranks: Sequence[int], batch_size: int, backend: str = "?", label: str = ""
+) -> ReplayResult:
+    """``batch_access`` over consecutive workload slices."""
+    batches = _batches(ranks, batch_size)
+    batch_access = plan.batch_access
+    start = time.perf_counter()
+    for batch in batches:
+        batch_access(batch)
+    elapsed = time.perf_counter() - start
+    return ReplayResult(
+        label or f"batched[{batch_size}]", backend, "batched", batch_size, 1,
+        len(ranks), elapsed,
+    )
+
+
+def replay_threaded(
+    plan,
+    ranks: Sequence[int],
+    batch_size: int,
+    threads: int,
+    backend: str = "?",
+    label: str = "",
+) -> ReplayResult:
+    """The batched workload fanned out over a thread pool (concurrent serving)."""
+    batches = _batches(ranks, batch_size)
+    batch_access = plan.batch_access
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        start = time.perf_counter()
+        list(pool.map(batch_access, batches))
+        elapsed = time.perf_counter() - start
+    return ReplayResult(
+        label or f"threaded[{threads}x{batch_size}]", backend, "threaded",
+        batch_size, threads, len(ranks), elapsed,
+    )
+
+
+def run_replay(
+    prepare: Callable[[str], object],
+    backends: Sequence[str],
+    num_requests: int = 20_000,
+    batch_sizes: Sequence[int] = (64, 1024),
+    threads: int = 4,
+    skew: float = 1.1,
+    seed: int = 0,
+) -> List[ReplayResult]:
+    """Replay the same Zipf workload on every backend in all three modes.
+
+    ``prepare(backend)`` must return a prepared plan (its ``count`` sizes the
+    rank universe).  The same rank sequence is replayed in every mode so the
+    comparison is apples to apples.
+    """
+    results: List[ReplayResult] = []
+    for backend in backends:
+        plan = prepare(backend)
+        count = plan.count
+        ranks = zipf_ranks(num_requests, count, skew=skew, seed=seed)
+        results.append(replay_single(plan, ranks, backend=backend))
+        for batch_size in batch_sizes:
+            results.append(replay_batched(plan, ranks, batch_size, backend=backend))
+        largest = max(batch_sizes) if batch_sizes else 1024
+        results.append(replay_threaded(plan, ranks, largest, threads, backend=backend))
+    return results
+
+
+def write_service_throughput(
+    path: str,
+    results: Sequence[ReplayResult],
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Serialize replay results (plus batched-vs-single speedups) to JSON.
+
+    For every backend, each batched/threaded run gains a ``speedup_vs_single``
+    factor against that backend's single-access baseline — the acceptance
+    number ("batched ≥ 3× single at batch 1024") is read straight off the
+    artifact.
+    """
+    single_by_backend: Dict[str, ReplayResult] = {
+        result.backend: result for result in results if result.mode == "single"
+    }
+    runs = []
+    for result in results:
+        entry = result.to_dict()
+        baseline = single_by_backend.get(result.backend)
+        if baseline is not None and result.mode != "single" and baseline.throughput > 0:
+            entry["speedup_vs_single"] = round(
+                result.throughput / baseline.throughput, 3
+            )
+        runs.append(entry)
+    document: Dict[str, object] = {
+        "artifact": "service_throughput",
+        "metadata": dict(metadata or {}),
+        "runs": runs,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document

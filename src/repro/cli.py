@@ -1,32 +1,59 @@
-"""Command-line interface: classify a query/order/FD combination.
+"""Command-line interface: classification, the query server, and the client.
 
-Usage::
+Three subcommands::
 
-    python -m repro.cli "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, z, y"
-    python -m repro.cli "Q(x, z) :- R(x, y), S(y, z)" --fd "S: y -> z"
+    repro classify "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, z, y"
+    repro serve --db demo=examples/service/demo_db.json --port 8734
+    repro client requests.jsonl --db demo=examples/service/demo_db.json
 
-prints, for the given query (and optional order and unary FDs), the verdicts of
-all four dichotomies together with the governing theorems, guarantees and
-structural witnesses.  Exit code 0 means every requested problem is tractable,
-1 means at least one is not (useful in scripts that guard query deployment).
+``classify`` (the default when the first argument is not a subcommand, for
+backward compatibility) prints the verdicts of all four dichotomies for a
+query/order/FD combination; exit code 0 means every requested problem is
+tractable, 1 that at least one is not.  ``serve`` starts the stdlib HTTP
+front-end of :mod:`repro.service` over JSON-file databases.  ``client`` runs a
+newline-delimited JSON request file either against a running server
+(``--url``) or in-process (``--db``), printing one JSON response per line;
+exit code 1 signals that at least one request failed.
+
+``repro --version`` prints the library version.  Malformed invocations exit
+with the conventional argparse usage status (2).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.benchharness.reporting import format_table
 from repro.core.classification import classify_all
 from repro.core.parser import parse_fds, parse_order, parse_query
 
+_VERSION_TEXT = f"repro {__version__}"
+
+
+def _add_version(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--version", action="version", version=_VERSION_TEXT)
+
+
+def _add_backend(parser: argparse.ArgumentParser, help_suffix: str = "") -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("row", "columnar"),
+        default=None,
+        help="storage/execution backend ('columnar' requires NumPy)" + help_suffix,
+    )
+
 
 def build_argument_parser() -> argparse.ArgumentParser:
+    """The ``classify`` parser (also the backward-compatible default)."""
     parser = argparse.ArgumentParser(
-        prog="repro.cli",
+        prog="repro",
         description="Classify ranked direct access and selection for a conjunctive query.",
     )
+    _add_version(parser)
     parser.add_argument("query", help='e.g. "Q(x, y, z) :- R(x, y), S(y, z)"')
     parser.add_argument("--order", help='lexicographic order, e.g. "x, z desc, y"', default=None)
     parser.add_argument(
@@ -39,22 +66,78 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain", action="store_true", help="also print reasons, witnesses and hypotheses"
     )
+    _add_backend(parser, " (sets the process default)")
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve prepared ranked-direct-access queries over HTTP (JSON).",
+    )
+    _add_version(parser)
     parser.add_argument(
-        "--backend",
-        choices=("row", "columnar"),
-        default=None,
-        help="storage/execution backend for any evaluation this process performs "
-        "(sets the process default; 'columnar' requires NumPy)",
+        "--db",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a database from a JSON file (repeatable); databases can "
+        "also be registered at runtime via POST /v1/databases",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8734, help="TCP port (default 8734)")
+    parser.add_argument(
+        "--max-plans", type=int, default=64, help="plan cache capacity (default 64)"
+    )
+    _add_backend(parser, " used for plans that do not name one")
+    parser.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
     )
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description="Run a newline-delimited JSON request file against the query service.",
+    )
+    _add_version(parser)
+    parser.add_argument(
+        "requests",
+        help="path to a JSONL request file, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running server (e.g. http://127.0.0.1:8734); "
+        "omitted: requests run in-process against --db databases",
+    )
+    parser.add_argument(
+        "--db",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="database JSON file for in-process execution (repeatable)",
+    )
+    parser.add_argument(
+        "--max-plans", type=int, default=64, help="in-process plan cache capacity"
+    )
+    _add_backend(parser)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# classify
+# ----------------------------------------------------------------------
+def classify_main(argv: List[str]) -> int:
     parser = build_argument_parser()
     args = parser.parse_args(argv)
-    query = parse_query(args.query)
-    order = parse_order(args.order) if args.order else None
-    fds = parse_fds(args.fd) if args.fd else None
+    try:
+        query = parse_query(args.query)
+        order = parse_order(args.order) if args.order else None
+        fds = parse_fds(args.fd) if args.fd else None
+    except Exception as exc:
+        parser.error(str(exc))
 
     backend_line = None
     if args.backend is not None:
@@ -98,6 +181,121 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"    conditional on: {', '.join(classification.hypotheses)}")
 
     return 0 if all(c.tractable for c in results.values()) else 1
+
+
+# ----------------------------------------------------------------------
+# serve / client
+# ----------------------------------------------------------------------
+def _parse_db_specs(parser: argparse.ArgumentParser, specs: List[str], backend, max_plans: int = 64):
+    from repro.service import QueryService, load_database
+    from repro.service.protocol import ServiceError
+
+    service = QueryService(max_plans=max(1, max_plans), backend=backend)
+    for spec in specs:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            parser.error(f"--db expects NAME=PATH, got {spec!r}")
+        try:
+            service.register_database(name, load_database(path, backend=backend))
+        except (OSError, ValueError, ServiceError) as exc:
+            parser.error(f"--db {spec}: {exc}")
+    return service
+
+
+def serve_main(argv: List[str]) -> int:
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    from repro.service import make_server
+    from repro.service.httpd import run_server
+
+    service = _parse_db_specs(parser, args.db, args.backend, args.max_plans)
+    server = make_server(service, args.host, args.port, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(databases: {', '.join(service.database_names) or 'none'})", flush=True)
+    run_server(server)
+    return 0
+
+
+def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", errors="replace")
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError:
+            return {"ok": False, "error": {"code": "internal", "message": body or str(exc)}}
+    except (urllib.error.URLError, OSError) as exc:
+        # Unreachable/stalled server: stay within the one-JSON-per-line
+        # contract instead of tracebacking out of the runner.
+        return {"ok": False, "error": {"code": "connection_error", "message": str(exc)}}
+
+
+def client_main(argv: List[str]) -> int:
+    parser = build_client_parser()
+    args = parser.parse_args(argv)
+    if args.url is None and not args.db:
+        parser.error("provide --url for a running server or --db for in-process execution")
+    if args.url is not None and args.db:
+        parser.error("--url and --db are mutually exclusive (server-side vs in-process)")
+
+    from repro.service import read_request_lines
+    from repro.service.protocol import ServiceError
+
+    if args.requests == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.requests, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            parser.error(str(exc))
+
+    if args.url is None:
+        service = _parse_db_specs(parser, args.db, args.backend, args.max_plans)
+        execute = service.execute
+    else:
+        base = args.url.rstrip("/")
+        execute = lambda request: _post_json(f"{base}/v1/query", dict(request))
+
+    failures = 0
+    try:
+        for request in read_request_lines(lines):
+            response = execute(request)
+            if not response.get("ok"):
+                failures += 1
+            print(json.dumps(response))
+    except ServiceError as exc:
+        print(json.dumps({"ok": False, "error": {"code": exc.code, "message": str(exc)}}))
+        return 1
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+_SUBCOMMAND_MAINS = {
+    "classify": classify_main,
+    "serve": serve_main,
+    "client": client_main,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMAND_MAINS:
+        return _SUBCOMMAND_MAINS[argv[0]](argv[1:])
+    # Backward compatibility: a bare query classifies, as before subcommands.
+    return classify_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -15,15 +15,87 @@ Three operations are provided on a :class:`~repro.core.preprocessing.Preprocesse
 All three walk the layers in order, maintain the current bucket per layer and
 the running ``factor`` (product of the weights of the other root buckets), and
 use exact integer arithmetic.
+
+A fourth operation, :func:`batch_access`, serves a whole batch of ranks at
+once.  With NumPy available it runs the layer walk *vectorized*: per layer,
+one :class:`~repro.engine.backends.columnar.SegmentedSearcher` probe locates
+the chosen tuple of every request simultaneously, and the factor/remainder
+bookkeeping is elementwise int64 arithmetic.  The vectorized path is gated on
+the answer count fitting comfortably in int64 (the same ``2^62`` bound the
+preprocessing uses); otherwise — and without NumPy — it degrades to a loop of
+scalar :func:`access` calls with identical results.
 """
 
 from __future__ import annotations
 
+import operator
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.preprocessing import Bucket, LayerData, PreprocessedInstance
+from repro.core.preprocessing import _INT64_SAFE, Bucket, LayerData, PreprocessedInstance
+from repro.engine.backends import HAS_NUMPY
 from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+
+if HAS_NUMPY:
+    import numpy as np
+
+    from repro.engine.backends.columnar import SegmentedSearcher
+
+
+def validate_rank(k) -> int:
+    """Coerce ``k`` to a plain ``int`` rank, rejecting bools and floats.
+
+    Accepts anything implementing ``__index__`` (so NumPy integers work) but
+    refuses ``bool`` — ``True`` silently indexing as 1 hides caller bugs —
+    and non-integral types such as floats and strings, with a ``TypeError``
+    naming the offending type.
+    """
+    if isinstance(k, bool):
+        raise TypeError("answer rank must be an integer, not bool")
+    try:
+        return operator.index(k)
+    except TypeError:
+        raise TypeError(
+            f"answer rank must be an integer, not {type(k).__name__}"
+        ) from None
+
+
+def validate_ranks(ks: Sequence[int], count: int) -> Sequence[int]:
+    """Validate a whole batch of ranks against ``count`` before serving any.
+
+    Returns the coerced ranks; the first non-integer raises ``TypeError``, the
+    first out-of-bounds rank raises :class:`OutOfBoundsError` naming the rank
+    and the answer count.  A ``range`` input is validated by its endpoints
+    alone (its elements are ints by construction), so validating a large
+    contiguous batch costs O(1) instead of O(m).
+    """
+    if isinstance(ks, range):
+        if len(ks) == 0:
+            return ks
+        for k in (ks[0], ks[-1]):
+            if k < 0 or k >= count:
+                raise OutOfBoundsError(f"index {k} is out of bounds for {count} answers")
+        return ks
+    ranks = [validate_rank(k) for k in ks]
+    for k in ranks:
+        if k < 0 or k >= count:
+            raise OutOfBoundsError(f"index {k} is out of bounds for {count} answers")
+    return ranks
+
+
+def validate_range(lo: int, hi: int, count: int) -> Tuple[int, int]:
+    """Validate a half-open rank range ``[lo, hi)`` against ``count``.
+
+    Unlike slicing, out-of-range bounds raise instead of clamping — a serving
+    front-end should reject a request for answers that do not exist.
+    """
+    lo = validate_rank(lo)
+    hi = validate_rank(hi)
+    if lo < 0 or hi < lo or hi > count:
+        raise OutOfBoundsError(
+            f"range [{lo}, {hi}) is out of bounds for {count} answers"
+        )
+    return lo, hi
 
 
 def _locate_tuple(bucket: Bucket, factor: int, k: int) -> int:
@@ -47,8 +119,10 @@ def access(instance: PreprocessedInstance, k: int) -> Tuple:
     """Return the ``k``-th answer (0-based) in the instance's lexicographic order.
 
     Raises :class:`OutOfBoundsError` when ``k`` is negative or at least the
-    number of answers, mirroring the paper's "out-of-bound" result.
+    number of answers, mirroring the paper's "out-of-bound" result, and
+    :class:`TypeError` when ``k`` is not an integer (bools included).
     """
+    k = validate_rank(k)
     if k < 0 or k >= instance.count:
         raise OutOfBoundsError(
             f"index {k} is out of bounds for {instance.count} answers"
@@ -228,3 +302,168 @@ def next_answer_index(instance: PreprocessedInstance, target: Sequence) -> int:
         i += 1
 
     return k
+
+
+# ----------------------------------------------------------------------
+# Batched access (vectorized layer walk)
+# ----------------------------------------------------------------------
+class _BatchLayer:
+    """Flattened, array-backed view of one layer for the batched walk.
+
+    All buckets of the layer are concatenated in a fixed order; requests then
+    carry *bucket ids* instead of bucket objects, and every per-layer step of
+    Algorithm 1 becomes one array operation over the whole batch.
+    """
+
+    __slots__ = ("searcher", "starts_flat", "totals", "rows", "head_map", "child_ids")
+
+    def __init__(
+        self,
+        searcher: "SegmentedSearcher",
+        starts_flat: "np.ndarray",
+        totals: "np.ndarray",
+        rows: "np.ndarray",
+        head_map: Tuple[Tuple[int, int], ...],
+        child_ids: Dict[int, "np.ndarray"],
+    ) -> None:
+        self.searcher = searcher
+        self.starts_flat = starts_flat
+        self.totals = totals              # per bucket id
+        self.rows = rows                  # object array of tuples, flat order
+        self.head_map = head_map          # (head position, row column) pairs
+        self.child_ids = child_ids        # child layer -> bucket id per flat row
+
+
+class _BatchIndex:
+    """Per-instance arrays that turn the access walk into one probe per layer."""
+
+    def __init__(self, instance: PreprocessedInstance, layers: Dict[int, _BatchLayer]) -> None:
+        self._instance = instance
+        self._layers = layers
+        self._width = len(instance.query.free_variables)
+
+    def gather(self, ranks: Sequence[int]) -> List[Tuple]:
+        instance = self._instance
+        m = len(ranks)
+        remaining = np.asarray(ranks, dtype=np.int64)
+        factor = np.full(m, instance.count, dtype=np.int64)
+        bucket_ids: Dict[int, np.ndarray] = {1: np.zeros(m, dtype=np.int64)}
+        gathered: List[Tuple[Tuple[Tuple[int, int], ...], List[Tuple]]] = []
+
+        for i in sorted(self._layers):
+            layer = self._layers[i]
+            segment = bucket_ids.pop(i)
+            factor //= layer.totals[segment]
+            # starts[r]·factor ≤ k  ⇔  starts[r] ≤ k // factor for positive ints.
+            chosen = layer.searcher.probe_flat(segment, remaining // factor)
+            remaining -= layer.starts_flat[chosen] * factor
+            gathered.append((layer.head_map, layer.rows[chosen].tolist()))
+            for child, ids in layer.child_ids.items():
+                child_buckets = ids[chosen]
+                bucket_ids[child] = child_buckets
+                factor *= self._layers[child].totals[child_buckets]
+
+        answers: List[Tuple] = []
+        width = self._width
+        for j in range(m):
+            answer = [None] * width
+            for head_map, rows in gathered:
+                row = rows[j]
+                for position, column in head_map:
+                    answer[position] = row[column]
+            answers.append(tuple(answer))
+        return answers
+
+
+def _build_batch_index(instance: PreprocessedInstance) -> Optional[_BatchIndex]:
+    """Build the batched-walk arrays, or ``None`` when exactness forbids int64."""
+    if not HAS_NUMPY or instance.count == 0 or instance.count >= _INT64_SAFE:
+        return None
+    free = instance.query.free_variables
+    head_position = {variable: position for position, variable in enumerate(free)}
+
+    batch_layers: Dict[int, _BatchLayer] = {}
+    bucket_id_maps: Dict[int, Dict[Tuple, int]] = {}
+    # Children first (higher indices), so their bucket-id maps exist when the
+    # parent resolves its per-row child buckets.
+    for i in sorted(instance.layers, reverse=True):
+        layer = instance.layers[i]
+        buckets = list(layer.buckets.values())
+        sizes = [len(bucket.tuples) for bucket in buckets]
+        total_rows = sum(sizes)
+        starts_flat = np.fromiter(
+            (start for bucket in buckets for start in bucket.starts),
+            dtype=np.int64,
+            count=total_rows,
+        )
+        totals = np.fromiter(
+            (bucket.total for bucket in buckets), dtype=np.int64, count=len(buckets)
+        )
+        try:
+            # Queries at this layer are < the request's bucket total, so the
+            # largest bucket total is the query bound the embedding must cover.
+            searcher = SegmentedSearcher(
+                starts_flat, sizes, stride=int(totals.max()) if len(totals) else 1
+            )
+        except OverflowError:
+            return None
+        rows = np.empty(total_rows, dtype=object)
+        position = 0
+        for bucket in buckets:
+            rows[position:position + len(bucket.tuples)] = bucket.tuples
+            position += len(bucket.tuples)
+
+        child_ids: Dict[int, np.ndarray] = {}
+        for child in layer.children:
+            child_map = bucket_id_maps[child]
+            key_positions = tuple(
+                layer.variables.index(v) for v in instance.layers[child].key_variables
+            )
+            child_ids[child] = np.fromiter(
+                (
+                    child_map[tuple(row[p] for p in key_positions)]
+                    for bucket in buckets
+                    for row in bucket.tuples
+                ),
+                dtype=np.int64,
+                count=total_rows,
+            )
+
+        head_map = tuple(
+            (head_position[variable], column)
+            for column, variable in enumerate(layer.variables)
+            if variable in head_position
+        )
+        bucket_id_maps[i] = {bucket.key: j for j, bucket in enumerate(buckets)}
+        batch_layers[i] = _BatchLayer(searcher, starts_flat, totals, rows, head_map, child_ids)
+    return _BatchIndex(instance, batch_layers)
+
+
+_UNBUILT = object()
+
+
+def _batch_index(instance: PreprocessedInstance) -> Optional[_BatchIndex]:
+    """The instance's cached batch index (built on first use, ``None`` if impossible)."""
+    cached = getattr(instance, "_batch_index", _UNBUILT)
+    if cached is _UNBUILT:
+        cached = _build_batch_index(instance)
+        instance._batch_index = cached
+    return cached
+
+
+def batch_access(instance: PreprocessedInstance, ks: Sequence[int]) -> List[Tuple]:
+    """The answers at the given ranks, in the order the ranks were given.
+
+    Semantically identical to ``[access(instance, k) for k in ks]`` — the
+    whole batch is validated up front (so either every rank is served or the
+    first bad one raises), then served by the vectorized layer walk when
+    NumPy is available and the counts fit in int64, by the scalar loop
+    otherwise.
+    """
+    ranks = validate_ranks(ks, instance.count)
+    if not ranks:
+        return []
+    index = _batch_index(instance)
+    if index is None:
+        return [access(instance, k) for k in ranks]
+    return index.gather(ranks)

@@ -101,6 +101,7 @@ class LexDirectAccess:
             self._boolean_answers: Optional[List[Tuple]] = evaluate_naive(query, database)
             self._instance = None
             self.complete_order = LexOrder(())
+            self._needs_projection = False
             return
         self._boolean_answers = None
 
@@ -113,6 +114,12 @@ class LexDirectAccess:
         self._projection = tuple(
             self._instance.query.free_variables.index(v) for v in self._original_query.free_variables
             if v in self._instance.query.free_variables
+        )
+        # One flag for "the effective head differs from the original head"
+        # (FD-extension): the single source of truth for every projection
+        # decision below.
+        self._needs_projection = (
+            self._instance.query.free_variables != self._original_query.free_variables
         )
 
     # ------------------------------------------------------------------
@@ -139,6 +146,7 @@ class LexDirectAccess:
     def access(self, k: int) -> Tuple:
         """The ``k``-th answer (0-based) in the lexicographic order."""
         if self._instance is None:
+            k = access_module.validate_rank(k)
             answers = self._boolean_answers or []
             if 0 <= k < len(answers):
                 return answers[k]
@@ -146,9 +154,35 @@ class LexDirectAccess:
         raw = access_module.access(self._instance, k)
         return self._project(raw)
 
+    def batch_access(self, ks: Sequence[int]) -> List[Tuple]:
+        """The answers at the given ranks, in the given order.
+
+        Semantically ``[self.access(k) for k in ks]``; on instances whose
+        counts fit in int64 (and with NumPy installed) the batch is served by
+        a vectorized layer walk — one segmented binary-search probe per layer
+        for the whole batch — which is what makes high-throughput serving of
+        many concurrent ranks cheap.  The batch is validated up front: a
+        single out-of-bounds or non-integer rank fails the whole call.
+        """
+        if self._instance is None:
+            return [self.access(k) for k in ks]
+        raws = access_module.batch_access(self._instance, ks)
+        if not self._needs_projection:
+            return raws
+        return [self._project(raw) for raw in raws]
+
+    def range_access(self, lo: int, hi: int) -> List[Tuple]:
+        """The answers at ranks ``lo ≤ k < hi`` (a contiguous slice, in order).
+
+        Both bounds must be integers with ``0 ≤ lo ≤ hi ≤ count``; otherwise
+        :class:`OutOfBoundsError` is raised (unlike slicing, which clamps).
+        """
+        lo, hi = access_module.validate_range(lo, hi, self.count)
+        return self.batch_access(range(lo, hi))
+
     def __getitem__(self, k):
         if isinstance(k, slice):
-            return [self.access(i) for i in range(*k.indices(self.count))]
+            return self.batch_access(range(*k.indices(self.count)))
         if k < 0:
             k += self.count
         return self.access(k)
@@ -163,9 +197,7 @@ class LexDirectAccess:
                 return answers.index(tuple(answer))
             raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer")
 
-        effective_free = self._instance.query.free_variables
-        original_free = self._original_query.free_variables
-        if effective_free == original_free:
+        if not self._needs_projection:
             return access_module.inverted_access(self._instance, tuple(answer))
 
         # FD-extended head: the extra (implied) variables of the answer are not
@@ -209,18 +241,16 @@ class LexDirectAccess:
     # ------------------------------------------------------------------
     def _project(self, raw: Tuple) -> Tuple:
         """Project an answer of the effective (possibly FD-extended) query back."""
-        effective_free = self._instance.query.free_variables
-        original_free = self._original_query.free_variables
-        if effective_free == original_free:
+        if not self._needs_projection:
             return raw
-        mapping = dict(zip(effective_free, raw))
-        return tuple(mapping[v] for v in original_free)
+        mapping = dict(zip(self._instance.query.free_variables, raw))
+        return tuple(mapping[v] for v in self._original_query.free_variables)
 
     def _extend_answer(self, answer: Sequence, fill_smallest: bool = False) -> Tuple:
         """Lift an answer of the original query to the effective query's head."""
         effective_free = self._instance.query.free_variables
         original_free = self._original_query.free_variables
-        if effective_free == original_free:
+        if not self._needs_projection:
             return tuple(answer)
         mapping = dict(zip(original_free, answer))
         extended = []

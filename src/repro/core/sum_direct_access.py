@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.atoms import ConjunctiveQuery
 from repro.core.classification import classify_direct_access_sum
 from repro.core.orders import Weights
+from repro.core.access import validate_range, validate_rank, validate_ranks
 from repro.core.reduction import reduce_database_over_query
 from repro.core import structure as st
 from repro.engine.database import Database
@@ -110,9 +111,25 @@ class SumDirectAccess:
 
     def access(self, k: int) -> Tuple:
         """The ``k``-th answer (0-based) by non-decreasing weight."""
+        k = validate_rank(k)
         if k < 0 or k >= self.count:
             raise OutOfBoundsError(f"index {k} is out of bounds for {self.count} answers")
         return self._answers[k]
+
+    def batch_access(self, ks: Sequence[int]) -> List[Tuple]:
+        """The answers at the given ranks (all validated before any is served).
+
+        SUM access is already O(1) per rank on the sorted answer array, so
+        the batch form exists for API symmetry with
+        :meth:`~repro.core.direct_access.LexDirectAccess.batch_access` (and
+        for the serving front-end, which speaks batches).
+        """
+        return [self._answers[k] for k in validate_ranks(ks, self.count)]
+
+    def range_access(self, lo: int, hi: int) -> List[Tuple]:
+        """The answers at ranks ``lo ≤ k < hi``; bounds must be within range."""
+        lo, hi = validate_range(lo, hi, self.count)
+        return list(self._answers[lo:hi])
 
     def __getitem__(self, k):
         if isinstance(k, slice):

@@ -12,13 +12,14 @@ from repro.engine.backends.base import (
     set_default_backend,
 )
 from repro.engine.backends.row import RowStorage
-from repro.engine.backends.columnar import HAS_NUMPY, ColumnarStorage
+from repro.engine.backends.columnar import HAS_NUMPY, ColumnarStorage, SegmentedSearcher
 
 __all__ = [
     "BackendUnavailableError",
     "ColumnarStorage",
     "HAS_NUMPY",
     "RowStorage",
+    "SegmentedSearcher",
     "Storage",
     "available_backends",
     "backend_available",

@@ -261,6 +261,65 @@ def translation_table(
     )
 
 
+class SegmentedSearcher:
+    """Batched rightmost-``≤`` probes into many sorted segments at once.
+
+    The input is one flat int64 array that concatenates many individually
+    sorted, non-negative segments (e.g. the ``starts`` arrays of all buckets
+    of one layer).  A single :func:`numpy.searchsorted` call then answers, for
+    a whole batch of ``(segment, query)`` pairs, "the last position in my
+    segment whose value is ≤ my query" — the probe the batched direct-access
+    walk issues once per layer instead of one Python binary search per
+    request.
+
+    The trick is an order-preserving embedding: every segment is shifted by
+    ``segment_id · stride`` where ``stride`` exceeds every stored value, so
+    the augmented flat array is globally sorted and queries shifted the same
+    way land inside their own segment.  Construction raises
+    :class:`OverflowError` when the embedding does not fit in int64; callers
+    treat that as "fall back to scalar probes".
+    """
+
+    __slots__ = ("stride", "offsets", "_augmented")
+
+    def __init__(
+        self,
+        flat_values: "_np.ndarray",
+        segment_sizes: Sequence[int],
+        stride: Optional[int] = None,
+    ) -> None:
+        sizes = _np.asarray(segment_sizes, dtype=_np.int64)
+        if int(sizes.sum()) != len(flat_values):
+            raise ValueError("segment sizes do not cover the flat array")
+        value_bound = int(flat_values.max()) + 1 if len(flat_values) else 1
+        # The stride must exceed every stored value AND every future query,
+        # or shifted queries would leak into the next segment's key range.
+        stride = max(value_bound, stride or 1)
+        if len(sizes) and (len(sizes) - 1) * stride + stride - 1 >= _PACK_LIMIT:
+            raise OverflowError("segmented key space exceeds int64")
+        self.stride = stride
+        self.offsets = _np.concatenate(
+            (_np.zeros(1, dtype=_np.int64), _np.cumsum(sizes))
+        )
+        segment_of_row = _np.repeat(
+            _np.arange(len(sizes), dtype=_np.int64), sizes
+        )
+        self._augmented = flat_values + segment_of_row * stride
+
+    def probe_flat(
+        self, segment_ids: "_np.ndarray", queries: "_np.ndarray"
+    ) -> "_np.ndarray":
+        """Flat index of the rightmost value ≤ ``queries[i]`` in segment ``segment_ids[i]``.
+
+        Every query must be ≥ its segment's first value and < the stride
+        (true for the access walk: queries are non-negative, segments start
+        at 0, and the stride covers every bucket total); otherwise the
+        returned position points outside the segment.
+        """
+        keys = queries + segment_ids * self.stride
+        return _np.searchsorted(self._augmented, keys, side="right") - 1
+
+
 def _joint_keys(
     left: ColumnarStorage,
     left_positions: Sequence[int],

@@ -1,0 +1,56 @@
+"""Serving subsystem: prepared queries, a plan cache, and front-ends.
+
+The paper's complexity split — quasilinear preprocessing once, logarithmic
+per-access forever after — is the shape of a serving system.  This package
+keeps preprocessed instances alive and serves many requests against them:
+
+* :class:`QueryService` — registers databases, prepares (query, order, FDs,
+  backend) combinations behind a bounded LRU :class:`PlanCache`, and serves
+  ``access`` / ``batch_access`` / ``inverted_access`` / ``range`` / ``topk``
+  / one-shot ``selection`` requests, thread-safely.
+* :mod:`repro.service.protocol` — canonical plan fingerprints and the JSON
+  request/response encoding shared by all front-ends.
+* :mod:`repro.service.httpd` — a stdlib-only threaded HTTP front-end
+  (``repro serve``).
+
+Quick start::
+
+    from repro.service import QueryService
+
+    service = QueryService(max_plans=32, backend="columnar")
+    service.register_database("demo", database)
+    plan = service.prepare("demo", "Q(x, y, z) :- R(x, y), S(y, z)",
+                           order="x, y desc, z")
+    plan.access(17)                  # one answer
+    plan.batch_access([3, 1, 4])     # vectorized batch
+    plan.inverted_access((0, 5, 2))  # answer -> rank
+"""
+
+from repro.service.plan_cache import CacheStats, PlanCache
+from repro.service.protocol import (
+    PlanSpec,
+    ServiceError,
+    database_from_json,
+    database_to_json,
+    load_database,
+    read_request_lines,
+)
+from repro.service.service import PreparedPlan, QueryService, run_requests
+from repro.service.httpd import ServiceHTTPServer, make_server, serve
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "PlanSpec",
+    "PreparedPlan",
+    "QueryService",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "database_from_json",
+    "database_to_json",
+    "load_database",
+    "make_server",
+    "read_request_lines",
+    "run_requests",
+    "serve",
+]

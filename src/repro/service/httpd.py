@@ -1,0 +1,180 @@
+"""A zero-dependency HTTP front-end for :class:`~repro.service.QueryService`.
+
+Built on the standard library's :class:`http.server.ThreadingHTTPServer`, so
+``repro serve`` has no dependencies beyond Python itself: every connection is
+handled on its own thread, and the service's plans are immutable after
+preparation, so concurrent requests against one plan need no locking.
+
+Endpoints (all JSON):
+
+* ``GET  /healthz``          — liveness: ``{"status": "ok"}``.
+* ``GET  /v1/stats``         — cache/op counters (same shape as op ``stats``).
+* ``GET  /v1/databases``     — registered database names.
+* ``POST /v1/query``         — the generic request object (``{"op": ...}``).
+* ``POST /v1/<op>``          — convenience: the path names the op, e.g.
+  ``POST /v1/batch_access`` with ``{"plan": ..., "ks": [...]}``.
+* ``POST /v1/databases``     — register: ``{"name": ..., "relations": {...}}``.
+
+Error responses carry ``{"ok": false, "error": {"code", "message"}}`` with an
+HTTP status derived from the error code (400/404/422/500).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.service.protocol import error_response
+from repro.service.service import QueryService
+
+#: error code → HTTP status. Anything unknown maps to 400.
+_STATUS_BY_CODE = {
+    "bad_request": 400,
+    "unknown_database": 404,
+    "unknown_plan": 404,
+    "out_of_bounds": 404,
+    "not_an_answer": 404,
+    "unsupported": 422,
+    "intractable_query": 422,
+    "internal": 500,
+}
+
+#: Maximum accepted request body (a registered database can be sizeable).
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService, quiet: bool = True):
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    # Bound every socket read: a client announcing more bytes than it sends
+    # must not pin a server thread forever in rfile.read().
+    timeout = 60
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/healthz":
+            self._respond(200, {"status": "ok"})
+        elif self.path == "/v1/stats":
+            self._dispatch({"op": "stats"})
+        elif self.path == "/v1/databases":
+            self._dispatch({"op": "databases"})
+        else:
+            self._respond(404, error_response("bad_request", f"unknown path {self.path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        request = self._read_json()
+        if request is None:
+            return
+        if self.path in ("/v1/query", "/v1"):
+            self._dispatch(request)
+        elif self.path == "/v1/databases":
+            self._dispatch({**request, "op": "register"})
+        elif self.path.startswith("/v1/"):
+            op = self.path[len("/v1/"):].strip("/")
+            self._dispatch({**request, "op": op})
+        else:
+            self._respond(404, error_response("bad_request", f"unknown path {self.path!r}"))
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: Mapping) -> None:
+        response = self.server.service.execute(request)
+        if response.get("ok"):
+            self._respond(200, response)
+        else:
+            code = response.get("error", {}).get("code", "bad_request")
+            self._respond(_STATUS_BY_CODE.get(code, 400), response)
+
+    def _read_json(self) -> Optional[Mapping]:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0 or length > _MAX_BODY:
+            # The body (if any) is not drained, so the keep-alive stream would
+            # desync — the unread bytes would parse as the next request line.
+            self.close_connection = True
+            if length > _MAX_BODY:
+                message = f"request body of {length} bytes exceeds the {_MAX_BODY}-byte limit"
+            else:
+                message = "request needs a JSON body (Content-Length)"
+            self._respond(400, error_response("bad_request", message))
+            return None
+        try:
+            body = self.rfile.read(length)
+        except OSError:  # timed out / reset mid-body: the client is gone
+            self.close_connection = True
+            return None
+        if len(body) < length:  # short read (client closed early)
+            self.close_connection = True
+            return None
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._respond(400, error_response("bad_request", f"invalid JSON body: {exc}"))
+            return None
+        if not isinstance(request, Mapping):
+            self._respond(400, error_response("bad_request", "request body must be a JSON object"))
+            return None
+        return request
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        try:
+            body = json.dumps(payload).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            # Non-JSON-representable answer values: report instead of crashing
+            # the connection thread.
+            status = 500
+            body = json.dumps(
+                error_response("internal", f"response not JSON-representable: {exc}")
+            ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> ServiceHTTPServer:
+    """Bind (but do not run) a server; ``port=0`` picks a free port.
+
+    The bound port is ``server.server_address[1]`` — tests and scripts can
+    start the server on an ephemeral port and discover it afterwards.
+    """
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def run_server(server: ServiceHTTPServer) -> None:
+    """Run a bound server until interrupted, then close it cleanly."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+
+
+def serve(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8734, quiet: bool = True
+) -> None:
+    """Run the front-end until interrupted (the ``repro serve`` entry point)."""
+    run_server(make_server(service, host, port, quiet=quiet))

@@ -1,0 +1,170 @@
+"""A bounded, thread-safe LRU cache for prepared query plans.
+
+Preparing a (query, order, FDs, backend) combination runs the quasilinear
+preprocessing phase; serving a request against a prepared plan is logarithmic.
+The cache is what turns that asymmetry into a serving system: plans are built
+once under a *canonical fingerprint* key, kept hot in LRU order, and rebuilt
+transparently after eviction or invalidation.
+
+Concurrency contract: concurrent :meth:`PlanCache.get_or_build` calls for the
+same key coalesce — exactly one caller (the leader) runs the builder while the
+others block on an event and receive the leader's plan (or its exception).
+Distinct keys build in parallel; the cache lock is only held for bookkeeping,
+never while a builder runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Counters describing the cache's behaviour since construction.
+
+    ``hits`` — lookups served from the cache; ``misses`` — lookups that ran a
+    builder; ``coalesced`` — lookups that waited for a concurrent builder of
+    the same key instead of building again; ``evictions`` — entries dropped by
+    the LRU bound; ``invalidations`` — entries dropped explicitly (e.g. on
+    database re-registration).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class _Pending:
+    """In-flight build of one key: followers wait on the event."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value = None
+        self.error: Optional[BaseException] = None
+
+
+class PlanCache:
+    """Bounded LRU mapping of plan keys to prepared plans."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._pending: Dict[Hashable, _Pending] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Lookup / build
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        """The cached plan for ``key`` (marking it most-recent), or ``None``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            return None
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], object]):
+        """The plan for ``key``, building it with ``builder`` on a miss.
+
+        Thread-safe and build-coalescing: when several threads miss on the
+        same key simultaneously, the builder runs exactly once and every
+        caller receives the same plan.  A builder exception is propagated to
+        the leader *and* every waiting follower, and nothing is cached.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            pending = self._pending.get(key)
+            if pending is None:
+                pending = _Pending()
+                self._pending[key] = pending
+                leader = True
+                self.stats.misses += 1
+            else:
+                leader = False
+                self.stats.coalesced += 1
+
+        if not leader:
+            pending.event.wait()
+            if pending.error is not None:
+                raise pending.error
+            return pending.value
+
+        try:
+            value = builder()
+        except BaseException as exc:
+            with self._lock:
+                del self._pending[key]
+            pending.error = exc
+            pending.event.set()
+            raise
+        with self._lock:
+            self._insert(key, value)
+            del self._pending[key]
+        pending.value = value
+        pending.event.set()
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) an entry directly, applying the LRU bound."""
+        with self._lock:
+            self._insert(key, value)
+
+    def _insert(self, key: Hashable, value) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Invalidation / inspection
+    # ------------------------------------------------------------------
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns the count."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        return self.invalidate(lambda key: True)
+
+    def keys(self) -> List[Hashable]:
+        """Keys from least- to most-recently used (snapshot)."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

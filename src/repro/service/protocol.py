@@ -1,0 +1,351 @@
+"""The query service's wire protocol: plan specs, fingerprints and JSON I/O.
+
+Everything a client can say to the service is a JSON object; this module is
+the single place that turns those objects into library values and back:
+
+* :class:`PlanSpec` — the canonical description of a prepared query: database
+  name, query text, order, weights, FDs, mode and backend.  Two specs that
+  mean the same plan (whitespace differences, ``LexOrder`` objects vs text,
+  FD lists in different orders) canonicalize to the same spec and therefore
+  the same :meth:`PlanSpec.fingerprint`, which is the plan-cache key and the
+  plan id clients hold on to.
+* JSON answer encoding (tuples ↔ lists) and database documents
+  (``{"relations": {name: {"attributes": [...], "rows": [...]}}}``) for
+  ``repro serve --db name=path.json`` and the registration endpoint.
+* A newline-delimited request-file reader for the ``repro client`` runner.
+
+The protocol is deliberately value-typed: every spec component is a string or
+a tuple of strings, so fingerprints are stable across processes and restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.atoms import ConjunctiveQuery
+from repro.core.orders import LexOrder, Weights
+from repro.core.parser import parse_fds, parse_order, parse_query
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.exceptions import ReproError
+from repro.fds.fd import FDSet
+
+#: Plan modes the service understands (see :class:`repro.service.QueryService`).
+MODES = ("lex", "sum", "enum")
+
+
+class ServiceError(ReproError):
+    """A request-level error with a machine-readable code.
+
+    ``code`` is one of ``bad_request``, ``unknown_database``, ``unknown_plan``
+    or ``unsupported``; the HTTP front-end maps codes to status codes.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def error_response(code: str, message: str) -> Dict[str, object]:
+    """The wire shape of a failed request (shared by every front-end)."""
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+# ----------------------------------------------------------------------
+def canonical_query(query: Union[str, ConjunctiveQuery]) -> str:
+    """The canonical text of a query (parse + re-serialize for strings)."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    head = ", ".join(query.free_variables)
+    body = ", ".join(
+        f"{atom.relation}({', '.join(atom.variables)})" for atom in query.atoms
+    )
+    return f"{query.name}({head}) :- {body}"
+
+
+def canonical_order(order: Union[None, str, LexOrder]) -> Optional[str]:
+    """The canonical ``"x, y desc, z"`` text of a lexicographic order."""
+    if order is None:
+        return None
+    if isinstance(order, str):
+        order = parse_order(order)
+    return ", ".join(
+        f"{v} desc" if order.is_descending(v) else v for v in order.variables
+    )
+
+
+def canonical_fds(fds: Union[None, Sequence[str], FDSet]) -> Tuple[str, ...]:
+    """FDs as a sorted tuple of ``"R: x -> y"`` strings (order-insensitive)."""
+    if not fds:
+        return ()
+    if not isinstance(fds, FDSet):
+        fds = parse_fds(list(fds))
+    return tuple(sorted(f"{fd.relation}: {fd.lhs} -> {fd.rhs}" for fd in fds))
+
+
+def canonical_weights(spec) -> Optional[str]:
+    """Canonical text of a weights spec (``None`` ≡ identity weights).
+
+    Accepted specs: ``None`` / ``"identity"`` (every variable weighs its own
+    value) or a mapping ``{"mappings": {var: [[value, weight], ...]},
+    "default": float}``; value/weight pairs are JSON values so the spec
+    round-trips through the HTTP layer.
+    """
+    if spec is None or spec == "identity":
+        return None
+    if not isinstance(spec, Mapping):
+        raise ServiceError(
+            "bad_request",
+            f"weights must be 'identity' or a mapping spec, got {type(spec).__name__}",
+        )
+    mappings = spec.get("mappings", {})
+    if not isinstance(mappings, Mapping):
+        raise ServiceError("bad_request", "weights 'mappings' must be an object")
+    normalized = {
+        "mappings": {
+            variable: sorted(
+                ([value, weight] for value, weight in pairs),
+                key=lambda pair: json.dumps(pair[0], sort_keys=True),
+            )
+            for variable, pairs in sorted(mappings.items())
+        },
+        "default": spec.get("default", 0.0),
+    }
+    try:
+        return json.dumps(normalized, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError("bad_request", f"weights spec is not JSON-representable: {exc}")
+
+
+def build_order(canonical: Optional[str]) -> Optional[LexOrder]:
+    return parse_order(canonical) if canonical else None
+
+
+def build_weights(canonical: Optional[str]) -> Weights:
+    if canonical is None:
+        return Weights.identity()
+    spec = json.loads(canonical)
+    weights = Weights(default=spec.get("default", 0.0))
+    for variable, pairs in spec.get("mappings", {}).items():
+        for value, weight in pairs:
+            weights.set_weight(variable, value, weight)
+    return weights
+
+
+def build_fds(canonical: Tuple[str, ...]) -> Optional[FDSet]:
+    return parse_fds(list(canonical)) if canonical else None
+
+
+# ----------------------------------------------------------------------
+# Plan specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanSpec:
+    """The canonical, hashable description of one prepared query."""
+
+    database: str
+    query: str
+    mode: str = "lex"
+    order: Optional[str] = None
+    weights: Optional[str] = None
+    fds: Tuple[str, ...] = ()
+    backend: Optional[str] = None
+
+    @classmethod
+    def create(
+        cls,
+        database: str,
+        query: Union[str, ConjunctiveQuery],
+        mode: str = "lex",
+        order: Union[None, str, LexOrder] = None,
+        weights=None,
+        fds: Union[None, Sequence[str], FDSet] = None,
+        backend: Optional[str] = None,
+    ) -> "PlanSpec":
+        """Canonicalize user-facing values into a spec, validating the mode."""
+        if mode not in MODES:
+            raise ServiceError(
+                "bad_request", f"unknown mode {mode!r}; expected one of {MODES}"
+            )
+        if backend is not None and not isinstance(backend, str):
+            raise ServiceError("bad_request", "backend must be a string or null")
+        # Reject spec fields the mode would silently ignore: a client sending
+        # weights to a lex plan (or FDs to an enumeration plan) believes they
+        # took effect, and the ignored field would still split the fingerprint.
+        if mode != "lex" and order is not None:
+            raise ServiceError(
+                "bad_request", f"mode {mode!r} ranks by SUM weights; 'order' does not apply"
+            )
+        if mode == "lex" and weights is not None:
+            raise ServiceError(
+                "bad_request", "mode 'lex' ranks lexicographically; 'weights' does not apply"
+            )
+        if mode == "enum" and fds:
+            raise ServiceError(
+                "bad_request", "mode 'enum' does not support functional dependencies"
+            )
+        query_text = canonical_query(query)
+        order_text = canonical_order(order)
+        if order_text is not None and mode == "lex":
+            # The ascending head order IS the default: normalize it to None so
+            # "no order" and the explicit spelling share one fingerprint/plan.
+            head = parse_query(query_text).free_variables
+            if order_text == ", ".join(head):
+                order_text = None
+        return cls(
+            database=database,
+            query=query_text,
+            mode=mode,
+            order=order_text,
+            weights=canonical_weights(weights),
+            fds=canonical_fds(fds),
+            backend=backend,
+        )
+
+    @classmethod
+    def from_request(cls, request: Mapping) -> "PlanSpec":
+        """Build a spec from a request object's plan-describing fields."""
+        database = request.get("db") or request.get("database")
+        if not isinstance(database, str):
+            raise ServiceError("bad_request", "request needs a 'db' database name")
+        query = request.get("query")
+        if not isinstance(query, str):
+            raise ServiceError("bad_request", "request needs a 'query' string")
+        fds = request.get("fds")
+        if fds is not None and not isinstance(fds, (list, tuple)):
+            raise ServiceError("bad_request", "'fds' must be a list of FD strings")
+        try:
+            return cls.create(
+                database=database,
+                query=query,
+                mode=request.get("mode", "lex"),
+                order=request.get("order"),
+                weights=request.get("weights"),
+                fds=fds,
+                backend=request.get("backend"),
+            )
+        except ReproError:
+            raise
+        except Exception as exc:  # parser errors carry their own message
+            raise ServiceError("bad_request", str(exc))
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """A stable hex id of the spec — the plan id clients refer to.
+
+        Cached: the serving path reads it several times per request (cache
+        key + response envelope) and the spec is immutable.
+        """
+        payload = json.dumps(
+            {
+                "database": self.database,
+                "query": self.query,
+                "mode": self.mode,
+                "order": self.order,
+                "weights": self.weights,
+                "fds": list(self.fds),
+                "backend": self.backend,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "db": self.database,
+            "query": self.query,
+            "mode": self.mode,
+            "order": self.order,
+            "weights": self.weights,
+            "fds": list(self.fds),
+            "backend": self.backend,
+            "plan": self.fingerprint,
+        }
+
+
+# ----------------------------------------------------------------------
+# Answers and databases as JSON
+# ----------------------------------------------------------------------
+def encode_answer(answer: Tuple) -> List:
+    """An answer tuple as a JSON array (values must be JSON-representable)."""
+    return list(answer)
+
+
+def decode_answer(payload) -> Tuple:
+    """A client-provided answer (JSON array) as the library's tuple form."""
+    if not isinstance(payload, (list, tuple)):
+        raise ServiceError("bad_request", "'answer' must be an array")
+    return tuple(payload)
+
+
+def database_to_json(database: Database) -> Dict[str, object]:
+    """A database as a JSON document (inverse of :func:`database_from_json`)."""
+    return {
+        "relations": {
+            relation.name: {
+                "attributes": list(relation.attributes),
+                "rows": [list(row) for row in relation.rows],
+            }
+            for relation in database
+        }
+    }
+
+
+def database_from_json(document: Mapping, backend: Optional[str] = None) -> Database:
+    """Build a :class:`Database` from ``{"relations": {name: {...}}}``."""
+    relations_doc = document.get("relations")
+    if not isinstance(relations_doc, Mapping):
+        raise ServiceError("bad_request", "database document needs a 'relations' object")
+    relations = []
+    for name, spec in relations_doc.items():
+        if not isinstance(spec, Mapping):
+            raise ServiceError("bad_request", f"relation {name!r} must be an object")
+        attributes = spec.get("attributes")
+        rows = spec.get("rows", [])
+        if not isinstance(attributes, (list, tuple)):
+            raise ServiceError("bad_request", f"relation {name!r} needs 'attributes'")
+        try:
+            relations.append(
+                Relation(
+                    name,
+                    tuple(attributes),
+                    [tuple(row) for row in rows],
+                    backend=backend,
+                )
+            )
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ServiceError("bad_request", f"relation {name!r}: {exc}")
+    return Database(relations)
+
+
+def load_database(path: str, backend: Optional[str] = None) -> Database:
+    """Load a database JSON document from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return database_from_json(document, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# Request files (the `repro client` runner)
+# ----------------------------------------------------------------------
+def read_request_lines(lines: Iterable[str]) -> Iterator[Mapping]:
+    """Parse newline-delimited JSON requests, skipping blanks and ``#`` comments."""
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            request = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError("bad_request", f"request line {number}: invalid JSON ({exc})")
+        if not isinstance(request, Mapping):
+            raise ServiceError("bad_request", f"request line {number}: expected an object")
+        yield request

@@ -1,0 +1,532 @@
+"""The query service: registered databases + prepared plans + request ops.
+
+:class:`QueryService` is the in-process serving front-end the paper's
+complexity shape calls for: preprocessing (plan preparation) happens once per
+(database, query, order, FDs, backend) combination and is cached in a bounded
+LRU (:mod:`repro.service.plan_cache`); every subsequent request — ``access``,
+``batch_access``, ``inverted_access``, ``range``, ``topk`` — runs against the
+cached structure in logarithmic (or constant) time per answer.
+
+Concurrency model: plans are immutable once built (the preprocessed layer
+structures are read-only), so any number of threads may serve requests from
+the same plan concurrently; the only synchronization is inside the plan cache
+(build coalescing), the service's registration lock, and the lazy
+materialization lock of enumeration plans.  This is what the HTTP front-end
+(:mod:`repro.service.httpd`) relies on when it dispatches each connection on
+its own thread.
+
+Database re-registration bumps a generation counter; cached plans of older
+generations are dropped immediately and any in-flight fingerprint transparently
+re-prepares against the new data on next use.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.access import validate_rank
+from repro.core.direct_access import LexDirectAccess
+from repro.core.orders import LexOrder
+from repro.core.parser import parse_query
+from repro.core.selection_lex import selection_lex
+from repro.core.selection_sum import selection_sum
+from repro.core.sum_direct_access import SumDirectAccess
+from repro.engine.backends import BackendUnavailableError
+from repro.engine.database import Database
+from repro.exceptions import (
+    IntractableQueryError,
+    NotAnAnswerError,
+    OutOfBoundsError,
+    ReproError,
+)
+from repro.ranking.ranked_enumeration import SumRankedEnumerator
+from repro.service.plan_cache import PlanCache
+from repro.service.protocol import (
+    PlanSpec,
+    ServiceError,
+    build_fds,
+    build_order,
+    build_weights,
+    canonical_fds,
+    canonical_weights,
+    decode_answer,
+    encode_answer,
+    error_response,
+)
+
+
+class PreparedPlan:
+    """One prepared (query, order, FDs, backend) combination, ready to serve.
+
+    Wraps the mode's facade — :class:`LexDirectAccess` (``"lex"``),
+    :class:`SumDirectAccess` (``"sum"``) or :class:`SumRankedEnumerator`
+    (``"enum"``) — behind a uniform operation surface.  Instances are
+    immutable after construction except for the enumeration prefix, which is
+    materialized lazily under a lock so concurrent ``topk`` calls are safe.
+    """
+
+    def __init__(self, spec: PlanSpec, generation: int, engine) -> None:
+        self.spec = spec
+        self.generation = generation
+        self.engine = engine
+        if spec.mode == "enum":
+            self._prefix: List[Tuple] = []
+            self._stream = engine.stream_with_weights()
+            self._exhausted = False
+            self._lock = threading.Lock()
+
+    @property
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint
+
+    @property
+    def count(self) -> Optional[int]:
+        """Number of answers, or ``None`` for enumeration plans (not counted)."""
+        if self.spec.mode == "enum":
+            return None
+        return self.engine.count
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _require_access(self) -> None:
+        if self.spec.mode == "enum":
+            raise ServiceError(
+                "unsupported",
+                "enumeration plans only support 'topk'; prepare mode 'lex' or "
+                "'sum' for direct access",
+            )
+
+    def access(self, k: int) -> Tuple:
+        self._require_access()
+        return self.engine.access(k)
+
+    def batch_access(self, ks: Sequence[int]) -> List[Tuple]:
+        self._require_access()
+        return self.engine.batch_access(ks)
+
+    def range(self, lo: int, hi: int) -> List[Tuple]:
+        self._require_access()
+        return self.engine.range_access(lo, hi)
+
+    def inverted_access(self, answer: Sequence) -> int:
+        self._require_access()
+        return self.engine.inverted_access(answer)
+
+    def topk(self, k: int) -> List[Tuple]:
+        """The first ``k`` answers in order (all answers when fewer exist)."""
+        k = validate_rank(k)
+        if k < 0:
+            raise OutOfBoundsError(f"top-k size must be non-negative, got {k}")
+        if self.spec.mode != "enum":
+            return self.engine.range_access(0, min(k, self.engine.count))
+        with self._lock:
+            while len(self._prefix) < k and not self._exhausted:
+                try:
+                    answer, _ = next(self._stream)
+                except StopIteration:
+                    self._exhausted = True
+                    break
+                self._prefix.append(answer)
+            return list(self._prefix[:k])
+
+
+class QueryService:
+    """Registered databases + a bounded plan cache + thread-safe request ops.
+
+    Parameters
+    ----------
+    max_plans:
+        Capacity of the LRU plan cache (prepared structures kept hot).
+    backend:
+        Default storage backend for plans that do not name one
+        (``"row"`` / ``"columnar"`` / ``None`` = the process default).
+    """
+
+    def __init__(self, max_plans: int = 64, backend: Optional[str] = None) -> None:
+        self.default_backend = backend
+        self._lock = threading.Lock()
+        self._databases: Dict[str, Database] = {}
+        self._generations: Dict[str, int] = {}
+        self._specs: Dict[str, PlanSpec] = {}
+        self._max_specs = max(1024, 16 * max_plans)
+        self._cache = PlanCache(capacity=max_plans)
+        self._op_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+    def register_database(self, name: str, database: Database) -> int:
+        """Register (or replace) a database; returns its new generation.
+
+        Re-registration invalidates every cached plan prepared against the
+        previous generation — subsequent requests transparently re-prepare.
+        """
+        if not isinstance(database, Database):
+            raise ServiceError("bad_request", "expected a Database instance")
+        with self._lock:
+            generation = self._generations.get(name, 0) + 1
+            self._databases[name] = database
+            self._generations[name] = generation
+        self._cache.invalidate(lambda key: key[0] == name)
+        return generation
+
+    def database(self, name: str) -> Database:
+        with self._lock:
+            try:
+                return self._databases[name]
+            except KeyError:
+                raise ServiceError(
+                    "unknown_database", f"no database registered under {name!r}"
+                ) from None
+
+    def generation(self, name: str) -> int:
+        with self._lock:
+            return self._generations.get(name, 0)
+
+    @property
+    def database_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._databases.keys())
+
+    # ------------------------------------------------------------------
+    # Plans
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        database: str,
+        query,
+        mode: str = "lex",
+        order=None,
+        weights=None,
+        fds=None,
+        backend: Optional[str] = None,
+    ) -> PreparedPlan:
+        """Prepare (or fetch from cache) the plan for the given combination.
+
+        ``query``/``order``/``fds`` accept both library objects and the text
+        forms the parser understands; everything is canonicalized so
+        equivalent spellings share one cache entry.  Returns the prepared
+        plan; its ``fingerprint`` is the id HTTP clients use.
+        """
+        spec = PlanSpec.create(
+            database=database,
+            query=query,
+            mode=mode,
+            order=order,
+            weights=weights,
+            fds=fds,
+            backend=backend,
+        )
+        return self.plan_for_spec(spec)
+
+    def plan_for_spec(self, spec: PlanSpec) -> PreparedPlan:
+        """The cached plan for a spec, building (and registering) it on miss."""
+        fingerprint = spec.fingerprint
+        # Database and generation must be read atomically: reading them under
+        # separate lock acquisitions lets a concurrent re-registration pair an
+        # old database with the new generation, caching stale data under a
+        # live key.  A plan built against a snapshot that re-registration
+        # overtakes mid-build lands under the *old* generation key, which no
+        # lookup uses anymore — harmless until LRU eviction.
+        with self._lock:
+            database = self._databases.get(spec.database)
+            if database is None:
+                raise ServiceError(
+                    "unknown_database", f"no database registered under {spec.database!r}"
+                )
+            generation = self._generations[spec.database]
+            # Pop-and-reinsert so every touch refreshes recency: a hot plan
+            # served by fingerprint must not be evicted by a flood of
+            # one-shot specs.
+            self._specs.pop(fingerprint, None)
+            self._specs[fingerprint] = spec
+            while len(self._specs) > self._max_specs:
+                self._specs.pop(next(iter(self._specs)))
+        key = (spec.database, generation, fingerprint)
+        return self._cache.get_or_build(
+            key, lambda: self._build_plan(spec, database, generation)
+        )
+
+    def plan(self, fingerprint: str) -> PreparedPlan:
+        """The plan for a previously seen fingerprint (rebuilding if evicted).
+
+        Fingerprints are remembered in a bounded LRU (many multiples of the
+        plan-cache capacity, refreshed on every use); a fingerprint aged out
+        of it answers ``unknown_plan`` and the client re-sends the spec
+        inline.
+        """
+        with self._lock:
+            spec = self._specs.get(fingerprint)
+        if spec is None:
+            raise ServiceError(
+                "unknown_plan",
+                f"unknown plan {fingerprint!r}; prepare it (or send the spec inline)",
+            )
+        return self.plan_for_spec(spec)
+
+    def _build_plan(self, spec: PlanSpec, database: Database, generation: int) -> PreparedPlan:
+        query = parse_query(spec.query)
+        backend = spec.backend or self.default_backend
+        fds = build_fds(spec.fds)
+        if spec.mode == "lex":
+            order = build_order(spec.order)
+            if order is None:
+                # Default order: the head left to right — the natural ranking.
+                order = LexOrder(query.free_variables)
+            engine = LexDirectAccess(query, database, order, fds=fds, backend=backend)
+        elif spec.mode == "sum":
+            engine = SumDirectAccess(
+                query, database, build_weights(spec.weights), fds=fds, backend=backend
+            )
+        else:  # "enum" (PlanSpec.create already validated the mode)
+            engine = SumRankedEnumerator(
+                query, database, build_weights(spec.weights), backend=backend
+            )
+        return PreparedPlan(spec, generation, engine)
+
+    def resolve(self, request: Mapping) -> PreparedPlan:
+        """The plan a request refers to: by ``plan`` fingerprint or inline spec."""
+        fingerprint = request.get("plan")
+        if fingerprint is not None:
+            if not isinstance(fingerprint, str):
+                raise ServiceError("bad_request", "'plan' must be a fingerprint string")
+            return self.plan(fingerprint)
+        return self.plan_for_spec(PlanSpec.from_request(request))
+
+    # ------------------------------------------------------------------
+    # Stateless selection (no reusable structure, Theorems 6.1 / 7.3)
+    # ------------------------------------------------------------------
+    def selection(
+        self,
+        database: str,
+        query,
+        k: int,
+        order=None,
+        weights=None,
+        fds=None,
+        backend: Optional[str] = None,
+    ) -> Tuple:
+        """One-shot selection of the ``k``-th answer (lex when an order is
+        given, SUM otherwise) — tractable even for orders whose direct access
+        is not, which is exactly why it bypasses the plan cache."""
+        if order is not None and weights is not None:
+            raise ServiceError(
+                "bad_request",
+                "selection ranks by 'order' (lex) or 'weights' (SUM), not both",
+            )
+        k = validate_rank(k)
+        db = self.database(database)
+        if isinstance(query, str):
+            query = parse_query(query)
+        fds = build_fds(canonical_fds(fds))
+        backend = backend or self.default_backend
+        if order is not None:
+            from repro.core.parser import parse_order
+
+            if isinstance(order, str):
+                order = parse_order(order)
+            return selection_lex(query, db, order, k, fds=fds, backend=backend)
+        return selection_sum(
+            query, db, k,
+            weights=build_weights(canonical_weights(weights)),
+            fds=fds, backend=backend,
+        )
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def _count_op(self, op: str) -> None:
+        with self._lock:
+            self._op_counts[op] = self._op_counts.get(op, 0) + 1
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            databases = {
+                name: {
+                    "generation": self._generations[name],
+                    "relations": len(db),
+                    "tuples": db.size(),
+                }
+                for name, db in self._databases.items()
+            }
+            ops = dict(self._op_counts)
+        return {
+            "databases": databases,
+            "plans_cached": len(self._cache),
+            "plans_known": len(self._specs),
+            "cache": self._cache.stats.to_dict(),
+            "ops": ops,
+        }
+
+    # ------------------------------------------------------------------
+    # The request interface (shared by HTTP front-end and `repro client`)
+    # ------------------------------------------------------------------
+    def execute(self, request: Mapping) -> Dict[str, object]:
+        """Serve one protocol request object; never raises.
+
+        Returns ``{"ok": true, ...result fields...}`` or ``{"ok": false,
+        "error": {"code": ..., "message": ...}}``.  This is the single entry
+        point both the HTTP front-end and the request-file runner use, so
+        in-process and over-the-wire behaviour cannot drift apart.
+        """
+        try:
+            if not isinstance(request, Mapping):
+                raise ServiceError("bad_request", "request must be a JSON object")
+            op = request.get("op")
+            handler = self._HANDLERS.get(op)
+            if handler is None:
+                known = ", ".join(sorted(self._HANDLERS))
+                raise ServiceError("bad_request", f"unknown op {op!r}; expected one of: {known}")
+            self._count_op(op)
+            result = handler(self, request)
+            response = {"ok": True, "op": op}
+            response.update(result)
+            return response
+        except ServiceError as exc:
+            return error_response(exc.code, str(exc))
+        except OutOfBoundsError as exc:
+            return error_response("out_of_bounds", str(exc))
+        except NotAnAnswerError as exc:
+            # KeyError's str() quotes the message; unwrap the original text.
+            message = exc.args[0] if exc.args else str(exc)
+            return error_response("not_an_answer", str(message))
+        except IntractableQueryError as exc:
+            return error_response("intractable_query", str(exc))
+        except BackendUnavailableError as exc:
+            # Client-selected backend that doesn't exist / isn't installed.
+            return error_response("bad_request", str(exc))
+        except ReproError as exc:
+            return error_response("bad_request", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            return error_response("internal", f"{type(exc).__name__}: {exc}")
+
+    # -- op handlers ---------------------------------------------------
+    def _op_prepare(self, request: Mapping) -> Dict[str, object]:
+        plan = self.resolve(request)
+        return {"plan": plan.fingerprint, "mode": plan.spec.mode, "count": plan.count}
+
+    def _op_access(self, request: Mapping) -> Dict[str, object]:
+        plan = self.resolve(request)
+        k = _rank_field(request, "k")
+        return {"plan": plan.fingerprint, "k": k, "answer": encode_answer(plan.access(k))}
+
+    def _op_batch_access(self, request: Mapping) -> Dict[str, object]:
+        plan = self.resolve(request)
+        ks = _required(request, "ks")
+        if not isinstance(ks, (list, tuple)):
+            raise ServiceError("bad_request", "'ks' must be an array of ranks")
+        try:
+            # Validate client ranks here, scoped, so only *their* TypeError
+            # becomes bad_request — an internal engine TypeError must still
+            # surface as a 500.  The engine re-validates (cheap next to the
+            # JSON parse of the same array); that redundancy is deliberate.
+            ks = [validate_rank(k) for k in ks]
+        except TypeError as exc:
+            raise ServiceError("bad_request", str(exc)) from None
+        answers = plan.batch_access(ks)
+        return {"plan": plan.fingerprint, "answers": [encode_answer(a) for a in answers]}
+
+    def _op_range(self, request: Mapping) -> Dict[str, object]:
+        plan = self.resolve(request)
+        lo = _rank_field(request, "lo")
+        hi = _rank_field(request, "hi")
+        answers = plan.range(lo, hi)
+        return {
+            "plan": plan.fingerprint,
+            "lo": lo,
+            "hi": hi,
+            "answers": [encode_answer(a) for a in answers],
+        }
+
+    def _op_inverted_access(self, request: Mapping) -> Dict[str, object]:
+        plan = self.resolve(request)
+        answer = decode_answer(_required(request, "answer"))
+        return {"plan": plan.fingerprint, "k": plan.inverted_access(answer)}
+
+    def _op_topk(self, request: Mapping) -> Dict[str, object]:
+        plan = self.resolve(request)
+        k = _rank_field(request, "k")
+        answers = plan.topk(k)
+        return {"plan": plan.fingerprint, "answers": [encode_answer(a) for a in answers]}
+
+    def _op_count(self, request: Mapping) -> Dict[str, object]:
+        plan = self.resolve(request)
+        if plan.count is None:
+            raise ServiceError("unsupported", "enumeration plans do not precount answers")
+        return {"plan": plan.fingerprint, "count": plan.count}
+
+    def _op_selection(self, request: Mapping) -> Dict[str, object]:
+        database = request.get("db") or request.get("database")
+        if not isinstance(database, str):
+            raise ServiceError("bad_request", "selection needs a 'db' database name")
+        query = request.get("query")
+        if not isinstance(query, str):
+            raise ServiceError("bad_request", "selection needs a 'query' string")
+        k = _rank_field(request, "k")
+        answer = self.selection(
+            database,
+            query,
+            k,
+            order=request.get("order"),
+            weights=request.get("weights"),
+            fds=request.get("fds"),
+            backend=request.get("backend"),
+        )
+        return {"k": k, "answer": encode_answer(answer)}
+
+    def _op_stats(self, request: Mapping) -> Dict[str, object]:
+        return {"stats": self.stats()}
+
+    def _op_databases(self, request: Mapping) -> Dict[str, object]:
+        return {"databases": list(self.database_names)}
+
+    def _op_register(self, request: Mapping) -> Dict[str, object]:
+        from repro.service.protocol import database_from_json
+
+        name = request.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServiceError("bad_request", "register needs a database 'name'")
+        database = database_from_json(request, backend=request.get("backend"))
+        generation = self.register_database(name, database)
+        return {"name": name, "generation": generation, "tuples": database.size()}
+
+    _HANDLERS: Dict[str, Callable[["QueryService", Mapping], Dict[str, object]]] = {
+        "prepare": _op_prepare,
+        "access": _op_access,
+        "batch_access": _op_batch_access,
+        "range": _op_range,
+        "inverted_access": _op_inverted_access,
+        "topk": _op_topk,
+        "count": _op_count,
+        "selection": _op_selection,
+        "stats": _op_stats,
+        "databases": _op_databases,
+        "register": _op_register,
+    }
+
+
+def _required(request: Mapping, field: str):
+    if field not in request:
+        raise ServiceError("bad_request", f"request is missing the {field!r} field")
+    return request[field]
+
+
+def _rank_field(request: Mapping, field: str) -> int:
+    """A required rank field, with type errors mapped to ``bad_request``.
+
+    Client-supplied ranks are validated here at the protocol boundary so the
+    engines' ``TypeError`` never has to be caught wholesale in ``execute`` —
+    a blanket TypeError handler would misreport genuine server bugs as
+    client errors.
+    """
+    try:
+        return validate_rank(_required(request, field))
+    except TypeError as exc:
+        raise ServiceError("bad_request", str(exc)) from None
+
+
+def run_requests(service: QueryService, requests) -> List[Dict[str, object]]:
+    """Execute an iterable of request objects in order (the client runner)."""
+    return [service.execute(request) for request in requests]

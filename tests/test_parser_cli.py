@@ -104,3 +104,75 @@ class TestCLI:
     def test_order_echoed_in_output(self, capsys):
         cli_main(["Q(x, y, z) :- R(x, y), S(y, z)", "--order", "x, y, z"])
         assert "⟨x, y, z⟩" in capsys.readouterr().out
+
+    def test_explicit_classify_subcommand(self, capsys):
+        code = cli_main(["classify", "Q(x, y) :- R(x, y)", "--order", "x, y"])
+        assert code == 0
+        assert "tractable" in capsys.readouterr().out
+
+
+class TestCLIVersionAndUsage:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    @pytest.mark.parametrize("subcommand", [[], ["serve"], ["client"]])
+    def test_version_flag_on_subcommands(self, subcommand, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(subcommand + ["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_missing_query_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([])
+        assert excinfo.value.code == 2
+        assert "usage" in capsys.readouterr().err.lower()
+
+    def test_malformed_query_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["this is not a query"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage" in err.lower() and ":-" in err
+
+    def test_unknown_flag_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["Q(x) :- R(x)", "--frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_client_without_target_is_a_usage_error(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["client", str(requests)])
+        assert excinfo.value.code == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_client_url_and_db_together_is_a_usage_error(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(
+                ["client", str(requests), "--url", "http://127.0.0.1:1",
+                 "--db", "demo=whatever.json"]
+            )
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_bad_db_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--db", "missing-equals-sign"])
+        assert excinfo.value.code == 2
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_serve_missing_db_file_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--db", "demo=/does/not/exist.json"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,165 @@
+"""The plan cache: LRU order, counters, invalidation, build coalescing.
+
+These are the satellite guarantees the serving subsystem rests on: plans are
+built once per key (even under concurrent prepares of the same key), evicted
+least-recently-used first, and dropped when their database is re-registered.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.plan_cache import PlanCache
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        # Touch "a" so "b" becomes the eviction victim.
+        assert cache.get_or_build("a", lambda: "A2") == "A"
+        cache.get_or_build("c", lambda: "C")
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_keys_in_lru_order(self):
+        cache = PlanCache(capacity=3)
+        for key in ("a", "b", "c"):
+            cache.get_or_build(key, lambda k=key: k.upper())
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+    def test_capacity_one(self):
+        cache = PlanCache(capacity=1)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        assert len(cache) == 1 and "b" in cache
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestCounters:
+    def test_hit_and_miss_counters(self):
+        cache = PlanCache(capacity=4)
+        builds = []
+        for _ in range(3):
+            cache.get_or_build("k", lambda: builds.append(1) or "V")
+        assert builds == [1]
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+
+    def test_get_counts_hits_only_on_presence(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("missing") is None
+        assert cache.stats.hits == 0
+        cache.put("k", "V")
+        assert cache.get("k") == "V"
+        assert cache.stats.hits == 1
+
+    def test_failed_build_caches_nothing(self):
+        cache = PlanCache(capacity=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("k", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        assert "k" not in cache
+        # The next attempt builds again (the failure did not wedge the key).
+        assert cache.get_or_build("k", lambda: "ok") == "ok"
+        assert cache.stats.misses == 2
+
+
+class TestInvalidation:
+    def test_predicate_invalidation(self):
+        cache = PlanCache(capacity=8)
+        cache.put(("db1", 1, "f1"), "A")
+        cache.put(("db1", 1, "f2"), "B")
+        cache.put(("db2", 1, "f3"), "C")
+        dropped = cache.invalidate(lambda key: key[0] == "db1")
+        assert dropped == 2
+        assert cache.stats.invalidations == 2
+        assert cache.keys() == [("db2", 1, "f3")]
+
+    def test_clear(self):
+        cache = PlanCache(capacity=8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestConcurrency:
+    def test_concurrent_same_key_builds_once(self):
+        cache = PlanCache(capacity=4)
+        builds = []
+        gate = threading.Event()
+
+        def builder():
+            builds.append(threading.get_ident())
+            gate.wait(timeout=5)   # hold the build so others pile up
+            return "PLAN"
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(cache.get_or_build("k", builder)))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        # Let the followers reach the wait before releasing the leader.
+        time.sleep(0.05)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5)
+
+        assert results == ["PLAN"] * 8
+        assert len(builds) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.coalesced == 7
+
+    def test_leader_failure_propagates_to_followers(self):
+        cache = PlanCache(capacity=4)
+        gate = threading.Event()
+        errors = []
+
+        def builder():
+            gate.wait(timeout=5)
+            raise RuntimeError("build failed")
+
+        def worker():
+            try:
+                cache.get_or_build("k", builder)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert errors == ["build failed"] * 4
+        assert "k" not in cache
+
+    def test_distinct_keys_build_in_parallel(self):
+        cache = PlanCache(capacity=8)
+        started = threading.Barrier(2, timeout=5)
+
+        def builder(name):
+            # Both builders must be inside their build simultaneously; if the
+            # cache serialized builds, the barrier would time out.
+            started.wait()
+            return name
+
+        threads = [
+            threading.Thread(target=lambda n=name: cache.get_or_build(n, lambda: builder(n)))
+            for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert "a" in cache and "b" in cache
