@@ -1,0 +1,81 @@
+"""Planner staged-build benchmark: monolith vs serial vs parallel executor.
+
+Builds the same LEX direct-access structure for a star query three ways —
+the pre-refactor monolithic wiring, the planner's staged executor with one
+worker, and the staged executor with a worker pool — verifies all three are
+answer-identical on sampled ranks, and writes the timings to
+``BENCH_planner_build.json`` at the repository root.
+
+Run standalone (the CI planner-smoke job uses ``--smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_planner_build.py [sizes...]
+    PYTHONPATH=src python benchmarks/bench_planner_build.py --workers 2 --smoke
+
+The parallel/serial ratio is hardware-bound: on a single-CPU host it hovers
+around 1.0 (recorded as such, together with ``cpu_count``); the staged/
+monolith ratio measures the plan-driven stage elisions and is CPU-agnostic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.benchharness import format_table, run_planner_build_bench, write_planner_build
+from repro.engine.backends import available_backends
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_planner_build.json"
+DEFAULT_SIZES = (10_000, 100_000)
+SMOKE_SIZES = (2_000, 8_000)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("sizes", nargs="*", type=int, help=f"database sizes (default {DEFAULT_SIZES})")
+    parser.add_argument("--workers", type=int, default=2, help="parallel worker count (default 2)")
+    parser.add_argument("--arms", type=int, default=4, help="star query arms / independent layers")
+    parser.add_argument("--processes", action="store_true", help="process pool instead of threads")
+    parser.add_argument("--backend", default=None, help="storage backend (default: columnar if available)")
+    parser.add_argument("--smoke", action="store_true", help=f"small sweep {SMOKE_SIZES} for CI")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats per timing")
+    args = parser.parse_args(argv)
+
+    backend = args.backend
+    if backend is None:
+        backend = "columnar" if "columnar" in available_backends() else "row"
+    sizes = tuple(args.sizes) or (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
+
+    document = run_planner_build_bench(
+        sizes,
+        workers=args.workers,
+        arms=args.arms,
+        backend=backend,
+        use_processes=args.processes,
+        repeats=args.repeats,
+    )
+    write_planner_build(document, ARTIFACT)
+
+    rows = [
+        (
+            result["n"],
+            f"{result['monolith_seconds'] * 1000:.1f}",
+            f"{result['staged_serial_seconds'] * 1000:.1f}",
+            f"{result['staged_parallel_seconds'] * 1000:.1f}",
+            f"{result['speedup_staged_vs_monolith']:.2f}x",
+            f"{result['speedup_parallel_vs_serial']:.2f}x",
+        )
+        for result in document["results"]
+    ]
+    print(f"backend={backend} workers={args.workers} pool={document['pool']} "
+          f"cpu_count={document['cpu_count']}")
+    print(format_table(
+        ["n", "monolith ms", "staged ms", "parallel ms", "staged/monolith", "parallel/serial"],
+        rows,
+    ))
+    print(f"wrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,6 +67,7 @@ from repro.engine.backends import (
 from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.fds.fd import FDSet, FunctionalDependency
+from repro.planner import PlanExecutor, QueryPlan, explain, plan
 from repro.ranking.ranked_enumeration import SumRankedEnumerator
 from repro.baselines.materialize import MaterializedBaseline
 from repro.exceptions import (
@@ -108,6 +109,10 @@ __all__ = [
     "selection_quantile_sum",
     "Database",
     "Relation",
+    "PlanExecutor",
+    "QueryPlan",
+    "explain",
+    "plan",
     "available_backends",
     "get_default_backend",
     "set_default_backend",

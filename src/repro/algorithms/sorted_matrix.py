@@ -20,7 +20,7 @@ exact for arbitrary comparable numeric weights.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.exceptions import OutOfBoundsError
 

@@ -13,7 +13,7 @@ This module is a thin convenience wrapper around
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.algorithms.sorted_matrix import SortedMatrix, select_in_sorted_matrix_union
 

@@ -14,6 +14,13 @@ from repro.benchharness.scaling import (
     measure_scaling,
     write_backend_comparison,
 )
+from repro.benchharness.planner_build import (
+    MonolithLexAccess,
+    run_planner_build_bench,
+    star_database,
+    star_query,
+    write_planner_build,
+)
 from repro.benchharness.replay import (
     ReplayResult,
     replay_batched,
@@ -26,6 +33,7 @@ from repro.benchharness.replay import (
 from repro.benchharness.reporting import format_table
 
 __all__ = [
+    "MonolithLexAccess",
     "ReplayResult",
     "ScalingResult",
     "compare_backends",
@@ -35,8 +43,12 @@ __all__ = [
     "replay_batched",
     "replay_single",
     "replay_threaded",
+    "run_planner_build_bench",
     "run_replay",
+    "star_database",
+    "star_query",
     "write_backend_comparison",
+    "write_planner_build",
     "write_service_throughput",
     "zipf_ranks",
 ]

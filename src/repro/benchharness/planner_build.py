@@ -1,0 +1,237 @@
+"""Planner build benchmark harness: monolith vs staged vs parallel builds.
+
+Three ways to build the same LEX direct-access structure are compared:
+
+* **monolith** — the pre-refactor wiring (exactly what the facades did before
+  the planner layer): classify, rewrite, normalise, eliminate projections
+  with a dedup pass per projection, then serial preprocessing including the
+  full semi-join reduction.  Kept here verbatim as the equivalence baseline
+  for the property tests and the benchmark's reference point.
+* **staged serial** — ``plan()`` + ``PlanExecutor`` with one worker: the same
+  stages, but the plan's dataflow invariants elide provably redundant work
+  (re-deduplicating distinct relations, re-reducing reduced ones).
+* **staged parallel** — the same executor with a worker pool building
+  independent layers concurrently (threads by default, processes opt-in).
+
+``run_planner_build_bench`` verifies all three produce identical answers on
+sampled ranks before recording any timing, and the artifact records
+``cpu_count`` — on a single-core host the parallel/serial ratio is bounded by
+1 and the staged-vs-monolith ratio carries the win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import access as access_module
+from repro.core.atoms import Atom, ConjunctiveQuery
+from repro.core.classification import classify_direct_access_lex
+from repro.core.layered_tree import build_layered_join_tree
+from repro.core.orders import LexOrder
+from repro.core.partial_order import require_complete_order
+from repro.core.preprocessing import preprocess
+from repro.core.reduction import eliminate_projections
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.exceptions import IntractableQueryError
+
+
+# ----------------------------------------------------------------------
+# Workload: a star query — sibling layers are independent, so the layered
+# tree has genuine build parallelism (K leaf layers under one root).
+# ----------------------------------------------------------------------
+def star_query(arms: int) -> Tuple[ConjunctiveQuery, LexOrder]:
+    """``Q(x, y0..y(k-1)) :- R0(x, y0), ..., R(k-1)(x, y(k-1))`` + head order."""
+    atoms = [Atom(f"R{i}", ("x", f"y{i}")) for i in range(arms)]
+    head = ("x",) + tuple(f"y{i}" for i in range(arms))
+    return ConjunctiveQuery(head, atoms, name="Qstar"), LexOrder(head)
+
+
+def star_database(
+    arms: int,
+    total_rows: int,
+    x_domain: int = 100,
+    y_domain: int = 100000,
+    seed: int = 13,
+    backend: Optional[str] = None,
+) -> Database:
+    """A random star instance of roughly ``total_rows`` tuples overall."""
+    rng = random.Random(seed)
+    per_relation = max(1, total_rows // arms)
+    relations = []
+    for i in range(arms):
+        rows = {(rng.randrange(x_domain), rng.randrange(y_domain))
+                for _ in range(per_relation)}
+        relations.append(Relation(f"R{i}", ("x", f"y{i}"), sorted(rows)))
+    return Database(relations, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# The pre-refactor path, preserved as the equivalence/benchmark baseline.
+# ----------------------------------------------------------------------
+class MonolithLexAccess:
+    """LEX direct access built by the pre-planner wiring (PR 2 behaviour).
+
+    Deliberately bypasses the planner layer: every step is wired inline the
+    way :class:`~repro.core.direct_access.LexDirectAccess` used to, including
+    the redundant dedup/reduce passes the staged executor elides.  Property
+    tests assert the planner-routed facade returns byte-identical answers.
+    """
+
+    def __init__(self, query, database, order, fds=None, backend=None,
+                 enforce_tractability: bool = True) -> None:
+        if backend is not None:
+            database = database.to_backend(backend)
+        self._original_query = query
+        self.classification = classify_direct_access_lex(query, order, fds=fds)
+        if enforce_tractability and self.classification.verdict == "intractable":
+            raise IntractableQueryError(
+                f"direct access by {order} for {query.name} is intractable: "
+                f"{self.classification.reason}",
+                self.classification,
+            )
+        if fds:
+            from repro.fds.rewrite import rewrite_for_fds
+
+            query, database, order = rewrite_for_fds(query, database, order, fds)
+        query, database = query.normalize(database)
+
+        if query.is_boolean:
+            from repro.engine.naive import evaluate_naive
+
+            self._boolean_answers: Optional[List[Tuple]] = evaluate_naive(query, database)
+            self._instance = None
+            return
+        self._boolean_answers = None
+
+        # Pre-refactor flags: dedup everything, reduce again in preprocess.
+        reduction = eliminate_projections(query, database)
+        complete_order = require_complete_order(reduction.query, order)
+        tree = build_layered_join_tree(reduction.query, complete_order)
+        self._instance = preprocess(tree, reduction.database)
+
+    @property
+    def count(self) -> int:
+        if self._instance is None:
+            return len(self._boolean_answers or [])
+        return self._instance.count
+
+    def access(self, k: int) -> Tuple:
+        if self._instance is None:
+            return (self._boolean_answers or [])[k]
+        raw = access_module.access(self._instance, k)
+        effective_free = self._instance.query.free_variables
+        original_free = self._original_query.free_variables
+        if effective_free == original_free:
+            return raw
+        mapping = dict(zip(effective_free, raw))
+        return tuple(mapping[v] for v in original_free)
+
+    def batch_access(self, ks: Sequence[int]) -> List[Tuple]:
+        return [self.access(k) for k in ks]
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def _best_of(repeats: int, build) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        build()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_planner_build_bench(
+    sizes: Sequence[int],
+    workers: int = 2,
+    arms: int = 4,
+    backend: Optional[str] = "columnar",
+    use_processes: bool = False,
+    repeats: int = 3,
+    sample_ranks: int = 200,
+    seed: int = 13,
+) -> Dict[str, object]:
+    """Time monolith / staged-serial / staged-parallel builds per size.
+
+    Every size first verifies that the three builds serve identical answers
+    on ``sample_ranks`` random ranks (plus the extremes); only then are the
+    builds timed (best of ``repeats``).
+    """
+    from repro.planner import PlanExecutor, plan as build_plan
+
+    query, order = star_query(arms)
+    rng = random.Random(seed)
+    results: List[Dict[str, object]] = []
+
+    for n in sizes:
+        database = star_database(arms, n, seed=seed, backend=backend)
+        query_plan = build_plan(query, order, backend=backend)
+
+        monolith = MonolithLexAccess(query, database, order, backend=backend)
+        serial_build = PlanExecutor(query_plan, database).build_lex()
+        parallel_build = PlanExecutor(
+            query_plan, database, workers=workers, use_processes=use_processes
+        ).build_lex()
+
+        count = monolith.count
+        assert serial_build.instance.count == count
+        assert parallel_build.instance.count == count
+        ranks = sorted({0, count - 1, *(rng.randrange(count) for _ in range(sample_ranks))})
+        expected = monolith.batch_access(ranks)
+        assert access_module.batch_access(serial_build.instance, ranks) == expected
+        assert access_module.batch_access(parallel_build.instance, ranks) == expected
+
+        monolith_seconds = _best_of(
+            repeats, lambda: MonolithLexAccess(query, database, order, backend=backend)
+        )
+        serial_seconds = _best_of(
+            repeats, lambda: PlanExecutor(query_plan, database).build_lex()
+        )
+        parallel_seconds = _best_of(
+            repeats,
+            lambda: PlanExecutor(
+                query_plan, database, workers=workers, use_processes=use_processes
+            ).build_lex(),
+        )
+
+        results.append({
+            "n": int(n),
+            "count": int(count),
+            "monolith_seconds": round(monolith_seconds, 6),
+            "staged_serial_seconds": round(serial_seconds, 6),
+            "staged_parallel_seconds": round(parallel_seconds, 6),
+            "speedup_staged_vs_monolith": round(monolith_seconds / serial_seconds, 3),
+            "speedup_parallel_vs_serial": round(serial_seconds / parallel_seconds, 3),
+            "speedup_parallel_vs_monolith": round(monolith_seconds / parallel_seconds, 3),
+            "answers_identical": True,
+        })
+
+    return {
+        "benchmark": "planner_build",
+        "query": str(query),
+        "order": str(order),
+        "arms": arms,
+        "backend": backend,
+        "workers": workers,
+        "pool": "processes" if use_processes else "threads",
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "staged-vs-monolith measures the plan-driven stage elisions "
+            "(redundant dedup/reduce passes); parallel-vs-serial measures the "
+            "worker-pool layer builds and needs >1 CPU to show a speedup"
+        ),
+        "results": results,
+    }
+
+
+def write_planner_build(document: Dict[str, object], path) -> None:
+    """Write the benchmark artifact (``BENCH_planner_build.json``)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,19 +1,24 @@
-"""Command-line interface: classification, the query server, and the client.
+"""Command-line interface: classification, plan explanation, server, client.
 
-Three subcommands::
+Four subcommands::
 
     repro classify "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, z, y"
+    repro explain  "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, y, z" --json
     repro serve --db demo=examples/service/demo_db.json --port 8734
     repro client requests.jsonl --db demo=examples/service/demo_db.json
 
 ``classify`` (the default when the first argument is not a subcommand, for
 backward compatibility) prints the verdicts of all four dichotomies for a
 query/order/FD combination; exit code 0 means every requested problem is
-tractable, 1 that at least one is not.  ``serve`` starts the stdlib HTTP
-front-end of :mod:`repro.service` over JSON-file databases.  ``client`` runs a
-newline-delimited JSON request file either against a running server
-(``--url``) or in-process (``--db``), printing one JSON response per line;
-exit code 1 signals that at least one request failed.
+tractable, 1 that at least one is not.  ``explain`` prints the planner's full
+decision trace — classification, FD rewrites, order completion, layered
+join-tree shape and the staged build DAG — as pretty text or JSON
+(``--json``), without touching any data; exit code mirrors ``classify``.
+``serve`` starts the stdlib HTTP front-end of :mod:`repro.service` over
+JSON-file databases.  ``client`` runs a newline-delimited JSON request file
+either against a running server (``--url``) or in-process (``--db``),
+printing one JSON response per line; exit code 1 signals that at least one
+request failed.
 
 ``repro --version`` prints the library version.  Malformed invocations exit
 with the conventional argparse usage status (2).
@@ -184,6 +189,61 @@ def classify_main(argv: List[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# explain
+# ----------------------------------------------------------------------
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Print the planner's decision trace for a query, without building.",
+    )
+    _add_version(parser)
+    parser.add_argument("query", help='e.g. "Q(x, y, z) :- R(x, y), S(y, z)"')
+    parser.add_argument("--order", help='lexicographic order, e.g. "x, z desc, y"', default=None)
+    parser.add_argument(
+        "--fd",
+        action="append",
+        default=[],
+        metavar="FD",
+        help='unary functional dependency, e.g. "R: x -> y" (repeatable)',
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("lex", "sum", "selection-lex", "selection-sum"),
+        default="lex",
+        help="which of the four problems to plan (default: lex direct access)",
+    )
+    _add_backend(parser, " recorded in the plan")
+    parser.add_argument("--json", action="store_true", help="emit the plan as JSON")
+    return parser
+
+
+def explain_main(argv: List[str]) -> int:
+    parser = build_explain_parser()
+    args = parser.parse_args(argv)
+    from repro.planner import plan as build_plan
+
+    mode = args.mode.replace("-", "_")
+    if mode in ("sum", "selection_sum") and args.order:
+        parser.error(f"mode {args.mode!r} ranks by SUM weights; --order does not apply")
+    try:
+        query = parse_query(args.query)
+        order = parse_order(args.order) if args.order else None
+        fds = parse_fds(args.fd) if args.fd else None
+        query_plan = build_plan(
+            query, order, mode=mode, fds=fds, backend=args.backend,
+            enforce_tractability=False, strict=False,
+        )
+    except Exception as exc:
+        parser.error(str(exc))
+
+    if args.json:
+        print(json.dumps(query_plan.to_json(), indent=2, sort_keys=True, default=str))
+    else:
+        print(query_plan.describe())
+    return 0 if query_plan.tractable and query_plan.error is None else 1
+
+
+# ----------------------------------------------------------------------
 # serve / client
 # ----------------------------------------------------------------------
 def _parse_db_specs(parser: argparse.ArgumentParser, specs: List[str], backend, max_plans: int = 64):
@@ -267,7 +327,8 @@ def client_main(argv: List[str]) -> int:
         execute = service.execute
     else:
         base = args.url.rstrip("/")
-        execute = lambda request: _post_json(f"{base}/v1/query", dict(request))
+        def execute(request):
+            return _post_json(f"{base}/v1/query", dict(request))
 
     failures = 0
     try:
@@ -285,6 +346,7 @@ def client_main(argv: List[str]) -> int:
 # ----------------------------------------------------------------------
 _SUBCOMMAND_MAINS = {
     "classify": classify_main,
+    "explain": explain_main,
     "serve": serve_main,
     "client": client_main,
 }

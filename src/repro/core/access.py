@@ -29,10 +29,9 @@ scalar :func:`access` calls with identical results.
 from __future__ import annotations
 
 import operator
-from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.preprocessing import _INT64_SAFE, Bucket, LayerData, PreprocessedInstance
+from repro.core.preprocessing import _INT64_SAFE, Bucket, PreprocessedInstance
 from repro.engine.backends import HAS_NUMPY
 from repro.exceptions import NotAnAnswerError, OutOfBoundsError
 

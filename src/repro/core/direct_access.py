@@ -23,14 +23,10 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core import access as access_module
 from repro.core.atoms import ConjunctiveQuery
-from repro.core.classification import classify_direct_access_lex
-from repro.core.layered_tree import build_layered_join_tree
 from repro.core.orders import LexOrder
-from repro.core.partial_order import require_complete_order
-from repro.core.preprocessing import preprocess
-from repro.core.reduction import eliminate_projections
 from repro.engine.database import Database
-from repro.exceptions import IntractableQueryError, OutOfBoundsError
+from repro.exceptions import OutOfBoundsError
+from repro.planner import PlanExecutor, QueryPlan, plan as build_plan
 
 
 class LexDirectAccess:
@@ -62,6 +58,17 @@ class LexDirectAccess:
         ``"columnar"``); ``None`` keeps the database's own backends.  The
         whole hot path — projections, semi-join reduction, bucket sorting and
         the counting DP — then runs on that backend.
+    plan:
+        A prebuilt :class:`~repro.planner.plan.QueryPlan` for exactly this
+        (query, order, FDs, backend, mode="lex") input — the service's
+        prepare path passes the plan it already made; ``None`` plans here.
+    workers / use_processes:
+        Worker-pool settings forwarded to the
+        :class:`~repro.planner.executor.PlanExecutor`: independent layers of
+        the layered join tree build concurrently (identical results).
+
+    The decision trace is exposed as :attr:`plan` and the measured per-stage
+    build statistics of this construction as :attr:`report`.
     """
 
     def __init__(
@@ -72,45 +79,34 @@ class LexDirectAccess:
         fds=None,
         enforce_tractability: bool = True,
         backend: Optional[str] = None,
+        plan: Optional[QueryPlan] = None,
+        workers: Optional[int] = None,
+        use_processes: bool = False,
     ) -> None:
-        if backend is not None:
-            database = database.to_backend(backend)
         self._original_query = query
         self._original_order = order
-        self.classification = classify_direct_access_lex(query, order, fds=fds)
-        if enforce_tractability and self.classification.verdict == "intractable":
-            raise IntractableQueryError(
-                f"direct access by {order} for {query.name} is intractable: "
-                f"{self.classification.reason}",
-                self.classification,
+        if plan is None:
+            plan = build_plan(
+                query, order, mode="lex", fds=fds, backend=backend,
+                enforce_tractability=enforce_tractability,
             )
+        self.plan = plan
+        self.classification = plan.classification
 
-        if fds:
-            from repro.fds.rewrite import rewrite_for_fds
+        built = PlanExecutor(
+            plan, database, workers=workers, use_processes=use_processes
+        ).build_lex()
+        self.report = built.report
+        self.complete_order = built.complete_order
 
-            query, database, order = rewrite_for_fds(query, database, order, fds)
-        self._effective_query = query
-
-        # Normalise self-joins / repeated variables before the structural steps.
-        query, database = query.normalize(database)
-
-        if query.is_boolean:
+        if built.instance is None:
             # Boolean queries: a single (empty) answer iff the body is satisfiable.
-            from repro.engine.naive import evaluate_naive
-
-            self._boolean_answers: Optional[List[Tuple]] = evaluate_naive(query, database)
+            self._boolean_answers: Optional[List[Tuple]] = built.boolean_answers
             self._instance = None
-            self.complete_order = LexOrder(())
             self._needs_projection = False
             return
         self._boolean_answers = None
-
-        reduction = eliminate_projections(query, database)
-        full_query, full_database = reduction.query, reduction.database
-
-        self.complete_order = require_complete_order(full_query, order)
-        tree = build_layered_join_tree(full_query, self.complete_order)
-        self._instance = preprocess(tree, full_database)
+        self._instance = built.instance
         self._projection = tuple(
             self._instance.query.free_variables.index(v) for v in self._original_query.free_variables
             if v in self._instance.query.free_variables

@@ -22,6 +22,71 @@ from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 from repro.exceptions import QueryStructureError, WeightError
 
 
+class ReversedValue:
+    """A comparison-reversing wrapper: orders exactly opposite to its value.
+
+    Supports descending lexicographic components over arbitrary (sortable)
+    domains — strings, dates, tuples — where the numeric negation trick does
+    not apply.  Binary search stays applicable because a list sorted by
+    descending values is ascending in their wrappers.
+
+    This is the single shared descending-order comparator: the preprocessing
+    bucket sort, the columnar backend's layer-value decoding and the
+    materialise-and-sort baseline all build their keys through
+    :func:`order_key`.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, ReversedValue):
+            return NotImplemented
+        return other.value < self.value
+
+    def __le__(self, other) -> bool:
+        if not isinstance(other, ReversedValue):
+            return NotImplemented
+        return other.value <= self.value
+
+    def __gt__(self, other) -> bool:
+        if not isinstance(other, ReversedValue):
+            return NotImplemented
+        return other.value > self.value
+
+    def __ge__(self, other) -> bool:
+        if not isinstance(other, ReversedValue):
+            return NotImplemented
+        return other.value >= self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ReversedValue) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("ReversedValue", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"desc({self.value!r})"
+
+
+def order_key(value, descending: bool):
+    """Sort key for a single domain value, honouring per-variable direction.
+
+    Ascending components sort by the value itself.  Descending numeric values
+    are negated (cheap, and binary search stays applicable); every other
+    descending domain is wrapped in :class:`ReversedValue`, whose comparisons
+    are the reverse of the value's own — so descending string or date orders
+    work instead of raising.
+    """
+    if not descending:
+        return value
+    if not isinstance(value, bool) and isinstance(value, (int, float)):
+        return -value
+    return ReversedValue(value)
+
+
 @dataclass(frozen=True)
 class LexOrder:
     """A (partial) lexicographic order over free variables.
@@ -92,26 +157,19 @@ class LexOrder:
     def sort_key(self, free_variables: Sequence[str]) -> Callable[[Tuple], Tuple]:
         """A key function ordering answer tuples (aligned with ``free_variables``).
 
-        Only usable when no variable is marked descending *or* all values are
-        numeric (descending is implemented by negation); the baselines use it to
-        materialise-and-sort.
+        Descending components use the shared :func:`order_key` comparator
+        (negation for numbers, :class:`ReversedValue` for everything else), so
+        the materialise-and-sort baselines rank exactly like the direct-access
+        structures — non-numeric descending domains included.
         """
         positions = [free_variables.index(v) for v in self.variables]
         flips = [self.is_descending(v) for v in self.variables]
 
         def key(answer: Tuple) -> Tuple:
-            parts = []
-            for position, flip in zip(positions, flips):
-                value = answer[position]
-                if flip:
-                    if not isinstance(value, (int, float)):
-                        raise WeightError(
-                            "descending lexicographic components require numeric values "
-                            "for the materialise-and-sort baseline"
-                        )
-                    value = -value
-                parts.append(value)
-            return tuple(parts)
+            return tuple(
+                order_key(answer[position], flip)
+                for position, flip in zip(positions, flips)
+            )
 
         return key
 

@@ -20,7 +20,7 @@ part rather than guessing.
 from __future__ import annotations
 
 import re
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.core.atoms import Atom, ConjunctiveQuery
 from repro.core.orders import LexOrder

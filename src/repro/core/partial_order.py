@@ -16,7 +16,7 @@ hypotheses a completion is guaranteed to be found.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.atoms import ConjunctiveQuery
 from repro.core.orders import LexOrder

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atoms import ConjunctiveQuery
 from repro.core.layered_tree import LayeredJoinTree
-from repro.core.orders import LexOrder
+from repro.core.orders import LexOrder, ReversedValue, order_key
 from repro.engine.backends import HAS_NUMPY, ColumnarStorage
 from repro.engine.database import Database
 from repro.engine.relation import Relation
@@ -52,64 +52,11 @@ if HAS_NUMPY:
 _INT64_SAFE = 2 ** 62
 
 
-class _ReversedValue:
-    """A comparison-reversing wrapper: orders exactly opposite to its value.
-
-    Supports descending lexicographic components over arbitrary (sortable)
-    domains — strings, dates, tuples — where the numeric negation trick does
-    not apply.  Binary search stays applicable because a list sorted by
-    descending values is ascending in their wrappers.
-    """
-
-    __slots__ = ("value",)
-
-    def __init__(self, value) -> None:
-        self.value = value
-
-    def __lt__(self, other) -> bool:
-        if not isinstance(other, _ReversedValue):
-            return NotImplemented
-        return other.value < self.value
-
-    def __le__(self, other) -> bool:
-        if not isinstance(other, _ReversedValue):
-            return NotImplemented
-        return other.value <= self.value
-
-    def __gt__(self, other) -> bool:
-        if not isinstance(other, _ReversedValue):
-            return NotImplemented
-        return other.value > self.value
-
-    def __ge__(self, other) -> bool:
-        if not isinstance(other, _ReversedValue):
-            return NotImplemented
-        return other.value >= self.value
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, _ReversedValue) and self.value == other.value
-
-    def __hash__(self) -> int:
-        return hash(("_ReversedValue", self.value))
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"desc({self.value!r})"
-
-
-def _order_key(value, descending: bool):
-    """Sort key for a single domain value, honouring per-variable direction.
-
-    Ascending components sort by the value itself.  Descending numeric values
-    are negated (cheap, and binary search stays applicable); every other
-    descending domain is wrapped in :class:`_ReversedValue`, whose comparisons
-    are the reverse of the value's own — so descending string or date orders
-    work instead of raising.
-    """
-    if not descending:
-        return value
-    if not isinstance(value, bool) and isinstance(value, (int, float)):
-        return -value
-    return _ReversedValue(value)
+# Backward-compatible aliases: the descending-order comparator now lives in
+# :mod:`repro.core.orders` so every consumer (bucket sort, columnar decoding,
+# materialise-and-sort baseline) shares one implementation.
+_ReversedValue = ReversedValue
+_order_key = order_key
 
 
 @dataclass
@@ -408,37 +355,118 @@ def _build_layer_columnar(
     return buckets, columnar_index
 
 
+def _build_layer(
+    relation: Relation,
+    value_position: int,
+    key_positions: Tuple[int, ...],
+    descending: bool,
+    child_layers: Sequence[LayerData],
+    child_key_positions: Sequence[Tuple[int, ...]],
+) -> Tuple[Dict[Tuple, Bucket], Optional[_ColumnarLayerIndex]]:
+    """Steps 3–5 for one layer: columnar fast path with row-wise fallback."""
+    if HAS_NUMPY:
+        built = _build_layer_columnar(
+            relation, value_position, key_positions, descending,
+            child_layers, child_key_positions,
+        )
+        if built is not None:
+            return built
+    buckets = _build_layer_rowwise(
+        relation, value_position, key_positions, descending,
+        child_layers, child_key_positions,
+    )
+    return buckets, None
+
+
+def _layer_build_task(payload):
+    """Worker-pool entry point for one layer build (must be picklable).
+
+    The elapsed time is measured *inside* the task so recorded stage stats
+    reflect build work only, not time spent queued for a free worker.
+    """
+    import time as _time
+
+    (index, relation, value_position, key_positions, descending,
+     child_layers, child_key_positions) = payload
+    started = _time.perf_counter()
+    buckets, columnar_index = _build_layer(
+        relation, value_position, key_positions, descending,
+        child_layers, child_key_positions,
+    )
+    return index, buckets, columnar_index, _time.perf_counter() - started
+
+
 def preprocess(
     tree: LayeredJoinTree,
     database: Database,
+    workers: Optional[int] = None,
+    use_processes: bool = False,
+    on_stage=None,
+    assume_reduced: bool = False,
 ) -> PreprocessedInstance:
     """Run the preprocessing phase over a layered join tree and a database.
 
     ``database`` must contain a relation per atom of ``tree.query`` whose
     attributes are the atom's variables (this is what
     :func:`repro.core.reduction.eliminate_projections` produces).
+
+    ``workers`` > 1 builds independent layers (sibling subtrees of the layered
+    join tree) concurrently on a thread pool — or a process pool when
+    ``use_processes`` is set, which is worthwhile only for the columnar
+    backend, where per-layer work is large enough to amortise pickling.  The
+    result is bucket-for-bucket identical to the serial build: every layer is
+    built by exactly one task from exactly the same inputs, only the schedule
+    changes.  ``on_stage`` (if given) receives one ``(name, seconds, rows)``
+    call per pipeline stage — the hook the planner's execution report uses.
+
+    ``assume_reduced`` promises the database is distinct and fully reduced
+    (every tuple participates in an answer) — true for
+    :func:`~repro.core.reduction.eliminate_projections` output.  The planner's
+    executor passes it to elide step 2 entirely (a semi-join pass that cannot
+    remove anything from reduced input) and the dedup of permutation-only node
+    projections.
     """
+    import time as _time
+
     query = tree.query
     order = tree.order
     variables = order.variables
 
+    def _record_elapsed(name: str, seconds: float, rows: Optional[int]) -> None:
+        if on_stage is not None:
+            on_stage(name, seconds, rows)
+
+    def _record(name: str, started: float, rows: Optional[int]) -> None:
+        _record_elapsed(name, _time.perf_counter() - started, rows)
+
     # ------------------------------------------------------------------
     # Step 1: a relation per node (distinct projection of its source atom).
     # ------------------------------------------------------------------
+    started = _time.perf_counter()
     node_relations: List[Relation] = []
     node_schemas: List[Tuple[str, ...]] = []
     for layer in tree.layers:
         schema = tuple(v for v in variables if v in layer.node_variables)
         source = database.relation(layer.source_atom.relation)
-        projected = source.project(schema, name=f"node{layer.index}")
+        permutation = assume_reduced and frozenset(schema) == frozenset(source.attributes)
+        projected = source.project(schema, distinct=not permutation, name=f"node{layer.index}")
         node_relations.append(projected)
         node_schemas.append(schema)
+    _record("project_nodes", started, sum(len(r) for r in node_relations))
 
     # ------------------------------------------------------------------
     # Step 2: remove dangling tuples (full reduction over the layered tree).
+    # Elided for reduced input: projections of fully reduced relations are
+    # fully reduced over the layered tree (every node tuple extends to an
+    # answer), so the semi-joins cannot remove anything.
     # ------------------------------------------------------------------
-    join_tree = tree.as_join_tree()          # node ids are layer-1 offsets
-    reduced = full_reducer(join_tree, node_relations)
+    if assume_reduced:
+        reduced = node_relations
+    else:
+        started = _time.perf_counter()
+        join_tree = tree.as_join_tree()          # node ids are layer-1 offsets
+        reduced = full_reducer(join_tree, node_relations)
+        _record("semi_join_reduce", started, sum(len(r) for r in reduced))
 
     # ------------------------------------------------------------------
     # Steps 3-5: buckets, sorting, and the counting DP (bottom-up).
@@ -448,36 +476,22 @@ def preprocess(
     }
     layer_data: Dict[int, LayerData] = {}
 
-    # Process layers from the largest index down so that children exist first.
-    for layer in reversed(tree.layers):
+    def layer_inputs(layer):
         schema = node_schemas[layer.index - 1]
         relation = reduced[layer.index - 1]
         value_position = schema.index(layer.variable)
         key_positions = tuple(schema.index(v) for v in layer.key_variables)
         descending = order.is_descending(layer.variable)
-
         child_layers = [layer_data[c] for c in children[layer.index]]
         # For each child, the positions (in *this* node's schema) of the child's
         # key variables: those variables are always contained in this node.
         child_key_positions = [
             tuple(schema.index(v) for v in child.key_variables) for child in child_layers
         ]
+        return (schema, relation, value_position, key_positions, descending,
+                child_layers, child_key_positions)
 
-        columnar_index: Optional[_ColumnarLayerIndex] = None
-        buckets: Optional[Dict[Tuple, Bucket]] = None
-        if HAS_NUMPY:
-            built = _build_layer_columnar(
-                relation, value_position, key_positions, descending,
-                child_layers, child_key_positions,
-            )
-            if built is not None:
-                buckets, columnar_index = built
-        if buckets is None:
-            buckets = _build_layer_rowwise(
-                relation, value_position, key_positions, descending,
-                child_layers, child_key_positions,
-            )
-
+    def finish_layer(layer, schema, value_position, key_positions, buckets, columnar_index):
         layer_data[layer.index] = LayerData(
             index=layer.index,
             variable=layer.variable,
@@ -491,4 +505,74 @@ def preprocess(
             columnar=columnar_index,
         )
 
+    if workers is None or workers <= 1 or len(tree.layers) <= 1:
+        # Serial reference schedule: largest index down, children before parents.
+        for layer in reversed(tree.layers):
+            started = _time.perf_counter()
+            (schema, relation, value_position, key_positions, descending,
+             child_layers, child_key_positions) = layer_inputs(layer)
+            buckets, columnar_index = _build_layer(
+                relation, value_position, key_positions, descending,
+                child_layers, child_key_positions,
+            )
+            finish_layer(layer, schema, value_position, key_positions, buckets, columnar_index)
+            _record(f"layer:{layer.index}", started, len(relation))
+    else:
+        _build_layers_parallel(
+            tree, children, layer_inputs, finish_layer,
+            workers=workers, use_processes=use_processes, record=_record_elapsed,
+        )
+
     return PreprocessedInstance(query, order, tree, layer_data)
+
+
+def _build_layers_parallel(tree, children, layer_inputs, finish_layer,
+                           workers: int, use_processes: bool, record) -> None:
+    """Topologically scheduled concurrent layer builds (children before parents).
+
+    A layer becomes ready the moment its last child finishes, so sibling
+    subtrees build concurrently while the dependency chain stays intact.  The
+    built structures are identical to the serial schedule's because each layer
+    is a pure function of its reduced relation and its children's data.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+
+    pool_cls = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
+    pending_children: Dict[int, int] = {
+        layer.index: len(children[layer.index]) for layer in tree.layers
+    }
+    by_index = {layer.index: layer for layer in tree.layers}
+    rows_of: Dict[int, int] = {}
+
+    with pool_cls(max_workers=workers) as pool:
+        futures = {}
+
+        def submit(index: int) -> None:
+            layer = by_index[index]
+            (schema, relation, value_position, key_positions, descending,
+             child_layers, child_key_positions) = layer_inputs(layer)
+            rows_of[index] = len(relation)
+            payload = (index, relation, value_position, key_positions, descending,
+                       child_layers, child_key_positions)
+            future = pool.submit(_layer_build_task, payload)
+            futures[future] = (layer, schema, value_position, key_positions)
+
+        for index, pending in pending_children.items():
+            if pending == 0:
+                submit(index)
+
+        while futures:
+            done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                layer, schema, value_position, key_positions = futures.pop(future)
+                index, buckets, columnar_index, seconds = future.result()
+                finish_layer(layer, schema, value_position, key_positions,
+                             buckets, columnar_index)
+                # The task measured its own build time, so the recorded
+                # stage cost excludes worker-queue wait.
+                record(f"layer:{index}", seconds, rows_of[index])
+                parent = layer.parent
+                if parent is not None:
+                    pending_children[parent] -= 1
+                    if pending_children[parent] == 0:
+                        submit(parent)

@@ -9,7 +9,7 @@ and ``access``) or the one-shot selection functions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.atoms import ConjunctiveQuery
 from repro.core.orders import LexOrder, Weights

@@ -50,53 +50,29 @@ class FullReduction:
     source_atoms: Dict[str, Atom]
 
 
-def reduce_database_over_query(query: ConjunctiveQuery, database: Database) -> List[Relation]:
-    """Fully reduce the atom relations of an acyclic CQ (dangling tuples removed).
+@dataclass(frozen=True)
+class ProjectionPlan:
+    """The data-independent part of projection elimination.
 
-    Returns one relation per atom (in atom order) whose attributes are the atom
-    variables.  Requires the query to be acyclic and normalised (no repeated
-    variables inside an atom, no self-joins — call
-    :meth:`ConjunctiveQuery.normalize` first if needed).
+    Everything Proposition 2.3 decides from the query alone: the atoms of the
+    full query ``Q'`` (one per free-maximal hyperedge, in deterministic
+    order), and for each of them the index of the original atom its relation
+    will be projected from.  :func:`eliminate_projections` executes this plan
+    against a database; the planner serialises it into ``repro explain``
+    without touching any data.
     """
-    hypergraph = query.hypergraph()
-    tree = build_join_tree(hypergraph)
 
-    # Assign each join-tree node (a variable set) a relation: project some atom
-    # whose variable set equals the node.  GYO nodes are exactly atom variable
-    # sets, so an equal atom always exists.
-    node_relations: List[Relation] = []
-    for node_id in range(len(tree)):
-        node_vars = tree.node(node_id)
-        atom = next((a for a in query.atoms if a.variable_set == node_vars), None)
-        if atom is None:  # pragma: no cover - GYO nodes come from atoms
-            raise QueryStructureError(f"no atom matches join-tree node {set(node_vars)}")
-        base = database.relation(atom.relation)
-        # Positional rename shares the base storage (backend preserved).
-        renamed = base.renamed_to(atom.relation, atom.variables)
-        node_relations.append(renamed.distinct())
-
-    reduced_nodes = full_reducer(tree, node_relations)
-
-    # Different atoms may share a variable set (hence a single GYO node); all of
-    # them receive the same reduced relation, re-projected onto their variables.
-    by_vars: Dict[FrozenSet[str], Relation] = {}
-    for node_id in range(len(tree)):
-        by_vars[tree.node(node_id)] = reduced_nodes[node_id]
-
-    result = []
-    for atom in query.atoms:
-        reduced = by_vars[atom.variable_set]
-        result.append(reduced.project(atom.variables, name=atom.relation))
-    return result
+    full_query: ConjunctiveQuery
+    source_indexes: Tuple[int, ...]
+    boolean: bool = False
 
 
-def eliminate_projections(query: ConjunctiveQuery, database: Database) -> FullReduction:
-    """Apply Proposition 2.3: produce a full acyclic CQ equivalent to ``Q`` on ``I``.
+def plan_projection_elimination(query: ConjunctiveQuery) -> ProjectionPlan:
+    """Decide the shape of the Proposition 2.3 reduction from the query alone.
 
     Raises :class:`QueryStructureError` if the query is not free-connex (the
     reduction only exists for free-connex CQs).  The query must be normalised
-    (no self-joins / repeated variables); :class:`~repro.core.direct_access`
-    facades normalise before calling this.
+    (no self-joins / repeated variables).
     """
     if not st.is_free_connex(query):
         raise QueryStructureError(
@@ -104,23 +80,14 @@ def eliminate_projections(query: ConjunctiveQuery, database: Database) -> FullRe
         )
 
     if query.is_boolean:
-        # A Boolean free-connex query reduces to an emptiness test; represent it
-        # as a single nullary atom whose relation holds the empty tuple iff the
-        # query is satisfied.
-        reduced = reduce_database_over_query(query, database)
-        satisfied = all(len(rel) > 0 for rel in reduced) and len(reduced) > 0
-        relation = Relation("__bool__", (), [()] if satisfied else [])
         full_query = ConjunctiveQuery((), [Atom("__bool__", ())], name=f"{query.name}_full")
-        return FullReduction(full_query, Database([relation]), {"__bool__": query.atoms[0]})
-
-    reduced_relations = reduce_database_over_query(query, database)
+        return ProjectionPlan(full_query, (0,), boolean=True)
 
     free = frozenset(query.free_variables)
     maximal_edges = st.free_maximal_edges(query)
 
     atoms: List[Atom] = []
-    relations: List[Relation] = []
-    sources: Dict[str, Atom] = {}
+    source_indexes: List[int] = []
     used_names: Dict[str, int] = {}
 
     for edge in sorted(maximal_edges, key=lambda e: tuple(sorted(map(str, e)))):
@@ -146,10 +113,105 @@ def eliminate_projections(query: ConjunctiveQuery, database: Database) -> FullRe
         used_names[base_name] = count + 1
         name = base_name if count == 0 else f"{base_name}{count}"
 
-        projected = reduced_relations[source_index].project(ordered_vars, name=name)
         atoms.append(Atom(name, ordered_vars))
-        relations.append(projected)
-        sources[name] = source_atom
+        source_indexes.append(source_index)
 
     full_query = ConjunctiveQuery(query.free_variables, atoms, name=f"{query.name}_full")
-    return FullReduction(full_query, Database(relations), sources)
+    return ProjectionPlan(full_query, tuple(source_indexes))
+
+
+def reduce_database_over_query(
+    query: ConjunctiveQuery,
+    database: Database,
+    assume_distinct: bool = False,
+) -> List[Relation]:
+    """Fully reduce the atom relations of an acyclic CQ (dangling tuples removed).
+
+    Returns one relation per atom (in atom order) whose attributes are the atom
+    variables.  Requires the query to be acyclic and normalised (no repeated
+    variables inside an atom, no self-joins — call
+    :meth:`ConjunctiveQuery.normalize` first if needed).  ``assume_distinct``
+    skips the per-relation deduplication pass; it is only sound when the
+    caller guarantees set semantics already hold (normalisation deduplicates
+    every relation, so the planner's executor always passes ``True``).
+    """
+    hypergraph = query.hypergraph()
+    tree = build_join_tree(hypergraph)
+
+    # Assign each join-tree node (a variable set) a relation: project some atom
+    # whose variable set equals the node.  GYO nodes are exactly atom variable
+    # sets, so an equal atom always exists.
+    node_relations: List[Relation] = []
+    for node_id in range(len(tree)):
+        node_vars = tree.node(node_id)
+        atom = next((a for a in query.atoms if a.variable_set == node_vars), None)
+        if atom is None:  # pragma: no cover - GYO nodes come from atoms
+            raise QueryStructureError(f"no atom matches join-tree node {set(node_vars)}")
+        base = database.relation(atom.relation)
+        # Positional rename shares the base storage (backend preserved).
+        renamed = base.renamed_to(atom.relation, atom.variables)
+        node_relations.append(renamed if assume_distinct else renamed.distinct())
+
+    reduced_nodes = full_reducer(tree, node_relations)
+
+    # Different atoms may share a variable set (hence a single GYO node); all of
+    # them receive the same reduced relation, re-projected onto their variables.
+    by_vars: Dict[FrozenSet[str], Relation] = {}
+    for node_id in range(len(tree)):
+        by_vars[tree.node(node_id)] = reduced_nodes[node_id]
+
+    result = []
+    for atom in query.atoms:
+        reduced = by_vars[atom.variable_set]
+        # Node relations are distinct and the atom's variable set equals the
+        # node's, so this projection is a column permutation — deduplicating
+        # again cannot remove anything.
+        result.append(reduced.project(atom.variables, distinct=False, name=atom.relation))
+    return result
+
+
+def eliminate_projections(
+    query: ConjunctiveQuery,
+    database: Database,
+    plan: Optional[ProjectionPlan] = None,
+    assume_distinct: bool = False,
+) -> FullReduction:
+    """Apply Proposition 2.3: produce a full acyclic CQ equivalent to ``Q`` on ``I``.
+
+    Raises :class:`QueryStructureError` if the query is not free-connex (the
+    reduction only exists for free-connex CQs).  The query must be normalised
+    (no self-joins / repeated variables); :class:`~repro.core.direct_access`
+    facades normalise before calling this.  ``plan`` (from
+    :func:`plan_projection_elimination`, for the same query) skips re-deriving
+    the query-level decisions; ``assume_distinct`` promises the database
+    already has set semantics (see :func:`reduce_database_over_query`).
+    """
+    if plan is None:
+        plan = plan_projection_elimination(query)
+
+    if plan.boolean:
+        # A Boolean free-connex query reduces to an emptiness test; represent it
+        # as a single nullary atom whose relation holds the empty tuple iff the
+        # query is satisfied.
+        reduced = reduce_database_over_query(query, database, assume_distinct)
+        satisfied = all(len(rel) > 0 for rel in reduced) and len(reduced) > 0
+        relation = Relation("__bool__", (), [()] if satisfied else [])
+        return FullReduction(plan.full_query, Database([relation]), {"__bool__": query.atoms[0]})
+
+    reduced_relations = reduce_database_over_query(query, database, assume_distinct)
+
+    relations: List[Relation] = []
+    sources: Dict[str, Atom] = {}
+    for atom, source_index in zip(plan.full_query.atoms, plan.source_indexes):
+        source_relation = reduced_relations[source_index]
+        # A projection that keeps every column is a permutation of a distinct
+        # relation — skip the dedup pass (reduce_database_over_query output is
+        # distinct whenever its input was).
+        permutation = frozenset(atom.variables) == frozenset(source_relation.attributes)
+        projected = source_relation.project(
+            atom.variables, distinct=not permutation, name=atom.relation
+        )
+        relations.append(projected)
+        sources[atom.relation] = query.atoms[source_index]
+
+    return FullReduction(plan.full_query, Database(relations), sources)

@@ -17,17 +17,13 @@ value and the next variable is processed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.algorithms.weighted_selection import weighted_select
-from repro.core.atoms import Atom, ConjunctiveQuery
-from repro.core.classification import classify_selection_lex
+from repro.core.atoms import ConjunctiveQuery
 from repro.core.orders import LexOrder
-from repro.core.reduction import eliminate_projections
 from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.engine.yannakakis import full_reducer
-from repro.exceptions import IntractableQueryError, OutOfBoundsError
 from repro.hypergraph import Hypergraph, build_join_tree_rooted_at
 
 
@@ -136,76 +132,16 @@ def selection_lex(
     refuses.  Raises :class:`OutOfBoundsError` if ``k`` is not a valid index
     and :class:`IntractableQueryError` when the query is not free-connex
     (Theorem 6.1's hard side).
+
+    The facade is a thin shell over the planner: :func:`repro.planner.plan`
+    decides the pipeline (mode ``"selection_lex"``) and
+    :class:`~repro.planner.executor.PlanExecutor` runs the per-variable
+    histogram walk of Lemma 6.5 against the database.
     """
-    if backend is not None:
-        database = database.to_backend(backend)
-    classification = classify_selection_lex(query, order, fds=fds)
-    if enforce_tractability and classification.verdict == "intractable":
-        raise IntractableQueryError(
-            f"selection for {query.name} is intractable: {classification.reason}",
-            classification,
-        )
-    order.validate_for(query)
+    from repro.planner import PlanExecutor, plan as build_plan
 
-    if fds:
-        from repro.fds.rewrite import rewrite_for_fds
-
-        original_free = query.free_variables
-        query, database, order = rewrite_for_fds(query, database, order, fds)
-    else:
-        original_free = query.free_variables
-
-    query, database = query.normalize(database)
-
-    if query.is_boolean:
-        from repro.engine.naive import evaluate_naive
-
-        answers = evaluate_naive(query, database)
-        if k < 0 or k >= len(answers):
-            raise OutOfBoundsError(f"index {k} is out of bounds for {len(answers)} answers")
-        return answers[k]
-
-    reduction = eliminate_projections(query, database)
-    full_query, full_database = reduction.query, reduction.database
-
-    # Complete the order arbitrarily over the remaining free variables: any
-    # completion is fine for selection (the order only fixes tie-breaking).
-    ordered_vars: List[str] = list(order.variables) + [
-        v for v in full_query.free_variables if v not in order.variables
-    ]
-
-    if k < 0:
-        raise OutOfBoundsError(f"negative index {k}")
-
-    remaining = k
-    assignment: Dict[str, object] = {}
-    current_db = full_database
-    for variable in ordered_vars:
-        histogram = value_histogram(full_query, current_db, variable)
-        if not histogram:
-            raise OutOfBoundsError(f"index {k} is out of bounds for 0 answers")
-        values = list(histogram.keys())
-        counts = [histogram[v] for v in values]
-        total = sum(counts)
-        if remaining >= total:
-            raise OutOfBoundsError(f"index {k} is out of bounds for {total} answers")
-        descending = order.is_descending(variable) if variable in order.variables else False
-        key = (lambda v: -v) if descending else None
-        chosen, preceding = weighted_select(values, counts, remaining, key=key)
-        assignment[variable] = chosen
-        remaining -= preceding
-
-        # Filter every relation mentioning the variable down to the chosen value.
-        filtered = []
-        for atom in full_query.atoms:
-            relation = current_db.relation(atom.relation)
-            if variable in atom.variable_set:
-                relation = relation.select_equals({variable: chosen})
-            filtered.append(relation)
-        current_db = Database(filtered)
-
-    answer_effective = tuple(assignment[v] for v in full_query.free_variables)
-    if tuple(full_query.free_variables) == tuple(original_free):
-        return answer_effective
-    mapping = dict(zip(full_query.free_variables, answer_effective))
-    return tuple(mapping[v] for v in original_free)
+    selection_plan = build_plan(
+        query, order, mode="selection_lex", fds=fds, backend=backend,
+        enforce_tractability=enforce_tractability,
+    )
+    return PlanExecutor(selection_plan, database).select_lex(k)

@@ -19,16 +19,14 @@ CQs with at most two free-maximal hyperedges.  The algorithm:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.algorithms.quickselect import select_kth
 from repro.algorithms.sorted_matrix import SortedMatrix, select_in_sorted_matrix_union
 from repro.core.atoms import ConjunctiveQuery
-from repro.core.classification import classify_selection_sum
 from repro.core.orders import Weights
-from repro.core.reduction import eliminate_projections
 from repro.engine.database import Database
-from repro.exceptions import IntractableQueryError, OutOfBoundsError
+from repro.exceptions import OutOfBoundsError
 
 
 def _selection_single_atom(full_query, full_database, weights: Weights, k: int,
@@ -150,44 +148,13 @@ def selection_sum(
     tractable class of Theorem 7.3 and :class:`OutOfBoundsError` for invalid
     indexes.
     """
-    if backend is not None:
-        database = database.to_backend(backend)
-    weights = weights if weights is not None else Weights.identity()
-    classification = classify_selection_sum(query, fds=fds)
-    if enforce_tractability and classification.verdict == "intractable":
-        raise IntractableQueryError(
-            f"selection by SUM for {query.name} is intractable: {classification.reason}",
-            classification,
-        )
+    from repro.planner import PlanExecutor, plan as build_plan
 
-    original_free = query.free_variables
-    if fds:
-        from repro.fds.rewrite import rewrite_for_fds
-
-        query, database, _ = rewrite_for_fds(query, database, None, fds)
-
-    query, database = query.normalize(database)
-
-    if query.is_boolean:
-        from repro.engine.naive import evaluate_naive
-
-        answers = evaluate_naive(query, database)
-        if k < 0 or k >= len(answers):
-            raise OutOfBoundsError(f"index {k} is out of bounds for {len(answers)} answers")
-        return answers[k]
-
-    reduction = eliminate_projections(query, database)
-    full_query, full_database = reduction.query, reduction.database
-
-    if len(full_query.atoms) == 1:
-        return _selection_single_atom(full_query, full_database, weights, k, original_free)
-    if len(full_query.atoms) == 2:
-        return _selection_two_atoms(full_query, full_database, weights, k, original_free)
-    raise IntractableQueryError(
-        f"selection by SUM needs fmh ≤ 2 but the reduced query has "
-        f"{len(full_query.atoms)} maximal hyperedges",
-        classification,
+    selection_plan = build_plan(
+        query, mode="selection_sum", fds=fds, backend=backend,
+        enforce_tractability=enforce_tractability,
     )
+    return PlanExecutor(selection_plan, database).select_sum(k, weights)
 
 
 def median_by_sum(

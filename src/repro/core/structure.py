@@ -20,11 +20,11 @@ Each predicate also has a *witness* variant returning the concrete structure
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.atoms import Atom, ConjunctiveQuery
 from repro.core.orders import LexOrder
-from repro.hypergraph import Hypergraph, find_s_path, is_acyclic, is_s_connex
+from repro.hypergraph import find_s_path, is_acyclic, is_s_connex
 
 
 # ----------------------------------------------------------------------

@@ -18,13 +18,11 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.atoms import ConjunctiveQuery
-from repro.core.classification import classify_direct_access_sum
 from repro.core.orders import Weights
 from repro.core.access import validate_range, validate_rank, validate_ranks
-from repro.core.reduction import reduce_database_over_query
-from repro.core import structure as st
 from repro.engine.database import Database
-from repro.exceptions import IntractableQueryError, NotAnAnswerError, OutOfBoundsError
+from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+from repro.planner import PlanExecutor, QueryPlan, plan as build_plan
 
 
 class SumDirectAccess:
@@ -45,54 +43,23 @@ class SumDirectAccess:
         fds=None,
         enforce_tractability: bool = True,
         backend: Optional[str] = None,
+        plan: Optional[QueryPlan] = None,
+        workers: Optional[int] = None,
     ) -> None:
-        if backend is not None:
-            database = database.to_backend(backend)
         self._original_query = query
         self.weights = weights if weights is not None else Weights.identity()
-        self.classification = classify_direct_access_sum(query, fds=fds)
-        if enforce_tractability and self.classification.verdict == "intractable":
-            raise IntractableQueryError(
-                f"direct access by SUM for {query.name} is intractable: "
-                f"{self.classification.reason}",
-                self.classification,
+        if plan is None:
+            plan = build_plan(
+                query, mode="sum", fds=fds, backend=backend,
+                enforce_tractability=enforce_tractability,
             )
+        self.plan = plan
+        self.classification = plan.classification
 
-        if fds:
-            from repro.fds.rewrite import rewrite_for_fds
-
-            query, database, _ = rewrite_for_fds(query, database, None, fds)
-        self._effective_query = query
-
-        query, database = query.normalize(database)
-
-        covering = st.atom_containing_all_free_variables(query)
-        if covering is None:
-            raise IntractableQueryError(
-                f"no atom of {query.name} contains all free variables; "
-                "SUM direct access is only implemented for the tractable class",
-                self.classification,
-            )
-
-        reduced = reduce_database_over_query(query, database)
-        atom_index = query.atoms.index(covering)
-        answers_relation = reduced[atom_index].project(query.free_variables)
-
-        original_free = self._original_query.free_variables
-        effective_free = query.free_variables
-        scored: List[Tuple[float, Tuple, Tuple]] = []
-        for row in answers_relation:
-            weight = self.weights.answer_weight(effective_free, row)
-            if effective_free == original_free:
-                answer = row
-            else:
-                mapping = dict(zip(effective_free, row))
-                answer = tuple(mapping[v] for v in original_free)
-            scored.append((weight, answer, row))
-        scored.sort(key=lambda item: (item[0], tuple(map(repr, item[1]))))
-
-        self._answers: List[Tuple] = [answer for _, answer, _ in scored]
-        self._weights_sorted: List[float] = [weight for weight, _, _ in scored]
+        built = PlanExecutor(plan, database, workers=workers).build_sum(self.weights)
+        self.report = built.report
+        self._answers: List[Tuple] = built.answers
+        self._weights_sorted: List[float] = built.weights_sorted
         self._index_of: Dict[Tuple, int] = {}
         for position, answer in enumerate(self._answers):
             self._index_of.setdefault(answer, position)
@@ -139,7 +106,14 @@ class SumDirectAccess:
         return self.access(k)
 
     def answer_weight(self, k: int) -> float:
-        """The weight of the ``k``-th answer."""
+        """The weight of the ``k``-th answer.
+
+        Ranks are validated exactly like :meth:`access` validates them: bools
+        and floats raise ``TypeError`` (``True`` must not silently read the
+        weight at index 1), out-of-bounds ranks raise
+        :class:`OutOfBoundsError` naming the rank and the answer count.
+        """
+        k = validate_rank(k)
         if k < 0 or k >= self.count:
             raise OutOfBoundsError(f"index {k} is out of bounds for {self.count} answers")
         return self._weights_sorted[k]

@@ -75,7 +75,7 @@ def _encode_column(values: Sequence) -> Tuple["_np.ndarray", "_np.ndarray"]:
                 value_type = type(value)
                 if value_type is not type(representative):
                     raise ColumnEncodingError(
-                        f"mixed representations of equal values: "
+                        "mixed representations of equal values: "
                         f"{representative!r} vs {value!r}"
                     )
                 if value_type is float:
@@ -85,7 +85,7 @@ def _encode_column(values: Sequence) -> Tuple["_np.ndarray", "_np.ndarray"]:
                     # e.g. Decimal('1.0') vs Decimal('1.00'): == holds but the
                     # representative is distinguishable from the original.
                     raise ColumnEncodingError(
-                        f"equal values with distinguishable representations: "
+                        "equal values with distinguishable representations: "
                         f"{representative!r} vs {value!r}"
                     )
             yield code

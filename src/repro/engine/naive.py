@@ -10,7 +10,7 @@ unquestionably correct reference against which the sophisticated algorithms of
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.engine.database import Database
 from repro.engine.relation import Relation

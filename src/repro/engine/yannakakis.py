@@ -15,7 +15,7 @@ reducer inherits the backend of its input relations with no code changes here.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.engine.operators import hash_join, semijoin
 from repro.engine.relation import Relation

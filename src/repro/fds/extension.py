@@ -66,6 +66,27 @@ def fd_extension(query: ConjunctiveQuery, fds: FDSet) -> Tuple[ConjunctiveQuery,
     return extended_query, FDSet(sorted(fd_set, key=str))
 
 
+def describe_extension(query: ConjunctiveQuery, fds: FDSet) -> Dict[str, object]:
+    """A JSON-ready trace of what the FD-extension changed (for ``repro explain``).
+
+    Reports, per atom, the variables the extension added, plus the variables
+    that became free and the implied FDs the fixpoint introduced.  Empty lists
+    mean the query was already its own extension.
+    """
+    extended_query, extended_fds = fd_extension(query, fds)
+    original_vars = {atom.relation: set(atom.variables) for atom in query.atoms}
+    added_columns = {
+        atom.relation: [v for v in atom.variables if v not in original_vars[atom.relation]]
+        for atom in extended_query.atoms
+    }
+    return {
+        "extended_query": str(extended_query),
+        "added_columns": {rel: cols for rel, cols in added_columns.items() if cols},
+        "newly_free": [v for v in extended_query.head if v not in query.head],
+        "implied_fds": sorted(str(fd) for fd in extended_fds if fd not in set(fds)),
+    }
+
+
 def is_fd_extension_fixpoint(query: ConjunctiveQuery, fds: FDSet) -> bool:
     """Whether ``(query, fds)`` is already its own FD-extension (test helper)."""
     extended_query, extended_fds = fd_extension(query, fds)

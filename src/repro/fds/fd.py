@@ -12,7 +12,7 @@ single-variable projections).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
 
 from repro.engine.database import Database
 from repro.exceptions import FunctionalDependencyError

@@ -15,7 +15,7 @@ are only free in the extension.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Set
+from typing import FrozenSet, List
 
 from repro.core.atoms import ConjunctiveQuery
 from repro.core.orders import LexOrder

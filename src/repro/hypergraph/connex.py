@@ -13,7 +13,7 @@ set of variables appearing in ``L``.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.hypergraph.gyo import build_join_tree, is_acyclic
 from repro.hypergraph.hypergraph import Hypergraph

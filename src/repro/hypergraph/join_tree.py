@@ -194,6 +194,19 @@ class JoinTree:
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready description of the tree shape (for plan explanations)."""
+        return {
+            "nodes": [
+                {
+                    "id": node_id,
+                    "variables": sorted(node_set, key=str),
+                    "parent": self._parent[node_id],
+                }
+                for node_id, node_set in enumerate(self._nodes)
+            ]
+        }
+
     def subtree_vertices(self, node_id: int) -> FrozenSet:
         """Union of the vertex sets of ``node_id`` and all its descendants."""
         result: Set = set()

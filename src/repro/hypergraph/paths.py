@@ -13,7 +13,7 @@ Chordless paths of four vertices also drive the SUM-selection hardness proof
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.hypergraph.hypergraph import Hypergraph
 

@@ -1,0 +1,340 @@
+"""``PlanExecutor`` — runs a :class:`~repro.planner.plan.QueryPlan` on data.
+
+The executor is the single place that applies a plan's decisions to a concrete
+database: backend conversion, the FD database rewrite (Lemma 8.5),
+normalisation, projection elimination, and then the mode-specific build —
+the layered preprocessing for LEX direct access (optionally with a worker
+pool building independent layers concurrently), the reduce-project-sort
+pipeline for SUM direct access, or the per-variable selection walks.
+
+Every stage is timed and recorded into an
+:class:`~repro.planner.plan.ExecutionReport` that is attached to the plan
+(``plan.stats``) and returned with the build result, so ``repro explain`` can
+show the measured cost of each stage of the most recent build.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.orders import LexOrder, Weights
+from repro.core.preprocessing import PreprocessedInstance, preprocess
+from repro.core.reduction import eliminate_projections, reduce_database_over_query
+from repro.engine.database import Database
+from repro.exceptions import OutOfBoundsError, QueryStructureError
+from repro.planner.plan import ExecutionReport, QueryPlan
+
+
+@dataclass
+class LexBuild:
+    """The built structures of a LEX direct-access plan."""
+
+    instance: Optional[PreprocessedInstance]
+    boolean_answers: Optional[List[Tuple]]
+    complete_order: LexOrder
+    report: ExecutionReport
+
+
+@dataclass
+class SumBuild:
+    """The built structures of a SUM direct-access plan.
+
+    ``answers`` are the (projected) answers sorted by weight with the
+    deterministic tie-break; ``weights_sorted`` aligns with them.
+    """
+
+    answers: List[Tuple]
+    weights_sorted: List[float]
+    report: ExecutionReport
+
+
+class PlanExecutor:
+    """Executes one :class:`QueryPlan` against one database.
+
+    Parameters
+    ----------
+    plan:
+        The plan to execute (from :func:`repro.planner.plan`).
+    database:
+        The input database for the plan's original query.
+    workers:
+        Build independent plan stages (sibling layers of the layered join
+        tree) concurrently on this many workers; ``None``/``1`` builds
+        serially.  Results are identical either way.
+    use_processes:
+        Use a process pool instead of threads — opt-in, worthwhile only for
+        the columnar backend where per-layer work amortises pickling.
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        database: Database,
+        workers: Optional[int] = None,
+        use_processes: bool = False,
+    ) -> None:
+        if plan.error is not None:
+            raise QueryStructureError(
+                f"plan {plan.fingerprint} is not executable: {plan.error}"
+            )
+        self.plan = plan
+        self.database = database
+        self.workers = workers
+        self.use_processes = use_processes
+
+    # ------------------------------------------------------------------
+    # Shared front half: backend → FD rewrite → normalisation
+    # ------------------------------------------------------------------
+    def _new_report(self) -> ExecutionReport:
+        schedule = "serial"
+        workers = 1
+        if self.workers is not None and self.workers > 1:
+            schedule = "processes" if self.use_processes else "threads"
+            workers = self.workers
+        return ExecutionReport(schedule=schedule, workers=workers)
+
+    def _front(self, report: ExecutionReport):
+        """Apply the data half of the rewrite stages; returns the working pair."""
+        objects = self.plan.objects
+        database = self.database
+        if self.plan.backend is not None:
+            started = time.perf_counter()
+            database = database.to_backend(self.plan.backend)
+            report.record("backend_convert", time.perf_counter() - started,
+                          database.size())
+
+        query, order = objects.query, objects.order
+        if objects.fds:
+            from repro.fds.rewrite import rewrite_for_fds
+
+            started = time.perf_counter()
+            query, database, order = rewrite_for_fds(query, database, order, objects.fds)
+            report.record("fd_rewrite", time.perf_counter() - started, database.size())
+
+        started = time.perf_counter()
+        normalized, database = query.normalize(database)
+        report.record("normalize", time.perf_counter() - started, database.size())
+        return normalized, database
+
+    def _boolean_answers(self, normalized, database, report: ExecutionReport) -> List[Tuple]:
+        from repro.engine.naive import evaluate_naive
+
+        started = time.perf_counter()
+        answers = evaluate_naive(normalized, database)
+        report.record("evaluate_boolean", time.perf_counter() - started, len(answers))
+        return answers
+
+    def _finish(self, report: ExecutionReport, started: float) -> ExecutionReport:
+        report.total_seconds = time.perf_counter() - started
+        self.plan.stats = report
+        return report
+
+    # ------------------------------------------------------------------
+    # LEX direct access (Theorems 3.3 / 4.1 / 8.21)
+    # ------------------------------------------------------------------
+    def build_lex(self) -> LexBuild:
+        """Build the direct-access structure of a ``"lex"`` plan."""
+        self._require_mode("lex")
+        report = self._new_report()
+        run_started = time.perf_counter()
+        normalized, database = self._front(report)
+
+        if self.plan.boolean:
+            answers = self._boolean_answers(normalized, database, report)
+            self._finish(report, run_started)
+            return LexBuild(None, answers, LexOrder(()), report)
+
+        objects = self.plan.objects
+        started = time.perf_counter()
+        reduction = eliminate_projections(
+            normalized, database, plan=objects.projection_plan, assume_distinct=True
+        )
+        report.record("eliminate_projections", time.perf_counter() - started,
+                      reduction.database.size())
+
+        instance = preprocess(
+            objects.tree,
+            reduction.database,
+            workers=self.workers,
+            use_processes=self.use_processes,
+            on_stage=report.record,
+            assume_reduced=True,
+        )
+        self._finish(report, run_started)
+        return LexBuild(instance, None, objects.complete_order, report)
+
+    # ------------------------------------------------------------------
+    # SUM direct access (Theorem 5.1 / 8.9)
+    # ------------------------------------------------------------------
+    def build_sum(self, weights: Optional[Weights] = None) -> SumBuild:
+        """Build the sorted answer array of a ``"sum"`` plan."""
+        self._require_mode("sum")
+        weights = weights if weights is not None else Weights.identity()
+        report = self._new_report()
+        run_started = time.perf_counter()
+        normalized, database = self._front(report)
+        objects = self.plan.objects
+        original_free = objects.query.free_variables
+
+        if self.plan.boolean:
+            answers = self._boolean_answers(normalized, database, report)
+            self._finish(report, run_started)
+            return SumBuild(answers, [0.0] * len(answers), report)
+
+        started = time.perf_counter()
+        reduced = reduce_database_over_query(normalized, database, assume_distinct=True)
+        report.record("semi_join_reduce", time.perf_counter() - started,
+                      sum(len(r) for r in reduced))
+
+        started = time.perf_counter()
+        atom_index = normalized.atoms.index(objects.covering_atom)
+        answers_relation = reduced[atom_index].project(normalized.free_variables)
+        report.record("project_answers", time.perf_counter() - started,
+                      len(answers_relation))
+
+        started = time.perf_counter()
+        effective_free = normalized.free_variables
+        scored: List[Tuple[float, Tuple, Tuple]] = []
+        for row in answers_relation:
+            weight = weights.answer_weight(effective_free, row)
+            if effective_free == original_free:
+                answer = row
+            else:
+                mapping = dict(zip(effective_free, row))
+                answer = tuple(mapping[v] for v in original_free)
+            scored.append((weight, answer, row))
+        scored.sort(key=lambda item: (item[0], tuple(map(repr, item[1]))))
+        report.record("score_and_sort", time.perf_counter() - started, len(scored))
+
+        self._finish(report, run_started)
+        return SumBuild(
+            [answer for _, answer, _ in scored],
+            [weight for weight, _, _ in scored],
+            report,
+        )
+
+    # ------------------------------------------------------------------
+    # Selection by LEX (Theorem 6.1 / 8.22)
+    # ------------------------------------------------------------------
+    def select_lex(self, k: int) -> Tuple:
+        """Run a ``"selection_lex"`` plan: the ``k``-th answer, no structure kept."""
+        self._require_mode("selection_lex")
+        from repro.algorithms.weighted_selection import weighted_select
+        from repro.core.selection_lex import value_histogram
+        from repro.core.orders import order_key
+
+        report = self._new_report()
+        run_started = time.perf_counter()
+        normalized, database = self._front(report)
+        objects = self.plan.objects
+        original_free = objects.query.free_variables
+
+        if self.plan.boolean:
+            answers = self._boolean_answers(normalized, database, report)
+            self._finish(report, run_started)
+            if k < 0 or k >= len(answers):
+                raise OutOfBoundsError(
+                    f"index {k} is out of bounds for {len(answers)} answers"
+                )
+            return answers[k]
+
+        started = time.perf_counter()
+        reduction = eliminate_projections(
+            normalized, database, plan=objects.projection_plan, assume_distinct=True
+        )
+        report.record("eliminate_projections", time.perf_counter() - started,
+                      reduction.database.size())
+        full_query, current_db = reduction.query, reduction.database
+
+        if k < 0:
+            raise OutOfBoundsError(f"negative index {k}")
+
+        order = objects.effective_order
+        remaining = k
+        assignment = {}
+        for variable in objects.ordered_variables:
+            started = time.perf_counter()
+            histogram = value_histogram(full_query, current_db, variable)
+            if not histogram:
+                raise OutOfBoundsError(f"index {k} is out of bounds for 0 answers")
+            values = list(histogram.keys())
+            counts = [histogram[v] for v in values]
+            total = sum(counts)
+            if remaining >= total:
+                raise OutOfBoundsError(f"index {k} is out of bounds for {total} answers")
+            descending = order.is_descending(variable) if variable in order.variables else False
+            key = (lambda v: order_key(v, True)) if descending else None
+            chosen, preceding = weighted_select(values, counts, remaining, key=key)
+            assignment[variable] = chosen
+            remaining -= preceding
+
+            # Filter every relation mentioning the variable to the chosen value.
+            filtered = []
+            for atom in full_query.atoms:
+                relation = current_db.relation(atom.relation)
+                if variable in atom.variable_set:
+                    relation = relation.select_equals({variable: chosen})
+                filtered.append(relation)
+            current_db = Database(filtered)
+            report.record(f"select:{variable}", time.perf_counter() - started,
+                          len(values))
+
+        self._finish(report, run_started)
+        answer_effective = tuple(assignment[v] for v in full_query.free_variables)
+        if tuple(full_query.free_variables) == tuple(original_free):
+            return answer_effective
+        mapping = dict(zip(full_query.free_variables, answer_effective))
+        return tuple(mapping[v] for v in original_free)
+
+    # ------------------------------------------------------------------
+    # Selection by SUM (Theorem 7.3 / 8.10)
+    # ------------------------------------------------------------------
+    def select_sum(self, k: int, weights: Optional[Weights] = None) -> Tuple:
+        """Run a ``"selection_sum"`` plan: the ``k``-th answer by weight."""
+        self._require_mode("selection_sum")
+        from repro.core.selection_sum import _selection_single_atom, _selection_two_atoms
+
+        weights = weights if weights is not None else Weights.identity()
+        report = self._new_report()
+        run_started = time.perf_counter()
+        normalized, database = self._front(report)
+        objects = self.plan.objects
+        original_free = objects.query.free_variables
+
+        if self.plan.boolean:
+            answers = self._boolean_answers(normalized, database, report)
+            self._finish(report, run_started)
+            if k < 0 or k >= len(answers):
+                raise OutOfBoundsError(
+                    f"index {k} is out of bounds for {len(answers)} answers"
+                )
+            return answers[k]
+
+        started = time.perf_counter()
+        reduction = eliminate_projections(
+            normalized, database, plan=objects.projection_plan, assume_distinct=True
+        )
+        report.record("eliminate_projections", time.perf_counter() - started,
+                      reduction.database.size())
+        full_query, full_database = reduction.query, reduction.database
+
+        started = time.perf_counter()
+        if len(full_query.atoms) == 1:
+            answer = _selection_single_atom(full_query, full_database, weights, k,
+                                            original_free)
+            report.record("select_fmh1", time.perf_counter() - started)
+        else:
+            answer = _selection_two_atoms(full_query, full_database, weights, k,
+                                          original_free)
+            report.record("select_fmh2", time.perf_counter() - started)
+        self._finish(report, run_started)
+        return answer
+
+    # ------------------------------------------------------------------
+    def _require_mode(self, mode: str) -> None:
+        if self.plan.mode != mode:
+            raise QueryStructureError(
+                f"plan mode {self.plan.mode!r} cannot be executed as {mode!r}"
+            )

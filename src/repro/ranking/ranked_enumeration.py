@@ -30,7 +30,6 @@ from repro.core.reduction import eliminate_projections
 from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.engine.yannakakis import full_reducer
-from repro.exceptions import QueryStructureError
 from repro.hypergraph import build_join_tree
 
 

@@ -13,6 +13,9 @@ Endpoints (all JSON):
 * ``POST /v1/query``         — the generic request object (``{"op": ...}``).
 * ``POST /v1/<op>``          — convenience: the path names the op, e.g.
   ``POST /v1/batch_access`` with ``{"plan": ..., "ks": [...]}``.
+* ``POST /v1/explain``       — the planner's decision trace for a query
+  (classification, FD rewrites, order, layered tree, stage DAG); no database
+  needed and nothing is built.
 * ``POST /v1/databases``     — register: ``{"name": ..., "relations": {...}}``.
 
 Error responses carry ``{"ok": false, "error": {"code", "message"}}`` with an

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
 
 
 @dataclass

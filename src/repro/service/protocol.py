@@ -145,6 +145,13 @@ def build_fds(canonical: Tuple[str, ...]) -> Optional[FDSet]:
 # ----------------------------------------------------------------------
 # Plan specs
 # ----------------------------------------------------------------------
+#: Fingerprints memoized across equal spec values (specs are value objects and
+#: the digest is deterministic, so the dict is safely shared; it is cleared
+#: wholesale at the bound rather than LRU-evicted — recomputing is cheap).
+_FINGERPRINT_MEMO: Dict["PlanSpec", str] = {}
+_FINGERPRINT_MEMO_BOUND = 4096
+
+
 @dataclass(frozen=True)
 class PlanSpec:
     """The canonical, hashable description of one prepared query."""
@@ -236,25 +243,66 @@ class PlanSpec:
             raise ServiceError("bad_request", str(exc))
 
     @cached_property
+    def query_plan(self):
+        """The planner's :class:`~repro.planner.plan.QueryPlan` for this spec.
+
+        Non-strict and non-enforcing: intractable or structurally impossible
+        specs still yield a plan (whose classification/``error`` says why), so
+        fingerprinting never raises for them — enforcement happens at build
+        time with the historical exceptions.  ``None`` for modes the planner
+        does not cover (``"enum"``).  Cached on the (immutable) spec, so the
+        fingerprint and the service's build path plan at most once per spec.
+        """
+        if self.mode not in ("lex", "sum"):
+            return None
+        from repro.planner import plan as build_plan
+
+        return build_plan(
+            self.query,
+            self.order,
+            mode=self.mode,
+            fds=self.fds,
+            backend=self.backend,
+            enforce_tractability=False,
+            strict=False,
+        )
+
+    @cached_property
     def fingerprint(self) -> str:
         """A stable hex id of the spec — the plan id clients refer to.
 
-        Cached: the serving path reads it several times per request (cache
-        key + response envelope) and the spec is immutable.
+        Derived from the *logical plan* where the planner covers the mode:
+        the planner's fingerprint already canonicalizes the query, order and
+        FD listing and folds in the classification verdict and join-tree
+        shape, so two specs meaning the same plan share an id.  The database
+        name and the weights (which the structural plan is agnostic to) are
+        hashed alongside.  Cached on the instance *and* memoized across equal
+        specs (requests carrying inline specs build a fresh ``PlanSpec`` each
+        time; planning again on the serving hot path would be wasteful).
         """
-        payload = json.dumps(
-            {
-                "database": self.database,
-                "query": self.query,
-                "mode": self.mode,
-                "order": self.order,
-                "weights": self.weights,
-                "fds": list(self.fds),
-                "backend": self.backend,
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        memoized = _FINGERPRINT_MEMO.get(self)
+        if memoized is not None:
+            return memoized
+        payload: Dict[str, object] = {
+            "database": self.database,
+            "mode": self.mode,
+            "weights": self.weights,
+            "backend": self.backend,
+        }
+        try:
+            plan = self.query_plan
+        except ReproError:
+            plan = None
+        if plan is not None:
+            payload["plan"] = plan.fingerprint
+        else:
+            payload.update(query=self.query, order=self.order, fds=list(self.fds))
+        encoded = json.dumps(payload, sort_keys=True)
+        digest = hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:16]
+        if len(_FINGERPRINT_MEMO) >= _FINGERPRINT_MEMO_BOUND:
+            _FINGERPRINT_MEMO.clear()
+        _FINGERPRINT_MEMO[self] = digest
+        return digest
 
     def to_dict(self) -> Dict[str, object]:
         return {

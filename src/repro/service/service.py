@@ -23,7 +23,7 @@ re-prepares against the new data on next use.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.access import validate_rank
 from repro.core.direct_access import LexDirectAccess
@@ -66,10 +66,13 @@ class PreparedPlan:
     materialized lazily under a lock so concurrent ``topk`` calls are safe.
     """
 
-    def __init__(self, spec: PlanSpec, generation: int, engine) -> None:
+    def __init__(self, spec: PlanSpec, generation: int, engine, query_plan=None) -> None:
         self.spec = spec
         self.generation = generation
         self.engine = engine
+        #: The planner's :class:`~repro.planner.plan.QueryPlan` (the decision
+        #: trace + build statistics); ``None`` for enumeration plans.
+        self.query_plan = query_plan
         if spec.mode == "enum":
             self._prefix: List[Tuple] = []
             self._stream = engine.stream_with_weights()
@@ -267,24 +270,53 @@ class QueryService:
         return self.plan_for_spec(spec)
 
     def _build_plan(self, spec: PlanSpec, database: Database, generation: int) -> PreparedPlan:
+        """Plan through the planner layer, then execute against the database.
+
+        The :class:`~repro.planner.plan.QueryPlan` is constructed once here
+        (strict, with enforcement — the historical exceptions surface) and
+        handed to the facade, which routes it through a
+        :class:`~repro.planner.executor.PlanExecutor`; the plan is cached
+        alongside the built structures.
+        """
+        from repro.planner import plan as build_query_plan
+
         query = parse_query(spec.query)
         backend = spec.backend or self.default_backend
         fds = build_fds(spec.fds)
+
+        # Reuse the plan the spec's fingerprint already computed — unless it
+        # recorded a verdict/error the strict path must surface as the
+        # historical exception, or the service's default backend applies (the
+        # spec-level plan only knows the spec's own backend).
+        query_plan = spec.query_plan if backend == spec.backend else None
+        if query_plan is not None and (
+            query_plan.error is not None
+            or query_plan.classification.verdict == "intractable"
+        ):
+            query_plan = None
+
         if spec.mode == "lex":
             order = build_order(spec.order)
             if order is None:
                 # Default order: the head left to right — the natural ranking.
                 order = LexOrder(query.free_variables)
-            engine = LexDirectAccess(query, database, order, fds=fds, backend=backend)
+            if query_plan is None:
+                query_plan = build_query_plan(
+                    query, order, mode="lex", fds=fds, backend=backend
+                )
+            engine = LexDirectAccess(query, database, order, plan=query_plan)
         elif spec.mode == "sum":
+            if query_plan is None:
+                query_plan = build_query_plan(query, mode="sum", fds=fds, backend=backend)
             engine = SumDirectAccess(
-                query, database, build_weights(spec.weights), fds=fds, backend=backend
+                query, database, build_weights(spec.weights), plan=query_plan
             )
         else:  # "enum" (PlanSpec.create already validated the mode)
+            query_plan = None
             engine = SumRankedEnumerator(
                 query, database, build_weights(spec.weights), backend=backend
             )
-        return PreparedPlan(spec, generation, engine)
+        return PreparedPlan(spec, generation, engine, query_plan=query_plan)
 
     def resolve(self, request: Mapping) -> PreparedPlan:
         """The plan a request refers to: by ``plan`` fingerprint or inline spec."""
@@ -476,6 +508,42 @@ class QueryService:
         )
         return {"k": k, "answer": encode_answer(answer)}
 
+    def _op_explain(self, request: Mapping) -> Dict[str, object]:
+        """The planner's decision trace for an input — no database, no build.
+
+        ``mode`` accepts the four planner modes (``lex``, ``sum``,
+        ``selection_lex``, ``selection_sum``); intractable inputs still
+        explain (the classification carries the verdict) rather than error.
+        """
+        from repro.planner import PLAN_MODES
+        from repro.planner import explain as planner_explain
+
+        query = request.get("query")
+        if not isinstance(query, str):
+            raise ServiceError("bad_request", "explain needs a 'query' string")
+        mode = request.get("mode", "lex")
+        if mode not in PLAN_MODES:
+            raise ServiceError(
+                "bad_request",
+                f"explain mode must be one of {PLAN_MODES}, got {mode!r}",
+            )
+        fds = request.get("fds")
+        if fds is not None and not isinstance(fds, (list, tuple)):
+            raise ServiceError("bad_request", "'fds' must be a list of FD strings")
+        try:
+            document = planner_explain(
+                query,
+                request.get("order"),
+                mode=mode,
+                fds=fds,
+                backend=request.get("backend") or self.default_backend,
+            )
+        except ReproError:
+            raise
+        except Exception as exc:  # parser errors carry their own message
+            raise ServiceError("bad_request", str(exc))
+        return {"explain": document}
+
     def _op_stats(self, request: Mapping) -> Dict[str, object]:
         return {"stats": self.stats()}
 
@@ -501,6 +569,7 @@ class QueryService:
         "topk": _op_topk,
         "count": _op_count,
         "selection": _op_selection,
+        "explain": _op_explain,
         "stats": _op_stats,
         "databases": _op_databases,
         "register": _op_register,
