@@ -47,14 +47,17 @@ FULL_REQUESTS = 200_000
 BATCH_SIZES = (64, 1024)
 THREADS = 4
 ZIPF_SKEW = 1.1
+#: One seed drives every generator of the run (database rows and the Zipf
+#: rank workload), so the artifact reproduces bit-for-bit from the metadata.
+DEFAULT_SEED = 0
 
 
-def build_service(num_tuples: int) -> QueryService:
+def build_service(num_tuples: int, seed: int = DEFAULT_SEED) -> QueryService:
     """One service with the same path database registered once per run."""
     service = QueryService(max_plans=8)
     domain = max(8, int(num_tuples ** 0.5))
     service.register_database(
-        "bench", generate_path_database(num_tuples, domain, seed=num_tuples)
+        "bench", generate_path_database(num_tuples, domain, seed=seed)
     )
     return service
 
@@ -65,8 +68,9 @@ def run_bench(
     batch_sizes=BATCH_SIZES,
     threads: int = THREADS,
     artifact=None,
+    seed: int = DEFAULT_SEED,
 ):
-    service = build_service(num_tuples)
+    service = build_service(num_tuples, seed=seed)
 
     def prepare(backend: str):
         return service.prepare("bench", pq.TWO_PATH, order=ORDER, backend=backend)
@@ -79,6 +83,7 @@ def run_bench(
         batch_sizes=batch_sizes,
         threads=threads,
         skew=ZIPF_SKEW,
+        seed=seed,
     )
     document = write_service_throughput(
         str(artifact or ARTIFACT),
@@ -89,6 +94,7 @@ def run_bench(
             "tuples_per_relation": num_tuples,
             "requests": num_requests,
             "zipf_skew": ZIPF_SKEW,
+            "seed": seed,
             "backends": backends,
         },
     )
@@ -146,6 +152,11 @@ def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     smoke = "--smoke" in argv
     argv = [a for a in argv if a != "--smoke"]
+    seed = DEFAULT_SEED
+    if "--seed" in argv:
+        position = argv.index("--seed")
+        seed = int(argv[position + 1])
+        del argv[position:position + 2]
     if smoke:
         num_tuples, num_requests = 2000, 8000
         batch_sizes, threads = (64, 1024), 2
@@ -156,7 +167,7 @@ def main(argv=None):
         batch_sizes, threads = BATCH_SIZES, THREADS
 
     results, document = run_bench(
-        num_tuples, num_requests, batch_sizes=batch_sizes, threads=threads
+        num_tuples, num_requests, batch_sizes=batch_sizes, threads=threads, seed=seed
     )
     print_results(results)
     print(f"\nwrote {ARTIFACT}")

@@ -1,0 +1,133 @@
+"""Shard scaling: monolithic vs sharded builds and batched serving.
+
+Runs :func:`repro.benchharness.run_shard_scaling` over the two-path query —
+the reduced database range-partitioned on the leading order variable into a
+sweep of shard counts, on every available backend — and writes
+``BENCH_shard_scaling.json`` at the repository root.
+
+Acceptance (read straight off the artifact): sharded builds are answer-
+verified bit-identical to monolithic on every benchmarked workload before
+any timing; on a multi-core host the sharded build at ``n = 10^5`` should be
+≥ 1.5× faster than monolithic, while on a single-core host (the artifact
+records ``cpu_count``) the honest signal is *no overhead* — the per-shard
+build-time sum within ~10% of the monolithic build.
+
+Run standalone for the canonical artifact::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py [n] [requests]
+    PYTHONPATH=src python benchmarks/bench_sharding.py --smoke
+    PYTHONPATH=src python benchmarks/bench_sharding.py --seed 7 --shards 1,2,4
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+try:  # standalone invocation (CI smoke) must not require pytest
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+from repro.benchharness import format_table, run_shard_scaling, write_shard_scaling
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
+
+FULL_TUPLES = 100_000
+FULL_REQUESTS = 20_000
+SHARD_COUNTS = (1, 2, 4, 8)
+DEFAULT_SEED = 0
+
+
+def print_results(document) -> None:
+    rows = []
+    for backend, entry in document["backends"].items():
+        rows.append((
+            backend, "monolith", "-",
+            f"{entry['monolith_build_seconds'] * 1000:.1f}",
+            f"{entry['monolith_preprocess_seconds'] * 1000:.1f}",
+            "-", "-",
+        ))
+        for run in entry["runs"]:
+            rows.append((
+                backend,
+                f"{run['shards']} shards",
+                run["workers"],
+                f"{run['build_seconds'] * 1000:.1f}",
+                f"{run['work_seconds_sum'] * 1000:.1f}",
+                run["work_sum_vs_monolith_preprocess"],
+                f"{run['batched_throughput_rps']:,.0f}",
+            ))
+    print()
+    print(format_table(
+        ["backend", "build", "workers", "build ms", "work-sum ms", "work/mono", "batched req/s"],
+        rows,
+        title=f"shard scaling (cpu_count={document['metadata']['cpu_count']})",
+    ))
+
+
+# ----------------------------------------------------------------------
+# Pytest variant: plumbing + equivalence smoke (timings too noisy to assert)
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    def test_shard_scaling_artifact(tmp_path):
+        scratch = tmp_path / "BENCH_shard_scaling.json"
+        document = run_shard_scaling(
+            1500, shard_counts=(1, 3), num_requests=2000, batch_size=256,
+            repeats=1, seed=3,
+        )
+        write_shard_scaling(str(scratch), document)
+        print_results(document)
+        assert scratch.exists()
+        for entry in document["backends"].values():
+            assert all(run["answers_identical"] for run in entry["runs"])
+            assert {run["shards"] for run in entry["runs"]} == {1, 3}
+        assert document["metadata"]["cpu_count"] == os.cpu_count()
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    argv = [a for a in argv if a != "--smoke"]
+
+    def option(flag, default, convert):
+        if flag in argv:
+            position = argv.index(flag)
+            value = convert(argv[position + 1])
+            del argv[position:position + 2]
+            return value
+        return default
+
+    seed = option("--seed", DEFAULT_SEED, int)
+    workers = option("--workers", None, int)
+    shard_counts = option(
+        "--shards", SHARD_COUNTS, lambda text: tuple(int(s) for s in text.split(","))
+    )
+
+    if smoke:
+        num_tuples, num_requests, repeats = 2000, 4000, 1
+        shard_counts = shard_counts if shard_counts != SHARD_COUNTS else (1, 2, 4)
+    else:
+        numbers = [int(a) for a in argv]
+        num_tuples = numbers[0] if numbers else FULL_TUPLES
+        num_requests = numbers[1] if len(numbers) > 1 else FULL_REQUESTS
+        repeats = 2
+
+    document = run_shard_scaling(
+        num_tuples,
+        shard_counts=shard_counts,
+        num_requests=num_requests,
+        workers=workers,
+        repeats=repeats,
+        seed=seed,
+    )
+    write_shard_scaling(str(ARTIFACT), document)
+    print_results(document)
+    print(f"\nwrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

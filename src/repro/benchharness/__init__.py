@@ -30,12 +30,18 @@ from repro.benchharness.replay import (
     write_service_throughput,
     zipf_ranks,
 )
+from repro.benchharness.sharding import (
+    columnar_code_dtypes,
+    run_shard_scaling,
+    write_shard_scaling,
+)
 from repro.benchharness.reporting import format_table
 
 __all__ = [
     "MonolithLexAccess",
     "ReplayResult",
     "ScalingResult",
+    "columnar_code_dtypes",
     "compare_backends",
     "format_table",
     "growth_exponent",
@@ -45,10 +51,12 @@ __all__ = [
     "replay_threaded",
     "run_planner_build_bench",
     "run_replay",
+    "run_shard_scaling",
     "star_database",
     "star_query",
     "write_backend_comparison",
     "write_planner_build",
     "write_service_throughput",
+    "write_shard_scaling",
     "zipf_ranks",
 ]

@@ -15,7 +15,10 @@ a :class:`~repro.service.PreparedPlan`, …) in three modes:
   threads do not *hurt*, not a parallel speedup).
 
 Ranks are drawn from a Zipf-like distribution over the answer space
-(:func:`zipf_ranks`), seeded for reproducibility.  Results serialize to the
+(:func:`zipf_ranks`), seeded for reproducibility — harnesses thread one
+``seed`` through every generator they touch (database rows and rank
+workloads alike) and record it in the artifact metadata, so any artifact
+reproduces bit-for-bit from its own metadata.  Results serialize to the
 ``BENCH_service_throughput.json`` artifact with batched-vs-single speedups
 per backend so the serving-performance trajectory stays machine-checkable
 across PRs (same idea as ``BENCH_backend_comparison.json``).

@@ -1,0 +1,232 @@
+"""Shard-scaling benchmark harness: build time and batched throughput vs shards.
+
+The sharding layer's claims are mechanical and this harness makes them
+machine-checkable across PRs (``BENCH_shard_scaling.json`` at the repo root):
+
+* **build**: the monolithic build versus the sharded build for a sweep of
+  shard counts, on both storage backends.  On a multi-core host the sharded
+  build should win outright (shards build concurrently); on a single-core
+  host the honest claim is *no overhead* — the per-shard build times must
+  sum to roughly the monolithic build time — so the artifact records both
+  the wall-clock build and the sum of the per-shard stage times, alongside
+  ``cpu_count`` (single-core CI cannot show a wall-clock win and should not
+  pretend to).
+* **serving**: batched throughput over a Zipf rank workload per shard count
+  (rank routing adds one ``searchsorted`` per batch; the artifact shows what
+  that costs).
+* **equivalence**: every benchmarked workload is served by both the sharded
+  and the monolithic instance and compared bit-for-bit *before* any timing
+  is recorded — a sharded build that answers differently must fail the
+  bench, not skew it.
+
+One ``seed`` drives every generator (database rows and the Zipf ranks) and
+is recorded in the metadata, as is the columnar backend's chosen code dtype
+(the int32 downcast satellite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.benchharness.replay import zipf_ranks
+from repro.core.direct_access import LexDirectAccess
+from repro.core.orders import LexOrder
+from repro.workloads.generators import generate_path_database
+
+
+def _best_of(repeats: int, build):
+    """Fastest wall-clock of ``repeats`` builds, with that build's result.
+
+    Garbage collection is paused around each timed build (and collected
+    between them): at the tens-of-milliseconds scale of columnar builds a
+    single cycle-collector pause is a double-digit relative error.
+    """
+    import gc
+
+    best = float("inf")
+    best_result = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            result = build()
+            elapsed = time.perf_counter() - started
+        finally:
+            gc.enable()
+        if elapsed < best:
+            best, best_result = elapsed, result
+    return best, best_result
+
+
+def _stage_seconds(report, prefix: str) -> float:
+    return sum(s.seconds for s in report.stages if s.name.startswith(prefix))
+
+
+def columnar_code_dtypes(database) -> List[str]:
+    """The distinct storage dtypes of the database's columnar code arrays."""
+    try:
+        from repro.engine.backends.columnar import ColumnarStorage
+    except ImportError:  # pragma: no cover - numpy-less installs
+        return []
+    dtypes = {
+        str(column.dtype)
+        for relation in database
+        if isinstance(relation.storage, ColumnarStorage)
+        for column in relation.storage.codes
+    }
+    return sorted(dtypes)
+
+
+def run_shard_scaling(
+    num_tuples: int,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    backends: Optional[Sequence[str]] = None,
+    num_requests: int = 20_000,
+    batch_size: int = 1024,
+    workers: Optional[int] = None,
+    use_processes: bool = False,
+    repeats: int = 2,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Measure monolithic vs sharded builds and batched serving per backend.
+
+    The workload is the paper's two-path join under the head order (leading
+    variable ``x`` — the partitioning variable).  ``workers`` defaults to the
+    shard count of each run, capped by ``cpu_count``, so shards build as
+    concurrently as the host allows.
+    """
+    from repro.planner import plan as build_plan
+    from repro.workloads import paper_queries as pq
+
+    if backends is None:
+        from repro.engine.backends import available_backends
+
+        backends = available_backends()
+
+    query = pq.TWO_PATH
+    order = LexOrder(("x", "y", "z"))
+    domain = max(8, int(num_tuples ** 0.5))
+    cpu_count = os.cpu_count() or 1
+
+    per_backend: Dict[str, object] = {}
+    dtypes: List[str] = []
+    for backend in backends:
+        database = generate_path_database(num_tuples, domain, seed=seed, backend=backend)
+        dtypes = columnar_code_dtypes(database) or dtypes
+
+        monolith_plan = build_plan(query, order, backend=backend)
+        monolith = LexDirectAccess(query, database, order, plan=monolith_plan)
+        count = monolith.count
+        ranks = zipf_ranks(num_requests, count, seed=seed)
+        batches = [ranks[i:i + batch_size] for i in range(0, len(ranks), batch_size)]
+        expected = [monolith.batch_access(batch) for batch in batches]
+
+        monolith_seconds, fastest_monolith = _best_of(
+            repeats, lambda: LexDirectAccess(query, database, order, plan=monolith_plan)
+        )
+        # Preprocessing-only stage sum of the monolithic build — the honest
+        # baseline for the sharded *work* sum, which likewise excludes the
+        # front half (normalize / eliminate_projections) both builds share.
+        monolith_preprocess = (
+            _stage_seconds(fastest_monolith.report, "project_nodes")
+            + _stage_seconds(fastest_monolith.report, "layer:")
+        )
+
+        runs: List[Dict[str, object]] = []
+        for shards in shard_counts:
+            shard_workers = workers if workers is not None else min(shards, cpu_count)
+            shard_plan = build_plan(query, order, backend=backend, shards=shards)
+
+            def build():
+                return LexDirectAccess(
+                    query, database, order, plan=shard_plan,
+                    workers=shard_workers, use_processes=use_processes,
+                )
+
+            sharded = build()
+            if sharded.count != count:
+                raise AssertionError(
+                    f"sharded count {sharded.count} != monolithic {count} "
+                    f"(backend={backend}, shards={shards})"
+                )
+            served = [sharded.batch_access(batch) for batch in batches]
+            if served != expected:
+                raise AssertionError(
+                    f"sharded answers differ from monolithic "
+                    f"(backend={backend}, shards={shards})"
+                )
+
+            build_seconds, fastest = _best_of(repeats, build)
+            report = fastest.report
+            shard_sum = _stage_seconds(report, "shard:")
+            shared_seconds = _stage_seconds(report, "shared_layer:")
+            partition_seconds = _stage_seconds(report, "partition")
+            work_sum = partition_seconds + shared_seconds + shard_sum
+
+            started = time.perf_counter()
+            for batch in batches:
+                sharded.batch_access(batch)
+            serve_seconds = time.perf_counter() - started
+
+            runs.append({
+                "shards": int(shards),
+                "workers": int(shard_workers),
+                "build_seconds": round(build_seconds, 6),
+                "partition_seconds": round(partition_seconds, 6),
+                "shared_layer_seconds": round(shared_seconds, 6),
+                "shard_build_seconds_sum": round(shard_sum, 6),
+                "work_seconds_sum": round(work_sum, 6),
+                "build_speedup_vs_monolith": round(monolith_seconds / build_seconds, 3)
+                if build_seconds > 0 else None,
+                "work_sum_vs_monolith_preprocess": round(
+                    work_sum / monolith_preprocess, 3)
+                if monolith_preprocess > 0 and work_sum > 0 else None,
+                "batched_throughput_rps": round(len(ranks) / serve_seconds, 1)
+                if serve_seconds > 0 else None,
+                "answers_identical": True,
+            })
+
+        per_backend[backend] = {
+            "count": int(count),
+            "monolith_build_seconds": round(monolith_seconds, 6),
+            "monolith_preprocess_seconds": round(monolith_preprocess, 6),
+            "runs": runs,
+        }
+
+    return {
+        "artifact": "shard_scaling",
+        "metadata": {
+            "query": str(query),
+            "order": str(order),
+            "tuples_per_relation": int(num_tuples),
+            "domain": int(domain),
+            "requests": int(num_requests),
+            "batch_size": int(batch_size),
+            "shard_counts": [int(s) for s in shard_counts],
+            "repeats": int(repeats),
+            "seed": int(seed),
+            "cpu_count": cpu_count,
+            "pool": "processes" if use_processes else "threads",
+            "columnar_code_dtypes": dtypes,
+            "backends": list(backends),
+            "note": (
+                "build_speedup_vs_monolith needs cpu_count > 1 to exceed 1; "
+                "on single-core hosts work_sum_vs_monolith_preprocess ~ 1 "
+                "(partition + shared layers + per-shard builds vs the "
+                "monolithic preprocessing stages) is the no-overhead "
+                "acceptance signal"
+            ),
+        },
+        "backends": per_backend,
+    }
+
+
+def write_shard_scaling(path: str, document: Mapping[str, object]) -> None:
+    """Write the benchmark artifact (``BENCH_shard_scaling.json``)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -52,6 +52,25 @@ def _add_backend(parser: argparse.ArgumentParser, help_suffix: str = "") -> None
     )
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _add_shards(parser: argparse.ArgumentParser, help_suffix: str = "") -> None:
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="range-partition LEX builds on the leading order variable into "
+        "N shards (orders that cannot shard fall back to 1 with a recorded "
+        "reason)" + help_suffix,
+    )
+
+
 def build_argument_parser() -> argparse.ArgumentParser:
     """The ``classify`` parser (also the backward-compatible default)."""
     parser = argparse.ArgumentParser(
@@ -95,6 +114,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--max-plans", type=int, default=64, help="plan cache capacity (default 64)"
     )
     _add_backend(parser, " used for plans that do not name one")
+    _add_shards(parser, " (default for plans that do not name a count)")
     parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
@@ -128,6 +148,7 @@ def build_client_parser() -> argparse.ArgumentParser:
         "--max-plans", type=int, default=64, help="in-process plan cache capacity"
     )
     _add_backend(parser)
+    _add_shards(parser, " (in-process execution only)")
     return parser
 
 
@@ -213,6 +234,7 @@ def build_explain_parser() -> argparse.ArgumentParser:
         help="which of the four problems to plan (default: lex direct access)",
     )
     _add_backend(parser, " recorded in the plan")
+    _add_shards(parser, " (the plan records the partition stage)")
     parser.add_argument("--json", action="store_true", help="emit the plan as JSON")
     return parser
 
@@ -231,7 +253,7 @@ def explain_main(argv: List[str]) -> int:
         fds = parse_fds(args.fd) if args.fd else None
         query_plan = build_plan(
             query, order, mode=mode, fds=fds, backend=args.backend,
-            enforce_tractability=False, strict=False,
+            shards=args.shards, enforce_tractability=False, strict=False,
         )
     except Exception as exc:
         parser.error(str(exc))
@@ -246,11 +268,12 @@ def explain_main(argv: List[str]) -> int:
 # ----------------------------------------------------------------------
 # serve / client
 # ----------------------------------------------------------------------
-def _parse_db_specs(parser: argparse.ArgumentParser, specs: List[str], backend, max_plans: int = 64):
+def _parse_db_specs(parser: argparse.ArgumentParser, specs: List[str], backend,
+                    max_plans: int = 64, shards: Optional[int] = None):
     from repro.service import QueryService, load_database
     from repro.service.protocol import ServiceError
 
-    service = QueryService(max_plans=max(1, max_plans), backend=backend)
+    service = QueryService(max_plans=max(1, max_plans), backend=backend, shards=shards)
     for spec in specs:
         name, separator, path = spec.partition("=")
         if not separator or not name or not path:
@@ -268,7 +291,8 @@ def serve_main(argv: List[str]) -> int:
     from repro.service import make_server
     from repro.service.httpd import run_server
 
-    service = _parse_db_specs(parser, args.db, args.backend, args.max_plans)
+    service = _parse_db_specs(parser, args.db, args.backend, args.max_plans,
+                              shards=args.shards)
     server = make_server(service, args.host, args.port, quiet=not args.verbose)
     host, port = server.server_address[:2]
     print(f"repro serve: listening on http://{host}:{port} "
@@ -323,7 +347,8 @@ def client_main(argv: List[str]) -> int:
             parser.error(str(exc))
 
     if args.url is None:
-        service = _parse_db_specs(parser, args.db, args.backend, args.max_plans)
+        service = _parse_db_specs(parser, args.db, args.backend, args.max_plans,
+                                  shards=args.shards)
         execute = service.execute
     else:
         base = args.url.rstrip("/")

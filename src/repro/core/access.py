@@ -29,6 +29,7 @@ scalar :func:`access` calls with identical results.
 from __future__ import annotations
 
 import operator
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.preprocessing import _INT64_SAFE, Bucket, PreprocessedInstance
@@ -114,13 +115,18 @@ def _locate_tuple(bucket: Bucket, factor: int, k: int) -> int:
     return lo
 
 
-def access(instance: PreprocessedInstance, k: int) -> Tuple:
+def access(instance, k: int) -> Tuple:
     """Return the ``k``-th answer (0-based) in the instance's lexicographic order.
 
     Raises :class:`OutOfBoundsError` when ``k`` is negative or at least the
     number of answers, mirroring the paper's "out-of-bound" result, and
     :class:`TypeError` when ``k`` is not an integer (bools included).
+
+    A :class:`~repro.core.sharding.ShardedInstance` routes the rank to its
+    owning shard first (one binary search over the shard offsets).
     """
+    if getattr(instance, "is_sharded", False):
+        return instance.access(k)
     k = validate_rank(k)
     if k < 0 or k >= instance.count:
         raise OutOfBoundsError(
@@ -176,12 +182,15 @@ def _answer_assignment(instance: PreprocessedInstance, answer: Sequence) -> Dict
     return dict(zip(free, answer))
 
 
-def inverted_access(instance: PreprocessedInstance, answer: Sequence) -> int:
+def inverted_access(instance, answer: Sequence) -> int:
     """Return the index of ``answer`` in the lexicographic order (Algorithm 2).
 
     Raises :class:`NotAnAnswerError` if the tuple is not an answer of the query
-    on the preprocessed database.
+    on the preprocessed database.  Sharded instances route by the answer's
+    leading value and offset the shard-local index.
     """
+    if getattr(instance, "is_sharded", False):
+        return instance.inverted_access(answer)
     if instance.count == 0:
         raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer (empty result)")
     assignment = _answer_assignment(instance, answer)
@@ -227,7 +236,7 @@ def inverted_access(instance: PreprocessedInstance, answer: Sequence) -> int:
     return k
 
 
-def next_answer_index(instance: PreprocessedInstance, target: Sequence) -> int:
+def next_answer_index(instance, target: Sequence) -> int:
     """Index of the first answer lexicographically ≥ ``target`` (Remark 3).
 
     ``target`` assigns a value to every variable of the order (aligned with the
@@ -238,6 +247,8 @@ def next_answer_index(instance: PreprocessedInstance, target: Sequence) -> int:
     Only ascending orders are supported (the Remark 3 construction binary
     searches on raw values).
     """
+    if getattr(instance, "is_sharded", False):
+        return instance.next_answer_index(target)
     if any(instance.order.is_descending(v) for v in instance.order.variables):
         raise NotAnAnswerError("next_answer_index supports ascending orders only")
     if instance.count == 0:
@@ -440,25 +451,44 @@ def _build_batch_index(instance: PreprocessedInstance) -> Optional[_BatchIndex]:
 
 _UNBUILT = object()
 
+#: Fallback for instances predating the per-instance lock (unpickled old state).
+_FALLBACK_BATCH_LOCK = threading.Lock()
+
 
 def _batch_index(instance: PreprocessedInstance) -> Optional[_BatchIndex]:
-    """The instance's cached batch index (built on first use, ``None`` if impossible)."""
+    """The instance's cached batch index (built on first use, ``None`` if impossible).
+
+    The lazy build is guarded by the instance's own lock: two serving threads
+    batching concurrently must share one index rather than each building (and
+    one of them publishing) its own copy.  The fast path stays lock-free —
+    attribute publication is atomic under the GIL, so a non-sentinel read is
+    always a fully built index.
+    """
     cached = getattr(instance, "_batch_index", _UNBUILT)
-    if cached is _UNBUILT:
-        cached = _build_batch_index(instance)
-        instance._batch_index = cached
+    if cached is not _UNBUILT:
+        return cached
+    lock = getattr(instance, "_batch_lock", None) or _FALLBACK_BATCH_LOCK
+    with lock:
+        cached = getattr(instance, "_batch_index", _UNBUILT)
+        if cached is _UNBUILT:
+            cached = _build_batch_index(instance)
+            instance._batch_index = cached
     return cached
 
 
-def batch_access(instance: PreprocessedInstance, ks: Sequence[int]) -> List[Tuple]:
+def batch_access(instance, ks: Sequence[int]) -> List[Tuple]:
     """The answers at the given ranks, in the order the ranks were given.
 
     Semantically identical to ``[access(instance, k) for k in ks]`` — the
     whole batch is validated up front (so either every rank is served or the
     first bad one raises), then served by the vectorized layer walk when
     NumPy is available and the counts fit in int64, by the scalar loop
-    otherwise.
+    otherwise.  A sharded instance buckets the ranks by shard (one
+    ``searchsorted`` over the offset table) and issues one vectorized gather
+    per touched shard.
     """
+    if getattr(instance, "is_sharded", False):
+        return instance.batch_access(ks)
     ranks = validate_ranks(ks, instance.count)
     if not ranks:
         return []

@@ -62,10 +62,19 @@ class LexDirectAccess:
         A prebuilt :class:`~repro.planner.plan.QueryPlan` for exactly this
         (query, order, FDs, backend, mode="lex") input — the service's
         prepare path passes the plan it already made; ``None`` plans here.
+    shards:
+        ``shards > 1`` builds a sharded instance: the reduced database is
+        range-partitioned on the leading variable of the completed order,
+        one per-shard structure is built per range (concurrently when
+        ``workers > 1``), and every access operation routes by rank through
+        the shard offset table.  Results are identical to the monolithic
+        build.  Ignored when a prebuilt ``plan`` is passed (the plan's own
+        shard count wins).
     workers / use_processes:
         Worker-pool settings forwarded to the
         :class:`~repro.planner.executor.PlanExecutor`: independent layers of
-        the layered join tree build concurrently (identical results).
+        the layered join tree — or independent shards — build concurrently
+        (identical results).
 
     The decision trace is exposed as :attr:`plan` and the measured per-stage
     build statistics of this construction as :attr:`report`.
@@ -80,6 +89,7 @@ class LexDirectAccess:
         enforce_tractability: bool = True,
         backend: Optional[str] = None,
         plan: Optional[QueryPlan] = None,
+        shards: Optional[int] = None,
         workers: Optional[int] = None,
         use_processes: bool = False,
     ) -> None:
@@ -87,7 +97,7 @@ class LexDirectAccess:
         self._original_order = order
         if plan is None:
             plan = build_plan(
-                query, order, mode="lex", fds=fds, backend=backend,
+                query, order, mode="lex", fds=fds, backend=backend, shards=shards,
                 enforce_tractability=enforce_tractability,
             )
         self.plan = plan

@@ -30,6 +30,7 @@ integers.  Both paths produce identical buckets.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -145,6 +146,22 @@ class PreprocessedInstance:
         self.layers = layers
         root_bucket = layers[1].bucket(()) if 1 in layers else None
         self._count = root_bucket.total if root_bucket is not None else 0
+        # Guards the lazy build of the batched-access index (see
+        # repro.core.access._batch_index): concurrent serving threads must
+        # agree on one index instead of racing to build it twice.
+        self._batch_lock = threading.Lock()
+
+    def __getstate__(self):
+        # Locks don't pickle and the batch index is a lazily rebuilt cache;
+        # drop both so instances cross process-pool boundaries cleanly.
+        state = self.__dict__.copy()
+        state.pop("_batch_lock", None)
+        state.pop("_batch_index", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._batch_lock = threading.Lock()
 
     @property
     def count(self) -> int:
@@ -403,6 +420,7 @@ def preprocess(
     use_processes: bool = False,
     on_stage=None,
     assume_reduced: bool = False,
+    prebuilt_layers: Optional[Dict[int, LayerData]] = None,
 ) -> PreprocessedInstance:
     """Run the preprocessing phase over a layered join tree and a database.
 
@@ -425,12 +443,22 @@ def preprocess(
     executor passes it to elide step 2 entirely (a semi-join pass that cannot
     remove anything from reduced input) and the dedup of permutation-only node
     projections.
+
+    ``prebuilt_layers`` injects already-built :class:`LayerData` (keyed by
+    layer index) adopted as-is instead of being rebuilt — the sharding layer
+    passes the shard-independent subtrees it built once via
+    :func:`build_partial_layers`, so every shard shares them.  The set must be
+    closed downward (all descendants of a prebuilt layer prebuilt too) and
+    requires ``assume_reduced`` — the elided semi-join pass would otherwise
+    need node relations for the prebuilt layers as well.
     """
     import time as _time
 
     query = tree.query
     order = tree.order
-    variables = order.variables
+    prebuilt_layers = prebuilt_layers or {}
+    if prebuilt_layers and not assume_reduced:
+        raise ValueError("prebuilt_layers requires assume_reduced=True")
 
     def _record_elapsed(name: str, seconds: float, rows: Optional[int]) -> None:
         if on_stage is not None:
@@ -443,16 +471,15 @@ def preprocess(
     # Step 1: a relation per node (distinct projection of its source atom).
     # ------------------------------------------------------------------
     started = _time.perf_counter()
-    node_relations: List[Relation] = []
-    node_schemas: List[Tuple[str, ...]] = []
+    node_relations: Dict[int, Relation] = {}
+    node_schemas: Dict[int, Tuple[str, ...]] = {}
     for layer in tree.layers:
-        schema = tuple(v for v in variables if v in layer.node_variables)
-        source = database.relation(layer.source_atom.relation)
-        permutation = assume_reduced and frozenset(schema) == frozenset(source.attributes)
-        projected = source.project(schema, distinct=not permutation, name=f"node{layer.index}")
-        node_relations.append(projected)
-        node_schemas.append(schema)
-    _record("project_nodes", started, sum(len(r) for r in node_relations))
+        if layer.index in prebuilt_layers:
+            continue
+        schema, projected = _project_node(layer, database, order, assume_reduced)
+        node_relations[layer.index] = projected
+        node_schemas[layer.index] = schema
+    _record("project_nodes", started, sum(len(r) for r in node_relations.values()))
 
     # ------------------------------------------------------------------
     # Step 2: remove dangling tuples (full reduction over the layered tree).
@@ -465,8 +492,14 @@ def preprocess(
     else:
         started = _time.perf_counter()
         join_tree = tree.as_join_tree()          # node ids are layer-1 offsets
-        reduced = full_reducer(join_tree, node_relations)
-        _record("semi_join_reduce", started, sum(len(r) for r in reduced))
+        reduced_list = full_reducer(
+            join_tree, [node_relations[layer.index] for layer in tree.layers]
+        )
+        reduced = {
+            layer.index: relation
+            for layer, relation in zip(tree.layers, reduced_list)
+        }
+        _record("semi_join_reduce", started, sum(len(r) for r in reduced.values()))
 
     # ------------------------------------------------------------------
     # Steps 3-5: buckets, sorting, and the counting DP (bottom-up).
@@ -474,11 +507,11 @@ def preprocess(
     children: Dict[int, Tuple[int, ...]] = {
         layer.index: tree.children(layer.index) for layer in tree.layers
     }
-    layer_data: Dict[int, LayerData] = {}
+    layer_data: Dict[int, LayerData] = dict(prebuilt_layers)
 
     def layer_inputs(layer):
-        schema = node_schemas[layer.index - 1]
-        relation = reduced[layer.index - 1]
+        schema = node_schemas[layer.index]
+        relation = reduced[layer.index]
         value_position = schema.index(layer.variable)
         key_positions = tuple(schema.index(v) for v in layer.key_variables)
         descending = order.is_descending(layer.variable)
@@ -508,6 +541,8 @@ def preprocess(
     if workers is None or workers <= 1 or len(tree.layers) <= 1:
         # Serial reference schedule: largest index down, children before parents.
         for layer in reversed(tree.layers):
+            if layer.index in prebuilt_layers:
+                continue
             started = _time.perf_counter()
             (schema, relation, value_position, key_positions, descending,
              child_layers, child_key_positions) = layer_inputs(layer)
@@ -521,25 +556,102 @@ def preprocess(
         _build_layers_parallel(
             tree, children, layer_inputs, finish_layer,
             workers=workers, use_processes=use_processes, record=_record_elapsed,
+            prebuilt=set(prebuilt_layers),
         )
 
     return PreprocessedInstance(query, order, tree, layer_data)
 
 
+def _project_node(layer, database: Database, order, assume_reduced: bool):
+    """Step 1 for one layer: the distinct projection of its source atom."""
+    schema = tuple(v for v in order.variables if v in layer.node_variables)
+    source = database.relation(layer.source_atom.relation)
+    permutation = assume_reduced and frozenset(schema) == frozenset(source.attributes)
+    projected = source.project(
+        schema, distinct=not permutation, name=f"node{layer.index}"
+    )
+    return schema, projected
+
+
+def build_partial_layers(
+    tree: LayeredJoinTree,
+    database: Database,
+    only: Sequence[int],
+    on_stage=None,
+) -> Dict[int, LayerData]:
+    """Build just the given layers (steps 1 and 3–5), assuming reduced input.
+
+    ``only`` must be closed downward (every child of a listed layer listed
+    too) — the counting DP of a layer reads its children's totals.  The
+    sharding layer uses this to build the shard-independent subtrees — the
+    layers whose node schema does not contain the partitioning variable —
+    exactly once, sharing the resulting :class:`LayerData` across shards via
+    the ``prebuilt_layers`` hook of :func:`preprocess`.
+    """
+    import time as _time
+
+    wanted = set(only)
+    order = tree.order
+    children = {layer.index: tree.children(layer.index) for layer in tree.layers}
+    layer_data: Dict[int, LayerData] = {}
+    for layer in reversed(tree.layers):
+        if layer.index not in wanted:
+            continue
+        missing = [c for c in children[layer.index] if c not in wanted]
+        if missing:
+            raise ValueError(
+                f"layer set is not downward closed: layer {layer.index} "
+                f"needs children {missing}"
+            )
+        started = _time.perf_counter()
+        schema, relation = _project_node(layer, database, order, assume_reduced=True)
+        value_position = schema.index(layer.variable)
+        key_positions = tuple(schema.index(v) for v in layer.key_variables)
+        child_layers = [layer_data[c] for c in children[layer.index]]
+        child_key_positions = [
+            tuple(schema.index(v) for v in child.key_variables) for child in child_layers
+        ]
+        buckets, columnar_index = _build_layer(
+            relation, value_position, key_positions,
+            order.is_descending(layer.variable), child_layers, child_key_positions,
+        )
+        layer_data[layer.index] = LayerData(
+            index=layer.index,
+            variable=layer.variable,
+            variables=schema,
+            key_variables=layer.key_variables,
+            parent=layer.parent,
+            children=children[layer.index],
+            buckets=buckets,
+            value_position=value_position,
+            key_positions=key_positions,
+            columnar=columnar_index,
+        )
+        if on_stage is not None:
+            on_stage(f"shared_layer:{layer.index}",
+                     _time.perf_counter() - started, len(relation))
+    return layer_data
+
+
 def _build_layers_parallel(tree, children, layer_inputs, finish_layer,
-                           workers: int, use_processes: bool, record) -> None:
+                           workers: int, use_processes: bool, record,
+                           prebuilt=frozenset()) -> None:
     """Topologically scheduled concurrent layer builds (children before parents).
 
     A layer becomes ready the moment its last child finishes, so sibling
     subtrees build concurrently while the dependency chain stays intact.  The
     built structures are identical to the serial schedule's because each layer
     is a pure function of its reduced relation and its children's data.
+    ``prebuilt`` layers count as already finished: they are never submitted
+    and do not block their parents.
     """
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 
     pool_cls = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
     pending_children: Dict[int, int] = {
-        layer.index: len(children[layer.index]) for layer in tree.layers
+        layer.index: sum(1 for c in children[layer.index] if c not in prebuilt)
+        for layer in tree.layers
+        if layer.index not in prebuilt
     }
     by_index = {layer.index: layer for layer in tree.layers}
     rows_of: Dict[int, int] = {}

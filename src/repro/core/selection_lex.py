@@ -122,6 +122,7 @@ def selection_lex(
     fds=None,
     enforce_tractability: bool = True,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> Tuple:
     """Return the ``k``-th answer (0-based) of ``query`` on ``database`` under ``order``.
 
@@ -137,11 +138,17 @@ def selection_lex(
     decides the pipeline (mode ``"selection_lex"``) and
     :class:`~repro.planner.executor.PlanExecutor` runs the per-variable
     histogram walk of Lemma 6.5 against the database.
+
+    ``shards > 1`` range-partitions the database on the first order variable
+    and scans the per-shard histograms lazily — shards after the one owning
+    rank ``k`` are never touched.  Orderless selection (an empty partial
+    order) has no leading variable to partition on and falls back to one
+    shard; the plan records the reason.
     """
     from repro.planner import PlanExecutor, plan as build_plan
 
     selection_plan = build_plan(
-        query, order, mode="selection_lex", fds=fds, backend=backend,
+        query, order, mode="selection_lex", fds=fds, backend=backend, shards=shards,
         enforce_tractability=enforce_tractability,
     )
     return PlanExecutor(selection_plan, database).select_lex(k)

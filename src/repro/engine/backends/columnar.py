@@ -2,9 +2,16 @@
 
 Every column of a relation is stored as
 
-* ``codes`` — an ``int64`` array of dictionary codes, one entry per row, and
+* ``codes`` — an integer array of dictionary codes, one entry per row
+  (``int32`` while the column's domain fits, promoted to ``int64`` when it
+  does not — codes are dense indices into the domain, so the downcast halves
+  index memory and improves probe locality without changing any value), and
 * ``domain`` — an object-dtype array of the distinct column values, sorted
   ascending with Python's own comparison semantics.
+
+All *derived* quantities that combine codes (packed multi-column keys, the
+counting DP, segmented-search embeddings) are computed in ``int64``
+regardless of the storage dtype, so the downcast can never overflow.
 
 Because the domain is sorted, *code order equals value order*: sorting,
 grouping and binary searching can run entirely on the integer codes and still
@@ -36,6 +43,18 @@ HAS_NUMPY = _np is not None
 
 #: Packed multi-column keys must stay below this bound to live in int64.
 _PACK_LIMIT = 2 ** 62
+
+#: Largest domain whose codes fit int32 (codes are indices < domain size).
+_INT32_LIMIT = 2 ** 31
+
+
+def code_dtype(domain_size: int):
+    """The storage dtype for a column of ``domain_size`` distinct values.
+
+    ``int32`` while the codes fit (the common case by a wide margin),
+    ``int64`` beyond — the promotion path that keeps huge domains correct.
+    """
+    return _np.int32 if domain_size < _INT32_LIMIT else _np.int64
 
 
 class ColumnEncodingError(ValueError):
@@ -90,7 +109,7 @@ def _encode_column(values: Sequence) -> Tuple["_np.ndarray", "_np.ndarray"]:
                     )
             yield code
 
-    codes = _np.fromiter(codes_checked(), dtype=_np.int64, count=len(values))
+    codes = _np.fromiter(codes_checked(), dtype=code_dtype(len(domain)), count=len(values))
     domain_array = _np.empty(len(domain), dtype=object)
     domain_array[:] = domain
     return codes, domain_array
@@ -243,7 +262,9 @@ def pack_codes(
         space *= max(1, size)
     if space >= _PACK_LIMIT:
         return None
-    packed = columns[0].copy()
+    # Always pack in int64: the inputs may be int32 storage codes whose
+    # combined key space exceeds int32 even though each column fits.
+    packed = columns[0].astype(_np.int64, copy=True)
     for column, size in zip(columns[1:], sizes[1:]):
         packed *= size
         packed += column

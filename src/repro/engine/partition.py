@@ -1,0 +1,155 @@
+"""Range partitioning of a database on one leading variable.
+
+The sharding layer of the LEX direct-access hot path rests on one invariant:
+when the reduced database is partitioned by *value ranges of the leading
+variable of the completed order*, the global lexicographic answer order is the
+concatenation of the per-shard orders.  Every answer's leading value falls in
+exactly one range, ranges are contiguous in the order's own direction, and the
+variables after the first are ordered identically within every shard — so
+shard ``i``'s answers all precede shard ``i+1``'s.
+
+:func:`range_partition` implements exactly that: the distinct values of the
+leading variable (across every relation containing it) are sorted by the
+order's comparison direction and cut into ``shards`` contiguous, equal-width
+chunks; every relation containing the variable is *co-partitioned* (its rows
+routed to the shard owning their leading value) and every other relation is
+*replicated* (the same immutable :class:`~repro.engine.relation.Relation`
+object is shared by all shards — no copy is made).
+
+Replicated relations may hold tuples that only participate in answers of
+*other* shards — yet per-shard builds still skip their semi-join pass: the
+sharding layer builds the layers reading replicated relations exactly once
+from the globally reduced input (see :mod:`repro.core.sharding`), and
+co-partitioned layers only ever look up buckets keyed by an in-range leading
+value, which the shard holds in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.orders import order_key
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+
+
+@dataclass
+class DatabasePartition:
+    """The result of range-partitioning a database on one variable.
+
+    ``shard_databases[i]`` holds shard ``i``'s relations: co-partitioned
+    relations filtered to the shard's value range, replicated relations
+    shared untouched.  ``value_to_shard`` routes a leading value to its
+    shard; values outside the partitioned domain belong to no shard.
+    """
+
+    variable: str
+    descending: bool
+    shard_databases: List[Database]
+    value_to_shard: Dict[object, int]
+    co_partitioned: Tuple[str, ...]
+    replicated: Tuple[str, ...]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shard_databases)
+
+    def shard_of_value(self, value) -> Optional[int]:
+        """The shard owning ``value``, or ``None`` for unseen values."""
+        try:
+            return self.value_to_shard.get(value)
+        except TypeError:  # unhashable probe value: matches no stored value
+            return None
+
+
+def range_partition(
+    database: Database,
+    variable: str,
+    shards: int,
+    descending: bool = False,
+) -> DatabasePartition:
+    """Range-partition ``database`` on ``variable`` into ``shards`` shards.
+
+    The distinct values of ``variable`` across all relations containing it
+    form the leading domain; sorted by :func:`~repro.core.orders.order_key`
+    (so a descending leading component yields shards in descending value
+    order), it is cut into ``shards`` contiguous chunks of near-equal width.
+    Shards may be empty when the domain has fewer distinct values than
+    ``shards`` — an empty shard simply serves zero answers.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+
+    partitioned = [r for r in database if r.has_attribute(variable)]
+    replicated = [r for r in database if not r.has_attribute(variable)]
+
+    domain: Dict[object, None] = {}
+    for relation in partitioned:
+        for value in _distinct_values(relation, variable):
+            domain.setdefault(value, None)
+    ordered = sorted(domain, key=lambda v: order_key(v, descending))
+
+    # Balanced contiguous chunks: sorted index i goes to shard i·shards // |dom|.
+    size = len(ordered)
+    value_to_shard = {
+        value: (index * shards) // size for index, value in enumerate(ordered)
+    }
+
+    shard_relations: List[List[Relation]] = [[] for _ in range(shards)]
+    for relation in partitioned:
+        position = relation.position(variable)
+        for shard, storage in enumerate(_split_storage(relation, position, value_to_shard, shards)):
+            shard_relations[shard].append(
+                Relation._from_storage(relation.name, relation.attributes, storage)
+            )
+    for relation in replicated:
+        for shard in range(shards):
+            shard_relations[shard].append(relation)
+
+    return DatabasePartition(
+        variable=variable,
+        descending=descending,
+        shard_databases=[Database(relations) for relations in shard_relations],
+        value_to_shard=value_to_shard,
+        co_partitioned=tuple(r.name for r in partitioned),
+        replicated=tuple(r.name for r in replicated),
+    )
+
+
+def _distinct_values(relation: Relation, variable: str):
+    """Distinct values of one attribute, without materializing rows.
+
+    Columnar storage already holds each column's distinct values as its
+    sorted dictionary domain — reading it is O(|domain|), where the generic
+    path would decode every row into a Python tuple first.
+    """
+    storage = relation.storage
+    if storage.backend_name == "columnar":
+        return storage.domains[relation.position(variable)].tolist()
+    return relation.values_of(variable)
+
+
+def _split_storage(relation: Relation, position: int, value_to_shard, shards: int):
+    """Per-shard storages of one co-partitioned relation, in shard order.
+
+    The columnar path routes all rows with one translation-table gather and
+    one ``take`` per shard; the row path appends each tuple straight into its
+    shard's row list (one pass, no index indirection).
+    """
+    storage = relation.storage
+    if storage.backend_name == "columnar":
+        import numpy as np
+
+        from repro.engine.backends.columnar import translation_table
+
+        table = translation_table(storage.domains[position], value_to_shard)
+        shard_of_row = table[storage.codes[position]]
+        return [storage.take(np.flatnonzero(shard_of_row == s)) for s in range(shards)]
+
+    from repro.engine.backends.row import RowStorage
+
+    rows_by_shard: List[List[Tuple]] = [[] for _ in range(shards)]
+    for row in storage.materialize():
+        rows_by_shard[value_to_shard[row[position]]].append(row)
+    return [RowStorage(rows) for rows in rows_by_shard]

@@ -24,7 +24,8 @@ from repro.planner.planner import PLAN_MODES, plan
 from repro.planner.executor import LexBuild, PlanExecutor, SumBuild
 
 
-def explain(query, order=None, *, mode: str = "lex", fds=None, backend=None):
+def explain(query, order=None, *, mode: str = "lex", fds=None, backend=None,
+            shards=None):
     """The plan for an input as a JSON-ready dict, never building, never
     enforcing tractability — intractable or structurally impossible inputs
     yield a plan whose classification (and ``error`` field) says why."""
@@ -34,6 +35,7 @@ def explain(query, order=None, *, mode: str = "lex", fds=None, backend=None):
         mode=mode,
         fds=fds,
         backend=backend,
+        shards=shards,
         enforce_tractability=False,
         strict=False,
     ).to_json()

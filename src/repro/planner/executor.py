@@ -29,9 +29,15 @@ from repro.planner.plan import ExecutionReport, QueryPlan
 
 @dataclass
 class LexBuild:
-    """The built structures of a LEX direct-access plan."""
+    """The built structures of a LEX direct-access plan.
 
-    instance: Optional[PreprocessedInstance]
+    ``instance`` is a :class:`PreprocessedInstance` for monolithic builds or a
+    :class:`~repro.core.sharding.ShardedInstance` when the plan asked for
+    ``shards > 1``; both serve the same access operations through
+    :mod:`repro.core.access`.
+    """
+
+    instance: Optional[object]
     boolean_answers: Optional[List[Tuple]]
     complete_order: LexOrder
     report: ExecutionReport
@@ -154,14 +160,26 @@ class PlanExecutor:
         report.record("eliminate_projections", time.perf_counter() - started,
                       reduction.database.size())
 
-        instance = preprocess(
-            objects.tree,
-            reduction.database,
-            workers=self.workers,
-            use_processes=self.use_processes,
-            on_stage=report.record,
-            assume_reduced=True,
-        )
+        if self.plan.shards > 1:
+            from repro.core.sharding import build_sharded_instance
+
+            instance = build_sharded_instance(
+                objects.tree,
+                reduction.database,
+                self.plan.shards,
+                workers=self.workers,
+                use_processes=self.use_processes,
+                on_stage=report.record,
+            )
+        else:
+            instance = preprocess(
+                objects.tree,
+                reduction.database,
+                workers=self.workers,
+                use_processes=self.use_processes,
+                on_stage=report.record,
+                assume_reduced=True,
+            )
         self._finish(report, run_started)
         return LexBuild(instance, None, objects.complete_order, report)
 
@@ -254,32 +272,72 @@ class PlanExecutor:
         order = objects.effective_order
         remaining = k
         assignment = {}
-        for variable in objects.ordered_variables:
+
+        def select_value(variable, histogram, database, rank):
+            """Pick the value owning weighted rank ``rank`` and filter to it."""
+            values = list(histogram.keys())
+            counts = [histogram[v] for v in values]
+            descending = order.is_descending(variable) if variable in order.variables else False
+            key = (lambda v: order_key(v, True)) if descending else None
+            chosen, preceding = weighted_select(values, counts, rank, key=key)
+            assignment[variable] = chosen
+            filtered = []
+            for atom in full_query.atoms:
+                relation = database.relation(atom.relation)
+                if variable in atom.variable_set:
+                    relation = relation.select_equals({variable: chosen})
+                filtered.append(relation)
+            return Database(filtered), rank - preceding, len(values)
+
+        pending_variables = list(objects.ordered_variables)
+        if self.plan.shards > 1:
+            # Sharded leading step: partition on the first order variable and
+            # scan the shards in order, computing each shard's histogram only
+            # until the shard owning rank k is found — shards after it are
+            # never touched, shards before it contribute their totals only.
+            from repro.engine.partition import range_partition
+
+            leading = pending_variables.pop(0)
+            started = time.perf_counter()
+            partition = range_partition(
+                current_db, leading, self.plan.shards,
+                descending=order.is_descending(leading),
+            )
+            report.record("partition", time.perf_counter() - started,
+                          current_db.size())
+
+            started = time.perf_counter()
+            chosen_histogram = None
+            scanned = 0
+            for shard_db in partition.shard_databases:
+                histogram = value_histogram(full_query, shard_db, leading)
+                total = sum(histogram.values())
+                if remaining < total:
+                    chosen_histogram, current_db = histogram, shard_db
+                    break
+                remaining -= total
+                scanned += total
+            if chosen_histogram is None:
+                raise OutOfBoundsError(
+                    f"index {k} is out of bounds for {scanned} answers"
+                )
+            current_db, remaining, width = select_value(
+                leading, chosen_histogram, current_db, remaining
+            )
+            report.record(f"select:{leading}", time.perf_counter() - started, width)
+
+        for variable in pending_variables:
             started = time.perf_counter()
             histogram = value_histogram(full_query, current_db, variable)
             if not histogram:
                 raise OutOfBoundsError(f"index {k} is out of bounds for 0 answers")
-            values = list(histogram.keys())
-            counts = [histogram[v] for v in values]
-            total = sum(counts)
+            total = sum(histogram.values())
             if remaining >= total:
                 raise OutOfBoundsError(f"index {k} is out of bounds for {total} answers")
-            descending = order.is_descending(variable) if variable in order.variables else False
-            key = (lambda v: order_key(v, True)) if descending else None
-            chosen, preceding = weighted_select(values, counts, remaining, key=key)
-            assignment[variable] = chosen
-            remaining -= preceding
-
-            # Filter every relation mentioning the variable to the chosen value.
-            filtered = []
-            for atom in full_query.atoms:
-                relation = current_db.relation(atom.relation)
-                if variable in atom.variable_set:
-                    relation = relation.select_equals({variable: chosen})
-                filtered.append(relation)
-            current_db = Database(filtered)
-            report.record(f"select:{variable}", time.perf_counter() - started,
-                          len(values))
+            current_db, remaining, width = select_value(
+                variable, histogram, current_db, remaining
+            )
+            report.record(f"select:{variable}", time.perf_counter() - started, width)
 
         self._finish(report, run_started)
         answer_effective = tuple(assignment[v] for v in full_query.free_variables)

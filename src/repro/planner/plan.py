@@ -162,6 +162,11 @@ class QueryPlan:
     fds: Tuple[str, ...]
     backend: Optional[str]
     classification: Classification
+    #: Effective shard count of the build (1 = monolithic).  ``partition``
+    #: records the routing decision — strategy, leading variable, and (when
+    #: a request had to fall back to one shard) the reason why.
+    shards: int = 1
+    partition: Optional[Dict[str, object]] = None
     fd_rewrite: Optional[Dict[str, object]] = None
     normalized_query: Optional[str] = None
     full_query: Optional[str] = None
@@ -202,6 +207,8 @@ class QueryPlan:
             "order": self.order,
             "fds": list(self.fds),
             "backend": self.backend,
+            "shards": self.shards,
+            "partition": self.partition,
             "verdict": self.classification.verdict,
             "theorem": self.classification.theorem,
             "fd_rewrite": self.fd_rewrite,
@@ -247,6 +254,8 @@ class QueryPlan:
             "order": self.order,
             "fds": list(self.fds),
             "backend": self.backend,
+            "shards": self.shards,
+            "partition": self.partition,
             "classification": classification,
             "fd_rewrite": self.fd_rewrite,
             "normalized_query": self.normalized_query,
@@ -278,6 +287,18 @@ class QueryPlan:
         c = self.classification
         verdict = c.verdict + (f" {c.guarantee}" if c.tractable and c.guarantee else "")
         lines.append(f"verdict: {verdict} ({c.theorem}) — {c.reason}")
+        if self.partition is not None:
+            if self.shards > 1:
+                direction = " desc" if self.partition.get("descending") else ""
+                lines.append(
+                    f"partition: range on {self.partition.get('variable')}{direction} "
+                    f"into {self.shards} shards"
+                )
+            else:
+                lines.append(
+                    f"partition: requested {self.partition.get('requested')} shards, "
+                    f"using 1 — {self.partition.get('reason')}"
+                )
         if self.fd_rewrite:
             lines.append(f"FD-extension: {self.fd_rewrite.get('extended_query')}")
             added = self.fd_rewrite.get("added_columns") or {}

@@ -100,6 +100,7 @@ def plan(
     mode: str = "lex",
     fds=None,
     backend: Optional[str] = None,
+    shards: Optional[int] = None,
     enforce_tractability: bool = True,
     strict: bool = True,
 ) -> QueryPlan:
@@ -109,9 +110,23 @@ def plan(
     ``"selection_sum"``.  ``query``/``order``/``fds`` accept both library
     objects and the parser's text forms.  For ``"lex"`` with no order, the
     head order (ascending, left to right) is planned — the natural ranking.
+
+    ``shards > 1`` asks for a sharded build: the reduced database is
+    range-partitioned on the leading variable of the completed order and the
+    per-shard structures build independently (the executor may build them
+    concurrently).  Sharding is a LEX-order concept — SUM orders rank by a
+    global weight and orderless selection has no leading variable — so those
+    plans fall back to one shard and record the reason in ``plan.partition``
+    (visible in ``repro explain``) instead of erroring.
     """
     if mode not in PLAN_MODES:
         raise ValueError(f"unknown plan mode {mode!r}; expected one of {PLAN_MODES}")
+    if shards is None:
+        shards = 1
+    if isinstance(shards, bool) or not isinstance(shards, int):
+        raise TypeError(f"shard count must be an integer, not {type(shards).__name__}")
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
     query = _coerce_query(query)
     order = _coerce_order(order)
     fds = _coerce_fds(fds)
@@ -165,7 +180,7 @@ def plan(
     ]
 
     try:
-        _structural_steps(result, stages, mode, enforce_tractability)
+        _structural_steps(result, stages, mode, enforce_tractability, shards)
     except ReproError as exc:
         if strict:
             result.stages = tuple(stages)
@@ -177,11 +192,21 @@ def plan(
 
 
 def _structural_steps(result: QueryPlan, stages: List[PlanStage], mode: str,
-                      enforce_tractability: bool) -> None:
+                      enforce_tractability: bool, requested_shards: int = 1) -> None:
     """Run the data-independent pipeline, filling the plan and its stage DAG."""
     objects = result.objects
     query, order, fds = objects.query, objects.order, objects.fds
     previous = "classify"
+
+    def shard_fallback(reason: str) -> None:
+        """Record why a requested sharded build degrades to one shard."""
+        if requested_shards > 1:
+            result.partition = {
+                "strategy": "none",
+                "requested": requested_shards,
+                "shards": 1,
+                "reason": reason,
+            }
 
     # -- FD-extension rewrite ------------------------------------------
     effective_query, effective_order = query, order
@@ -217,6 +242,7 @@ def _structural_steps(result: QueryPlan, stages: List[PlanStage], mode: str,
 
     if normalized.is_boolean:
         result.boolean = True
+        shard_fallback("Boolean queries have at most one answer; nothing to partition")
         stages.append(PlanStage(
             "evaluate_boolean", "solve",
             "Boolean query: a single empty answer iff the body is satisfiable",
@@ -226,6 +252,10 @@ def _structural_steps(result: QueryPlan, stages: List[PlanStage], mode: str,
 
     # -- SUM direct access: covering atom instead of a layered tree -----
     if mode == "sum":
+        shard_fallback(
+            "SUM orders rank by global answer weight; range partitioning "
+            "applies to lexicographic orders only"
+        )
         covering = st.atom_containing_all_free_variables(normalized)
         if covering is None:
             raise IntractableQueryError(
@@ -274,6 +304,27 @@ def _structural_steps(result: QueryPlan, stages: List[PlanStage], mode: str,
         objects.ordered_variables = ordered
         result.ordered_variables = ordered
         last = previous
+        if requested_shards > 1:
+            if not effective_order.variables:
+                shard_fallback(
+                    "orderless selection has no leading order variable to partition on"
+                )
+            else:
+                leading = ordered[0]
+                result.shards = requested_shards
+                result.partition = {
+                    "strategy": "range",
+                    "variable": leading,
+                    "shards": requested_shards,
+                    "descending": effective_order.is_descending(leading),
+                }
+                stages.append(PlanStage(
+                    "partition", "reduce",
+                    f"range-partition the reduced database on {leading} into "
+                    f"{requested_shards} shards (leading histogram scans per shard)",
+                    (last,),
+                ))
+                last = "partition"
         for variable in ordered:
             name = f"select:{variable}"
             stages.append(PlanStage(
@@ -285,6 +336,10 @@ def _structural_steps(result: QueryPlan, stages: List[PlanStage], mode: str,
         return
 
     if mode == "selection_sum":
+        shard_fallback(
+            "SUM orders rank by global answer weight; range partitioning "
+            "applies to lexicographic orders only"
+        )
         fmh = len(projection_plan.full_query.atoms)
         if fmh == 1:
             stages.append(PlanStage(
@@ -332,10 +387,28 @@ def _structural_steps(result: QueryPlan, stages: List[PlanStage], mode: str,
         ))
     result.layers = tuple(layer_plans)
 
+    build_root = "complete_order"
+    if requested_shards > 1:
+        leading = complete.variables[0]
+        result.shards = requested_shards
+        result.partition = {
+            "strategy": "range",
+            "variable": leading,
+            "shards": requested_shards,
+            "descending": complete.is_descending(leading),
+        }
+        stages.append(PlanStage(
+            "partition", "reduce",
+            f"range-partition the reduced database on {leading} into "
+            f"{requested_shards} shards (global order = concatenated shard orders)",
+            ("complete_order",),
+        ))
+        build_root = "partition"
+
     stages.append(PlanStage(
         "project_nodes", "reduce",
         "distinct projection of a source atom per tree node",
-        ("complete_order",),
+        (build_root,),
     ))
     stages.append(PlanStage(
         "semi_join_reduce", "reduce",

@@ -163,6 +163,10 @@ class PlanSpec:
     weights: Optional[str] = None
     fds: Tuple[str, ...] = ()
     backend: Optional[str] = None
+    #: Requested shard count; ``None`` means "the service's default".  An
+    #: explicit ``1`` is kept distinct from ``None`` — it is the client's way
+    #: of opting *out* of a service-level default shard count.
+    shards: Optional[int] = None
 
     @classmethod
     def create(
@@ -174,6 +178,7 @@ class PlanSpec:
         weights=None,
         fds: Union[None, Sequence[str], FDSet] = None,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> "PlanSpec":
         """Canonicalize user-facing values into a spec, validating the mode."""
         if mode not in MODES:
@@ -182,6 +187,15 @@ class PlanSpec:
             )
         if backend is not None and not isinstance(backend, str):
             raise ServiceError("bad_request", "backend must be a string or null")
+        if shards is not None:
+            if isinstance(shards, bool) or not isinstance(shards, int):
+                raise ServiceError("bad_request", "'shards' must be an integer or null")
+            if shards < 1:
+                raise ServiceError("bad_request", f"'shards' must be >= 1, got {shards}")
+            if mode == "enum":
+                raise ServiceError(
+                    "bad_request", "mode 'enum' does not support sharded builds"
+                )
         # Reject spec fields the mode would silently ignore: a client sending
         # weights to a lex plan (or FDs to an enumeration plan) believes they
         # took effect, and the ignored field would still split the fingerprint.
@@ -213,6 +227,7 @@ class PlanSpec:
             weights=canonical_weights(weights),
             fds=canonical_fds(fds),
             backend=backend,
+            shards=shards,
         )
 
     @classmethod
@@ -236,6 +251,7 @@ class PlanSpec:
                 weights=request.get("weights"),
                 fds=fds,
                 backend=request.get("backend"),
+                shards=request.get("shards"),
             )
         except ReproError:
             raise
@@ -263,6 +279,7 @@ class PlanSpec:
             mode=self.mode,
             fds=self.fds,
             backend=self.backend,
+            shards=self.shards,
             enforce_tractability=False,
             strict=False,
         )
@@ -288,6 +305,7 @@ class PlanSpec:
             "mode": self.mode,
             "weights": self.weights,
             "backend": self.backend,
+            "shards": self.shards,
         }
         try:
             plan = self.query_plan
@@ -313,6 +331,7 @@ class PlanSpec:
             "weights": self.weights,
             "fds": list(self.fds),
             "backend": self.backend,
+            "shards": self.shards,
             "plan": self.fingerprint,
         }
 

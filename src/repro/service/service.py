@@ -145,10 +145,21 @@ class QueryService:
     backend:
         Default storage backend for plans that do not name one
         (``"row"`` / ``"columnar"`` / ``None`` = the process default).
+    shards:
+        Default shard count for LEX plans that do not name one (``None`` =
+        monolithic builds).  A spec's own ``shards`` always wins; plans
+        whose order cannot shard (SUM ranking, Boolean queries) fall back
+        to one shard with the reason recorded in the query plan.
     """
 
-    def __init__(self, max_plans: int = 64, backend: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        max_plans: int = 64,
+        backend: Optional[str] = None,
+        shards: Optional[int] = None,
+    ) -> None:
         self.default_backend = backend
+        self.default_shards = shards
         self._lock = threading.Lock()
         self._databases: Dict[str, Database] = {}
         self._generations: Dict[str, int] = {}
@@ -205,6 +216,7 @@ class QueryService:
         weights=None,
         fds=None,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> PreparedPlan:
         """Prepare (or fetch from cache) the plan for the given combination.
 
@@ -221,6 +233,7 @@ class QueryService:
             weights=weights,
             fds=fds,
             backend=backend,
+            shards=shards,
         )
         return self.plan_for_spec(spec)
 
@@ -283,12 +296,17 @@ class QueryService:
         query = parse_query(spec.query)
         backend = spec.backend or self.default_backend
         fds = build_fds(spec.fds)
+        # The spec's own count wins over the service default — an explicit 1
+        # is a client opting out of a service-level --shards setting.
+        shards = spec.shards if spec.shards is not None else self.default_shards
 
         # Reuse the plan the spec's fingerprint already computed — unless it
         # recorded a verdict/error the strict path must surface as the
-        # historical exception, or the service's default backend applies (the
-        # spec-level plan only knows the spec's own backend).
-        query_plan = spec.query_plan if backend == spec.backend else None
+        # historical exception, or the service's defaults apply (the
+        # spec-level plan only knows the spec's own backend/shards).
+        query_plan = spec.query_plan
+        if backend != spec.backend or shards != spec.shards:
+            query_plan = None
         if query_plan is not None and (
             query_plan.error is not None
             or query_plan.classification.verdict == "intractable"
@@ -302,12 +320,14 @@ class QueryService:
                 order = LexOrder(query.free_variables)
             if query_plan is None:
                 query_plan = build_query_plan(
-                    query, order, mode="lex", fds=fds, backend=backend
+                    query, order, mode="lex", fds=fds, backend=backend, shards=shards
                 )
             engine = LexDirectAccess(query, database, order, plan=query_plan)
         elif spec.mode == "sum":
             if query_plan is None:
-                query_plan = build_query_plan(query, mode="sum", fds=fds, backend=backend)
+                query_plan = build_query_plan(
+                    query, mode="sum", fds=fds, backend=backend, shards=shards
+                )
             engine = SumDirectAccess(
                 query, database, build_weights(spec.weights), plan=query_plan
             )
@@ -537,6 +557,7 @@ class QueryService:
                 mode=mode,
                 fds=fds,
                 backend=request.get("backend") or self.default_backend,
+                shards=request.get("shards"),
             )
         except ReproError:
             raise

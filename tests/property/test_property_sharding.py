@@ -1,0 +1,138 @@
+"""Property tests: sharded direct access ≡ the monolithic build.
+
+For randomized databases, orders (ascending and descending components) and
+shard counts, every access operation of a sharded
+:class:`~repro.core.direct_access.LexDirectAccess` must agree with the
+monolithic build on both storage backends — including skew edge cases (all
+tuples under one leading value; more shards than distinct leading values,
+i.e. empty shards).  Two query shapes are exercised deliberately: the
+two-path (its ``S`` relation lacks the leading variable, so its layer is
+built once and shared across shards) and the star (every relation carries
+the leading variable, so every layer is co-partitioned).
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    IntractableQueryError,
+    LexDirectAccess,
+    LexOrder,
+    Relation,
+    selection_lex,
+)
+from repro.engine.backends import available_backends
+from repro.exceptions import NotAnAnswerError
+
+BACKENDS = [None] + (["columnar"] if "columnar" in available_backends() else [])
+SHARD_COUNTS = [1, 2, 7]
+
+PATH_QUERY = ConjunctiveQuery(
+    ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qpath"
+)
+STAR_QUERY = ConjunctiveQuery(
+    ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("x", "z"))], name="Qstar"
+)
+
+
+def relation_rows(arity, max_rows=14, domain=5):
+    cell = st.integers(0, domain - 1)
+    return st.lists(st.tuples(*[cell] * arity), max_size=max_rows).map(
+        lambda rows: sorted(set(rows))
+    )
+
+
+@st.composite
+def order_for(draw, variables=("x", "y", "z")):
+    chosen = draw(st.sampled_from([
+        ("x", "y", "z"), ("y", "x", "z"), ("y", "z", "x"), ("z", "x", "y"),
+    ]))
+    descending = draw(st.sets(st.sampled_from(chosen)).map(tuple))
+    return LexOrder(chosen, descending)
+
+
+def assert_equivalent(query, database, order, shards, backend):
+    try:
+        mono = LexDirectAccess(query, database, order, backend=backend)
+    except IntractableQueryError:
+        with pytest.raises(IntractableQueryError):
+            LexDirectAccess(query, database, order, backend=backend, shards=shards)
+        return
+    sharded = LexDirectAccess(query, database, order, backend=backend, shards=shards)
+    assert sharded.count == mono.count
+    ranks = range(mono.count)
+    expected = mono.batch_access(ranks)
+    assert sharded.batch_access(ranks) == expected
+    if mono.count:
+        assert sharded.range_access(0, mono.count) == expected
+        step = max(1, mono.count // 10)
+        for k in range(0, mono.count, step):
+            assert sharded.access(k) == expected[k]
+            assert sharded.inverted_access(expected[k]) == k
+        with pytest.raises(NotAnAnswerError):
+            sharded.inverted_access((10 ** 6, 10 ** 6, 10 ** 6))
+        if not order.descending:
+            for k in range(0, mono.count, step):
+                assert sharded.next_answer_index(expected[k]) == k
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestShardedEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(r_rows=relation_rows(2), s_rows=relation_rows(2), order=order_for())
+    def test_path_query(self, backend, shards, r_rows, s_rows, order):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        assert_equivalent(PATH_QUERY, database, order, shards, backend)
+
+    @settings(max_examples=20, deadline=None)
+    @given(r_rows=relation_rows(2), s_rows=relation_rows(2), order=order_for())
+    def test_star_query(self, backend, shards, r_rows, s_rows, order):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("x", "z"), s_rows),
+        ])
+        assert_equivalent(STAR_QUERY, database, order, shards, backend)
+
+    @settings(max_examples=15, deadline=None)
+    @given(s_rows=relation_rows(2), leading=st.integers(0, 4))
+    def test_single_leading_value_skew(self, backend, shards, s_rows, leading):
+        # Every R tuple shares one leading value: all answers in one shard,
+        # every other shard empty.
+        database = Database([
+            Relation("R", ("x", "y"), [(leading, y) for y in range(5)]),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        assert_equivalent(
+            PATH_QUERY, database, LexOrder(("x", "y", "z")), shards, backend
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestShardedSelection:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        r_rows=relation_rows(2), s_rows=relation_rows(2),
+        shards=st.sampled_from(SHARD_COUNTS), k=st.integers(0, 8),
+    )
+    def test_sharded_selection_matches_direct_access(
+        self, backend, r_rows, s_rows, shards, k
+    ):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        order = LexOrder(("x", "y", "z"))
+        access = LexDirectAccess(PATH_QUERY, database, order, backend=backend)
+        if k >= access.count:
+            return
+        assert selection_lex(
+            PATH_QUERY, database, order, k, backend=backend, shards=shards
+        ) == access[k]

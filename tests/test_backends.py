@@ -190,3 +190,46 @@ class TestCliBackendFlag:
             assert get_default_backend() == "columnar"
         finally:
             set_default_backend(previous)
+
+
+@needs_columnar
+class TestInt32CodeDowncast:
+    def test_small_domains_store_int32_codes(self):
+        import numpy as np
+
+        relation = Relation("R", ("x", "y"), [(i, str(i % 7)) for i in range(50)],
+                            backend="columnar")
+        for codes in relation.storage.codes:
+            assert codes.dtype == np.int32
+
+    def test_code_dtype_promotes_on_overflow(self):
+        import numpy as np
+
+        from repro.engine.backends.columnar import _INT32_LIMIT, code_dtype
+
+        assert code_dtype(10) == np.int32
+        assert code_dtype(_INT32_LIMIT - 1) == np.int32
+        assert code_dtype(_INT32_LIMIT) == np.int64
+        assert code_dtype(2 ** 40) == np.int64
+
+    def test_pack_codes_promotes_int32_inputs_to_int64(self):
+        import numpy as np
+
+        from repro.engine.backends.columnar import pack_codes
+
+        # Combined key space exceeds int32: packing int32 inputs must not wrap.
+        left = np.array([100_000, 0], dtype=np.int32)
+        right = np.array([99_999, 1], dtype=np.int32)
+        packed = pack_codes([left, right], [100_001, 100_000])
+        assert packed.dtype == np.int64
+        assert packed.tolist() == [100_000 * 100_000 + 99_999, 1]
+
+    def test_int32_relations_serve_identical_answers(self):
+        database = Database([
+            Relation("R", ("x", "y"), [(i % 9, i % 5) for i in range(40)]),
+            Relation("S", ("y", "z"), [(i % 5, i % 6) for i in range(40)]),
+        ])
+        order = LexOrder(("x", "y", "z"))
+        row_access = LexDirectAccess(pq.TWO_PATH, database, order, backend="row")
+        col_access = LexDirectAccess(pq.TWO_PATH, database, order, backend="columnar")
+        assert list(col_access) == list(row_access)
