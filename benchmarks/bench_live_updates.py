@@ -1,0 +1,131 @@
+"""Live updates: delta-merged serving vs full rebuild under mutation.
+
+Runs :func:`repro.benchharness.run_live_updates` over the two-path query —
+seeded insert/delete batches against a live instance, answering the next
+query through the merged view versus rebuilding the direct-access structure
+from scratch — and writes ``BENCH_live_updates.json`` at the repository
+root.
+
+Acceptance (read straight off the artifact): every merged answer batch is
+verified bit-identical to the rebuilt baseline before any timing; at small
+delta ratios (``delta_tuples / n`` well under the compaction threshold) the
+delta path's update→query latency must beat the rebuild baseline
+(``delta_speedup_vs_rebuild > 1``) and the sustained mixed read/write
+throughput must exceed the rebuild-per-write baseline.
+
+Run standalone for the canonical artifact::
+
+    PYTHONPATH=src python benchmarks/bench_live_updates.py [n] [requests]
+    PYTHONPATH=src python benchmarks/bench_live_updates.py --smoke
+    PYTHONPATH=src python benchmarks/bench_live_updates.py --seed 7 --shards 1,4
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # standalone invocation (CI smoke) must not require pytest
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+from repro.benchharness import format_table, run_live_updates, write_live_updates
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_live_updates.json"
+
+FULL_TUPLES = 50_000
+FULL_REQUESTS = 8_192
+DELTA_SIZES = (16, 64, 256)
+SHARD_COUNTS = (1, 4)
+DEFAULT_SEED = 0
+
+
+def print_results(document) -> None:
+    rows = []
+    for backend, entry in document["backends"].items():
+        for run in entry["runs"]:
+            rows.append((
+                backend,
+                run["shards"],
+                run["delta_tuples"],
+                run["delta_answers"],
+                f"{run['live_update_to_query_seconds'] * 1000:.1f}",
+                f"{run['rebuild_update_to_query_seconds'] * 1000:.1f}",
+                run["delta_speedup_vs_rebuild"],
+                run["mixed_throughput_speedup"],
+            ))
+    print()
+    print(format_table(
+        ["backend", "shards", "Δ tuples", "Δ answers", "live ms",
+         "rebuild ms", "latency ×", "mixed ×"],
+        rows,
+        title=f"live updates (n={document['metadata']['tuples_per_relation']})",
+    ))
+
+
+# ----------------------------------------------------------------------
+# Pytest variant: plumbing + equivalence smoke (timings too noisy to assert)
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    def test_live_updates_artifact(tmp_path):
+        scratch = tmp_path / "BENCH_live_updates.json"
+        document = run_live_updates(
+            1200, delta_sizes=(8, 32), shard_counts=(1, 3),
+            num_requests=1024, batch_size=128, mixed_rounds=3, seed=3,
+        )
+        write_live_updates(str(scratch), document)
+        print_results(document)
+        assert scratch.exists()
+        for entry in document["backends"].values():
+            assert all(run["answers_identical"] for run in entry["runs"])
+            assert {run["delta_tuples"] for run in entry["runs"]} == {8, 32}
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    argv = [a for a in argv if a != "--smoke"]
+
+    def option(flag, default, convert):
+        if flag in argv:
+            position = argv.index(flag)
+            value = convert(argv[position + 1])
+            del argv[position:position + 2]
+            return value
+        return default
+
+    seed = option("--seed", DEFAULT_SEED, int)
+    shard_counts = option(
+        "--shards", SHARD_COUNTS, lambda text: tuple(int(s) for s in text.split(","))
+    )
+    delta_sizes = option(
+        "--deltas", DELTA_SIZES, lambda text: tuple(int(s) for s in text.split(","))
+    )
+
+    if smoke:
+        num_tuples, num_requests, mixed_rounds = 3000, 2048, 3
+        delta_sizes = delta_sizes if delta_sizes != DELTA_SIZES else (8, 64)
+    else:
+        numbers = [int(a) for a in argv]
+        num_tuples = numbers[0] if numbers else FULL_TUPLES
+        num_requests = numbers[1] if len(numbers) > 1 else FULL_REQUESTS
+        mixed_rounds = 8
+
+    document = run_live_updates(
+        num_tuples,
+        delta_sizes=delta_sizes,
+        shard_counts=shard_counts,
+        num_requests=num_requests,
+        mixed_rounds=mixed_rounds,
+        seed=seed,
+    )
+    write_live_updates(str(ARTIFACT), document)
+    print_results(document)
+    print(f"\nwrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

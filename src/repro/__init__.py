@@ -67,11 +67,13 @@ from repro.engine.backends import (
 from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.fds.fd import FDSet, FunctionalDependency
+from repro.live import CompactionPolicy, LiveDatabase, LiveInstance
 from repro.planner import PlanExecutor, QueryPlan, explain, plan
 from repro.ranking.ranked_enumeration import SumRankedEnumerator
 from repro.baselines.materialize import MaterializedBaseline
 from repro.exceptions import (
     IntractableQueryError,
+    MutationError,
     NotAnAnswerError,
     OutOfBoundsError,
     ReproError,
@@ -109,6 +111,9 @@ __all__ = [
     "selection_quantile_sum",
     "Database",
     "Relation",
+    "CompactionPolicy",
+    "LiveDatabase",
+    "LiveInstance",
     "PlanExecutor",
     "QueryPlan",
     "explain",
@@ -121,6 +126,7 @@ __all__ = [
     "SumRankedEnumerator",
     "MaterializedBaseline",
     "IntractableQueryError",
+    "MutationError",
     "NotAnAnswerError",
     "OutOfBoundsError",
     "ReproError",

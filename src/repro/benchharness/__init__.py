@@ -30,6 +30,7 @@ from repro.benchharness.replay import (
     write_service_throughput,
     zipf_ranks,
 )
+from repro.benchharness.live import run_live_updates, write_live_updates
 from repro.benchharness.sharding import (
     columnar_code_dtypes,
     run_shard_scaling,
@@ -49,12 +50,14 @@ __all__ = [
     "replay_batched",
     "replay_single",
     "replay_threaded",
+    "run_live_updates",
     "run_planner_build_bench",
     "run_replay",
     "run_shard_scaling",
     "star_database",
     "star_query",
     "write_backend_comparison",
+    "write_live_updates",
     "write_planner_build",
     "write_service_throughput",
     "write_shard_scaling",

@@ -1,11 +1,13 @@
-"""Command-line interface: classification, plan explanation, server, client.
+"""Command-line interface: classification, explanation, server, client, mutate.
 
-Four subcommands::
+Five subcommands::
 
     repro classify "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, z, y"
     repro explain  "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, y, z" --json
     repro serve --db demo=examples/service/demo_db.json --port 8734
     repro client requests.jsonl --db demo=examples/service/demo_db.json
+    repro mutate --url http://127.0.0.1:8734 --db demo --relation R \\
+        --insert "[7, 8]" --delete "[1, 2]" --compact
 
 ``classify`` (the default when the first argument is not a subcommand, for
 backward compatibility) prints the verdicts of all four dichotomies for a
@@ -18,7 +20,11 @@ join-tree shape and the staged build DAG — as pretty text or JSON
 JSON-file databases.  ``client`` runs a newline-delimited JSON request file
 either against a running server (``--url``) or in-process (``--db``),
 printing one JSON response per line; exit code 1 signals that at least one
-request failed.
+request failed — the live-update ops (``insert`` / ``delete`` / ``compact``)
+work through ``client`` like any other op.  ``mutate`` is the convenience
+front-end for exactly those ops against a *running* server: it sends the
+inserts, then the deletes, then (optionally) a compaction and a stats probe,
+printing one JSON response per operation.
 
 ``repro --version`` prints the library version.  Malformed invocations exit
 with the conventional argparse usage status (2).
@@ -369,11 +375,107 @@ def client_main(argv: List[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# mutate
+# ----------------------------------------------------------------------
+def build_mutate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro mutate",
+        description="Send live-update mutations (insert/delete/compact) to a "
+        "running repro server.",
+    )
+    _add_version(parser)
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running server (e.g. http://127.0.0.1:8734)",
+    )
+    parser.add_argument("--db", required=True, help="registered database name")
+    parser.add_argument(
+        "--relation",
+        default=None,
+        help="target relation for --insert/--delete rows",
+    )
+    parser.add_argument(
+        "--insert",
+        action="append",
+        default=[],
+        metavar="ROW",
+        help='row to insert as a JSON array, e.g. "[7, 8]" (repeatable)',
+    )
+    parser.add_argument(
+        "--delete",
+        action="append",
+        default=[],
+        metavar="ROW",
+        help="row to delete as a JSON array (repeatable)",
+    )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="compact the database's cached plans after the mutations",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the service stats (including the live epoch) afterwards",
+    )
+    return parser
+
+
+def _parse_mutation_rows(parser: argparse.ArgumentParser, flag: str, texts: List[str]):
+    rows = []
+    for text in texts:
+        try:
+            row = json.loads(text)
+        except json.JSONDecodeError as exc:
+            parser.error(f"{flag} {text!r}: invalid JSON ({exc})")
+        if not isinstance(row, list):
+            parser.error(f"{flag} {text!r}: expected a JSON array of values")
+        rows.append(row)
+    return rows
+
+
+def mutate_main(argv: List[str]) -> int:
+    parser = build_mutate_parser()
+    args = parser.parse_args(argv)
+    inserts = _parse_mutation_rows(parser, "--insert", args.insert)
+    deletes = _parse_mutation_rows(parser, "--delete", args.delete)
+    if (inserts or deletes) and not args.relation:
+        parser.error("--insert/--delete need --relation naming the target relation")
+    if not (inserts or deletes or args.compact or args.stats):
+        parser.error("nothing to do: pass --insert/--delete rows, --compact or --stats")
+
+    requests = []
+    if inserts:
+        requests.append(
+            {"op": "insert", "db": args.db, "relation": args.relation, "rows": inserts}
+        )
+    if deletes:
+        requests.append(
+            {"op": "delete", "db": args.db, "relation": args.relation, "rows": deletes}
+        )
+    if args.compact:
+        requests.append({"op": "compact", "db": args.db})
+    if args.stats:
+        requests.append({"op": "stats"})
+
+    base = args.url.rstrip("/")
+    failures = 0
+    for request in requests:
+        response = _post_json(f"{base}/v1/query", request)
+        if not response.get("ok"):
+            failures += 1
+        print(json.dumps(response))
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
 _SUBCOMMAND_MAINS = {
     "classify": classify_main,
     "explain": explain_main,
     "serve": serve_main,
     "client": client_main,
+    "mutate": mutate_main,
 }
 
 

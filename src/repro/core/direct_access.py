@@ -128,6 +128,22 @@ class LexDirectAccess:
             self._instance.query.free_variables != self._original_query.free_variables
         )
 
+    @classmethod
+    def _rebound(cls, template: "LexDirectAccess", instance) -> "LexDirectAccess":
+        """A facade sharing ``template``'s plan and projection config over a
+        different preprocessed instance.
+
+        Used by the live-update compaction path, which rebuilds (possibly
+        only some shards of) the underlying structure for the same plan and
+        must swap it in without re-running the planner or re-deriving the
+        projection bookkeeping.  ``instance`` must come from the same plan's
+        layered join tree.
+        """
+        clone = cls.__new__(cls)
+        clone.__dict__.update(template.__dict__)
+        clone._instance = instance
+        return clone
+
     # ------------------------------------------------------------------
     # Size / iteration
     # ------------------------------------------------------------------

@@ -117,6 +117,84 @@ def range_partition(
     )
 
 
+def repartition(
+    partition: DatabasePartition, database: Database, extra_values=()
+) -> Optional[DatabasePartition]:
+    """Partition ``database`` reusing the shard *ranges* of ``partition``.
+
+    The live-update compaction path must rebuild only the shards a tuple
+    delta touches, which requires the untouched shards' value ranges to stay
+    exactly as they were — so instead of recutting the (possibly shifted)
+    domain, every value keeps its old shard and values unseen by the old
+    partition are routed into the existing range that contains them by order
+    position (values beyond either end go to the first/last shard).
+    ``extra_values`` are routed into the map as well even when absent from
+    ``database`` (the caller uses this to locate the shards of delta values
+    that the semi-join reduction dropped).  Returns ``None`` when the old
+    partition had an empty domain (no ranges exist to reuse; the caller
+    falls back to a full rebuild).
+    """
+    from bisect import bisect_left
+
+    ordered = sorted(
+        partition.value_to_shard,
+        key=lambda v: order_key(v, partition.descending),
+    )
+    if not ordered:
+        return None
+    keys = [order_key(v, partition.descending) for v in ordered]
+    shards_of = [partition.value_to_shard[v] for v in ordered]
+    shards = partition.shard_count
+
+    partitioned = [r for r in database if r.has_attribute(partition.variable)]
+    replicated = [r for r in database if not r.has_attribute(partition.variable)]
+
+    # The new map holds only the values the new database (plus the delta)
+    # actually carries — known values keep their old shard, unknown ones are
+    # routed into the old ranges.  Rebuilding rather than copying the old
+    # map keeps repeated partial compactions bounded by the live domain
+    # instead of accumulating every value ever observed.
+    value_to_shard: Dict[object, int] = {}
+
+    def route(value) -> None:
+        if value in value_to_shard:
+            return
+        known = partition.value_to_shard.get(value)
+        if known is not None:
+            value_to_shard[value] = known
+            return
+        slot = bisect_left(keys, order_key(value, partition.descending))
+        value_to_shard[value] = shards_of[min(slot, len(shards_of) - 1)]
+
+    for relation in partitioned:
+        for value in _distinct_values(relation, partition.variable):
+            route(value)
+    for value in extra_values:
+        route(value)
+
+    shard_relations: List[List[Relation]] = [[] for _ in range(shards)]
+    for relation in partitioned:
+        position = relation.position(partition.variable)
+        for shard, storage in enumerate(
+            _split_storage(relation, position, value_to_shard, shards)
+        ):
+            shard_relations[shard].append(
+                Relation._from_storage(relation.name, relation.attributes, storage)
+            )
+    for relation in replicated:
+        for shard in range(shards):
+            shard_relations[shard].append(relation)
+
+    return DatabasePartition(
+        variable=partition.variable,
+        descending=partition.descending,
+        shard_databases=[Database(relations) for relations in shard_relations],
+        value_to_shard=value_to_shard,
+        co_partitioned=tuple(r.name for r in partitioned),
+        replicated=tuple(r.name for r in replicated),
+    )
+
+
 def _distinct_values(relation: Relation, variable: str):
     """Distinct values of one attribute, without materializing rows.
 

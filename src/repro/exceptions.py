@@ -51,6 +51,16 @@ class SchemaError(ReproError):
     """A database instance does not match the schema a query expects."""
 
 
+class MutationError(ReproError):
+    """A live-update mutation is malformed or cannot be applied.
+
+    Raised by the live-update subsystem for tuples of the wrong arity, values
+    that are not hashable (and therefore cannot participate in set-semantics
+    relations), or mutations naming relations the database does not have.
+    Front-ends map it to a structured client error (HTTP 400), never a 500.
+    """
+
+
 class FunctionalDependencyError(ReproError):
     """A functional dependency is malformed or violated by the database."""
 

@@ -1,0 +1,44 @@
+"""Live-update subsystem: versioned instances and delta-merged direct access.
+
+The paper's structures are built once over a static database; this package
+keeps them correct under live tuple inserts and deletes:
+
+* :class:`~repro.live.delta.LiveDatabase` — an immutable base database plus
+  an epoch-tagged delta buffer with a mutation log, validating every
+  mutation (relation, arity, hashability) before applying it;
+* :class:`~repro.live.merged.MergedAccess` — direct access over
+  ``(base \\ removed) ∪ added`` by merge-by-order-key counting, scalar and
+  vectorized batch paths, on top of any base facade (monolithic or sharded,
+  either storage backend);
+* :class:`~repro.live.instance.LiveInstance` — binds one LEX plan to a live
+  database: reads re-bind to the newest epoch through immutable snapshots, a
+  :class:`~repro.live.instance.CompactionPolicy` bounds the delta, and
+  compaction rebuilds only the shards whose leading-variable range the delta
+  touches when the base is sharded.
+
+Quick start::
+
+    from repro.live import CompactionPolicy, LiveDatabase, LiveInstance
+
+    live_db = LiveDatabase(database)
+    live = LiveInstance("Q(x, y, z) :- R(x, y), S(y, z)", live_db,
+                        order="x, y, z", shards=4)
+    live_db.insert("R", [(7, 8)])
+    live.access(0)            # serves the new epoch, no rebuild
+    live.compact()            # rebuild (only touched shards) on demand
+"""
+
+from repro.live.delta import LiveDatabase, validate_rows
+from repro.live.diff import compute_answer_delta, differential_answers
+from repro.live.instance import CompactionPolicy, LiveInstance
+from repro.live.merged import MergedAccess
+
+__all__ = [
+    "CompactionPolicy",
+    "LiveDatabase",
+    "LiveInstance",
+    "MergedAccess",
+    "compute_answer_delta",
+    "differential_answers",
+    "validate_rows",
+]

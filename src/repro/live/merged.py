@@ -1,0 +1,235 @@
+"""Rank-consistent merged reads over a base structure plus an answer delta.
+
+A :class:`MergedAccess` serves the four direct-access operations over the
+answer set ``(base \\ removed) ∪ added`` while the expensive base structure
+stays untouched.  The merge is *by order key counting*: the global rank of an
+answer is its base rank, minus the removed answers before it, plus the added
+answers before it — all computable with binary searches, so the paper's
+logarithmic access bound survives mutation (one extra ``O(log |Δ|)`` term).
+
+Construction preprocesses the delta once per epoch refresh:
+
+* ``removed_ranks`` — the base ranks of the removed answers, sorted; the
+  helper array ``removed_ranks[i] − i`` is non-decreasing, so mapping a
+  *survivor index* (rank among non-removed base answers) back to a base rank
+  is a single ``bisect``/``searchsorted``.
+* ``added`` — the new answers sorted by the completed order's key, with each
+  answer's insertion position among the *surviving* base answers
+  (``surv_pos``, found by binary search over ``base.access``); the merged
+  rank of ``added[i]`` is then simply ``surv_pos[i] + i``.
+
+``batch_access`` vectorizes the same bookkeeping with NumPy when available
+(one ``searchsorted`` against the added ranks, one against the removed-shift
+array) and issues a *single* ``base.batch_access`` call for all base-side
+ranks — so the sharded/vectorized base hot paths of PRs 2 and 4 serve merged
+batches unchanged.  A pure-Python scalar path produces identical results on
+NumPy-less installs.
+
+The view is immutable after construction; epoch swaps replace the whole
+object behind an atomic attribute store (see :mod:`repro.live.instance`),
+which is what makes in-flight readers snapshot-safe.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core import access as access_module
+from repro.core.preprocessing import _INT64_SAFE
+from repro.engine.backends import HAS_NUMPY
+from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+
+if HAS_NUMPY:
+    import numpy as np
+
+
+class MergedAccess:
+    """Direct access over ``(base \\ removed) ∪ added`` with global ranks.
+
+    Parameters
+    ----------
+    base:
+        Anything exposing the facade operation surface (``count``,
+        ``access``, ``batch_access``, ``inverted_access``,
+        ``next_answer_index``) — a
+        :class:`~repro.core.direct_access.LexDirectAccess`, monolithic or
+        sharded.
+    added:
+        Answers present live but absent from the base, **sorted by** ``key``
+        and disjoint from the base's answers.
+    removed_ranks:
+        Sorted base ranks of the base answers that are no longer answers.
+    key:
+        Total order key over answer tuples (the completed lexicographic
+        order's :meth:`~repro.core.orders.LexOrder.sort_key`).
+    """
+
+    def __init__(
+        self,
+        base,
+        added: Sequence[Tuple],
+        removed_ranks: Sequence[int],
+        key: Callable[[Tuple], Tuple],
+    ) -> None:
+        self.base = base
+        self.key = key
+        self.added: List[Tuple] = list(added)
+        self.removed_ranks: List[int] = list(removed_ranks)
+        self._added_index = {answer: i for i, answer in enumerate(self.added)}
+        self._added_keys = [key(answer) for answer in self.added]
+        #: ``removed_ranks[i] - i``: non-decreasing; survivor-index -> base rank.
+        self._removed_shift = [r - i for i, r in enumerate(self.removed_ranks)]
+        # Fully ascending orders locate insertion positions with the base's
+        # own next-answer layer walk (one O(log n) walk per added answer);
+        # descending components fall back to binary search over base.access
+        # with a shared probe memo and a monotone lower bound (the added
+        # answers arrive key-sorted, so searches never look back).
+        complete_order = getattr(base, "complete_order", None)
+        ascending = complete_order is not None and not complete_order.descending
+        surv_pos: List[int] = []
+        probe_memo: dict = {}
+        floor = 0
+        for answer in self.added:
+            if ascending:
+                pos = base.next_answer_index(answer)
+            else:
+                pos = self._base_insert_pos(answer, floor, probe_memo)
+                floor = pos
+            surv_pos.append(pos - bisect_left(self.removed_ranks, pos))
+        #: Insertion position of each added answer among surviving base answers.
+        self._surv_pos = surv_pos
+        #: Global merged rank of each added answer (strictly increasing).
+        self._added_ranks = [p + i for i, p in enumerate(surv_pos)]
+        self._count = base.count - len(self.removed_ranks) + len(self.added)
+        self._use_numpy = HAS_NUMPY and self._count < _INT64_SAFE
+        if self._use_numpy:
+            self._np_added_ranks = np.asarray(self._added_ranks, dtype=np.int64)
+            self._np_removed_shift = np.asarray(self._removed_shift, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of answers of the merged (live) state."""
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def delta_size(self) -> int:
+        """Total answer-level delta (``|added| + |removed|``)."""
+        return len(self.added) + len(self.removed_ranks)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _base_insert_pos(self, answer: Tuple, floor: int = 0, memo=None) -> int:
+        """Number of base answers strictly before ``answer`` in the order."""
+        target = self.key(answer)
+        memo = {} if memo is None else memo
+        lo, hi = floor, self.base.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = memo.get(mid)
+            if probe is None:
+                probe = memo[mid] = self.key(self.base.access(mid))
+            if probe < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _survivor_rank(self, m: int) -> int:
+        """Base rank of the ``m``-th (0-based) non-removed base answer."""
+        return m + bisect_right(self._removed_shift, m)
+
+    def _access_unchecked(self, k: int) -> Tuple:
+        j = bisect_left(self._added_ranks, k)
+        if j < len(self._added_ranks) and self._added_ranks[j] == k:
+            return self.added[j]
+        return self.base.access(self._survivor_rank(k - j))
+
+    # ------------------------------------------------------------------
+    # Access operations
+    # ------------------------------------------------------------------
+    def access(self, k: int) -> Tuple:
+        """The ``k``-th answer (0-based) of the merged state."""
+        k = access_module.validate_rank(k)
+        if k < 0 or k >= self._count:
+            raise OutOfBoundsError(
+                f"index {k} is out of bounds for {self._count} answers"
+            )
+        return self._access_unchecked(k)
+
+    def batch_access(self, ks: Sequence[int]) -> List[Tuple]:
+        """The answers at the given ranks, in the order the ranks were given."""
+        ranks = access_module.validate_ranks(ks, self._count)
+        if len(ranks) == 0:
+            return []
+        if not self._use_numpy:
+            return [self._access_unchecked(k) for k in ranks]
+        array = np.asarray(ranks, dtype=np.int64)
+        m = len(array)
+        answers: List[Optional[Tuple]] = [None] * m
+        if len(self._np_added_ranks):
+            slots = np.searchsorted(self._np_added_ranks, array, side="left")
+            clipped = np.minimum(slots, len(self._np_added_ranks) - 1)
+            is_added = self._np_added_ranks[clipped] == array
+            for position in np.flatnonzero(is_added).tolist():
+                answers[position] = self.added[int(clipped[position])]
+            base_positions = np.flatnonzero(~is_added)
+        else:
+            slots = np.zeros(m, dtype=np.int64)
+            base_positions = np.arange(m)
+        if len(base_positions):
+            survivor = array[base_positions] - slots[base_positions]
+            if len(self._np_removed_shift):
+                shift = np.searchsorted(
+                    self._np_removed_shift, survivor, side="right"
+                )
+                base_ranks = survivor + shift
+            else:
+                base_ranks = survivor
+            served = self.base.batch_access(base_ranks.tolist())
+            for position, answer in zip(base_positions.tolist(), served):
+                answers[position] = answer
+        return answers  # type: ignore[return-value]
+
+    def range_access(self, lo: int, hi: int) -> List[Tuple]:
+        """The answers at ranks ``lo ≤ k < hi`` of the merged state."""
+        lo, hi = access_module.validate_range(lo, hi, self._count)
+        return self.batch_access(range(lo, hi))
+
+    def inverted_access(self, answer: Sequence) -> int:
+        """Global merged rank of ``answer``; raises if it is not a live answer."""
+        answer = tuple(answer)
+        i = self._added_index.get(answer)
+        if i is not None:
+            return self._added_ranks[i]
+        base_rank = self.base.inverted_access(answer)
+        d = bisect_left(self.removed_ranks, base_rank)
+        if d < len(self.removed_ranks) and self.removed_ranks[d] == base_rank:
+            raise NotAnAnswerError(f"{answer!r} is not an answer (deleted)")
+        m = base_rank - d
+        return m + bisect_right(self._surv_pos, m)
+
+    def next_answer_index(self, target: Sequence) -> int:
+        """Index of the first merged answer ≥ ``target`` (ascending orders)."""
+        base_next = self.base.next_answer_index(target)
+        survivors_before = base_next - bisect_left(self.removed_ranks, base_next)
+        added_before = bisect_left(self._added_keys, self.key(tuple(target)))
+        return survivors_before + added_before
+
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        for k in range(self._count):
+            yield self._access_unchecked(k)
+
+    def __getitem__(self, k):
+        if isinstance(k, slice):
+            return self.batch_access(range(*k.indices(self._count)))
+        k = access_module.validate_rank(k)
+        if k < 0:
+            k += self._count
+        return self.access(k)

@@ -26,6 +26,7 @@ Quick start::
     plan.inverted_access((0, 5, 2))  # answer -> rank
 """
 
+from repro.live import CompactionPolicy, LiveDatabase, LiveInstance
 from repro.service.plan_cache import CacheStats, PlanCache
 from repro.service.protocol import (
     PlanSpec,
@@ -40,6 +41,9 @@ from repro.service.httpd import ServiceHTTPServer, make_server, serve
 
 __all__ = [
     "CacheStats",
+    "CompactionPolicy",
+    "LiveDatabase",
+    "LiveInstance",
     "PlanCache",
     "PlanSpec",
     "PreparedPlan",

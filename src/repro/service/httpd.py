@@ -13,6 +13,12 @@ Endpoints (all JSON):
 * ``POST /v1/query``         — the generic request object (``{"op": ...}``).
 * ``POST /v1/<op>``          — convenience: the path names the op, e.g.
   ``POST /v1/batch_access`` with ``{"plan": ..., "ks": [...]}``.
+* ``POST /v1/insert`` / ``/v1/delete`` / ``/v1/compact`` — live-update
+  mutations: ``{"db": ..., "relation": ..., "rows": [[...], ...]}`` insert
+  or delete tuples (prepared plans re-bind to the new epoch on their next
+  read); ``{"db": ...}`` compacts the database's cached plans.  Malformed
+  mutations (unknown relation, wrong arity, unhashable values) answer a
+  structured 400, never a 500.
 * ``POST /v1/explain``       — the planner's decision trace for a query
   (classification, FD rewrites, order, layered tree, stage DAG); no database
   needed and nothing is built.

@@ -351,6 +351,26 @@ def decode_answer(payload) -> Tuple:
     return tuple(payload)
 
 
+def decode_rows(payload) -> List[Tuple]:
+    """Client-provided mutation rows (a JSON array of row arrays) as tuples.
+
+    Only the *shape* is validated here; per-row arity and hashability checks
+    happen against the target relation's schema in
+    :func:`repro.live.delta.validate_rows`, so the error message can name the
+    relation and its attributes.
+    """
+    if not isinstance(payload, (list, tuple)):
+        raise ServiceError("bad_request", "'rows' must be an array of row arrays")
+    rows: List[Tuple] = []
+    for row in payload:
+        if not isinstance(row, (list, tuple)):
+            raise ServiceError(
+                "bad_request", f"'rows' entries must be arrays, got {row!r}"
+            )
+        rows.append(tuple(row))
+    return rows
+
+
 def database_to_json(database: Database) -> Dict[str, object]:
     """A database as a JSON document (inverse of :func:`database_from_json`)."""
     return {

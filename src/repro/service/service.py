@@ -18,6 +18,16 @@ its own thread.
 Database re-registration bumps a generation counter; cached plans of older
 generations are dropped immediately and any in-flight fingerprint transparently
 re-prepares against the new data on next use.
+
+Live updates (:mod:`repro.live`): every registered database is wrapped in a
+:class:`~repro.live.delta.LiveDatabase`, so the service accepts ``insert`` /
+``delete`` / ``compact`` mutations without re-registration.  Mutations bump
+the database's *epoch* — cheaper than a generation bump because cached plans
+are **not** invalidated: LEX plans are served through a
+:class:`~repro.live.instance.LiveInstance` that re-binds its merged view to
+the newest epoch on the next read, and SUM/enumeration plans rebuild their
+(materialized) engines lazily when their epoch is stale.  Plan fingerprints,
+cache keys and build coalescing are untouched by mutations.
 """
 
 from __future__ import annotations
@@ -26,7 +36,6 @@ import threading
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.access import validate_rank
-from repro.core.direct_access import LexDirectAccess
 from repro.core.orders import LexOrder
 from repro.core.parser import parse_query
 from repro.core.selection_lex import selection_lex
@@ -40,6 +49,7 @@ from repro.exceptions import (
     OutOfBoundsError,
     ReproError,
 )
+from repro.live import CompactionPolicy, LiveDatabase, LiveInstance
 from repro.ranking.ranked_enumeration import SumRankedEnumerator
 from repro.service.plan_cache import PlanCache
 from repro.service.protocol import (
@@ -51,6 +61,7 @@ from repro.service.protocol import (
     canonical_fds,
     canonical_weights,
     decode_answer,
+    decode_rows,
     encode_answer,
     error_response,
 )
@@ -66,13 +77,31 @@ class PreparedPlan:
     materialized lazily under a lock so concurrent ``topk`` calls are safe.
     """
 
-    def __init__(self, spec: PlanSpec, generation: int, engine, query_plan=None) -> None:
+    def __init__(
+        self,
+        spec: PlanSpec,
+        generation: int,
+        engine,
+        query_plan=None,
+        live: Optional[LiveDatabase] = None,
+        built_epoch: int = 0,
+        rebuild=None,
+    ) -> None:
         self.spec = spec
         self.generation = generation
         self.engine = engine
         #: The planner's :class:`~repro.planner.plan.QueryPlan` (the decision
         #: trace + build statistics); ``None`` for enumeration plans.
         self.query_plan = query_plan
+        #: The live database this plan serves (``None`` for detached plans).
+        self.live = live
+        #: For engines without their own live path (SUM / enumeration): the
+        #: epoch the engine was built from, and how to rebuild it; LEX engines
+        #: are :class:`~repro.live.instance.LiveInstance` and re-bind
+        #: themselves, so ``rebuild`` stays ``None`` for them.
+        self._built_epoch = built_epoch
+        self._rebuild = rebuild
+        self._rebuild_lock = threading.Lock()
         if spec.mode == "enum":
             self._prefix: List[Tuple] = []
             self._stream = engine.stream_with_weights()
@@ -84,10 +113,47 @@ class PreparedPlan:
         return self.spec.fingerprint
 
     @property
+    def epoch(self) -> Optional[int]:
+        """The live epoch this plan currently serves (``None`` if detached)."""
+        if self.live is None:
+            return None
+        if isinstance(self.engine, LiveInstance):
+            return self.engine.epoch
+        return self._built_epoch
+
+    def _sync(self) -> None:
+        """Re-bind a materialized (SUM/enum) engine to the newest epoch.
+
+        LEX engines are live instances and sync themselves on every read;
+        for the materialized modes the whole answer array depends on the
+        data, so the engine is rebuilt from the current state — lazily, only
+        when a request actually observes a stale epoch.
+        """
+        if self.live is None or self._rebuild is None:
+            return
+        if self.live.epoch == self._built_epoch:
+            return
+        with self._rebuild_lock:
+            if self.live.epoch == self._built_epoch:
+                return
+            epoch, database = self.live.state()
+            engine = self._rebuild(database)
+            if self.spec.mode == "enum":
+                with self._lock:
+                    self._prefix = []
+                    self._stream = engine.stream_with_weights()
+                    self._exhausted = False
+                    self.engine = engine
+            else:
+                self.engine = engine
+            self._built_epoch = epoch
+
+    @property
     def count(self) -> Optional[int]:
         """Number of answers, or ``None`` for enumeration plans (not counted)."""
         if self.spec.mode == "enum":
             return None
+        self._sync()
         return self.engine.count
 
     # ------------------------------------------------------------------
@@ -103,18 +169,22 @@ class PreparedPlan:
 
     def access(self, k: int) -> Tuple:
         self._require_access()
+        self._sync()
         return self.engine.access(k)
 
     def batch_access(self, ks: Sequence[int]) -> List[Tuple]:
         self._require_access()
+        self._sync()
         return self.engine.batch_access(ks)
 
     def range(self, lo: int, hi: int) -> List[Tuple]:
         self._require_access()
+        self._sync()
         return self.engine.range_access(lo, hi)
 
     def inverted_access(self, answer: Sequence) -> int:
         self._require_access()
+        self._sync()
         return self.engine.inverted_access(answer)
 
     def topk(self, k: int) -> List[Tuple]:
@@ -122,8 +192,15 @@ class PreparedPlan:
         k = validate_rank(k)
         if k < 0:
             raise OutOfBoundsError(f"top-k size must be non-negative, got {k}")
+        self._sync()
+        # Capture one engine/view so `count` and the range read observe the
+        # same epoch — a concurrent mutation between the two would otherwise
+        # turn a valid request into an out-of-bounds error.
+        engine = self.engine
         if self.spec.mode != "enum":
-            return self.engine.range_access(0, min(k, self.engine.count))
+            if isinstance(engine, LiveInstance):
+                engine = engine.snapshot_view()
+            return engine.range_access(0, min(k, engine.count))
         with self._lock:
             while len(self._prefix) < k and not self._exhausted:
                 try:
@@ -150,6 +227,9 @@ class QueryService:
         monolithic builds).  A spec's own ``shards`` always wins; plans
         whose order cannot shard (SUM ranking, Boolean queries) fall back
         to one shard with the reason recorded in the query plan.
+    live_policy:
+        The :class:`~repro.live.instance.CompactionPolicy` applied to every
+        LEX plan's live instance (``None`` = the policy's defaults).
     """
 
     def __init__(
@@ -157,11 +237,13 @@ class QueryService:
         max_plans: int = 64,
         backend: Optional[str] = None,
         shards: Optional[int] = None,
+        live_policy: Optional[CompactionPolicy] = None,
     ) -> None:
         self.default_backend = backend
         self.default_shards = shards
+        self.live_policy = live_policy
         self._lock = threading.Lock()
-        self._databases: Dict[str, Database] = {}
+        self._live: Dict[str, LiveDatabase] = {}
         self._generations: Dict[str, int] = {}
         self._specs: Dict[str, PlanSpec] = {}
         self._max_specs = max(1024, 16 * max_plans)
@@ -176,24 +258,31 @@ class QueryService:
 
         Re-registration invalidates every cached plan prepared against the
         previous generation — subsequent requests transparently re-prepare.
+        (Tuple-level changes should use :meth:`insert` / :meth:`delete`
+        instead, which re-bind cached plans rather than invalidating them.)
         """
         if not isinstance(database, Database):
             raise ServiceError("bad_request", "expected a Database instance")
         with self._lock:
             generation = self._generations.get(name, 0) + 1
-            self._databases[name] = database
+            self._live[name] = LiveDatabase(database)
             self._generations[name] = generation
         self._cache.invalidate(lambda key: key[0] == name)
         return generation
 
-    def database(self, name: str) -> Database:
+    def live(self, name: str) -> LiveDatabase:
+        """The live (mutable) handle of a registered database."""
         with self._lock:
             try:
-                return self._databases[name]
+                return self._live[name]
             except KeyError:
                 raise ServiceError(
                     "unknown_database", f"no database registered under {name!r}"
                 ) from None
+
+    def database(self, name: str) -> Database:
+        """The current (epoch-latest) immutable snapshot of a database."""
+        return self.live(name).current()
 
     def generation(self, name: str) -> int:
         with self._lock:
@@ -202,7 +291,75 @@ class QueryService:
     @property
     def database_names(self) -> Tuple[str, ...]:
         with self._lock:
-            return tuple(self._databases.keys())
+            return tuple(self._live.keys())
+
+    # ------------------------------------------------------------------
+    # Mutations (the live-update API)
+    # ------------------------------------------------------------------
+    def insert(self, database: str, relation: str, rows) -> Dict[str, object]:
+        """Insert tuples into a registered database's live state.
+
+        Validates the relation name, row arity and value hashability
+        (:class:`~repro.exceptions.MutationError` on violation → a structured
+        ``bad_request``).  Cached plans are *not* invalidated: they re-bind
+        to the new epoch on their next read.
+        """
+        live = self.live(database)
+        applied = live.insert(relation, rows)
+        return {
+            "db": database,
+            "relation": relation,
+            "applied": applied,
+            "epoch": live.epoch,
+        }
+
+    def delete(self, database: str, relation: str, rows) -> Dict[str, object]:
+        """Delete tuples from a registered database's live state."""
+        live = self.live(database)
+        removed = live.delete(relation, rows)
+        return {
+            "db": database,
+            "relation": relation,
+            "removed": removed,
+            "epoch": live.epoch,
+        }
+
+    def compact(self, database: str) -> Dict[str, object]:
+        """Compact every cached plan of a database to the current epoch.
+
+        LEX plans rebuild their base structures (only the shards the delta
+        touches, when sharded); SUM/enumeration plans rebuild their engines.
+        Afterwards the mutation log is trimmed to the oldest epoch any
+        compacted plan still references.
+        """
+        live = self.live(database)
+        with self._lock:
+            generation = self._generations[database]
+        records: List[Dict[str, object]] = []
+        floors: List[int] = []
+        for key in self._cache.keys():
+            if key[0] != database or key[1] != generation:
+                continue
+            plan = self._cache.get(key)
+            if plan is None:
+                continue
+            engine = plan.engine
+            if isinstance(engine, LiveInstance):
+                record = engine.compact(reason="service compact")
+                records.append({"plan": plan.fingerprint, **record})
+                floors.append(engine.base_epoch)
+            elif plan.live is not None:
+                plan._sync()
+                floors.append(plan._built_epoch)
+        floor = min(floors) if floors else live.epoch
+        trimmed = live.trim_log(floor)
+        return {
+            "db": database,
+            "epoch": live.epoch,
+            "plans_compacted": len(records),
+            "compactions": records,
+            "log_trimmed": trimmed,
+        }
 
     # ------------------------------------------------------------------
     # Plans
@@ -247,8 +404,8 @@ class QueryService:
         # overtakes mid-build lands under the *old* generation key, which no
         # lookup uses anymore — harmless until LRU eviction.
         with self._lock:
-            database = self._databases.get(spec.database)
-            if database is None:
+            live = self._live.get(spec.database)
+            if live is None:
                 raise ServiceError(
                     "unknown_database", f"no database registered under {spec.database!r}"
                 )
@@ -262,7 +419,7 @@ class QueryService:
                 self._specs.pop(next(iter(self._specs)))
         key = (spec.database, generation, fingerprint)
         return self._cache.get_or_build(
-            key, lambda: self._build_plan(spec, database, generation)
+            key, lambda: self._build_plan(spec, live, generation)
         )
 
     def plan(self, fingerprint: str) -> PreparedPlan:
@@ -282,14 +439,17 @@ class QueryService:
             )
         return self.plan_for_spec(spec)
 
-    def _build_plan(self, spec: PlanSpec, database: Database, generation: int) -> PreparedPlan:
-        """Plan through the planner layer, then execute against the database.
+    def _build_plan(self, spec: PlanSpec, live: LiveDatabase, generation: int) -> PreparedPlan:
+        """Plan through the planner layer, then execute against the live state.
 
         The :class:`~repro.planner.plan.QueryPlan` is constructed once here
         (strict, with enforcement — the historical exceptions surface) and
-        handed to the facade, which routes it through a
-        :class:`~repro.planner.executor.PlanExecutor`; the plan is cached
-        alongside the built structures.
+        handed to the mode's engine.  LEX plans build a
+        :class:`~repro.live.instance.LiveInstance` (the facade plus the
+        delta-merge machinery), so later mutations re-bind the cached entry
+        instead of invalidating it; the materialized SUM and enumeration
+        engines carry a rebuild closure the prepared plan invokes lazily
+        when it observes a stale epoch.
         """
         from repro.planner import plan as build_query_plan
 
@@ -322,21 +482,37 @@ class QueryService:
                 query_plan = build_query_plan(
                     query, order, mode="lex", fds=fds, backend=backend, shards=shards
                 )
-            engine = LexDirectAccess(query, database, order, plan=query_plan)
-        elif spec.mode == "sum":
+            engine = LiveInstance(
+                query, live, order, plan=query_plan, policy=self.live_policy
+            )
+            return PreparedPlan(
+                spec, generation, engine, query_plan=query_plan,
+                live=live, built_epoch=engine.base_epoch,
+            )
+        if spec.mode == "sum":
             if query_plan is None:
                 query_plan = build_query_plan(
                     query, mode="sum", fds=fds, backend=backend, shards=shards
                 )
-            engine = SumDirectAccess(
-                query, database, build_weights(spec.weights), plan=query_plan
-            )
+
+            def rebuild(database, _query=query, _plan=query_plan, _weights=spec.weights):
+                return SumDirectAccess(
+                    _query, database, build_weights(_weights), plan=_plan
+                )
         else:  # "enum" (PlanSpec.create already validated the mode)
             query_plan = None
-            engine = SumRankedEnumerator(
-                query, database, build_weights(spec.weights), backend=backend
-            )
-        return PreparedPlan(spec, generation, engine, query_plan=query_plan)
+
+            def rebuild(database, _query=query, _weights=spec.weights, _backend=backend):
+                return SumRankedEnumerator(
+                    _query, database, build_weights(_weights), backend=_backend
+                )
+
+        epoch, database = live.state()
+        engine = rebuild(database)
+        return PreparedPlan(
+            spec, generation, engine, query_plan=query_plan,
+            live=live, built_epoch=epoch, rebuild=rebuild,
+        )
 
     def resolve(self, request: Mapping) -> PreparedPlan:
         """The plan a request refers to: by ``plan`` fingerprint or inline spec."""
@@ -394,16 +570,28 @@ class QueryService:
             self._op_counts[op] = self._op_counts.get(op, 0) + 1
 
     def stats(self) -> Dict[str, object]:
+        # Snapshot the handles under the service lock, collect per-database
+        # stats after releasing it: each LiveDatabase has its own mutation
+        # lock, and waiting on one here would stall every service operation
+        # (prepare/register/resolve) behind a single busy database.
         with self._lock:
-            databases = {
-                name: {
-                    "generation": self._generations[name],
-                    "relations": len(db),
-                    "tuples": db.size(),
-                }
-                for name, db in self._databases.items()
-            }
+            live_handles = dict(self._live)
+            generations = dict(self._generations)
             ops = dict(self._op_counts)
+        databases = {}
+        for name, live in live_handles.items():
+            live_stats = live.stats()
+            databases[name] = {
+                "generation": generations[name],
+                "relations": len(live.base),
+                # Net size derived from the delta counters: materializing
+                # the live database here would run O(n) relation rebuilds
+                # on a monitoring probe.
+                "tuples": live_stats["base_tuples"]
+                + live_stats["pending_inserted"]
+                - live_stats["pending_deleted"],
+                "live": live_stats,
+            }
         return {
             "databases": databases,
             "plans_cached": len(self._cache),
@@ -457,7 +645,10 @@ class QueryService:
     # -- op handlers ---------------------------------------------------
     def _op_prepare(self, request: Mapping) -> Dict[str, object]:
         plan = self.resolve(request)
-        return {"plan": plan.fingerprint, "mode": plan.spec.mode, "count": plan.count}
+        result = {"plan": plan.fingerprint, "mode": plan.spec.mode, "count": plan.count}
+        if plan.epoch is not None:
+            result["epoch"] = plan.epoch
+        return result
 
     def _op_access(self, request: Mapping) -> Dict[str, object]:
         plan = self.resolve(request)
@@ -509,10 +700,16 @@ class QueryService:
             raise ServiceError("unsupported", "enumeration plans do not precount answers")
         return {"plan": plan.fingerprint, "count": plan.count}
 
-    def _op_selection(self, request: Mapping) -> Dict[str, object]:
+    @staticmethod
+    def _database_name(request: Mapping, context: str) -> str:
+        """The request's database name (``db`` with ``database`` as alias)."""
         database = request.get("db") or request.get("database")
         if not isinstance(database, str):
-            raise ServiceError("bad_request", "selection needs a 'db' database name")
+            raise ServiceError("bad_request", f"{context} needs a 'db' database name")
+        return database
+
+    def _op_selection(self, request: Mapping) -> Dict[str, object]:
+        database = self._database_name(request, "selection")
         query = request.get("query")
         if not isinstance(query, str):
             raise ServiceError("bad_request", "selection needs a 'query' string")
@@ -563,10 +760,40 @@ class QueryService:
             raise
         except Exception as exc:  # parser errors carry their own message
             raise ServiceError("bad_request", str(exc))
-        return {"explain": document}
+        response: Dict[str, object] = {"explain": document}
+        # When the request names a registered database, record the live/epoch
+        # configuration the plan would bind to alongside the decision trace.
+        database = request.get("db") or request.get("database")
+        if isinstance(database, str):
+            with self._lock:
+                live = self._live.get(database)
+            if live is not None:
+                response["live"] = live.stats()
+        return response
 
     def _op_stats(self, request: Mapping) -> Dict[str, object]:
         return {"stats": self.stats()}
+
+    # -- mutation op handlers (the live-update API) --------------------
+    def _mutation_target(self, request: Mapping) -> Tuple[str, str]:
+        database = self._database_name(request, "mutation")
+        relation = request.get("relation")
+        if not isinstance(relation, str):
+            raise ServiceError("bad_request", "mutation needs a 'relation' name")
+        return database, relation
+
+    def _op_insert(self, request: Mapping) -> Dict[str, object]:
+        database, relation = self._mutation_target(request)
+        rows = decode_rows(_required(request, "rows"))
+        return self.insert(database, relation, rows)
+
+    def _op_delete(self, request: Mapping) -> Dict[str, object]:
+        database, relation = self._mutation_target(request)
+        rows = decode_rows(_required(request, "rows"))
+        return self.delete(database, relation, rows)
+
+    def _op_compact(self, request: Mapping) -> Dict[str, object]:
+        return self.compact(self._database_name(request, "compact"))
 
     def _op_databases(self, request: Mapping) -> Dict[str, object]:
         return {"databases": list(self.database_names)}
@@ -594,6 +821,9 @@ class QueryService:
         "stats": _op_stats,
         "databases": _op_databases,
         "register": _op_register,
+        "insert": _op_insert,
+        "delete": _op_delete,
+        "compact": _op_compact,
     }
 
 

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro import Atom, ConjunctiveQuery, Database, LexOrder, Relation, Weights
+from repro import ConjunctiveQuery, Database, LexOrder, Relation, Weights
 from repro.engine.naive import evaluate_naive
 
 

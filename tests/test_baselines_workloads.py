@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import LexOrder, MaterializedBaseline, NotAnAnswerError, OutOfBoundsError, Weights
+from repro import MaterializedBaseline, NotAnAnswerError, OutOfBoundsError, Weights
 from repro.baselines import materialized_selection
 from repro.benchharness import format_table, growth_exponent, measure_scaling
 from repro.workloads import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro import (
     Database,
-    FDSet,
     IntractableQueryError,
     LexDirectAccess,
     LexOrder,

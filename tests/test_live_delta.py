@@ -1,0 +1,197 @@
+"""LiveDatabase / delta buffer: set semantics, epochs, logs, validation.
+
+The delta buffer is the foundation the whole live-update subsystem rests on,
+so its contracts are pinned tuple by tuple: net set semantics (insert of a
+present tuple is a no-op, delete-then-insert cancels), one epoch bump per
+state-changing batch, atomic ``delta_since`` windows, log trimming with the
+self-healing ``None`` answer, and the mutation validation every front-end
+relies on for structured (never 500) errors.
+"""
+
+import pytest
+
+from repro import Database, Relation
+from repro.exceptions import MutationError
+from repro.live import LiveDatabase, validate_rows
+
+
+def base_database():
+    return Database(
+        [
+            Relation("R", ("x", "y"), [(1, 5), (1, 2), (6, 2)]),
+            Relation("S", ("y", "z"), [(5, 3), (2, 5)]),
+        ]
+    )
+
+
+@pytest.fixture()
+def live():
+    return LiveDatabase(base_database())
+
+
+class TestSetSemantics:
+    def test_insert_new_tuple_applies(self, live):
+        assert live.insert("R", [(7, 8)]) == 1
+        assert (7, 8) in set(live.current().relation("R"))
+
+    def test_insert_existing_tuple_is_noop(self, live):
+        assert live.insert("R", [(1, 5)]) == 0
+        assert live.epoch == 0
+
+    def test_delete_existing_tuple_applies(self, live):
+        assert live.delete("R", [(1, 5)]) == 1
+        assert (1, 5) not in set(live.current().relation("R"))
+
+    def test_delete_absent_tuple_is_noop(self, live):
+        assert live.delete("R", [(9, 9)]) == 0
+        assert live.epoch == 0
+
+    def test_delete_then_reinsert_cancels(self, live):
+        live.delete("R", [(1, 5)])
+        live.insert("R", [(1, 5)])
+        assert set(live.current().relation("R")) == set(base_database().relation("R"))
+        # ... but both batches changed state, so two epochs passed.
+        assert live.epoch == 2
+
+    def test_insert_then_delete_cancels(self, live):
+        live.insert("R", [(7, 8)])
+        live.delete("R", [(7, 8)])
+        assert set(live.current().relation("R")) == set(base_database().relation("R"))
+
+    def test_cancelled_relation_is_not_rematerialized(self, live):
+        live.insert("R", [(7, 8)])
+        live.delete("R", [(7, 8)])
+        # Net delta of R is empty: current() must adopt the base relation
+        # object instead of rebuilding an identical copy.
+        assert live.current().relation("R") is live.base.relation("R")
+
+    def test_duplicate_rows_in_one_batch_apply_once(self, live):
+        assert live.insert("R", [(7, 8), (7, 8)]) == 1
+
+    def test_base_is_never_mutated(self, live):
+        snapshot = live.base
+        live.insert("R", [(7, 8)])
+        live.delete("S", [(5, 3)])
+        assert set(snapshot.relation("R")) == set(base_database().relation("R"))
+        assert set(snapshot.relation("S")) == set(base_database().relation("S"))
+
+
+class TestEpochsAndSnapshots:
+    def test_epoch_bumps_once_per_changing_batch(self, live):
+        live.insert("R", [(7, 8), (8, 9)])
+        assert live.epoch == 1
+        live.insert("R", [(7, 8)])  # no net change
+        assert live.epoch == 1
+        live.delete("S", [(5, 3)])
+        assert live.epoch == 2
+
+    def test_current_is_cached_per_epoch(self, live):
+        live.insert("R", [(7, 8)])
+        assert live.current() is live.current()
+        live.insert("R", [(9, 9)])
+        assert (9, 9) in set(live.current().relation("R"))
+
+    def test_state_is_atomic_pair(self, live):
+        live.insert("R", [(7, 8)])
+        epoch, database = live.state()
+        assert epoch == 1
+        assert (7, 8) in set(database.relation("R"))
+
+    def test_reader_snapshot_survives_later_mutations(self, live):
+        before = live.current()
+        live.delete("R", [(1, 5)])
+        assert (1, 5) in set(before.relation("R"))
+
+
+class TestDeltaSince:
+    def test_window_nets_out_cancelled_mutations(self, live):
+        live.insert("R", [(7, 8)])
+        live.delete("R", [(7, 8)])
+        epoch, delta, current = live.delta_since(0)
+        assert epoch == 2 and delta == {} and current is None
+
+    def test_window_is_relative_to_epoch(self, live):
+        live.insert("R", [(7, 8)])
+        live.delete("S", [(5, 3)])
+        _, delta, _ = live.delta_since(1)
+        assert delta == {"S": ([], [(5, 3)])}
+
+    def test_include_current_materializes(self, live):
+        live.insert("R", [(7, 8)])
+        _, _, current = live.delta_since(0, include_current=True)
+        assert (7, 8) in set(current.relation("R"))
+
+    def test_reinserted_base_tuple_nets_to_nothing(self, live):
+        live.delete("R", [(1, 5)])
+        live.insert("R", [(1, 5)])
+        _, delta, _ = live.delta_since(0)
+        assert delta == {}
+
+    def test_trim_makes_old_windows_unanswerable(self, live):
+        live.insert("R", [(7, 8)])
+        live.delete("S", [(5, 3)])
+        assert live.trim_log(1) == 1
+        assert live.delta_since(0) is None
+        assert live.delta_since(1) is not None
+
+    def test_trim_never_exceeds_epoch(self, live):
+        live.insert("R", [(7, 8)])
+        live.trim_log(999)
+        assert live.delta_since(live.epoch) is not None
+
+    def test_log_bound_advances_the_floor_automatically(self):
+        live = LiveDatabase(base_database(), max_log_entries=4)
+        for i in range(6):
+            live.insert("R", [(100 + i, 0)])
+        stats = live.stats()
+        assert stats["log_entries"] <= 4
+        assert stats["log_floor"] >= 2
+        # Too-old windows self-heal via the rebuild path...
+        assert live.delta_since(0) is None
+        # ...recent windows still answer.
+        recent = live.delta_since(live.epoch - 1)
+        assert recent is not None
+        _, delta, _ = recent
+        assert delta == {"R": ([(105, 0)], [])}
+
+    def test_stats_counters(self, live):
+        live.insert("R", [(7, 8)])
+        live.delete("S", [(5, 3)])
+        stats = live.stats()
+        assert stats["epoch"] == 2
+        assert stats["pending_inserted"] == 1
+        assert stats["pending_deleted"] == 1
+        assert stats["touched_relations"] == ["R", "S"]
+        assert stats["log_entries"] == 2
+
+
+class TestValidation:
+    def test_unknown_relation(self, live):
+        with pytest.raises(MutationError, match="unknown relation 'Nope'"):
+            live.insert("Nope", [(1, 2)])
+
+    def test_wrong_arity(self, live):
+        with pytest.raises(MutationError, match="does not match arity 2"):
+            live.insert("R", [(1, 2, 3)])
+
+    def test_unhashable_value(self, live):
+        with pytest.raises(MutationError, match="unhashable"):
+            live.insert("R", [(1, [2])])
+
+    def test_non_sequence_row(self, live):
+        with pytest.raises(MutationError, match="must be an array"):
+            live.delete("R", [7])
+
+    def test_validation_applies_nothing(self, live):
+        with pytest.raises(MutationError):
+            live.insert("R", [(7, 8), (1, 2, 3)])
+        assert live.epoch == 0
+        assert (7, 8) not in set(live.current().relation("R"))
+
+    def test_validate_rows_returns_tuples(self):
+        rows = validate_rows(base_database(), "R", [[1, 2], (3, 4)])
+        assert rows == [(1, 2), (3, 4)]
+
+    def test_base_must_be_database(self):
+        with pytest.raises(MutationError):
+            LiveDatabase("not a database")

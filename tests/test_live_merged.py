@@ -1,0 +1,461 @@
+"""MergedAccess and LiveInstance: rank math, policies, snapshots, compaction.
+
+The merged view's rank arithmetic (survivor selection, added-rank placement,
+inverted access over deletions) is pinned against a from-scratch rebuild on
+tiny instances where every rank can be enumerated; LiveInstance behaviors —
+epoch re-binding, compaction-policy triggers, rebuild-mode gating for plans
+the delta path does not cover, snapshot isolation for in-flight readers, and
+the partial (touched-shards-only) compaction — are asserted directly.
+"""
+
+import pytest
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    LexDirectAccess,
+    LexOrder,
+    Relation,
+)
+from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+from repro.live import CompactionPolicy, LiveDatabase, LiveInstance, MergedAccess
+
+PATH_QUERY = ConjunctiveQuery(
+    ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qpath"
+)
+PROJECTED_QUERY = ConjunctiveQuery(
+    ("x", "y"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qproj"
+)
+
+#: Never auto-compact: these tests exercise the merge path deliberately.
+NO_COMPACT = CompactionPolicy(
+    max_delta_tuples=2 ** 40, max_delta_ratio=2.0 ** 40, min_delta_answers=2 ** 40
+)
+
+
+def path_database(backend=None):
+    return Database(
+        [
+            Relation("R", ("x", "y"), [(0, 1), (2, 1), (2, 3), (5, 1)]),
+            Relation("S", ("y", "z"), [(1, 4), (1, 7), (3, 0)]),
+        ],
+        backend=backend,
+    )
+
+
+def rebuilt(live_db, query=PATH_QUERY, order=None, **kwargs):
+    order = order or LexOrder(query.free_variables)
+    return LexDirectAccess(query, live_db.current(), order, **kwargs)
+
+
+def assert_equal_sequences(live, oracle):
+    assert live.count == oracle.count
+    expected = oracle.range_access(0, oracle.count)
+    assert live.batch_access(range(live.count)) == expected
+    assert [live.access(k) for k in range(live.count)] == expected
+    for k, answer in enumerate(expected):
+        assert live.inverted_access(answer) == k
+
+
+class TestMergedAccessMath:
+    def make(self, mutate):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        mutate(live_db)
+        return live, rebuilt(live_db)
+
+    def test_inserts_only(self):
+        live, oracle = self.make(lambda db: db.insert("R", [(1, 1), (9, 3)]))
+        assert isinstance(live._view(), MergedAccess)
+        assert_equal_sequences(live, oracle)
+
+    def test_deletes_only(self):
+        live, oracle = self.make(lambda db: db.delete("R", [(2, 1), (2, 3)]))
+        assert_equal_sequences(live, oracle)
+
+    def test_mixed_insert_delete(self):
+        def mutate(db):
+            db.insert("S", [(1, 1)])
+            db.delete("R", [(0, 1)])
+            db.insert("R", [(7, 3)])
+
+        live, oracle = self.make(mutate)
+        assert_equal_sequences(live, oracle)
+
+    def test_delta_empties_every_answer(self):
+        live, oracle = self.make(lambda db: db.delete("S", [(1, 4), (1, 7), (3, 0)]))
+        assert live.count == oracle.count == 0
+        with pytest.raises(OutOfBoundsError):
+            live.access(0)
+
+    def test_deleted_answer_raises_inverted(self):
+        live, _ = self.make(lambda db: db.delete("R", [(0, 1)]))
+        with pytest.raises(NotAnAnswerError):
+            live.inverted_access((0, 1, 4))
+
+    def test_never_an_answer_raises_inverted(self):
+        live, _ = self.make(lambda db: db.insert("R", [(1, 1)]))
+        with pytest.raises(NotAnAnswerError):
+            live.inverted_access((8, 8, 8))
+
+    def test_range_and_getitem(self):
+        live, oracle = self.make(lambda db: db.insert("R", [(1, 1)]))
+        assert live.range_access(1, 4) == oracle.range_access(1, 4)
+        assert live[-1] == oracle.access(oracle.count - 1)
+        assert live[1:4] == oracle.range_access(1, 4)
+
+    def test_out_of_bounds_batch_rejected_whole(self):
+        live, _ = self.make(lambda db: db.insert("R", [(1, 1)]))
+        with pytest.raises(OutOfBoundsError):
+            live.batch_access([0, live.count])
+
+    def test_next_answer_index(self):
+        live, oracle = self.make(lambda db: db.insert("R", [(1, 1), (9, 3)]))
+        for target in [(0, 0, 0), (1, 1, 5), (2, 1, 7), (9, 3, 0), (99, 0, 0)]:
+            assert live.next_answer_index(target) == oracle.next_answer_index(target)
+
+    def test_descending_component(self):
+        order = LexOrder(("x", "y", "z"), descending=("x",))
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, order, policy=NO_COMPACT)
+        live_db.insert("R", [(1, 1), (9, 3)])
+        live_db.delete("R", [(2, 3)])
+        assert_equal_sequences(live, rebuilt(live_db, order=order))
+
+    def test_cancelled_mutations_revert_to_the_base_view(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        base_count = live.count
+        live_db.insert("R", [(7, 1)])
+        # Force a merged view for the intermediate epoch...
+        assert isinstance(live._view(), MergedAccess)
+        assert live.count == base_count + 2
+        # ...then cancel the mutation: the net delta is empty, so the live
+        # answers are the base answers again — not the stale merged view.
+        live_db.delete("R", [(7, 1)])
+        assert live.count == base_count
+        assert not isinstance(live._view(), MergedAccess)
+        assert_equal_sequences(live, rebuilt(live_db))
+
+    def test_mutating_unreferenced_relation_is_free(self):
+        live_db = LiveDatabase(
+            Database(
+                [
+                    Relation("R", ("x", "y"), [(0, 1)]),
+                    Relation("S", ("y", "z"), [(1, 4)]),
+                    Relation("Unrelated", ("a",), [(1,)]),
+                ]
+            )
+        )
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        before = live.count
+        live_db.insert("Unrelated", [(2,)])
+        assert live.count == before
+        # The epoch advanced without building a merged view.
+        assert live.epoch == live_db.epoch
+        assert not isinstance(live._view(), MergedAccess)
+
+
+class TestProjections:
+    def test_delete_one_witness_keeps_projected_answer(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PROJECTED_QUERY, live_db, policy=NO_COMPACT)
+        # (0, 1) is witnessed by both (1, 4) and (1, 7) in S.
+        live_db.delete("S", [(1, 4)])
+        assert_equal_sequences(live, rebuilt(live_db, query=PROJECTED_QUERY))
+
+    def test_delete_last_witness_removes_projected_answer(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PROJECTED_QUERY, live_db, policy=NO_COMPACT)
+        live_db.delete("S", [(1, 4), (1, 7)])
+        oracle = rebuilt(live_db, query=PROJECTED_QUERY)
+        assert_equal_sequences(live, oracle)
+        with pytest.raises(NotAnAnswerError):
+            live.inverted_access((0, 1))
+
+    def test_insert_witness_of_existing_answer_adds_nothing(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PROJECTED_QUERY, live_db, policy=NO_COMPACT)
+        before = live.count
+        live_db.insert("S", [(1, 9)])  # (x, 1) answers already exist
+        assert live.count == before
+        assert_equal_sequences(live, rebuilt(live_db, query=PROJECTED_QUERY))
+
+
+class TestCompactionPolicy:
+    def test_tuple_threshold_triggers_compaction(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(
+            PATH_QUERY, live_db,
+            policy=CompactionPolicy(max_delta_tuples=2, max_delta_ratio=2.0 ** 40,
+                                    min_delta_answers=2 ** 40),
+        )
+        live_db.insert("R", [(7, 1), (8, 1), (9, 1)])
+        assert_equal_sequences(live, rebuilt(live_db))
+        assert live.base_epoch == live_db.epoch
+        assert any("delta tuples" in c["reason"] for c in live.stats()["compactions"])
+
+    def test_answer_threshold_triggers_compaction(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(
+            PATH_QUERY, live_db,
+            policy=CompactionPolicy(max_delta_tuples=2 ** 40, max_delta_ratio=0.1,
+                                    min_delta_answers=1),
+        )
+        live_db.insert("R", [(7, 1), (8, 1)])  # 4 new answers > threshold
+        assert_equal_sequences(live, rebuilt(live_db))
+        # Fires either as the pre-correction candidate cap or the final count.
+        assert any("delta answer" in c["reason"] for c in live.stats()["compactions"])
+
+    def test_below_threshold_stays_merged(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(
+            PATH_QUERY, live_db,
+            policy=CompactionPolicy(max_delta_tuples=100, max_delta_ratio=2.0 ** 40,
+                                    min_delta_answers=2 ** 40),
+        )
+        live_db.insert("R", [(7, 1)])
+        assert isinstance(live._view(), MergedAccess)
+        assert live.stats()["compactions"] == []
+
+    def test_compaction_history_is_bounded(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(
+            PATH_QUERY, live_db,
+            policy=CompactionPolicy(max_delta_tuples=0, max_delta_ratio=2.0 ** 40,
+                                    min_delta_answers=2 ** 40),
+        )
+        for i in range(80):  # every read compacts (threshold 0)
+            live_db.insert("R", [(1000 + i, 1)])
+            live.count
+        stats = live.stats()
+        assert stats["compactions_total"] == 80
+        assert len(stats["compactions"]) <= 64
+
+    def test_manual_compact_resets_delta(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        live_db.insert("R", [(7, 1)])
+        assert isinstance(live._view(), MergedAccess)
+        record = live.compact()
+        assert record["reason"] == "manual"
+        assert live.stats()["delta_added"] == 0
+        assert not isinstance(live._view(), MergedAccess)
+        assert_equal_sequences(live, rebuilt(live_db))
+
+    def test_repeated_compact_is_a_noop(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        live_db.insert("R", [(7, 1)])
+        first = live.compact()
+        assert first["mode"] == "full"
+        second = live.compact()
+        assert second["mode"] == "noop"
+        # A cancelled-out delta also compacts for free.
+        live_db.insert("R", [(8, 1)])
+        live_db.delete("R", [(8, 1)])
+        third = live.compact()
+        assert third["mode"] == "noop"
+        assert live.epoch == live_db.epoch
+        assert_equal_sequences(live, rebuilt(live_db))
+
+    def test_compact_after_unreferenced_mutations_is_a_noop(self):
+        live_db = LiveDatabase(
+            Database(
+                [
+                    Relation("R", ("x", "y"), [(0, 1)]),
+                    Relation("S", ("y", "z"), [(1, 4)]),
+                    Relation("Unrelated", ("a",), [(1,)]),
+                ]
+            )
+        )
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        live_db.insert("Unrelated", [(2,)])
+        record = live.compact()
+        assert record["mode"] == "noop"
+        assert_equal_sequences(live, rebuilt(live_db))
+
+    def test_trimmed_log_forces_rebuild(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        live_db.insert("R", [(7, 1)])
+        live_db.trim_log(live_db.epoch)
+        assert_equal_sequences(live, rebuilt(live_db))
+        assert any("log trimmed" in c["reason"] for c in live.stats()["compactions"])
+
+
+class TestRebuildModeGating:
+    def test_self_join_gates_to_rebuild(self):
+        query = ConjunctiveQuery(
+            ("x", "y"), [Atom("R", ("x", "y")), Atom("R", ("y", "x"))], name="Qsj"
+        )
+        live_db = LiveDatabase(
+            Database([Relation("R", ("x", "y"), [(1, 2), (2, 1), (3, 3)])])
+        )
+        live = LiveInstance(query, live_db, enforce_tractability=False)
+        assert not live.delta_capable
+        live_db.insert("R", [(4, 4)])
+        oracle = LexDirectAccess(
+            query, live_db.current(), LexOrder(("x", "y")), enforce_tractability=False
+        )
+        assert_equal_sequences(live, oracle)
+        assert "self-join" in live.stats()["mode"]
+
+    def test_fds_gate_to_rebuild(self):
+        live_db = LiveDatabase(
+            Database(
+                [
+                    Relation("R", ("x", "y"), [(0, 1), (2, 3), (5, 1)]),
+                    Relation("S", ("y", "z"), [(1, 4), (1, 7), (3, 0)]),
+                ]
+            )
+        )
+        live = LiveInstance(PATH_QUERY, live_db, fds=["R: x -> y"])
+        assert not live.delta_capable
+        live_db.insert("R", [(9, 1)])
+        oracle = LexDirectAccess(
+            PATH_QUERY, live_db.current(), LexOrder(("x", "y", "z")),
+            fds=["R: x -> y"],
+        )
+        assert_equal_sequences(live, oracle)
+
+    def test_boolean_gates_to_rebuild(self):
+        query = ConjunctiveQuery((), [Atom("R", ("x", "y"))], name="Qbool")
+        live_db = LiveDatabase(Database([Relation("R", ("x", "y"), [])]))
+        live = LiveInstance(query, live_db)
+        assert not live.delta_capable
+        assert live.count == 0
+        live_db.insert("R", [(1, 2)])
+        assert live.count == 1
+        assert live.access(0) == ()
+
+
+class TestSnapshotIsolation:
+    def test_inflight_reader_keeps_its_snapshot(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        view = live._view()
+        before = [view.access(k) for k in range(view.count)]
+        live_db.delete("R", [(0, 1)])
+        live.compact()
+        # The captured view still serves the old epoch, element for element.
+        assert [view.access(k) for k in range(view.count)] == before
+        # (0, 1) joined both S tuples with y = 1, so two answers vanished.
+        assert live.count == view.count - 2
+
+
+class TestConcurrency:
+    def test_compaction_repulls_the_delta_atomically(self):
+        """A mutation landing between a sync's delta pull and the compaction
+        it triggers must be included in the rebuilt base (the compaction
+        re-pulls the delta atomically with the state it builds from)."""
+        rows_r = [(x, y) for x in range(12) for y in (x % 3, (x + 1) % 3)]
+        rows_s = [(y, z) for y in range(3) for z in (y, y + 1)]
+        live_db = LiveDatabase(
+            Database(
+                [Relation("R", ("x", "y"), rows_r), Relation("S", ("y", "z"), rows_s)]
+            )
+        )
+        live = LiveInstance(
+            PATH_QUERY, live_db, shards=4,
+            policy=CompactionPolicy(max_delta_tuples=0, max_delta_ratio=2.0 ** 40,
+                                    min_delta_answers=2 ** 40),
+        )
+        real_delta_since = live_db.delta_since
+        injected = []
+
+        def racing_delta_since(epoch, include_current=False):
+            result = real_delta_since(epoch, include_current)
+            if not injected:
+                injected.append(True)
+                # Lands "concurrently", after the sync's first pull.
+                live_db.delta_since = real_delta_since
+                live_db.insert("R", [(99, 1)])
+                live_db.delta_since = racing_delta_since
+            return result
+
+        live_db.delta_since = racing_delta_since
+        live_db.insert("R", [(50, 0)])
+        live.count  # sync → threshold 0 → compaction
+        live_db.delta_since = real_delta_since
+        assert injected
+        assert_equal_sequences(live, rebuilt(live_db, shards=4))
+        assert live.inverted_access((99, 1, 1)) >= 0
+
+    def test_readers_during_mutations_see_consistent_epochs(self):
+        import threading
+
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, policy=NO_COMPACT)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    view = live._view()
+                    count = view.count
+                    if count:
+                        answers = view.batch_access(range(count))
+                        # A single view is one epoch: ranks must round-trip.
+                        for k, answer in enumerate(answers):
+                            assert view.inverted_access(answer) == k
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for i in range(20):
+            live_db.insert("R", [(100 + i, 1)])
+            if i % 3 == 0:
+                live_db.delete("R", [(100 + i, 1)])
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert errors == []
+        assert_equal_sequences(live, rebuilt(live_db))
+
+
+class TestPartialCompaction:
+    @pytest.mark.parametrize("backend", [None, "columnar"])
+    def test_only_touched_shards_rebuild(self, backend):
+        if backend == "columnar":
+            pytest.importorskip("numpy")
+        rows_r = [(x, y) for x in range(12) for y in (x % 3, (x + 1) % 3)]
+        rows_s = [(y, z) for y in range(3) for z in (y, y + 1)]
+        live_db = LiveDatabase(
+            Database(
+                [Relation("R", ("x", "y"), rows_r), Relation("S", ("y", "z"), rows_s)],
+                backend=backend,
+            )
+        )
+        live = LiveInstance(
+            PATH_QUERY, live_db, backend=backend, shards=4, policy=NO_COMPACT
+        )
+        old_shards = list(live._snapshot.base._instance.shards)
+        # Touch only small x values (one shard's range) in R; S untouched.
+        live_db.insert("R", [(0, 0), (1, 1)])
+        live_db.delete("R", [(2, 2 % 3)])
+        record = live.compact()
+        assert record["mode"].startswith("partial:")
+        new_shards = list(live._snapshot.base._instance.shards)
+        assert sum(1 for a, b in zip(old_shards, new_shards) if a is b) >= 2
+        assert_equal_sequences(live, rebuilt(live_db, backend=backend, shards=4))
+
+    def test_delta_on_replicated_relation_falls_back_to_full(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, shards=3, policy=NO_COMPACT)
+        live_db.insert("S", [(1, 99)])  # S lacks the leading variable x
+        record = live.compact()
+        assert record["mode"] == "full"
+        assert_equal_sequences(live, rebuilt(live_db, shards=3))
+
+    def test_new_leading_value_beyond_domain_edge(self):
+        live_db = LiveDatabase(path_database())
+        live = LiveInstance(PATH_QUERY, live_db, shards=2, policy=NO_COMPACT)
+        live_db.insert("R", [(-5, 1), (999, 3)])  # outside both range ends
+        live.compact()
+        assert_equal_sequences(live, rebuilt(live_db, shards=2))

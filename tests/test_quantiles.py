@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, LexDirectAccess, LexOrder, Relation, Weights
+from repro import Database, LexDirectAccess, Relation, Weights
 from repro.core.quantiles import (
     count_answers,
     median,

@@ -13,7 +13,6 @@ import pytest
 
 from repro import Database, LexOrder, Relation, parse_query
 from repro.service import PlanSpec, QueryService, ServiceError, run_requests
-from repro.workloads import paper_queries as pq
 
 QUERY_TEXT = "Q(x, y, z) :- R(x, y), S(y, z)"
 
