@@ -36,6 +36,7 @@ from repro.benchharness.sharding import (
     run_shard_scaling,
     write_shard_scaling,
 )
+from repro.benchharness.snapshot import run_snapshot_bench, write_snapshot_bench
 from repro.benchharness.reporting import format_table
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "run_planner_build_bench",
     "run_replay",
     "run_shard_scaling",
+    "run_snapshot_bench",
     "star_database",
     "star_query",
     "write_backend_comparison",
@@ -61,5 +63,6 @@ __all__ = [
     "write_planner_build",
     "write_service_throughput",
     "write_shard_scaling",
+    "write_snapshot_bench",
     "zipf_ranks",
 ]

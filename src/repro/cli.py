@@ -1,6 +1,6 @@
-"""Command-line interface: classification, explanation, server, client, mutate.
+"""Command-line interface: classify, explain, serve, client, mutate, snapshot.
 
-Five subcommands::
+Six subcommands::
 
     repro classify "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, z, y"
     repro explain  "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, y, z" --json
@@ -8,6 +8,8 @@ Five subcommands::
     repro client requests.jsonl --db demo=examples/service/demo_db.json
     repro mutate --url http://127.0.0.1:8734 --db demo --relation R \\
         --insert "[7, 8]" --delete "[1, 2]" --compact
+    repro snapshot save "Q(x, y) :- R(x, y)" --db demo=demo_db.json --out q.rsnp
+    repro snapshot load q.rsnp --range 0 10
 
 ``classify`` (the default when the first argument is not a subcommand, for
 backward compatibility) prints the verdicts of all four dichotomies for a
@@ -24,7 +26,10 @@ request failed — the live-update ops (``insert`` / ``delete`` / ``compact``)
 work through ``client`` like any other op.  ``mutate`` is the convenience
 front-end for exactly those ops against a *running* server: it sends the
 inserts, then the deletes, then (optionally) a compaction and a stats probe,
-printing one JSON response per operation.
+printing one JSON response per operation.  ``snapshot save`` builds a LEX
+plan once and writes the flat snapshot image of its preprocessed instance;
+``snapshot load`` mmaps such a file and serves ranked answers from it —
+across process restarts — without re-running preprocessing.
 
 ``repro --version`` prints the library version.  Malformed invocations exit
 with the conventional argparse usage status (2).
@@ -470,12 +475,145 @@ def mutate_main(argv: List[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# snapshot
+# ----------------------------------------------------------------------
+def build_snapshot_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro snapshot",
+        description="Save a built LEX instance as a flat snapshot image, or "
+        "serve answers from a saved image (reload is an mmap, not a rebuild).",
+    )
+    _add_version(parser)
+    actions = parser.add_subparsers(dest="action", required=True)
+
+    save = actions.add_parser(
+        "save", help="build the query once and write its snapshot image"
+    )
+    save.add_argument("query", help='e.g. "Q(x, y, z) :- R(x, y), S(y, z)"')
+    save.add_argument(
+        "--order", help='lexicographic order, e.g. "x, z desc, y"', default=None
+    )
+    save.add_argument(
+        "--fd", action="append", default=[], metavar="FD",
+        help='unary functional dependency, e.g. "R: x -> y" (repeatable)',
+    )
+    save.add_argument(
+        "--db", required=True, metavar="NAME=PATH",
+        help="database JSON file to build against",
+    )
+    save.add_argument("--out", required=True, metavar="FILE",
+                      help="snapshot file to write")
+    _add_backend(save)
+    _add_shards(save)
+
+    load = actions.add_parser(
+        "load", help="mmap a saved snapshot image and serve answers from it"
+    )
+    load.add_argument("snapshot", help="snapshot file written by 'snapshot save'")
+    load.add_argument(
+        "--access", action="append", type=int, default=[], metavar="K",
+        help="print the answer at rank K (repeatable)",
+    )
+    load.add_argument(
+        "--range", nargs=2, type=int, default=None, metavar=("LO", "HI"),
+        help="print the answers in the half-open rank range [LO, HI)",
+    )
+    return parser
+
+
+def _snapshot_save(parser: argparse.ArgumentParser, args) -> int:
+    from repro import LexDirectAccess
+    from repro.core.snapshot import capture
+    from repro.service import load_database
+
+    name, separator, path = args.db.partition("=")
+    if not separator or not name or not path:
+        parser.error(f"--db expects NAME=PATH, got {args.db!r}")
+    try:
+        database = load_database(path, backend=args.backend)
+        query = parse_query(args.query)
+        order = parse_order(args.order) if args.order else None
+        fds = parse_fds(args.fd) if args.fd else None
+        access = LexDirectAccess(
+            query, database, order, fds=fds,
+            backend=args.backend, shards=args.shards,
+        )
+    except Exception as exc:
+        parser.error(str(exc))
+    snapshot = capture(
+        access._instance, fingerprint=access.plan.fingerprint
+    ) if access._instance is not None else None
+    if snapshot is None:
+        print(json.dumps({
+            "ok": False,
+            "error": "this build has no snapshot image (boolean query, empty "
+                     "result, exact-int counts, or NumPy unavailable)",
+        }))
+        return 1
+    size = snapshot.save(args.out)
+    print(json.dumps({
+        "ok": True,
+        "file": args.out,
+        "bytes": size,
+        "count": snapshot.count,
+        "fingerprint": snapshot.fingerprint,
+        "shards": len(snapshot.shards),
+        "capture_seconds": round(snapshot.seconds, 6),
+    }))
+    return 0
+
+
+def _snapshot_load(parser: argparse.ArgumentParser, args) -> int:
+    from repro.core.snapshot import InstanceSnapshot
+    from repro.exceptions import OutOfBoundsError
+
+    try:
+        snapshot = InstanceSnapshot.load(args.snapshot)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    instance = snapshot.instance()
+    print(json.dumps({
+        "ok": True,
+        "count": instance.count,
+        "fingerprint": snapshot.fingerprint,
+        "carrier": snapshot.carrier,
+        "shards": len(snapshot.shards),
+        "attach_seconds": round(snapshot.seconds, 6),
+    }))
+    status = 0
+    try:
+        for k in args.access:
+            print(json.dumps({"k": k, "answer": list(instance.access(k))},
+                             default=str))
+        if args.range is not None:
+            lo, hi = args.range
+            print(json.dumps({
+                "range": [lo, hi],
+                "answers": [list(answer) for answer in instance.range_access(lo, hi)],
+            }, default=str))
+    except (OutOfBoundsError, TypeError) as exc:
+        print(json.dumps({"ok": False, "error": str(exc)}))
+        status = 1
+    snapshot.close()
+    return status
+
+
+def snapshot_main(argv: List[str]) -> int:
+    parser = build_snapshot_parser()
+    args = parser.parse_args(argv)
+    if args.action == "save":
+        return _snapshot_save(parser, args)
+    return _snapshot_load(parser, args)
+
+
+# ----------------------------------------------------------------------
 _SUBCOMMAND_MAINS = {
     "classify": classify_main,
     "explain": explain_main,
     "serve": serve_main,
     "client": client_main,
     "mutate": mutate_main,
+    "snapshot": snapshot_main,
 }
 
 

@@ -32,6 +32,7 @@ import operator
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.orders import order_key
 from repro.core.preprocessing import _INT64_SAFE, Bucket, PreprocessedInstance
 from repro.engine.backends import HAS_NUMPY
 from repro.exceptions import NotAnAnswerError, OutOfBoundsError
@@ -67,7 +68,9 @@ def validate_ranks(ks: Sequence[int], count: int) -> Sequence[int]:
     first out-of-bounds rank raises :class:`OutOfBoundsError` naming the rank
     and the answer count.  A ``range`` input is validated by its endpoints
     alone (its elements are ints by construction), so validating a large
-    contiguous batch costs O(1) instead of O(m).
+    contiguous batch costs O(1) instead of O(m).  A NumPy integer array is
+    validated vectorized — a dtype check plus one min/max bounds check —
+    and returned as-is, so large batches skip the O(m) Python coercion.
     """
     if isinstance(ks, range):
         if len(ks) == 0:
@@ -75,6 +78,22 @@ def validate_ranks(ks: Sequence[int], count: int) -> Sequence[int]:
         for k in (ks[0], ks[-1]):
             if k < 0 or k >= count:
                 raise OutOfBoundsError(f"index {k} is out of bounds for {count} answers")
+        return ks
+    if HAS_NUMPY and isinstance(ks, np.ndarray):
+        if ks.dtype == np.bool_:
+            raise TypeError("answer rank must be an integer, not bool")
+        if not np.issubdtype(ks.dtype, np.integer):
+            raise TypeError(
+                f"answer rank must be an integer, not {ks.dtype.name}"
+            )
+        if ks.size:
+            low = int(ks.min())
+            high = int(ks.max())
+            for k in (low, high):
+                if k < 0 or k >= count:
+                    raise OutOfBoundsError(
+                        f"index {k} is out of bounds for {count} answers"
+                    )
         return ks
     ranks = [validate_rank(k) for k in ks]
     for k in ranks:
@@ -132,6 +151,9 @@ def access(instance, k: int) -> Tuple:
         raise OutOfBoundsError(
             f"index {k} is out of bounds for {instance.count} answers"
         )
+    image = getattr(instance, "_snapshot_image", None)
+    if image is not None:
+        return image.access(k)
 
     layers = instance.layers
     num_layers = len(layers)
@@ -194,6 +216,9 @@ def inverted_access(instance, answer: Sequence) -> int:
     if instance.count == 0:
         raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer (empty result)")
     assignment = _answer_assignment(instance, answer)
+    image = getattr(instance, "_snapshot_image", None)
+    if image is not None:
+        return image.inverted(tuple(answer))
 
     layers = instance.layers
     num_layers = len(layers)
@@ -206,15 +231,13 @@ def inverted_access(instance, answer: Sequence) -> int:
         bucket = current_buckets[i]
         factor //= bucket.total
 
-        row = None
         value = assignment[layer.variable]
-        index = bucket.find_by_value(value) if not instance.order.is_descending(layer.variable) else None
-        if index is None:
-            # Either descending (search on transformed key) or value absent.
-            for j, candidate in enumerate(bucket.tuples):
-                if candidate[layer.value_position] == value:
-                    index = j
-                    break
+        # ``layer_values`` store order keys (raw values when ascending, the
+        # transformed key when descending), so one binary search covers both
+        # directions — no linear scan over the bucket.
+        index = bucket.find_by_value(
+            order_key(value, instance.order.is_descending(layer.variable))
+        )
         if index is None:
             raise NotAnAnswerError(f"{tuple(answer)!r} is not an answer")
         row = bucket.tuples[index]
@@ -254,6 +277,9 @@ def next_answer_index(instance, target: Sequence) -> int:
     if instance.count == 0:
         return 0
     assignment = _answer_assignment(instance, target)
+    image = getattr(instance, "_snapshot_image", None)
+    if image is not None:
+        return image.next_index(tuple(target))
 
     layers = instance.layers
     num_layers = len(layers)
@@ -490,8 +516,11 @@ def batch_access(instance, ks: Sequence[int]) -> List[Tuple]:
     if getattr(instance, "is_sharded", False):
         return instance.batch_access(ks)
     ranks = validate_ranks(ks, instance.count)
-    if not ranks:
+    if len(ranks) == 0:
         return []
+    image = getattr(instance, "_snapshot_image", None)
+    if image is not None:
+        return image.gather(ranks)
     index = _batch_index(instance)
     if index is None:
         return [access(instance, k) for k in ranks]

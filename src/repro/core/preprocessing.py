@@ -152,11 +152,13 @@ class PreprocessedInstance:
         self._batch_lock = threading.Lock()
 
     def __getstate__(self):
-        # Locks don't pickle and the batch index is a lazily rebuilt cache;
-        # drop both so instances cross process-pool boundaries cleanly.
+        # Locks don't pickle, the batch index is a lazily rebuilt cache, and
+        # the snapshot image may view shared-memory/mmap buffers; drop all
+        # three so instances cross process-pool boundaries cleanly.
         state = self.__dict__.copy()
         state.pop("_batch_lock", None)
         state.pop("_batch_index", None)
+        state.pop("_snapshot_image", None)
         return state
 
     def __setstate__(self, state):

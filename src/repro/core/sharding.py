@@ -104,7 +104,7 @@ class ShardedInstance:
 
     def batch_access(self, ks: Sequence[int]) -> List[Tuple]:
         ranks = access_module.validate_ranks(ks, self._count)
-        if not ranks:
+        if len(ranks) == 0:
             return []
         answers: List[Optional[Tuple]] = [None] * len(ranks)
         for shard, positions, local in self._bucket_by_shard(ranks):

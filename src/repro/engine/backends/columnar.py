@@ -327,6 +327,25 @@ class SegmentedSearcher:
         )
         self._augmented = flat_values + segment_of_row * stride
 
+    @classmethod
+    def from_parts(
+        cls,
+        stride: int,
+        offsets: "_np.ndarray",
+        augmented: "_np.ndarray",
+    ) -> "SegmentedSearcher":
+        """Rehydrate a searcher from its stored arrays without recomputation.
+
+        Snapshot images persist the pre-augmented array and the segment
+        offsets, so attaching a snapshot rebuilds the searcher in O(1) —
+        no cumsum, no repeat, no embedding pass over ``n`` rows.
+        """
+        searcher = cls.__new__(cls)
+        searcher.stride = int(stride)
+        searcher.offsets = offsets
+        searcher._augmented = augmented
+        return searcher
+
     def probe_flat(
         self, segment_ids: "_np.ndarray", queries: "_np.ndarray"
     ) -> "_np.ndarray":

@@ -112,6 +112,7 @@ class LiveInstance:
         workers: Optional[int] = None,
         use_processes: bool = False,
         enforce_tractability: bool = True,
+        publish_snapshots: bool = False,
     ) -> None:
         from repro.core.parser import parse_order, parse_query
         from repro.planner import plan as build_plan
@@ -169,6 +170,19 @@ class LiveInstance:
             else None
         )
         self._snapshot = _Snapshot(epoch, epoch, base, database, base)
+
+        # Optional zero-copy publication: each compacted base is mirrored
+        # into a shared-memory block named by plan fingerprint + epoch, so
+        # worker processes attach instead of pickling.  The publisher
+        # refcounts epochs — a swap publishes the new buffer set before
+        # retiring the old one, and retirement unlinks only when no reader
+        # holds the epoch.
+        self._publisher = None
+        if publish_snapshots:
+            from repro.core.snapshot import SnapshotPublisher
+
+            self._publisher = SnapshotPublisher(fingerprint=plan.fingerprint)
+            self._publish_epoch(epoch)
 
     # ------------------------------------------------------------------
     # Capability gating
@@ -353,10 +367,38 @@ class LiveInstance:
                 self.query, database, self.order, plan=self.plan,
                 workers=self.workers, use_processes=self.use_processes,
             )
+        elif getattr(base, "_instance", None) is not None:
+            # Partial rebuilds bypass the executor, so the rebuilt shards
+            # carry no snapshot image yet; reflatten the swapped-in base.
+            from repro.core.snapshot import install as install_snapshot
+
+            install_snapshot(base._instance, fingerprint=self.plan.fingerprint)
+        old_base_epoch = old.base_epoch
         snapshot = _Snapshot(epoch, epoch, base, database, base)
         self._snapshot = snapshot
         self._record_compaction(reason, mode, epoch, base.count, started)
+        if self._publisher is not None:
+            # Publish the new buffer set first, then retire the old epoch:
+            # new readers atomically find the new name while already-attached
+            # readers keep serving from the retired (still-mapped) buffers.
+            self._publish_epoch(epoch)
+            if old_base_epoch != epoch:
+                self._publisher.retire(old_base_epoch)
         return snapshot
+
+    def _publish_epoch(self, epoch: int) -> None:
+        instance = getattr(self._snapshot.base, "_instance", None)
+        if instance is None or self._publisher is None:
+            return
+        try:
+            self._publisher.publish(instance, epoch)
+        except (FileExistsError, OSError):  # name collision / shm exhausted
+            pass
+
+    def close(self) -> None:
+        """Unlink any shared-memory buffer sets this instance published."""
+        if self._publisher is not None:
+            self._publisher.close()
 
     def _try_partial_rebuild(self, old: _Snapshot, current_db, delta):
         """Rebuild only the shards whose leading range the delta touches.
@@ -493,9 +535,15 @@ class LiveInstance:
 
     def stats(self) -> Dict[str, object]:
         """Serving-state counters: epochs, delta sizes, compaction history."""
+        from repro.core.snapshot import serving_stats
+
         snapshot = self._snapshot
         merged = snapshot.view if isinstance(snapshot.view, MergedAccess) else None
+        image = serving_stats(getattr(snapshot.base, "_instance", None))
+        if image is not None and self._publisher is not None:
+            image["published_epochs"] = list(self._publisher.epochs)
         return {
+            "snapshot": image,
             "mode": "delta" if self._delta_reason is None
             else f"rebuild ({self._delta_reason})",
             "epoch": snapshot.epoch,

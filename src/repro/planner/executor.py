@@ -180,6 +180,17 @@ class PlanExecutor:
                 on_stage=report.record,
                 assume_reduced=True,
             )
+
+        # Flatten into the array-backed snapshot image so scalar serving runs
+        # the fused kernels.  Purely an accelerator: when capture declines
+        # (no NumPy, exact-int counts, unencodable values) the object walk
+        # serves unchanged and no stage is recorded.
+        from repro.core.snapshot import install as install_snapshot
+
+        started = time.perf_counter()
+        snapshot = install_snapshot(instance, fingerprint=self.plan.fingerprint)
+        if snapshot is not None:
+            report.record("snapshot", time.perf_counter() - started, instance.count)
         self._finish(report, run_started)
         return LexBuild(instance, None, objects.complete_order, report)
 

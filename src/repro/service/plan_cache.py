@@ -83,6 +83,13 @@ class PlanCache:
                 return self._entries[key]
             return None
 
+    def peek(self, key: Hashable):
+        """The cached plan for ``key`` without counting a hit or touching
+        recency — for monitoring probes that must not perturb the LRU state.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def get_or_build(self, key: Hashable, builder: Callable[[], object]):
         """The plan for ``key``, building it with ``builder`` on a miss.
 

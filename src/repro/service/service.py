@@ -592,10 +592,33 @@ class QueryService:
                 - live_stats["pending_deleted"],
                 "live": live_stats,
             }
+        # Per-plan snapshot serving info: which carrier backs each cached
+        # lex plan and how long its capture/attach took.
+        plans: List[Dict[str, object]] = []
+        for key in self._cache.keys():
+            plan = self._cache.peek(key)
+            if plan is None:
+                continue
+            entry: Dict[str, object] = {
+                "plan": plan.fingerprint,
+                "db": key[0],
+                "mode": plan.spec.mode,
+            }
+            engine = plan.engine
+            if isinstance(engine, LiveInstance):
+                entry["snapshot"] = engine.stats().get("snapshot")
+            else:
+                from repro.core.snapshot import serving_stats
+
+                entry["snapshot"] = serving_stats(
+                    getattr(engine, "_instance", None)
+                )
+            plans.append(entry)
         return {
             "databases": databases,
             "plans_cached": len(self._cache),
             "plans_known": len(self._specs),
+            "plans": plans,
             "cache": self._cache.stats.to_dict(),
             "ops": ops,
         }

@@ -1,0 +1,287 @@
+"""Property tests: snapshot images ≡ the object walk, across every carrier.
+
+The flat snapshot format and its fused kernels are pure accelerators — for
+randomized databases, orders (ascending and descending components), backends,
+shard counts, and non-numeric domains, a :class:`SnapshotInstance` built from
+a captured image must agree with the object walk on every access operation,
+whether the image is served in-process, reloaded from an mmap'd file, or
+attached to a shared-memory block.  A final suite swaps epochs under a
+publishing :class:`~repro.live.instance.LiveInstance` and checks that a
+reader attached to the *retired* buffer set still serves the old epoch's
+answers bit-identically (unlink removes the name, not the mapping).
+"""
+
+import itertools
+import os
+import tempfile
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    IntractableQueryError,
+    LexDirectAccess,
+    LexOrder,
+    Relation,
+)
+from repro.core.snapshot import InstanceSnapshot, capture, _destroy_block
+from repro.engine.backends import HAS_NUMPY, available_backends
+from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+
+if not HAS_NUMPY:
+    pytest.skip("snapshot images require NumPy", allow_module_level=True)
+
+BACKENDS = [None] + (["columnar"] if "columnar" in available_backends() else [])
+SHARD_COUNTS = [1, 2, 7]
+CARRIERS = ["memory", "file", "shm"]
+
+PATH_QUERY = ConjunctiveQuery(
+    ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("y", "z"))], name="Qpath"
+)
+STAR_QUERY = ConjunctiveQuery(
+    ("x", "y", "z"), [Atom("R", ("x", "y")), Atom("S", ("x", "z"))], name="Qstar"
+)
+
+_SHM_COUNTER = itertools.count()
+
+
+def relation_rows(arity, max_rows=14, domain=5):
+    cell = st.integers(0, domain - 1)
+    return st.lists(st.tuples(*[cell] * arity), max_size=max_rows).map(
+        lambda rows: sorted(set(rows))
+    )
+
+
+def string_relation_rows(arity, max_rows=12):
+    cell = st.sampled_from(["", "a", "b", "ab", "ba", "β"])
+    return st.lists(st.tuples(*[cell] * arity), max_size=max_rows).map(
+        lambda rows: sorted(set(rows))
+    )
+
+
+@st.composite
+def order_for(draw, variables=("x", "y", "z")):
+    chosen = draw(st.sampled_from([
+        ("x", "y", "z"), ("y", "x", "z"), ("y", "z", "x"), ("z", "x", "y"),
+    ]))
+    descending = draw(st.sets(st.sampled_from(chosen)).map(tuple))
+    return LexOrder(chosen, descending)
+
+
+def object_walk_answers(access):
+    """Reference answers via the object walk (snapshot images stripped)."""
+    instance = access._instance
+    stripped = (
+        list(instance.shards) if getattr(instance, "is_sharded", False)
+        else [instance]
+    )
+    saved = []
+    for shard in stripped:
+        saved.append(getattr(shard, "_snapshot_image", None))
+        shard._snapshot_image = None
+        shard._batch_index = None  # scalar object walk, not the batch index
+    try:
+        return [access.access(k) for k in range(access.count)]
+    finally:
+        for shard, image in zip(stripped, saved):
+            shard._snapshot_image = image
+            del shard._batch_index
+
+
+def carried(snapshot, carrier):
+    """Round-trip ``snapshot`` through the carrier; returns (image, cleanup)."""
+    if carrier == "memory":
+        return snapshot, lambda: None
+    if carrier == "file":
+        fd, path = tempfile.mkstemp(suffix=".rsnp")
+        os.close(fd)
+        snapshot.save(path)
+        loaded = InstanceSnapshot.load(path)
+
+        def cleanup():
+            loaded.close()
+            os.unlink(path)
+
+        return loaded, cleanup
+    block = snapshot.publish(name=f"repro-test-{os.getpid()}-{next(_SHM_COUNTER)}")
+    attached = InstanceSnapshot.attach(block.name)
+
+    def cleanup():
+        attached.close()
+        _destroy_block(block)
+
+    return attached, cleanup
+
+
+def assert_snapshot_equivalent(
+    query, database, order, shards, backend, carrier, missing=10 ** 6
+):
+    try:
+        access = LexDirectAccess(
+            query, database, order, backend=backend, shards=shards
+        )
+    except IntractableQueryError:
+        return
+    snapshot = capture(access._instance, fingerprint="prop", epoch=0)
+    if access.count == 0:
+        assert snapshot is None  # empty results have no image by design
+        return
+    assert snapshot is not None
+    expected = object_walk_answers(access)
+    image, cleanup = carried(snapshot, carrier)
+    try:
+        served = image.instance()
+        assert served.count == access.count
+        assert served.batch_access(range(served.count)) == expected
+        assert served.range_access(0, served.count) == expected
+        step = max(1, served.count // 7)
+        for k in range(0, served.count, step):
+            assert served.access(k) == expected[k]
+            assert served.inverted_access(expected[k]) == k
+        with pytest.raises(OutOfBoundsError):
+            served.access(served.count)
+        with pytest.raises(NotAnAnswerError):
+            served.inverted_access((missing,) * len(query.free_variables))
+        if not order.descending:
+            for k in range(0, served.count, step):
+                assert served.next_answer_index(expected[k]) == k
+    finally:
+        cleanup()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestSnapshotEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(r_rows=relation_rows(2), s_rows=relation_rows(2), order=order_for())
+    def test_path_query_memory(self, backend, shards, r_rows, s_rows, order):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        assert_snapshot_equivalent(
+            PATH_QUERY, database, order, shards, backend, "memory"
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(r_rows=relation_rows(2), s_rows=relation_rows(2), order=order_for())
+    def test_star_query_memory(self, backend, shards, r_rows, s_rows, order):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("x", "z"), s_rows),
+        ])
+        assert_snapshot_equivalent(
+            STAR_QUERY, database, order, shards, backend, "memory"
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        r_rows=string_relation_rows(2), s_rows=string_relation_rows(2),
+        order=order_for(),
+    )
+    def test_non_numeric_domains(self, backend, shards, r_rows, s_rows, order):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        assert_snapshot_equivalent(
+            PATH_QUERY, database, order, shards, backend, "memory",
+            missing="\uffff",
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("carrier", ["file", "shm"])
+class TestSnapshotCarriers:
+    """The serialized carriers (fewer examples — each does real I/O)."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        r_rows=relation_rows(2), s_rows=relation_rows(2), order=order_for(),
+        shards=st.sampled_from(SHARD_COUNTS),
+    )
+    def test_round_trip(self, backend, carrier, r_rows, s_rows, order, shards):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        assert_snapshot_equivalent(
+            PATH_QUERY, database, order, shards, backend, carrier
+        )
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        r_rows=string_relation_rows(2), s_rows=string_relation_rows(2),
+        order=order_for(),
+    )
+    def test_round_trip_non_numeric(self, backend, carrier, r_rows, s_rows, order):
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        assert_snapshot_equivalent(
+            PATH_QUERY, database, order, 2, backend, carrier, missing="\uffff"
+        )
+
+
+class TestLiveEpochSwap:
+    """Old readers stay correct on the retired buffer set across a swap."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        r_rows=relation_rows(2, max_rows=10), s_rows=relation_rows(2, max_rows=10),
+        new_rows=relation_rows(2, max_rows=6, domain=7),
+    )
+    def test_retired_buffer_still_serves_old_epoch(self, r_rows, s_rows, new_rows):
+        from repro.live import LiveDatabase, LiveInstance
+
+        database = Database([
+            Relation("R", ("x", "y"), r_rows),
+            Relation("S", ("y", "z"), s_rows),
+        ])
+        live = LiveDatabase(database)
+        instance = LiveInstance(
+            PATH_QUERY, live, LexOrder(("x", "y", "z")), publish_snapshots=True
+        )
+        try:
+            if instance._publisher is None or not instance._publisher.epochs:
+                return  # empty result: nothing published, nothing to swap
+            old_epoch = instance._publisher.epochs[-1]
+            from repro.core.snapshot import shm_name
+
+            old_name = shm_name(instance.plan.fingerprint, old_epoch)
+            old_reader = InstanceSnapshot.attach(old_name)
+            old_expected = [
+                instance.access(k) for k in range(instance.count)
+            ]
+
+            live.insert("R", new_rows)
+            live.delete("R", r_rows[: len(r_rows) // 2])
+            instance.compact(reason="test swap")
+            new_expected = [instance.access(k) for k in range(instance.count)]
+
+            # The retired buffer set still serves the OLD answers.
+            old_served = old_reader.instance()
+            assert [
+                old_served.access(k) for k in range(old_served.count)
+            ] == old_expected
+            old_reader.close()
+
+            # The new epoch (if published) serves the new answers.
+            if instance._publisher.epochs and instance.count:
+                new_epoch = instance._publisher.epochs[-1]
+                if new_epoch != old_epoch:
+                    new_reader = InstanceSnapshot.attach(
+                        shm_name(instance.plan.fingerprint, new_epoch)
+                    )
+                    new_served = new_reader.instance()
+                    assert [
+                        new_served.access(k) for k in range(new_served.count)
+                    ] == new_expected
+                    new_reader.close()
+        finally:
+            instance.close()

@@ -370,6 +370,9 @@ class TestBatchIndexRace:
         instance = mono._instance
         if not hasattr(access_module, "np"):
             pytest.skip("vectorized batch index needs NumPy")
+        # The executor installs a snapshot image that bypasses the batch
+        # index entirely; drop it to exercise the lazy-build fallback.
+        instance._snapshot_image = None
 
         builds = []
         real_build = access_module._build_batch_index
