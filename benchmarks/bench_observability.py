@@ -1,0 +1,139 @@
+"""Observability overhead: instrumented vs uninstrumented serving.
+
+Runs :func:`repro.benchharness.run_observability_bench` — the same seeded
+Zipf workload served through :meth:`QueryService.execute` with metrics and
+tracing disabled, then enabled, on the same warm plan — and writes
+``BENCH_observability.json`` at the repository root.
+
+Acceptance (read straight off the artifact): every per-backend entry has
+``answers_identical: true`` (the harness raises before timing otherwise);
+``scalar_obs_off_ops_per_second`` documents the uninstrumented baseline the
+seed's throughput bench is compared against; ``http_overhead_percent`` —
+the same workload through the real HTTP front-end — stays in the low single
+digits on a quiet machine, and ``scalar_overhead_us_per_request`` pins the
+middleware's absolute in-process cost to a handful of microseconds.
+The metadata records the seed, ``cpu_count``, and the process obs flag.
+
+Run standalone for the canonical artifact::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py [n] [requests]
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke
+    PYTHONPATH=src python benchmarks/bench_observability.py --seed 7 --repeats 5
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # standalone invocation (CI smoke) must not require pytest
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+from repro.benchharness import (
+    format_table,
+    run_observability_bench,
+    write_observability_bench,
+)
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+FULL_TUPLES = 50_000
+FULL_REQUESTS = 8_192
+DEFAULT_SEED = 0
+
+
+def print_results(document) -> None:
+    rows = []
+    for backend, entry in document["backends"].items():
+        rows.append((
+            backend,
+            entry["count"],
+            "yes" if entry["answers_identical"] else "NO",
+            entry["scalar_obs_off_ops_per_second"],
+            entry["scalar_obs_on_ops_per_second"],
+            f"{entry['scalar_overhead_us_per_request']:.1f}µs",
+            f"{entry['batch_overhead_percent']:+.2f}%",
+            entry["http_obs_off_requests_per_second"],
+            entry["http_obs_on_requests_per_second"],
+            f"{entry['http_overhead_percent']:+.2f}%",
+        ))
+    print()
+    print(format_table(
+        ["backend", "answers", "identical", "off ops/s", "on ops/s",
+         "per-req Δ", "batch Δ", "http off r/s", "http on r/s", "http Δ"],
+        rows,
+        title=(
+            f"observability overhead (n="
+            f"{document['metadata']['tuples_per_relation']}, "
+            f"requests={document['metadata']['requests']})"
+        ),
+    ))
+
+
+# ----------------------------------------------------------------------
+# Pytest variant: plumbing + equivalence smoke (timings too noisy to assert)
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    def test_observability_artifact(tmp_path):
+        scratch = tmp_path / "BENCH_observability.json"
+        document = run_observability_bench(
+            1200, num_requests=512, batch_size=128, repeats=2, seed=3,
+        )
+        write_observability_bench(str(scratch), document)
+        print_results(document)
+        assert scratch.exists()
+        metadata = document["metadata"]
+        assert metadata["seed"] == 3
+        assert metadata["cpu_count"] >= 1
+        assert isinstance(metadata["metrics_enabled_now"], bool)
+        for entry in document["backends"].values():
+            assert entry["answers_identical"]
+            assert entry["scalar_requests"] == 512
+            assert entry["scalar_obs_off_ops_per_second"] > 0
+            assert entry["scalar_obs_on_ops_per_second"] > 0
+            assert entry["http_obs_off_requests_per_second"] > 0
+            assert entry["http_obs_on_requests_per_second"] > 0
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    argv = [a for a in argv if a != "--smoke"]
+
+    def option(flag, default, convert):
+        if flag in argv:
+            position = argv.index(flag)
+            value = convert(argv[position + 1])
+            del argv[position:position + 2]
+            return value
+        return default
+
+    seed = option("--seed", DEFAULT_SEED, int)
+    repeats = option("--repeats", 4, int)
+    batch_size = option("--batch", 256, int)
+
+    if smoke:
+        num_tuples, num_requests = 3000, 1024
+    else:
+        numbers = [int(a) for a in argv]
+        num_tuples = numbers[0] if numbers else FULL_TUPLES
+        num_requests = numbers[1] if len(numbers) > 1 else FULL_REQUESTS
+
+    document = run_observability_bench(
+        num_tuples,
+        num_requests=num_requests,
+        batch_size=batch_size,
+        repeats=repeats,
+        seed=seed,
+    )
+    write_observability_bench(str(ARTIFACT), document)
+    print_results(document)
+    print(f"\nwrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,10 @@ from repro.benchharness.replay import (
     zipf_ranks,
 )
 from repro.benchharness.live import run_live_updates, write_live_updates
+from repro.benchharness.observability import (
+    run_observability_bench,
+    write_observability_bench,
+)
 from repro.benchharness.sharding import (
     columnar_code_dtypes,
     run_shard_scaling,
@@ -52,6 +56,7 @@ __all__ = [
     "replay_single",
     "replay_threaded",
     "run_live_updates",
+    "run_observability_bench",
     "run_planner_build_bench",
     "run_replay",
     "run_shard_scaling",
@@ -60,6 +65,7 @@ __all__ = [
     "star_query",
     "write_backend_comparison",
     "write_live_updates",
+    "write_observability_bench",
     "write_planner_build",
     "write_service_throughput",
     "write_shard_scaling",

@@ -1,6 +1,7 @@
-"""Command-line interface: classify, explain, serve, client, mutate, snapshot.
+"""Command-line interface: classify, explain, serve, client, mutate, snapshot,
+metrics, trace.
 
-Six subcommands::
+Eight subcommands::
 
     repro classify "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, z, y"
     repro explain  "Q(x, y, z) :- R(x, y), S(y, z)" --order "x, y, z" --json
@@ -10,6 +11,8 @@ Six subcommands::
         --insert "[7, 8]" --delete "[1, 2]" --compact
     repro snapshot save "Q(x, y) :- R(x, y)" --db demo=demo_db.json --out q.rsnp
     repro snapshot load q.rsnp --range 0 10
+    repro metrics --url http://127.0.0.1:8734
+    repro trace 84ec28e9a2564e55 --url http://127.0.0.1:8734
 
 ``classify`` (the default when the first argument is not a subcommand, for
 backward compatibility) prints the verdicts of all four dichotomies for a
@@ -29,7 +32,11 @@ inserts, then the deletes, then (optionally) a compaction and a stats probe,
 printing one JSON response per operation.  ``snapshot save`` builds a LEX
 plan once and writes the flat snapshot image of its preprocessed instance;
 ``snapshot load`` mmaps such a file and serves ranked answers from it —
-across process restarts — without re-running preprocessing.
+across process restarts — without re-running preprocessing.  ``metrics``
+fetches a running server's telemetry (pretty table, ``--json``, or the raw
+Prometheus text via ``--prometheus``); ``trace`` prints the span tree of a
+retained request trace by id, or summaries of the most recent traces when no
+id is given.
 
 ``repro --version`` prints the library version.  Malformed invocations exit
 with the conventional argparse usage status (2).
@@ -128,6 +135,20 @@ def build_serve_parser() -> argparse.ArgumentParser:
     _add_shards(parser, " (default for plans that do not name a count)")
     parser.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log requests slower than MS milliseconds to the slow-query log "
+        "(0 logs everything; default: REPRO_SLOW_QUERY_MS or 500)",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable metrics and tracing for this process (near-zero "
+        "instrumentation overhead; /metrics serves empty families)",
     )
     return parser
 
@@ -280,11 +301,13 @@ def explain_main(argv: List[str]) -> int:
 # serve / client
 # ----------------------------------------------------------------------
 def _parse_db_specs(parser: argparse.ArgumentParser, specs: List[str], backend,
-                    max_plans: int = 64, shards: Optional[int] = None):
+                    max_plans: int = 64, shards: Optional[int] = None,
+                    slow_query_seconds: Optional[float] = None):
     from repro.service import QueryService, load_database
     from repro.service.protocol import ServiceError
 
-    service = QueryService(max_plans=max(1, max_plans), backend=backend, shards=shards)
+    service = QueryService(max_plans=max(1, max_plans), backend=backend,
+                           shards=shards, slow_query_seconds=slow_query_seconds)
     for spec in specs:
         name, separator, path = spec.partition("=")
         if not separator or not name or not path:
@@ -302,8 +325,17 @@ def serve_main(argv: List[str]) -> int:
     from repro.service import make_server
     from repro.service.httpd import run_server
 
+    if args.no_obs:
+        from repro.obs import set_enabled
+
+        set_enabled(False)
+    slow_query_seconds = (
+        max(0.0, args.slow_query_ms / 1000.0)
+        if args.slow_query_ms is not None else None
+    )
     service = _parse_db_specs(parser, args.db, args.backend, args.max_plans,
-                              shards=args.shards)
+                              shards=args.shards,
+                              slow_query_seconds=slow_query_seconds)
     server = make_server(service, args.host, args.port, quiet=not args.verbose)
     host, port = server.server_address[:2]
     print(f"repro serve: listening on http://{host}:{port} "
@@ -475,6 +507,185 @@ def mutate_main(argv: List[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# metrics / trace (observability front-ends)
+# ----------------------------------------------------------------------
+def _get_text(url: str, timeout: float = 30.0):
+    """GET a URL; returns ``(text, None)`` or ``(None, error message)``."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read().decode("utf-8"), None
+    except urllib.error.HTTPError as exc:
+        return None, f"HTTP {exc.code}: {exc.read().decode('utf-8', errors='replace')}"
+    except (urllib.error.URLError, OSError) as exc:
+        return None, str(exc)
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Fetch and render a running repro server's metrics.",
+    )
+    _add_version(parser)
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running server (e.g. http://127.0.0.1:8734)",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="only show this metric family, e.g. repro_requests_total (repeatable)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the raw JSON document")
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the raw Prometheus text exposition (GET /metrics)",
+    )
+    return parser
+
+
+def _metric_rows(name: str, document: dict) -> List[tuple]:
+    """Flatten one family document into (series, value-ish...) table rows."""
+    rows = []
+    for entry in document.get("values", []):
+        labels = entry.get("labels") or {}
+        series = name + (
+            "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+            if labels else ""
+        )
+        if document.get("type") == "histogram":
+            quantiles = "/".join(
+                "-" if entry.get(q) is None else f"{entry[q] * 1000:.2f}ms"
+                for q in ("p50", "p95", "p99")
+            )
+            rows.append((series, entry.get("count", 0),
+                         f"sum={entry.get('sum', 0.0):.4f}s p50/95/99={quantiles}"))
+        else:
+            rows.append((series, entry.get("value", 0), ""))
+    return rows
+
+
+def metrics_main(argv: List[str]) -> int:
+    parser = build_metrics_parser()
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+
+    if args.prometheus:
+        text, error = _get_text(f"{base}/metrics")
+        if error is not None:
+            print(json.dumps({"ok": False, "error": error}))
+            return 1
+        print(text, end="")
+        return 0
+
+    response = _post_json(f"{base}/v1/query", {"op": "metrics"})
+    if not response.get("ok"):
+        print(json.dumps(response))
+        return 1
+    snapshot = response.get("metrics", {})
+    if args.family:
+        from repro.obs.metrics import merge_label_filters
+
+        snapshot = merge_label_filters(snapshot, args.family)
+    if args.json:
+        print(json.dumps({
+            "enabled": response.get("enabled"),
+            "metrics": snapshot,
+            "slow_queries": response.get("slow_queries", []),
+        }, indent=2, sort_keys=True))
+        return 0
+
+    print(f"observability enabled: {response.get('enabled')}")
+    rows = []
+    for name in sorted(snapshot):
+        rows.extend(_metric_rows(name, snapshot[name]))
+    if rows:
+        print()
+        print(format_table(["series", "value", "detail"], rows))
+    else:
+        print("(no series recorded yet)")
+    slow = response.get("slow_queries", [])
+    if slow:
+        print()
+        print("slow queries (newest first):")
+        for entry in slow:
+            print("  " + json.dumps(entry, sort_keys=True))
+    return 0
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Print the span tree of a retained request trace, or list "
+        "the most recent traces when no id is given.",
+    )
+    _add_version(parser)
+    parser.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        metavar="ID",
+        help="trace id echoed in a response's 'trace' field",
+    )
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running server (e.g. http://127.0.0.1:8734)",
+    )
+    parser.add_argument(
+        "--limit", type=_positive_int, default=20,
+        help="how many recent traces to list (without an ID; default 20)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the raw JSON document")
+    return parser
+
+
+def trace_main(argv: List[str]) -> int:
+    parser = build_trace_parser()
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+
+    request = {"op": "trace"}
+    if args.trace_id is not None:
+        request["id"] = args.trace_id
+    else:
+        request["limit"] = args.limit
+    response = _post_json(f"{base}/v1/query", request)
+    if not response.get("ok"):
+        print(json.dumps(response))
+        return 1
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+
+    if args.trace_id is None:
+        traces = response.get("traces", [])
+        if not traces:
+            print("(no traces retained yet)")
+            return 0
+        rows = [
+            (entry["id"], entry["name"], f"{entry['seconds'] * 1000:.3f}ms")
+            for entry in traces
+        ]
+        print(format_table(["trace", "request", "duration"], rows))
+        return 0
+
+    from repro.obs import format_span_tree
+
+    document = response["traced"]
+    print(f"trace {document['id']}  ({document['name']}, "
+          f"{document['seconds'] * 1000:.3f}ms)")
+    print(format_span_tree(document["root"]))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # snapshot
 # ----------------------------------------------------------------------
 def build_snapshot_parser() -> argparse.ArgumentParser:
@@ -614,6 +825,8 @@ _SUBCOMMAND_MAINS = {
     "client": client_main,
     "mutate": mutate_main,
     "snapshot": snapshot_main,
+    "metrics": metrics_main,
+    "trace": trace_main,
 }
 
 

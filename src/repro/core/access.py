@@ -36,6 +36,7 @@ from repro.core.orders import order_key
 from repro.core.preprocessing import _INT64_SAFE, Bucket, PreprocessedInstance
 from repro.engine.backends import HAS_NUMPY
 from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+from repro.obs import ACCESS_KERNELS
 
 if HAS_NUMPY:
     import numpy as np
@@ -153,7 +154,9 @@ def access(instance, k: int) -> Tuple:
         )
     image = getattr(instance, "_snapshot_image", None)
     if image is not None:
+        ACCESS_KERNELS.inc(("access", "snapshot"))
         return image.access(k)
+    ACCESS_KERNELS.inc(("access", "object"))
 
     layers = instance.layers
     num_layers = len(layers)
@@ -218,7 +221,9 @@ def inverted_access(instance, answer: Sequence) -> int:
     assignment = _answer_assignment(instance, answer)
     image = getattr(instance, "_snapshot_image", None)
     if image is not None:
+        ACCESS_KERNELS.inc(("inverted", "snapshot"))
         return image.inverted(tuple(answer))
+    ACCESS_KERNELS.inc(("inverted", "object"))
 
     layers = instance.layers
     num_layers = len(layers)
@@ -279,7 +284,9 @@ def next_answer_index(instance, target: Sequence) -> int:
     assignment = _answer_assignment(instance, target)
     image = getattr(instance, "_snapshot_image", None)
     if image is not None:
+        ACCESS_KERNELS.inc(("next_index", "snapshot"))
         return image.next_index(tuple(target))
+    ACCESS_KERNELS.inc(("next_index", "object"))
 
     layers = instance.layers
     num_layers = len(layers)
@@ -520,8 +527,13 @@ def batch_access(instance, ks: Sequence[int]) -> List[Tuple]:
         return []
     image = getattr(instance, "_snapshot_image", None)
     if image is not None:
+        ACCESS_KERNELS.inc(("batch", "snapshot"))
         return image.gather(ranks)
     index = _batch_index(instance)
     if index is None:
+        # The scalar fallback truly dispatches the scalar kernel per rank, so
+        # the inner ``access`` calls count themselves; this records the batch.
+        ACCESS_KERNELS.inc(("batch", "scalar_loop"))
         return [access(instance, k) for k in ranks]
+    ACCESS_KERNELS.inc(("batch", "vectorized"))
     return index.gather(ranks)

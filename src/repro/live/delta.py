@@ -38,6 +38,7 @@ import threading
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
+from repro.obs import MUTATION_ROWS, MUTATIONS
 from repro.exceptions import MutationError, SchemaError
 
 Row = Tuple
@@ -240,6 +241,8 @@ class LiveDatabase:
     def _commit(self, relation: str, op: str, applied: List[Row]) -> int:
         if not applied:
             return 0
+        MUTATIONS.inc((op,))
+        MUTATION_ROWS.inc((op,), len(applied))
         self._epoch += 1
         self._log.extend((self._epoch, op, relation, row) for row in applied)
         if len(self._log) > self._max_log_entries:

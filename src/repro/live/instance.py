@@ -60,6 +60,7 @@ from repro.core.reduction import eliminate_projections
 from repro.live.delta import LiveDatabase
 from repro.live.diff import compute_answer_delta
 from repro.live.merged import MergedAccess
+from repro.obs import COMPACTION_SECONDS, DELTA_REFRESHES
 
 
 @dataclass(frozen=True)
@@ -289,6 +290,7 @@ class LiveInstance:
             added.sort(key=self._key)
             view = MergedAccess(snapshot.base, added, removed_ranks, self._key)
             self._refreshes += 1
+            DELTA_REFRESHES.inc()
             self._snapshot = _Snapshot(
                 epoch, snapshot.base_epoch, snapshot.base, snapshot.base_db, view
             )
@@ -311,13 +313,17 @@ class LiveInstance:
     def _record_compaction(
         self, reason: str, mode: str, epoch: int, count: int, started: float
     ) -> None:
+        seconds = time.perf_counter() - started
+        # Partial rebuilds carry a per-run "partial:rebuilt/total" mode; the
+        # metric keeps the label set bounded by folding them into "partial".
+        COMPACTION_SECONDS.observe(seconds, (mode.split(":", 1)[0],))
         self._compaction_count += 1
         self._compactions.append({
             "reason": reason,
             "mode": mode,
             "epoch": epoch,
             "count": count,
-            "seconds": round(time.perf_counter() - started, 6),
+            "seconds": round(seconds, 6),
         })
 
     def _adopt_base(self, old: _Snapshot, epoch: int) -> _Snapshot:

@@ -1,0 +1,117 @@
+"""Slow-query log: bounded retention + stderr logging above a threshold.
+
+Every served request reports its duration here; requests slower than the
+configured threshold are retained in a ring buffer (op, plan fingerprint,
+rank span, duration, trace id) and emitted through the standard
+``logging`` machinery under the ``repro.slowlog`` logger, so operators can
+route them like any other application log.  The threshold is configurable
+per instance (``repro serve --slow-query-ms``) and by environment
+(``REPRO_SLOW_QUERY_MS``); a threshold of ``0`` logs everything, which is
+how the CI smoke job forces an entry deterministically.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional
+
+logger = logging.getLogger("repro.slowlog")
+
+#: Environment override for the default threshold, in milliseconds.
+ENV_THRESHOLD_MS = "REPRO_SLOW_QUERY_MS"
+
+#: Default threshold when neither argument nor environment specify one.
+DEFAULT_THRESHOLD_SECONDS = 0.5
+
+
+def threshold_from_env(default: float = DEFAULT_THRESHOLD_SECONDS) -> float:
+    """The slow-query threshold in seconds, honouring ``REPRO_SLOW_QUERY_MS``."""
+    raw = os.environ.get(ENV_THRESHOLD_MS)
+    if raw is None:
+        return default
+    try:
+        return max(0.0, float(raw) / 1000.0)
+    except ValueError:
+        return default
+
+
+def describe_rank_span(request: Mapping) -> Optional[str]:
+    """A compact description of the ranks a request touches (for the log).
+
+    ``access``-style requests carry ``k``; batches carry ``ks``; ranges carry
+    ``lo``/``hi``.  Anything non-numeric is reported verbatim (the request
+    was likely malformed, which is still worth correlating).
+    """
+    if "k" in request:
+        return f"k={request['k']}"
+    ks = request.get("ks")
+    if isinstance(ks, (list, tuple)) and ks:
+        numeric = [k for k in ks if isinstance(k, int) and not isinstance(k, bool)]
+        if len(numeric) == len(ks):
+            return f"ks[{len(ks)}]={min(numeric)}..{max(numeric)}"
+        return f"ks[{len(ks)}]"
+    if "lo" in request or "hi" in request:
+        return f"range[{request.get('lo')}, {request.get('hi')})"
+    return None
+
+
+class SlowQueryLog:
+    """Bounded retention of requests slower than a threshold."""
+
+    def __init__(self, threshold_seconds: Optional[float] = None,
+                 retain: int = 256, counter=None) -> None:
+        self.threshold_seconds = (
+            threshold_from_env() if threshold_seconds is None else threshold_seconds
+        )
+        self._counter = counter  # optional obs Counter labeled by op
+        self._lock = threading.Lock()
+        self._entries: Deque[Dict[str, object]] = deque(maxlen=max(1, retain))
+
+    def record(
+        self,
+        op: str,
+        seconds: float,
+        plan: Optional[str] = None,
+        rank_span: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        database: Optional[str] = None,
+    ) -> bool:
+        """Retain (and log) the request iff it crossed the threshold."""
+        if seconds < self.threshold_seconds:
+            return False
+        entry: Dict[str, object] = {
+            "when": time.time(),
+            "op": op,
+            "seconds": round(seconds, 6),
+        }
+        if plan is not None:
+            entry["plan"] = plan
+        if database is not None:
+            entry["db"] = database
+        if rank_span is not None:
+            entry["rank_span"] = rank_span
+        if trace_id is not None:
+            entry["trace"] = trace_id
+        with self._lock:
+            self._entries.append(entry)
+        if self._counter is not None:
+            self._counter.inc((op,))
+        logger.warning(
+            "slow query: op=%s seconds=%.4f plan=%s ranks=%s trace=%s",
+            op, seconds, plan or "-", rank_span or "-", trace_id or "-",
+        )
+        return True
+
+    def entries(self, limit: int = 50) -> List[Dict[str, object]]:
+        """The retained entries, newest first."""
+        with self._lock:
+            entries = list(self._entries)[-limit:]
+        return list(reversed(entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -7,15 +7,19 @@ the layered preprocessing for LEX direct access (optionally with a worker
 pool building independent layers concurrently), the reduce-project-sort
 pipeline for SUM direct access, or the per-variable selection walks.
 
-Every stage is timed and recorded into an
-:class:`~repro.planner.plan.ExecutionReport` that is attached to the plan
-(``plan.stats``) and returned with the build result, so ``repro explain`` can
-show the measured cost of each stage of the most recent build.
+Every stage is timed through one funnel (:func:`record_stage` via the
+:func:`_stage` context manager): the measurement still lands in the
+:class:`~repro.planner.plan.ExecutionReport` attached to the plan
+(``plan.stats``, what ``repro explain`` shows), and the same measurement is
+emitted as a trace span on the calling request's trace and as an observation
+of the ``repro_build_stage_seconds{stage}`` histogram — one instrumentation
+point, three consumers.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -24,7 +28,40 @@ from repro.core.preprocessing import PreprocessedInstance, preprocess
 from repro.core.reduction import eliminate_projections, reduce_database_over_query
 from repro.engine.database import Database
 from repro.exceptions import OutOfBoundsError, QueryStructureError
+from repro.obs import BUILD_STAGE_SECONDS, PLAN_BUILDS, TRACER
 from repro.planner.plan import ExecutionReport, QueryPlan
+
+
+def record_stage(report: ExecutionReport, name: str, seconds: float,
+                 rows: Optional[int] = None) -> None:
+    """Record one measured build stage everywhere it is consumed.
+
+    The historical report (``plan.stats``), the build-stage latency
+    histogram, and — when the calling thread is inside a request trace — a
+    completed child span.  This is also the ``on_stage`` callback handed to
+    the preprocessing/sharding builders, so their internally timed stages
+    surface identically to the executor's own.
+    """
+    report.record(name, seconds, rows)
+    BUILD_STAGE_SECONDS.observe(seconds, (name,))
+    TRACER.event(f"stage:{name}", seconds, rows=rows)
+
+
+class _StageHandle:
+    """Mutable row count a ``_stage`` block fills in before exiting."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: Optional[int] = None
+
+
+@contextmanager
+def _stage(report: ExecutionReport, name: str):
+    handle = _StageHandle()
+    started = time.perf_counter()
+    yield handle
+    record_stage(report, name, time.perf_counter() - started, handle.rows)
 
 
 @dataclass
@@ -106,30 +143,30 @@ class PlanExecutor:
         objects = self.plan.objects
         database = self.database
         if self.plan.backend is not None:
-            started = time.perf_counter()
-            database = database.to_backend(self.plan.backend)
-            report.record("backend_convert", time.perf_counter() - started,
-                          database.size())
+            with _stage(report, "backend_convert") as stage:
+                database = database.to_backend(self.plan.backend)
+                stage.rows = database.size()
 
         query, order = objects.query, objects.order
         if objects.fds:
             from repro.fds.rewrite import rewrite_for_fds
 
-            started = time.perf_counter()
-            query, database, order = rewrite_for_fds(query, database, order, objects.fds)
-            report.record("fd_rewrite", time.perf_counter() - started, database.size())
+            with _stage(report, "fd_rewrite") as stage:
+                query, database, order = rewrite_for_fds(query, database, order,
+                                                         objects.fds)
+                stage.rows = database.size()
 
-        started = time.perf_counter()
-        normalized, database = query.normalize(database)
-        report.record("normalize", time.perf_counter() - started, database.size())
+        with _stage(report, "normalize") as stage:
+            normalized, database = query.normalize(database)
+            stage.rows = database.size()
         return normalized, database
 
     def _boolean_answers(self, normalized, database, report: ExecutionReport) -> List[Tuple]:
         from repro.engine.naive import evaluate_naive
 
-        started = time.perf_counter()
-        answers = evaluate_naive(normalized, database)
-        report.record("evaluate_boolean", time.perf_counter() - started, len(answers))
+        with _stage(report, "evaluate_boolean") as stage:
+            answers = evaluate_naive(normalized, database)
+            stage.rows = len(answers)
         return answers
 
     def _finish(self, report: ExecutionReport, started: float) -> ExecutionReport:
@@ -143,56 +180,62 @@ class PlanExecutor:
     def build_lex(self) -> LexBuild:
         """Build the direct-access structure of a ``"lex"`` plan."""
         self._require_mode("lex")
+        PLAN_BUILDS.inc(("lex",))
         report = self._new_report()
         run_started = time.perf_counter()
-        normalized, database = self._front(report)
+        with TRACER.span("build:lex", plan=self.plan.fingerprint):
+            normalized, database = self._front(report)
 
-        if self.plan.boolean:
-            answers = self._boolean_answers(normalized, database, report)
+            if self.plan.boolean:
+                answers = self._boolean_answers(normalized, database, report)
+                self._finish(report, run_started)
+                return LexBuild(None, answers, LexOrder(()), report)
+
+            objects = self.plan.objects
+            with _stage(report, "eliminate_projections") as stage:
+                reduction = eliminate_projections(
+                    normalized, database, plan=objects.projection_plan,
+                    assume_distinct=True,
+                )
+                stage.rows = reduction.database.size()
+
+            def on_stage(name, seconds, rows=None):
+                record_stage(report, name, seconds, rows)
+
+            if self.plan.shards > 1:
+                from repro.core.sharding import build_sharded_instance
+
+                instance = build_sharded_instance(
+                    objects.tree,
+                    reduction.database,
+                    self.plan.shards,
+                    workers=self.workers,
+                    use_processes=self.use_processes,
+                    on_stage=on_stage,
+                )
+            else:
+                instance = preprocess(
+                    objects.tree,
+                    reduction.database,
+                    workers=self.workers,
+                    use_processes=self.use_processes,
+                    on_stage=on_stage,
+                    assume_reduced=True,
+                )
+
+            # Flatten into the array-backed snapshot image so scalar serving
+            # runs the fused kernels.  Purely an accelerator: when capture
+            # declines (no NumPy, exact-int counts, unencodable values) the
+            # object walk serves unchanged and no stage is recorded.
+            from repro.core.snapshot import install as install_snapshot
+
+            started = time.perf_counter()
+            snapshot = install_snapshot(instance, fingerprint=self.plan.fingerprint)
+            if snapshot is not None:
+                record_stage(report, "snapshot", time.perf_counter() - started,
+                             instance.count)
             self._finish(report, run_started)
-            return LexBuild(None, answers, LexOrder(()), report)
-
-        objects = self.plan.objects
-        started = time.perf_counter()
-        reduction = eliminate_projections(
-            normalized, database, plan=objects.projection_plan, assume_distinct=True
-        )
-        report.record("eliminate_projections", time.perf_counter() - started,
-                      reduction.database.size())
-
-        if self.plan.shards > 1:
-            from repro.core.sharding import build_sharded_instance
-
-            instance = build_sharded_instance(
-                objects.tree,
-                reduction.database,
-                self.plan.shards,
-                workers=self.workers,
-                use_processes=self.use_processes,
-                on_stage=report.record,
-            )
-        else:
-            instance = preprocess(
-                objects.tree,
-                reduction.database,
-                workers=self.workers,
-                use_processes=self.use_processes,
-                on_stage=report.record,
-                assume_reduced=True,
-            )
-
-        # Flatten into the array-backed snapshot image so scalar serving runs
-        # the fused kernels.  Purely an accelerator: when capture declines
-        # (no NumPy, exact-int counts, unencodable values) the object walk
-        # serves unchanged and no stage is recorded.
-        from repro.core.snapshot import install as install_snapshot
-
-        started = time.perf_counter()
-        snapshot = install_snapshot(instance, fingerprint=self.plan.fingerprint)
-        if snapshot is not None:
-            report.record("snapshot", time.perf_counter() - started, instance.count)
-        self._finish(report, run_started)
-        return LexBuild(instance, None, objects.complete_order, report)
+            return LexBuild(instance, None, objects.complete_order, report)
 
     # ------------------------------------------------------------------
     # SUM direct access (Theorem 5.1 / 8.9)
@@ -200,49 +243,51 @@ class PlanExecutor:
     def build_sum(self, weights: Optional[Weights] = None) -> SumBuild:
         """Build the sorted answer array of a ``"sum"`` plan."""
         self._require_mode("sum")
+        PLAN_BUILDS.inc(("sum",))
         weights = weights if weights is not None else Weights.identity()
         report = self._new_report()
         run_started = time.perf_counter()
-        normalized, database = self._front(report)
-        objects = self.plan.objects
-        original_free = objects.query.free_variables
+        with TRACER.span("build:sum", plan=self.plan.fingerprint):
+            normalized, database = self._front(report)
+            objects = self.plan.objects
+            original_free = objects.query.free_variables
 
-        if self.plan.boolean:
-            answers = self._boolean_answers(normalized, database, report)
+            if self.plan.boolean:
+                answers = self._boolean_answers(normalized, database, report)
+                self._finish(report, run_started)
+                return SumBuild(answers, [0.0] * len(answers), report)
+
+            with _stage(report, "semi_join_reduce") as stage:
+                reduced = reduce_database_over_query(normalized, database,
+                                                     assume_distinct=True)
+                stage.rows = sum(len(r) for r in reduced)
+
+            with _stage(report, "project_answers") as stage:
+                atom_index = normalized.atoms.index(objects.covering_atom)
+                answers_relation = reduced[atom_index].project(
+                    normalized.free_variables)
+                stage.rows = len(answers_relation)
+
+            with _stage(report, "score_and_sort") as stage:
+                effective_free = normalized.free_variables
+                scored: List[Tuple[float, Tuple, Tuple]] = []
+                for row in answers_relation:
+                    weight = weights.answer_weight(effective_free, row)
+                    if effective_free == original_free:
+                        answer = row
+                    else:
+                        mapping = dict(zip(effective_free, row))
+                        answer = tuple(mapping[v] for v in original_free)
+                    scored.append((weight, answer, row))
+                scored.sort(key=lambda item: (item[0], tuple(map(repr, item[1]))))
+                stage.rows = len(scored)
+
             self._finish(report, run_started)
-            return SumBuild(answers, [0.0] * len(answers), report)
-
-        started = time.perf_counter()
-        reduced = reduce_database_over_query(normalized, database, assume_distinct=True)
-        report.record("semi_join_reduce", time.perf_counter() - started,
-                      sum(len(r) for r in reduced))
-
-        started = time.perf_counter()
-        atom_index = normalized.atoms.index(objects.covering_atom)
-        answers_relation = reduced[atom_index].project(normalized.free_variables)
-        report.record("project_answers", time.perf_counter() - started,
-                      len(answers_relation))
-
-        started = time.perf_counter()
-        effective_free = normalized.free_variables
-        scored: List[Tuple[float, Tuple, Tuple]] = []
-        for row in answers_relation:
-            weight = weights.answer_weight(effective_free, row)
-            if effective_free == original_free:
-                answer = row
-            else:
-                mapping = dict(zip(effective_free, row))
-                answer = tuple(mapping[v] for v in original_free)
-            scored.append((weight, answer, row))
-        scored.sort(key=lambda item: (item[0], tuple(map(repr, item[1]))))
-        report.record("score_and_sort", time.perf_counter() - started, len(scored))
-
-        self._finish(report, run_started)
-        return SumBuild(
-            [answer for _, answer, _ in scored],
-            [weight for weight, _, _ in scored],
-            report,
-        )
+            return SumBuild(
+                [answer for _, answer, _ in scored],
+                [weight for weight, _, _ in scored],
+                report,
+            )
 
     # ------------------------------------------------------------------
     # Selection by LEX (Theorem 6.1 / 8.22)
@@ -250,12 +295,17 @@ class PlanExecutor:
     def select_lex(self, k: int) -> Tuple:
         """Run a ``"selection_lex"`` plan: the ``k``-th answer, no structure kept."""
         self._require_mode("selection_lex")
+        PLAN_BUILDS.inc(("selection_lex",))
+        report = self._new_report()
+        run_started = time.perf_counter()
+        with TRACER.span("build:selection_lex", plan=self.plan.fingerprint):
+            return self._select_lex(k, report, run_started)
+
+    def _select_lex(self, k: int, report: ExecutionReport, run_started: float) -> Tuple:
         from repro.algorithms.weighted_selection import weighted_select
         from repro.core.selection_lex import value_histogram
         from repro.core.orders import order_key
 
-        report = self._new_report()
-        run_started = time.perf_counter()
         normalized, database = self._front(report)
         objects = self.plan.objects
         original_free = objects.query.free_variables
@@ -269,12 +319,12 @@ class PlanExecutor:
                 )
             return answers[k]
 
-        started = time.perf_counter()
-        reduction = eliminate_projections(
-            normalized, database, plan=objects.projection_plan, assume_distinct=True
-        )
-        report.record("eliminate_projections", time.perf_counter() - started,
-                      reduction.database.size())
+        with _stage(report, "eliminate_projections") as stage:
+            reduction = eliminate_projections(
+                normalized, database, plan=objects.projection_plan,
+                assume_distinct=True,
+            )
+            stage.rows = reduction.database.size()
         full_query, current_db = reduction.query, reduction.database
 
         if k < 0:
@@ -309,13 +359,12 @@ class PlanExecutor:
             from repro.engine.partition import range_partition
 
             leading = pending_variables.pop(0)
-            started = time.perf_counter()
-            partition = range_partition(
-                current_db, leading, self.plan.shards,
-                descending=order.is_descending(leading),
-            )
-            report.record("partition", time.perf_counter() - started,
-                          current_db.size())
+            with _stage(report, "partition") as stage:
+                partition = range_partition(
+                    current_db, leading, self.plan.shards,
+                    descending=order.is_descending(leading),
+                )
+                stage.rows = current_db.size()
 
             started = time.perf_counter()
             chosen_histogram = None
@@ -335,7 +384,8 @@ class PlanExecutor:
             current_db, remaining, width = select_value(
                 leading, chosen_histogram, current_db, remaining
             )
-            report.record(f"select:{leading}", time.perf_counter() - started, width)
+            record_stage(report, f"select:{leading}",
+                         time.perf_counter() - started, width)
 
         for variable in pending_variables:
             started = time.perf_counter()
@@ -348,7 +398,8 @@ class PlanExecutor:
             current_db, remaining, width = select_value(
                 variable, histogram, current_db, remaining
             )
-            report.record(f"select:{variable}", time.perf_counter() - started, width)
+            record_stage(report, f"select:{variable}",
+                         time.perf_counter() - started, width)
 
         self._finish(report, run_started)
         answer_effective = tuple(assignment[v] for v in full_query.free_variables)
@@ -365,41 +416,42 @@ class PlanExecutor:
         self._require_mode("selection_sum")
         from repro.core.selection_sum import _selection_single_atom, _selection_two_atoms
 
+        PLAN_BUILDS.inc(("selection_sum",))
         weights = weights if weights is not None else Weights.identity()
         report = self._new_report()
         run_started = time.perf_counter()
-        normalized, database = self._front(report)
-        objects = self.plan.objects
-        original_free = objects.query.free_variables
+        with TRACER.span("build:selection_sum", plan=self.plan.fingerprint):
+            normalized, database = self._front(report)
+            objects = self.plan.objects
+            original_free = objects.query.free_variables
 
-        if self.plan.boolean:
-            answers = self._boolean_answers(normalized, database, report)
-            self._finish(report, run_started)
-            if k < 0 or k >= len(answers):
-                raise OutOfBoundsError(
-                    f"index {k} is out of bounds for {len(answers)} answers"
+            if self.plan.boolean:
+                answers = self._boolean_answers(normalized, database, report)
+                self._finish(report, run_started)
+                if k < 0 or k >= len(answers):
+                    raise OutOfBoundsError(
+                        f"index {k} is out of bounds for {len(answers)} answers"
+                    )
+                return answers[k]
+
+            with _stage(report, "eliminate_projections") as stage:
+                reduction = eliminate_projections(
+                    normalized, database, plan=objects.projection_plan,
+                    assume_distinct=True,
                 )
-            return answers[k]
+                stage.rows = reduction.database.size()
+            full_query, full_database = reduction.query, reduction.database
 
-        started = time.perf_counter()
-        reduction = eliminate_projections(
-            normalized, database, plan=objects.projection_plan, assume_distinct=True
-        )
-        report.record("eliminate_projections", time.perf_counter() - started,
-                      reduction.database.size())
-        full_query, full_database = reduction.query, reduction.database
-
-        started = time.perf_counter()
-        if len(full_query.atoms) == 1:
-            answer = _selection_single_atom(full_query, full_database, weights, k,
-                                            original_free)
-            report.record("select_fmh1", time.perf_counter() - started)
-        else:
-            answer = _selection_two_atoms(full_query, full_database, weights, k,
-                                          original_free)
-            report.record("select_fmh2", time.perf_counter() - started)
-        self._finish(report, run_started)
-        return answer
+            if len(full_query.atoms) == 1:
+                with _stage(report, "select_fmh1"):
+                    answer = _selection_single_atom(full_query, full_database,
+                                                    weights, k, original_free)
+            else:
+                with _stage(report, "select_fmh2"):
+                    answer = _selection_two_atoms(full_query, full_database,
+                                                  weights, k, original_free)
+            self._finish(report, run_started)
+            return answer
 
     # ------------------------------------------------------------------
     def _require_mode(self, mode: str) -> None:

@@ -8,6 +8,10 @@ preparation, so concurrent requests against one plan need no locking.
 Endpoints (all JSON):
 
 * ``GET  /healthz``          — liveness: ``{"status": "ok"}``.
+* ``GET  /metrics``          — Prometheus text exposition (the one non-JSON
+  endpoint; gauges are refreshed from service state before rendering).
+* ``GET  /v1/metrics``       — the same registry as JSON, plus the slow-query
+  log (also reachable as op ``metrics``).
 * ``GET  /v1/stats``         — cache/op counters (same shape as op ``stats``).
 * ``GET  /v1/databases``     — registered database names.
 * ``POST /v1/query``         — the generic request object (``{"op": ...}``).
@@ -25,7 +29,11 @@ Endpoints (all JSON):
 * ``POST /v1/databases``     — register: ``{"name": ..., "relations": {...}}``.
 
 Error responses carry ``{"ok": false, "error": {"code", "message"}}`` with an
-HTTP status derived from the error code (400/404/422/500).
+HTTP status derived from the error code (400/404/422/500) — and, like every
+response, the request's trace id under ``"trace"`` when tracing is on, so a
+client error report can be correlated with the server-side span tree
+(``repro trace <id>``).  Every response is counted in the request metrics;
+error responses additionally feed ``repro_http_errors_total{op,status}``.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.obs import HTTP_ERRORS, METRICS
 from repro.service.protocol import error_response
 from repro.service.service import QueryService
 
@@ -42,6 +51,7 @@ _STATUS_BY_CODE = {
     "bad_request": 400,
     "unknown_database": 404,
     "unknown_plan": 404,
+    "unknown_trace": 404,
     "out_of_bounds": 404,
     "not_an_answer": 404,
     "unsupported": 422,
@@ -70,17 +80,27 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # Bound every socket read: a client announcing more bytes than it sends
     # must not pin a server thread forever in rfile.read().
     timeout = 60
+    # Headers and body are written separately; without TCP_NODELAY, Nagle
+    # holds the second segment until the client ACKs the first, which with
+    # delayed ACKs stalls every keep-alive response by up to 40ms.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         if self.path == "/healthz":
             self._respond(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self._respond_prometheus()
+        elif self.path == "/v1/metrics":
+            self._dispatch({"op": "metrics"})
         elif self.path == "/v1/stats":
             self._dispatch({"op": "stats"})
         elif self.path == "/v1/databases":
             self._dispatch({"op": "databases"})
         else:
-            self._respond(404, error_response("bad_request", f"unknown path {self.path!r}"))
+            self._respond_client_error(
+                404, error_response("bad_request", f"unknown path {self.path!r}")
+            )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         request = self._read_json()
@@ -94,7 +114,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             op = self.path[len("/v1/"):].strip("/")
             self._dispatch({**request, "op": op})
         else:
-            self._respond(404, error_response("bad_request", f"unknown path {self.path!r}"))
+            self._respond_client_error(
+                404, error_response("bad_request", f"unknown path {self.path!r}")
+            )
 
     # ------------------------------------------------------------------
     def _dispatch(self, request: Mapping) -> None:
@@ -103,7 +125,25 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._respond(200, response)
         else:
             code = response.get("error", {}).get("code", "bad_request")
-            self._respond(_STATUS_BY_CODE.get(code, 400), response)
+            status = _STATUS_BY_CODE.get(code, 400)
+            op = request.get("op")
+            HTTP_ERRORS.inc((op if isinstance(op, str) else "invalid", str(status)))
+            self._respond(status, response)
+
+    def _respond_prometheus(self) -> None:
+        """``GET /metrics``: the registry in Prometheus text exposition format."""
+        self.server.service.update_gauges()
+        body = METRICS.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_client_error(self, status: int, payload: Dict[str, object]) -> None:
+        """An error answered before any op was dispatched (no op label)."""
+        HTTP_ERRORS.inc(("invalid", str(status)))
+        self._respond(status, payload)
 
     def _read_json(self) -> Optional[Mapping]:
         try:
@@ -118,7 +158,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 message = f"request body of {length} bytes exceeds the {_MAX_BODY}-byte limit"
             else:
                 message = "request needs a JSON body (Content-Length)"
-            self._respond(400, error_response("bad_request", message))
+            self._respond_client_error(400, error_response("bad_request", message))
             return None
         try:
             body = self.rfile.read(length)
@@ -131,10 +171,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             request = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._respond(400, error_response("bad_request", f"invalid JSON body: {exc}"))
+            self._respond_client_error(
+                400, error_response("bad_request", f"invalid JSON body: {exc}")
+            )
             return None
         if not isinstance(request, Mapping):
-            self._respond(400, error_response("bad_request", "request body must be a JSON object"))
+            self._respond_client_error(
+                400, error_response("bad_request", "request body must be a JSON object")
+            )
             return None
         return request
 

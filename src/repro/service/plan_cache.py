@@ -20,6 +20,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional
 
+from repro.obs import PLAN_CACHE_EVENTS
+
 
 @dataclass
 class CacheStats:
@@ -80,6 +82,7 @@ class PlanCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                PLAN_CACHE_EVENTS.inc(("hit",))
                 return self._entries[key]
             return None
 
@@ -102,6 +105,7 @@ class PlanCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                PLAN_CACHE_EVENTS.inc(("hit",))
                 return self._entries[key]
             pending = self._pending.get(key)
             if pending is None:
@@ -109,9 +113,11 @@ class PlanCache:
                 self._pending[key] = pending
                 leader = True
                 self.stats.misses += 1
+                PLAN_CACHE_EVENTS.inc(("miss",))
             else:
                 leader = False
                 self.stats.coalesced += 1
+                PLAN_CACHE_EVENTS.inc(("coalesced",))
 
         if not leader:
             pending.event.wait()
@@ -146,6 +152,7 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            PLAN_CACHE_EVENTS.inc(("eviction",))
 
     # ------------------------------------------------------------------
     # Invalidation / inspection
@@ -157,6 +164,8 @@ class PlanCache:
             for key in doomed:
                 del self._entries[key]
             self.stats.invalidations += len(doomed)
+            if doomed:
+                PLAN_CACHE_EVENTS.inc(("invalidation",), len(doomed))
             return len(doomed)
 
     def clear(self) -> int:

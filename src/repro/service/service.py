@@ -33,6 +33,7 @@ cache keys and build coalescing are untouched by mutations.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.access import validate_rank
@@ -50,6 +51,20 @@ from repro.exceptions import (
     ReproError,
 )
 from repro.live import CompactionPolicy, LiveDatabase, LiveInstance
+from repro.obs import (
+    ANSWERS,
+    DELTA_TUPLES,
+    EPOCH_LAG,
+    LIVE_EPOCH,
+    METRICS,
+    PLANS_CACHED,
+    REQUEST_SECONDS,
+    REQUESTS,
+    SLOW_QUERIES,
+    TRACER,
+    SlowQueryLog,
+    describe_rank_span,
+)
 from repro.ranking.ranked_enumeration import SumRankedEnumerator
 from repro.service.plan_cache import PlanCache
 from repro.service.protocol import (
@@ -238,6 +253,7 @@ class QueryService:
         backend: Optional[str] = None,
         shards: Optional[int] = None,
         live_policy: Optional[CompactionPolicy] = None,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         self.default_backend = backend
         self.default_shards = shards
@@ -249,6 +265,10 @@ class QueryService:
         self._max_specs = max(1024, 16 * max_plans)
         self._cache = PlanCache(capacity=max_plans)
         self._op_counts: Dict[str, int] = {}
+        #: Per-service slow-query retention (the counter metric stays global).
+        self.slow_log = SlowQueryLog(
+            threshold_seconds=slow_query_seconds, counter=SLOW_QUERIES
+        )
 
     # ------------------------------------------------------------------
     # Databases
@@ -633,7 +653,44 @@ class QueryService:
         "error": {"code": ..., "message": ...}}``.  This is the single entry
         point both the HTTP front-end and the request-file runner use, so
         in-process and over-the-wire behaviour cannot drift apart.
+
+        Every request runs inside the observability middleware: a request
+        trace (its id is echoed as ``"trace"`` in success *and* error
+        responses), the per-op request counter and latency histogram, and the
+        slow-query log.  With observability disabled the overhead is a pair
+        of clock reads and attribute checks.
         """
+        op = request.get("op") if isinstance(request, Mapping) else None
+        op_label = op if isinstance(op, str) and op in self._HANDLERS else "invalid"
+        started = time.perf_counter()
+        with TRACER.request(self._TRACE_NAMES[op_label]) as trace:
+            response = self._execute_inner(request)
+        seconds = time.perf_counter() - started
+        if response.get("ok"):
+            status = "ok"
+        else:
+            error = response.get("error")
+            status = error.get("code", "error") if isinstance(error, Mapping) else "error"
+        REQUESTS.inc((op_label, status))
+        REQUEST_SECONDS.observe(seconds, (op_label,))
+        trace_id = trace.trace_id if trace is not None else None
+        if trace_id is not None:
+            response["trace"] = trace_id
+        if seconds >= self.slow_log.threshold_seconds and isinstance(request, Mapping):
+            # The argument marshalling (rank-span string, db lookup) only
+            # happens for requests that actually crossed the threshold.
+            database = request.get("db") or request.get("database")
+            self.slow_log.record(
+                op_label,
+                seconds,
+                plan=response.get("plan"),
+                rank_span=describe_rank_span(request),
+                trace_id=trace_id,
+                database=database if isinstance(database, str) else None,
+            )
+        return response
+
+    def _execute_inner(self, request: Mapping) -> Dict[str, object]:
         try:
             if not isinstance(request, Mapping):
                 raise ServiceError("bad_request", "request must be a JSON object")
@@ -692,6 +749,7 @@ class QueryService:
         except TypeError as exc:
             raise ServiceError("bad_request", str(exc)) from None
         answers = plan.batch_access(ks)
+        ANSWERS.inc(("batch_access",), len(answers))
         return {"plan": plan.fingerprint, "answers": [encode_answer(a) for a in answers]}
 
     def _op_range(self, request: Mapping) -> Dict[str, object]:
@@ -699,6 +757,7 @@ class QueryService:
         lo = _rank_field(request, "lo")
         hi = _rank_field(request, "hi")
         answers = plan.range(lo, hi)
+        ANSWERS.inc(("range",), len(answers))
         return {
             "plan": plan.fingerprint,
             "lo": lo,
@@ -715,6 +774,7 @@ class QueryService:
         plan = self.resolve(request)
         k = _rank_field(request, "k")
         answers = plan.topk(k)
+        ANSWERS.inc(("topk",), len(answers))
         return {"plan": plan.fingerprint, "answers": [encode_answer(a) for a in answers]}
 
     def _op_count(self, request: Mapping) -> Dict[str, object]:
@@ -797,6 +857,77 @@ class QueryService:
     def _op_stats(self, request: Mapping) -> Dict[str, object]:
         return {"stats": self.stats()}
 
+    # -- observability op handlers -------------------------------------
+    def update_gauges(self) -> None:
+        """Refresh the point-in-time gauges from current service state.
+
+        Called before any metrics exposition (``metrics`` op, ``GET
+        /metrics``) so scrapes always see fresh values: the live epoch and
+        pending delta size per database, the epoch lag of every cached plan
+        (live epoch minus the epoch the plan currently serves), and the
+        number of resident plans.  Families are cleared first so gauges of
+        dropped databases/evicted plans do not linger.
+        """
+        if not METRICS.enabled:
+            return
+        with self._lock:
+            live_handles = dict(self._live)
+        LIVE_EPOCH.clear()
+        DELTA_TUPLES.clear()
+        EPOCH_LAG.clear()
+        for name, live in live_handles.items():
+            live_stats = live.stats()
+            LIVE_EPOCH.set(live.epoch, (name,))
+            DELTA_TUPLES.set(
+                live_stats["pending_inserted"] + live_stats["pending_deleted"],
+                (name,),
+            )
+        for key in self._cache.keys():
+            plan = self._cache.peek(key)
+            if plan is None or plan.live is None:
+                continue
+            epoch = plan.epoch
+            if epoch is None:
+                continue
+            EPOCH_LAG.set(plan.live.epoch - epoch, (plan.fingerprint,))
+        PLANS_CACHED.set(len(self._cache))
+
+    def _op_metrics(self, request: Mapping) -> Dict[str, object]:
+        """The full metrics snapshot as JSON (``/v1/metrics``, ``repro metrics``)."""
+        self.update_gauges()
+        return {
+            "enabled": METRICS.enabled,
+            "metrics": METRICS.snapshot(),
+            "slow_queries": self.slow_log.entries(limit=50),
+        }
+
+    def _op_trace(self, request: Mapping) -> Dict[str, object]:
+        """One retained trace by id, or summaries of the most recent ones."""
+        trace_id = request.get("id")
+        if trace_id is None:
+            limit = request.get("limit", 20)
+            if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+                raise ServiceError("bad_request", "'limit' must be a positive integer")
+            return {"traces": TRACER.recent(limit=limit)}
+        if not isinstance(trace_id, str):
+            raise ServiceError("bad_request", "'id' must be a trace id string")
+        document = TRACER.get(trace_id)
+        if document is None:
+            raise ServiceError(
+                "unknown_trace",
+                f"no retained trace {trace_id!r} (aged out or never issued)",
+            )
+        return {"traced": document}
+
+    def _op_slowlog(self, request: Mapping) -> Dict[str, object]:
+        limit = request.get("limit", 50)
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise ServiceError("bad_request", "'limit' must be a positive integer")
+        return {
+            "threshold_seconds": self.slow_log.threshold_seconds,
+            "slow_queries": self.slow_log.entries(limit=limit),
+        }
+
     # -- mutation op handlers (the live-update API) --------------------
     def _mutation_target(self, request: Mapping) -> Tuple[str, str]:
         database = self._database_name(request, "mutation")
@@ -842,11 +973,20 @@ class QueryService:
         "selection": _op_selection,
         "explain": _op_explain,
         "stats": _op_stats,
+        "metrics": _op_metrics,
+        "trace": _op_trace,
+        "slowlog": _op_slowlog,
         "databases": _op_databases,
         "register": _op_register,
         "insert": _op_insert,
         "delete": _op_delete,
         "compact": _op_compact,
+    }
+
+    #: Root-span names, prebuilt so the middleware allocates no per-request
+    #: strings on the trace path.
+    _TRACE_NAMES: Dict[str, str] = {
+        op: "op:" + op for op in list(_HANDLERS) + ["invalid"]
     }
 
 

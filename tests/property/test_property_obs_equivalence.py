@@ -1,0 +1,112 @@
+"""Property tests: instrumented serving ≡ uninstrumented serving.
+
+Telemetry must be a pure observer.  For randomized databases, rank
+workloads, backends and shard counts, every response served through
+:meth:`QueryService.execute` with metrics + tracing enabled must equal the
+response served with them disabled — same answers, same error envelopes,
+same ordering — with only the ``trace`` id field allowed to differ.  The
+counters themselves are also cross-checked against ground truth: after a
+served workload, ``repro_requests_total`` must account for exactly the
+requests sent.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database, Relation
+from repro.engine.backends import available_backends
+from repro.obs import METRICS, TRACER, obs_enabled, set_enabled
+from repro.service import QueryService
+
+BACKENDS = [None] + (["columnar"] if "columnar" in available_backends() else [])
+SHARD_COUNTS = [None, 2, 5]
+
+QUERY_TEXT = "Q(x, y, z) :- R(x, y), S(y, z)"
+
+
+def relation_rows(max_rows=12, domain=5):
+    cell = st.integers(0, domain - 1)
+    return st.lists(st.tuples(cell, cell), max_size=max_rows).map(
+        lambda rows: sorted(set(rows))
+    )
+
+
+@st.composite
+def database_and_ranks(draw):
+    database = Database([
+        Relation("R", ("x", "y"), draw(relation_rows())),
+        Relation("S", ("y", "z"), draw(relation_rows())),
+    ])
+    # Ranks intentionally overshoot the (unknown) answer count so the
+    # workload mixes successes with out_of_bounds errors.
+    ranks = draw(st.lists(st.integers(0, 40), min_size=1, max_size=8))
+    return database, ranks
+
+
+def serve_workload(backend, shards, database, ranks):
+    service = QueryService(backend=backend, shards=shards)
+    service.register_database("db", database)
+    responses = []
+    requests = [
+        {"op": "prepare", "db": "db", "query": QUERY_TEXT, "order": "x, y, z"},
+    ]
+    prepared = service.execute(requests[0])
+    responses.append(prepared)
+    plan = prepared.get("plan")
+    workload = [{"op": "access", "plan": plan, "k": k} for k in ranks] + [
+        {"op": "batch_access", "plan": plan, "ks": ranks},
+        {"op": "range", "plan": plan, "lo": 0, "hi": max(ranks)},
+        {"op": "count", "plan": plan},
+    ]
+    for request in workload:
+        responses.append(service.execute(request))
+    cleaned = []
+    for response in responses:
+        response = dict(response)
+        response.pop("trace", None)
+        cleaned.append(response)
+    return cleaned
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@settings(max_examples=15, deadline=None)
+@given(instance=database_and_ranks())
+def test_instrumented_equals_uninstrumented(backend, shards, instance):
+    database, ranks = instance
+    was_enabled = obs_enabled()
+    try:
+        set_enabled(True)
+        METRICS.reset()
+        TRACER.reset()
+        instrumented = serve_workload(backend, shards, database, ranks)
+        set_enabled(False)
+        uninstrumented = serve_workload(backend, shards, database, ranks)
+        assert instrumented == uninstrumented
+    finally:
+        set_enabled(was_enabled)
+        METRICS.reset()
+        TRACER.reset()
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=database_and_ranks())
+def test_request_counter_accounts_for_every_request(instance):
+    database, ranks = instance
+    was_enabled = obs_enabled()
+    try:
+        set_enabled(True)
+        METRICS.reset()
+        TRACER.reset()
+        serve_workload(None, None, database, ranks)
+        values = METRICS.snapshot()["repro_requests_total"]["values"]
+        total = sum(entry["value"] for entry in values)
+        # prepare + one access per rank + batch + range + count.
+        assert total == 1 + len(ranks) + 3
+        statuses = {entry["labels"]["status"] for entry in values}
+        assert statuses <= {"ok", "out_of_bounds", "bad_request"}
+    finally:
+        set_enabled(was_enabled)
+        METRICS.reset()
+        TRACER.reset()

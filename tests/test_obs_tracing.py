@@ -1,0 +1,204 @@
+"""The tracer: span nesting, ring-buffer retention, disabled no-ops.
+
+A trace is a tree of spans built from a thread-local stack; the finished
+tree is retained in a bounded ring addressable by trace id.  The contracts
+pinned here: nesting follows enter/exit order, events attach externally
+timed children without re-timing them, retention evicts oldest-first at the
+limit, ids are process-unique, disabled tracers allocate nothing and retain
+nothing, and the tree renderer works on the wire shape (plain dicts), not
+on live ``Span`` objects.
+"""
+
+import threading
+
+from repro.obs.trace import Tracer, format_span_tree
+
+
+def make_tracer(retain=8):
+    return Tracer(enabled=True, retain=retain)
+
+
+# ----------------------------------------------------------------------
+# Span nesting
+# ----------------------------------------------------------------------
+class TestNesting:
+    def test_spans_nest_under_the_request_root(self):
+        tracer = make_tracer()
+        with tracer.request("op:prepare") as trace:
+            with tracer.span("build:lex"):
+                with tracer.span("stage:normalize") as inner:
+                    inner.rows = 7
+        document = tracer.get(trace.trace_id)
+        root = document["root"]
+        assert root["name"] == "op:prepare"
+        (build,) = root["children"]
+        assert build["name"] == "build:lex"
+        (stage,) = build["children"]
+        assert stage["name"] == "stage:normalize"
+        assert stage["rows"] == 7
+        assert stage["seconds"] >= 0.0
+
+    def test_sibling_spans_stay_siblings(self):
+        tracer = make_tracer()
+        with tracer.request("op:x") as trace:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        children = tracer.get(trace.trace_id)["root"]["children"]
+        assert [child["name"] for child in children] == ["first", "second"]
+
+    def test_event_attaches_completed_child_without_retiming(self):
+        tracer = make_tracer()
+        with tracer.request("op:x") as trace:
+            tracer.event("stage:layer:1", 1.25, rows=42)
+        (event,) = tracer.get(trace.trace_id)["root"]["children"]
+        assert event["seconds"] == 1.25
+        assert event["rows"] == 42
+
+    def test_event_outside_any_request_is_dropped(self):
+        tracer = make_tracer()
+        tracer.event("orphan", 0.5)
+        assert tracer.recent() == []
+
+    def test_span_attrs_are_stringified_in_the_document(self):
+        tracer = make_tracer()
+        with tracer.request("op:x", plan="abc123") as trace:
+            pass
+        root = tracer.get(trace.trace_id)["root"]
+        assert root["attrs"] == {"plan": "abc123"}
+
+    def test_threads_do_not_share_span_stacks(self):
+        tracer = make_tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.request(name) as trace:
+                with tracer.span(f"inner:{name}"):
+                    pass
+            seen[name] = trace.trace_id
+
+        threads = [
+            threading.Thread(target=worker, args=(f"op:t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for name, trace_id in seen.items():
+            document = tracer.get(trace_id)
+            assert document["name"] == name
+            (child,) = document["root"]["children"]
+            assert child["name"] == f"inner:{name}"
+
+
+# ----------------------------------------------------------------------
+# Retention ring
+# ----------------------------------------------------------------------
+class TestRetention:
+    def test_ring_evicts_oldest_beyond_limit(self):
+        tracer = make_tracer(retain=3)
+        ids = []
+        for i in range(5):
+            with tracer.request(f"op:{i}") as trace:
+                pass
+            ids.append(trace.trace_id)
+        assert tracer.get(ids[0]) is None
+        assert tracer.get(ids[1]) is None
+        for kept in ids[2:]:
+            assert tracer.get(kept) is not None
+
+    def test_recent_is_newest_first(self):
+        tracer = make_tracer()
+        for i in range(3):
+            with tracer.request(f"op:{i}"):
+                pass
+        names = [record["name"] for record in tracer.recent()]
+        assert names == ["op:2", "op:1", "op:0"]
+
+    def test_recent_respects_limit(self):
+        tracer = make_tracer()
+        for i in range(6):
+            with tracer.request(f"op:{i}"):
+                pass
+        assert len(tracer.recent(limit=2)) == 2
+
+    def test_reset_drops_everything(self):
+        tracer = make_tracer()
+        with tracer.request("op:x") as trace:
+            pass
+        tracer.reset()
+        assert tracer.get(trace.trace_id) is None
+        assert tracer.recent() == []
+
+    def test_trace_ids_are_unique_and_sixteen_hex_chars(self):
+        ids = {Tracer.new_trace_id() for _ in range(10_000)}
+        assert len(ids) == 10_000
+        for trace_id in list(ids)[:10]:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+
+# ----------------------------------------------------------------------
+# Disabled tracer
+# ----------------------------------------------------------------------
+class TestDisabled:
+    def test_disabled_request_yields_none_and_retains_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.request("op:x") as trace:
+            with tracer.span("inner") as span:
+                assert span is None
+        assert trace is None
+        assert tracer.recent() == []
+
+    def test_disabled_entry_points_share_one_context_object(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.request("a") is tracer.request("b") is tracer.span("c")
+
+    def test_reenabling_resumes_retention(self):
+        tracer = Tracer(enabled=False)
+        with tracer.request("op:off"):
+            pass
+        tracer.enable()
+        with tracer.request("op:on") as trace:
+            pass
+        assert [r["name"] for r in tracer.recent()] == ["op:on"]
+        assert trace.trace_id
+
+
+# ----------------------------------------------------------------------
+# Tree rendering (wire shape)
+# ----------------------------------------------------------------------
+class TestFormatSpanTree:
+    def test_renders_connectors_and_rows(self):
+        document = {
+            "name": "op:prepare",
+            "seconds": 0.002,
+            "children": [
+                {"name": "build:lex", "seconds": 0.0015, "children": [
+                    {"name": "stage:normalize", "seconds": 0.001, "rows": 7},
+                    {"name": "stage:snapshot", "seconds": 0.0005},
+                ]},
+            ],
+        }
+        text = format_span_tree(document)
+        lines = text.splitlines()
+        assert lines[0].startswith("op:prepare")
+        assert any("├─ stage:normalize" in line and "rows=7" in line for line in lines)
+        assert any("└─ stage:snapshot" in line for line in lines)
+
+    def test_renders_attrs_sorted(self):
+        text = format_span_tree(
+            {"name": "op:x", "seconds": 0.0, "attrs": {"b": "2", "a": "1"}}
+        )
+        assert "a=1 b=2" in text
+
+    def test_round_trips_through_json_shape(self):
+        tracer = make_tracer()
+        with tracer.request("op:x") as trace:
+            with tracer.span("inner"):
+                pass
+        document = tracer.get(trace.trace_id)["root"]
+        text = format_span_tree(document)
+        assert "op:x" in text
+        assert "└─ inner" in text

@@ -261,6 +261,9 @@ class TestExecuteProtocol:
         plan_id = prepare["plan"]
 
         access = service.execute({"op": "access", "plan": plan_id, "k": 0})
+        trace_id = access.pop("trace", None)
+        if trace_id is not None:  # tracing on: the echoed id must be retained
+            assert isinstance(trace_id, str) and trace_id
         assert access == {
             "ok": True, "op": "access", "plan": plan_id, "k": 0,
             "answer": [1, 2, 5],
