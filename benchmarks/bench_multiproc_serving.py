@@ -1,0 +1,381 @@
+"""Multi-process serving: identity, workers×shards scaling, gate behaviour.
+
+Three phases, in order, writing ``BENCH_multiproc_serving.json``:
+
+1. **Identity** — a pooled service (2 workers) must answer byte-identically
+   to a plain single-process service on the same Zipf request mix, for every
+   available backend, *before* anything is timed.  A mismatch aborts the run.
+2. **Scaling** — the same workload replayed at increasing worker counts and
+   shard counts, against a threaded single-process baseline (workers=0).
+   Each pooled run records per-worker busy-seconds scraped from the workers'
+   own registries: on a 1-CPU builder wall-clock cannot improve (all
+   processes share the core), so the artifact carries the
+   ``parallel_speedup_bound`` (total busy / busiest worker) that a multicore
+   host realizes — CI's multicore runner asserts the wall-clock version via
+   ``--assert-scaling``.
+3. **Gate** — point lookups on a built plan, timed unloaded and then under a
+   storm of distinct expensive plan builds against a deliberately tiny
+   admission gate.  The artifact records both p95s (read from
+   ``repro_request_seconds``), their ratio, and the admitted/queued/shed
+   build counts.
+
+Run standalone for the canonical artifact::
+
+    PYTHONPATH=src python benchmarks/bench_multiproc_serving.py [n] [requests]
+    PYTHONPATH=src python benchmarks/bench_multiproc_serving.py --smoke
+    PYTHONPATH=src python benchmarks/bench_multiproc_serving.py --assert-scaling
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+try:  # standalone invocation (CI smoke) must not require pytest
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+from repro import LexOrder
+from repro.benchharness import (
+    format_table,
+    make_requests,
+    replay_pooled,
+    run_gate_workload,
+    verify_identity,
+    write_multiproc_serving,
+)
+from repro.engine.backends import available_backends
+from repro.service import AdmissionGate, QueryService, WorkerPool, pool_supported
+from repro.workloads import paper_queries as pq
+from repro.workloads.generators import generate_path_database
+
+ORDER = LexOrder(("x", "y", "z"))
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_multiproc_serving.json"
+
+#: Full-run knobs (the standalone defaults); --smoke shrinks all of them.
+FULL_TUPLES = 20_000
+FULL_REQUESTS = 20_000
+WORKER_COUNTS = (1, 2, 4)
+SHARD_COUNTS = (1, 4)
+#: 0 = the scalar request mix (dominated by per-request dispatch overhead —
+#: the honest cost of crossing the pipe); 1024 = batched requests, where the
+#: in-worker compute amortizes the pipe and multicore wall-clock wins show.
+BATCH_SIZES = (0, 1024)
+CLIENT_THREADS = 4
+ZIPF_SKEW = 1.1
+#: One seed drives the database rows and the Zipf workload, so the artifact
+#: reproduces bit-for-bit from its metadata.
+DEFAULT_SEED = 0
+
+
+def build_service(
+    num_tuples: int,
+    workers: int = 0,
+    seed: int = DEFAULT_SEED,
+    gate: AdmissionGate = None,
+    max_plans: int = 16,
+) -> QueryService:
+    """A service over the shared path database, optionally with a pool."""
+    service = QueryService(max_plans=max_plans, gate=gate)
+    domain = max(8, int(num_tuples ** 0.5))
+    service.register_database(
+        "bench", generate_path_database(num_tuples, domain, seed=seed)
+    )
+    if workers > 0:
+        pool = WorkerPool(workers=workers)
+        service.attach_pool(pool)
+        pool.start()
+    return service
+
+
+def _prepare(service: QueryService, backend: str, shards: int):
+    return service.prepare(
+        "bench", pq.TWO_PATH, order=ORDER, backend=backend,
+        shards=shards if shards > 1 else None,
+    )
+
+
+def run_identity(num_tuples: int, num_requests: int, backends, seed: int):
+    """Phase 1: pooled answers must match the inline reference everywhere."""
+    reports = {}
+    reference = build_service(num_tuples, workers=0, seed=seed)
+    pooled = build_service(num_tuples, workers=2, seed=seed)
+    try:
+        for backend in backends:
+            for shards in (1, 2):
+                ref_plan = _prepare(reference, backend, shards)
+                _prepare(pooled, backend, shards)
+                for batch_size in (0, 64):
+                    requests = make_requests(
+                        ref_plan.fingerprint, ref_plan.count, num_requests,
+                        batch_size=batch_size, skew=ZIPF_SKEW, seed=seed,
+                    )
+                    key = f"{backend}/shards={shards}" + (
+                        f"/b{batch_size}" if batch_size else ""
+                    )
+                    report = verify_identity(reference, pooled, requests)
+                    reports[key] = report
+                    if report["mismatches"]:
+                        raise AssertionError(
+                            f"pooled answers diverge from single-process on "
+                            f"{key}: {report['mismatches'][:2]}"
+                        )
+    finally:
+        pooled.close()
+        reference.close()
+    return reports
+
+
+def run_scaling(
+    num_tuples: int,
+    num_requests: int,
+    backends,
+    worker_counts=WORKER_COUNTS,
+    shard_counts=SHARD_COUNTS,
+    batch_sizes=BATCH_SIZES,
+    threads: int = CLIENT_THREADS,
+    seed: int = DEFAULT_SEED,
+):
+    """Phase 2: threaded inline baselines, then every workers×shards cell."""
+    results = []
+    for backend in backends:
+        for batch_size in batch_sizes:
+            # Batched runs consume num_requests *ranks* per batch, which
+            # would leave only a handful of timed requests — scale the rank
+            # budget up so every cell times at least ~100 round-trips.
+            ranks = num_requests * (8 if batch_size else 1)
+            service = build_service(num_tuples, workers=0, seed=seed)
+            try:
+                plan = _prepare(service, backend, 1)
+                requests = make_requests(
+                    plan.fingerprint, plan.count, ranks,
+                    batch_size=batch_size, skew=ZIPF_SKEW, seed=seed,
+                )
+                results.append(
+                    replay_pooled(
+                        service, requests, backend=backend, workers=0,
+                        shards=1, batch_size=batch_size, threads=threads,
+                        label=f"{backend} inline x{threads}t b{batch_size}",
+                    )
+                )
+            finally:
+                service.close()
+            for workers in worker_counts:
+                for shards in shard_counts:
+                    service = build_service(
+                        num_tuples, workers=workers, seed=seed
+                    )
+                    try:
+                        plan = _prepare(service, backend, shards)
+                        requests = make_requests(
+                            plan.fingerprint, plan.count, ranks,
+                            batch_size=batch_size, skew=ZIPF_SKEW, seed=seed,
+                        )
+                        results.append(
+                            replay_pooled(
+                                service, requests, backend=backend,
+                                workers=workers, shards=shards,
+                                batch_size=batch_size, threads=threads,
+                                label=f"{backend} {workers}w/{shards}s "
+                                      f"b{batch_size}",
+                            )
+                        )
+                    finally:
+                        service.close()
+    return results
+
+
+def run_gate(num_tuples: int, num_lookups: int, num_builds: int, seed: int):
+    """Phase 3: lookup p95 unloaded vs. under a saturating build storm."""
+    gate = AdmissionGate(max_concurrent=1, max_queue=max(2, num_builds // 2),
+                         queue_timeout=30.0)
+    service = build_service(
+        num_tuples, workers=0, seed=seed, gate=gate,
+        max_plans=num_builds + 4,
+    )
+    try:
+        plan = _prepare(service, available_backends()[0], 1)
+
+        def build_spec(i: int):
+            # Distinct shard counts -> distinct fingerprints (cache misses)
+            # and shards > 1 -> classified onto the expensive lane.
+            return {
+                "op": "prepare", "db": "bench", "query": str(pq.TWO_PATH),
+                "order": "x, y, z", "shards": 2 + i,
+            }
+
+        return run_gate_workload(
+            service, plan.fingerprint, plan.count, build_spec,
+            num_lookups=num_lookups, num_builds=num_builds,
+            skew=ZIPF_SKEW, seed=seed,
+        )
+    finally:
+        service.close()
+
+
+def run_bench(
+    num_tuples: int,
+    num_requests: int,
+    worker_counts=WORKER_COUNTS,
+    shard_counts=SHARD_COUNTS,
+    batch_sizes=BATCH_SIZES,
+    threads: int = CLIENT_THREADS,
+    num_builds: int = 8,
+    artifact=None,
+    seed: int = DEFAULT_SEED,
+):
+    backends = list(available_backends())
+    identity_requests = min(500, num_requests)
+    identity = run_identity(num_tuples, identity_requests, backends, seed)
+    results = run_scaling(
+        num_tuples, num_requests, backends,
+        worker_counts=worker_counts, shard_counts=shard_counts,
+        batch_sizes=batch_sizes, threads=threads, seed=seed,
+    )
+    gate = run_gate(num_tuples, min(2_000, num_requests), num_builds, seed)
+    document = write_multiproc_serving(
+        str(artifact or ARTIFACT),
+        identity,
+        results,
+        gate,
+        metadata={
+            "query": str(pq.TWO_PATH),
+            "order": str(ORDER),
+            "tuples_per_relation": num_tuples,
+            "requests": num_requests,
+            "identity_requests": identity_requests,
+            "worker_counts": list(worker_counts),
+            "shard_counts": list(shard_counts),
+            "batch_sizes": list(batch_sizes),
+            "client_threads": threads,
+            "zipf_skew": ZIPF_SKEW,
+            "seed": seed,
+            "backends": backends,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+    return results, document
+
+
+def print_results(results, document) -> None:
+    checks = ", ".join(
+        f"{key}: {report['checked']} ok ({report['routed']} routed)"
+        for key, report in sorted(document["identity"].items())
+    )
+    print(f"\nidentity: {checks}")
+    rows = []
+    for entry in document["runs"]:
+        rows.append(
+            (
+                entry["backend"],
+                entry["workers"],
+                entry["shards"],
+                entry["batch_size"] or "-",
+                f"{entry['throughput_rps']:,.0f}",
+                f"{entry['routed']}/{entry['inline']}",
+                entry.get("parallel_speedup_bound", "-") or "-",
+                entry.get("speedup_vs_inline", "-"),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["backend", "workers", "shards", "batch", "req/s",
+             "routed/inline", "par bound", "vs inline"],
+            rows,
+            title="multi-process serving (Zipf-skewed mixed reads)",
+        )
+    )
+    gate = document["gate_workload"]
+    print(
+        f"\ngate: unloaded p95 {gate['unloaded_p95_seconds']}s, "
+        f"gated p95 {gate['gated_p95_seconds']}s "
+        f"(ratio {gate['p95_ratio']}); builds {gate['build_statuses']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pytest variant: plumbing smoke (timings too noisy for hard assertions)
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    @pytest.mark.skipif(not pool_supported(), reason="worker pool unavailable")
+    def test_multiproc_serving_artifact(tmp_path):
+        scratch = tmp_path / "BENCH_multiproc_serving.json"
+        results, document = run_bench(
+            1_500, 2_000, worker_counts=(1, 2), shard_counts=(1, 2),
+            batch_sizes=(0, 256), threads=2, num_builds=4, artifact=scratch,
+        )
+        print_results(results, document)
+        assert scratch.exists()
+        for report in document["identity"].values():
+            assert report["mismatches"] == []
+            assert report["routed"] > 0
+        pooled = [run for run in document["runs"] if run["workers"] > 0]
+        assert pooled and all(run["routed"] > 0 for run in pooled)
+        gate = document["gate_workload"]
+        assert gate["unloaded_p95_seconds"] is not None
+        assert gate["gated_p95_seconds"] is not None
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    assert_scaling = "--assert-scaling" in argv
+    argv = [a for a in argv if a not in ("--smoke", "--assert-scaling")]
+    seed = DEFAULT_SEED
+    if "--seed" in argv:
+        position = argv.index("--seed")
+        seed = int(argv[position + 1])
+        del argv[position:position + 2]
+
+    if not pool_supported():
+        print("worker pool unavailable (no numpy/shm); nothing to measure")
+        return 0
+
+    if smoke:
+        num_tuples, num_requests = 1_500, 3_000
+        worker_counts, shard_counts = (1, 2), (1, 2)
+        batch_sizes, threads, num_builds = (0, 256), 2, 4
+    else:
+        numbers = [int(a) for a in argv]
+        num_tuples = numbers[0] if numbers else FULL_TUPLES
+        num_requests = numbers[1] if len(numbers) > 1 else FULL_REQUESTS
+        worker_counts, shard_counts = WORKER_COUNTS, SHARD_COUNTS
+        batch_sizes, threads, num_builds = BATCH_SIZES, CLIENT_THREADS, 8
+
+    results, document = run_bench(
+        num_tuples, num_requests,
+        worker_counts=worker_counts, shard_counts=shard_counts,
+        batch_sizes=batch_sizes, threads=threads, num_builds=num_builds,
+        seed=seed,
+    )
+    print_results(results, document)
+    print(f"\nwrote {ARTIFACT}")
+
+    if assert_scaling:
+        # Only meaningful on a multicore host (CI's runner); a 1-CPU builder
+        # serializes every process onto one core.
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            print(f"--assert-scaling skipped: only {cores} CPU(s)")
+            return 0
+        best = max(
+            (run.get("speedup_vs_inline", 0.0) or 0.0)
+            for run in document["runs"]
+            if run["workers"] == max(worker_counts)
+        )
+        print(
+            f"workers={max(worker_counts)} best speedup vs threaded inline: "
+            f"{best:.2f}x (acceptance: >= 1.5x)"
+        )
+        assert best >= 1.5, (
+            f"pooled speedup {best:.2f}x below the 1.5x acceptance bar"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

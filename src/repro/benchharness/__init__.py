@@ -31,6 +31,14 @@ from repro.benchharness.replay import (
     zipf_ranks,
 )
 from repro.benchharness.live import run_live_updates, write_live_updates
+from repro.benchharness.multiproc import (
+    MultiprocResult,
+    make_requests,
+    replay_pooled,
+    run_gate_workload,
+    verify_identity,
+    write_multiproc_serving,
+)
 from repro.benchharness.observability import (
     run_observability_bench,
     write_observability_bench,
@@ -45,16 +53,20 @@ from repro.benchharness.reporting import format_table
 
 __all__ = [
     "MonolithLexAccess",
+    "MultiprocResult",
     "ReplayResult",
     "ScalingResult",
     "columnar_code_dtypes",
     "compare_backends",
     "format_table",
     "growth_exponent",
+    "make_requests",
     "measure_scaling",
+    "replay_pooled",
     "replay_batched",
     "replay_single",
     "replay_threaded",
+    "run_gate_workload",
     "run_live_updates",
     "run_observability_bench",
     "run_planner_build_bench",
@@ -63,8 +75,10 @@ __all__ = [
     "run_snapshot_bench",
     "star_database",
     "star_query",
+    "verify_identity",
     "write_backend_comparison",
     "write_live_updates",
+    "write_multiproc_serving",
     "write_observability_bench",
     "write_planner_build",
     "write_service_throughput",

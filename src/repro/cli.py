@@ -150,6 +150,54 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="disable metrics and tracing for this process (near-zero "
         "instrumentation overhead; /metrics serves empty families)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="prefork N worker processes that serve access/batch/range/count "
+        "reads from attached shared-memory snapshot images (0 = single "
+        "process, the default)",
+    )
+    parser.add_argument(
+        "--build-slots",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent expensive plan builds admitted before new builds "
+        "queue (default 2)",
+    )
+    parser.add_argument(
+        "--build-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="queued expensive builds tolerated before shedding with 503 "
+        "(default 16; 0 sheds immediately when all slots are busy)",
+    )
+    parser.add_argument(
+        "--build-queue-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="longest a queued build waits for a slot before a 503 "
+        "(default 30)",
+    )
+    parser.add_argument(
+        "--max-body-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="largest accepted request body in MiB; larger bodies answer a "
+        "structured 413 (default 64)",
+    )
+    parser.add_argument(
+        "--reuse-port",
+        action="store_true",
+        help="bind with SO_REUSEPORT so several independent serve processes "
+        "can share the port (kernel-level load spreading; see README "
+        "caveats — plan caches and mutations are NOT shared across them)",
+    )
     return parser
 
 
@@ -322,13 +370,19 @@ def _parse_db_specs(parser: argparse.ArgumentParser, specs: List[str], backend,
 def serve_main(argv: List[str]) -> int:
     parser = build_serve_parser()
     args = parser.parse_args(argv)
+    import signal
+    import threading
+
     from repro.service import make_server
+    from repro.service.gates import AdmissionGate
     from repro.service.httpd import run_server
 
     if args.no_obs:
         from repro.obs import set_enabled
 
         set_enabled(False)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
     slow_query_seconds = (
         max(0.0, args.slow_query_ms / 1000.0)
         if args.slow_query_ms is not None else None
@@ -336,11 +390,67 @@ def serve_main(argv: List[str]) -> int:
     service = _parse_db_specs(parser, args.db, args.backend, args.max_plans,
                               shards=args.shards,
                               slow_query_seconds=slow_query_seconds)
-    server = make_server(service, args.host, args.port, quiet=not args.verbose)
+    try:
+        service.gate = AdmissionGate(
+            max_concurrent=args.build_slots,
+            max_queue=args.build_queue,
+            queue_timeout=args.build_queue_timeout,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    pool = None
+    if args.workers > 0:
+        from repro.service.pool import WorkerPool
+
+        pool = WorkerPool(workers=args.workers)
+        service.attach_pool(pool)
+        if not pool.start():
+            print("repro serve: worker pool unavailable on this platform "
+                  "(needs NumPy + POSIX shared memory); serving single-process",
+                  flush=True)
+            pool = None
+    max_body = max(1, int(args.max_body_mb * 1024 * 1024))
+    try:
+        server = make_server(service, args.host, args.port,
+                             quiet=not args.verbose, max_body=max_body,
+                             reuse_port=args.reuse_port)
+    except OSError as exc:
+        if pool is not None:
+            pool.close()
+        parser.error(f"cannot bind {args.host}:{args.port}: {exc}")
+
+    # Graceful shutdown: SIGTERM/SIGINT stop the accept loop (from a helper
+    # thread — shutdown() called on the serving thread would deadlock), then
+    # below we drain in-flight requests and close the service, which stops
+    # the workers and unlinks every published shared-memory block.
+    def _request_stop(signum, frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
     host, port = server.server_address[:2]
+    workers_note = f", workers: {pool.worker_count}" if pool is not None else ""
     print(f"repro serve: listening on http://{host}:{port} "
-          f"(databases: {', '.join(service.database_names) or 'none'})", flush=True)
-    run_server(server)
+          f"(databases: {', '.join(service.database_names) or 'none'}"
+          f"{workers_note})", flush=True)
+    try:
+        run_server(server)
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+        drained = server.drain(timeout=10.0)
+        if not drained:
+            print("repro serve: shutdown timed out waiting for in-flight "
+                  "requests; closing anyway", flush=True)
+        service.close()
+        print("repro serve: drained and closed", flush=True)
     return 0
 
 

@@ -179,6 +179,13 @@ class LiveInstance:
         # retiring the old one, and retirement unlinks only when no reader
         # holds the epoch.
         self._publisher = None
+        # Optional epoch-swap hook: called as listener(self, new_epoch,
+        # old_epoch) after a compaction publishes the new epoch's buffers,
+        # INSTEAD of retiring the old epoch here.  The listener owns the
+        # retirement — the worker pool uses this to re-attach every worker
+        # process to the new buffers before the old ones are unlinked
+        # (a cross-process epoch barrier).
+        self.publish_listener = None
         if publish_snapshots:
             from repro.core.snapshot import SnapshotPublisher
 
@@ -388,7 +395,15 @@ class LiveInstance:
             # new readers atomically find the new name while already-attached
             # readers keep serving from the retired (still-mapped) buffers.
             self._publish_epoch(epoch)
-            if old_base_epoch != epoch:
+            listener = self.publish_listener
+            if listener is not None and old_base_epoch != epoch:
+                # The listener owns retiring old_base_epoch (cross-process
+                # barrier: worker re-attachment happens before the unlink).
+                try:
+                    listener(self, epoch, old_base_epoch)
+                except Exception:
+                    self._publisher.retire(old_base_epoch)
+            elif old_base_epoch != epoch:
                 self._publisher.retire(old_base_epoch)
         return snapshot
 

@@ -41,7 +41,20 @@ The catalogue of series every layer feeds (labels in braces):
 ``repro_delta_tuples{db}``                pending delta tuples per database
 ``repro_epoch_lag{plan}``                 live epoch − the epoch a cached plan serves
 ``repro_plans_cached``                    plans resident in the LRU cache
+``repro_gate_events_total{lane,outcome}`` admission-gate decisions (fast/admitted/queued/shed/timeout)
+``repro_gate_queue_depth{lane}``          builds currently waiting in the gate queue
+``repro_gate_wait_seconds{lane}``         time builds spent queued before admission
+``repro_pool_dispatches_total{worker,outcome}``  pool routing (routed/miss/failed)
+``repro_pool_workers``                    worker processes currently alive
+``repro_worker_restarts_total{worker}``   worker respawns after crash/kill
 ========================================  ============================================
+
+When the worker pool is active, each worker process keeps its *own* registry
+whose families are aggregated into the master's ``GET /metrics`` exposition
+(worker id as a label): ``repro_pool_worker_requests_total{worker,op,status}``,
+``repro_pool_worker_request_seconds{worker,op}``,
+``repro_pool_worker_answers_total{worker,op}`` and
+``repro_pool_worker_attached_plans{worker}``.
 """
 
 from __future__ import annotations
@@ -190,4 +203,30 @@ EPOCH_LAG = METRICS.gauge(
 )
 PLANS_CACHED = METRICS.gauge(
     "repro_plans_cached", "Prepared plans resident in the LRU cache.",
+)
+GATE_EVENTS = METRICS.counter(
+    "repro_gate_events_total",
+    "Admission-gate decisions: fast, admitted, queued, shed, timeout.",
+    ("lane", "outcome"),
+)
+GATE_QUEUE_DEPTH = METRICS.gauge(
+    "repro_gate_queue_depth", "Plan builds currently waiting in the gate queue.",
+    ("lane",),
+)
+GATE_WAIT_SECONDS = METRICS.histogram(
+    "repro_gate_wait_seconds", "Time plan builds spent queued before admission.",
+    ("lane",),
+)
+POOL_DISPATCHES = METRICS.counter(
+    "repro_pool_dispatches_total",
+    "Worker-pool routing outcomes per worker: routed, miss, failed.",
+    ("worker", "outcome"),
+)
+POOL_WORKERS = METRICS.gauge(
+    "repro_pool_workers", "Worker processes currently alive in the pool.",
+)
+WORKER_RESTARTS = METRICS.counter(
+    "repro_worker_restarts_total",
+    "Worker-process respawns after a crash or kill.",
+    ("worker",),
 )

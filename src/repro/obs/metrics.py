@@ -396,6 +396,42 @@ class MetricsRegistry:
         return {family.name: family.to_dict() for family in self.families()}
 
 
+def render_snapshot_prometheus(snapshot: Mapping[str, object]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` document as exposition text.
+
+    This is how the master aggregates *worker* registries at ``GET /metrics``:
+    each worker ships its snapshot (a plain JSON document) over its pipe, and
+    the master renders the documents after its own registry.  Worker family
+    names are disjoint from the master's (``repro_pool_worker_*``), so simple
+    concatenation yields a valid exposition document.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        if not isinstance(family, Mapping):
+            continue
+        kind = family.get("type", "untyped")
+        labelnames = list(family.get("labels", ()))
+        lines.append(f"# HELP {name} {family.get('help', '')}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in family.get("values", ()):
+            labels = entry.get("labels", {})
+            values = tuple(str(labels.get(label, "")) for label in labelnames)
+            if kind == "histogram":
+                for le, count in entry.get("buckets", {}).items():
+                    rendered = _render_labels(labelnames, values, (("le", le),))
+                    lines.append(f"{name}_bucket{rendered} {count}")
+                rendered = _render_labels(labelnames, values, (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{rendered} {entry.get('count', 0)}")
+                text = _render_labels(labelnames, values)
+                lines.append(f"{name}_sum{text} {_format_number(entry.get('sum', 0))}")
+                lines.append(f"{name}_count{text} {entry.get('count', 0)}")
+            else:
+                text = _render_labels(labelnames, values)
+                lines.append(f"{name}{text} {_format_number(entry.get('value', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def merge_label_filters(
     snapshot: Mapping[str, object], names: Iterable[str]
 ) -> Dict[str, object]:

@@ -12,6 +12,16 @@ keeps preprocessed instances alive and serves many requests against them:
   request/response encoding shared by all front-ends.
 * :mod:`repro.service.httpd` — a stdlib-only threaded HTTP front-end
   (``repro serve``).
+* :mod:`repro.service.pool` — a prefork :class:`WorkerPool`: worker
+  processes attach the shared-memory snapshot images of published plans and
+  serve routed read ops (``repro serve --workers N``); epoch swaps cross
+  process boundaries through a re-attach barrier before old buffers retire.
+* :mod:`repro.service.gates` — :class:`AdmissionGate`: cost-classified plan
+  builds are bounded (slots + queue) and shed with a structured 503, so
+  point lookups on built plans never wait behind a build storm.
+* :mod:`repro.service.dispatch` — routing (fingerprint + leading-rank shard
+  affinity) and the worker-side op executor, mirrored field-for-field from
+  the master's handlers so routed responses stay bit-identical.
 
 Quick start::
 
@@ -27,8 +37,12 @@ Quick start::
 """
 
 from repro.live import CompactionPolicy, LiveDatabase, LiveInstance
+from repro.service.dispatch import ROUTABLE_OPS
+from repro.service.gates import AdmissionGate, BuildCost, classify_build
 from repro.service.plan_cache import CacheStats, PlanCache
+from repro.service.pool import WorkerPool, pool_supported
 from repro.service.protocol import (
+    STATUS_BY_CODE,
     PlanSpec,
     ServiceError,
     database_from_json,
@@ -40,6 +54,8 @@ from repro.service.service import PreparedPlan, QueryService, run_requests
 from repro.service.httpd import ServiceHTTPServer, make_server, serve
 
 __all__ = [
+    "AdmissionGate",
+    "BuildCost",
     "CacheStats",
     "CompactionPolicy",
     "LiveDatabase",
@@ -48,12 +64,17 @@ __all__ = [
     "PlanSpec",
     "PreparedPlan",
     "QueryService",
+    "ROUTABLE_OPS",
+    "STATUS_BY_CODE",
     "ServiceError",
     "ServiceHTTPServer",
+    "WorkerPool",
+    "classify_build",
     "database_from_json",
     "database_to_json",
     "load_database",
     "make_server",
+    "pool_supported",
     "read_request_lines",
     "run_requests",
     "serve",

@@ -1,0 +1,178 @@
+"""Request routing and the worker-side op executor for the prefork pool.
+
+The master keeps the full :class:`~repro.service.QueryService` (databases,
+plan cache, mutation log); worker processes hold only *attached* shared-memory
+snapshot images (:class:`~repro.core.snapshot.SnapshotInstance` facades).
+That split fixes what each side can serve:
+
+* **Routable** ops (:data:`ROUTABLE_OPS`) are the pure read path on an
+  already-built plan — ``access``, ``batch_access``, ``range``,
+  ``inverted_access``, ``count``.  A worker answers them entirely from its
+  attached image and returns the response *pre-encoded as JSON bytes*, so
+  the expensive answer serialization happens off the master's interpreter.
+* Everything else (prepare/builds, mutations, stats, metrics, explain,
+  register, topk/selection) runs in the master, which owns the state.
+
+Routing is deterministic: plan fingerprint hash + the shard of the request's
+leading rank (:func:`shard_of_request` against the published image's offset
+table) pick the worker, so one worker's touched shards stay hot in its page
+cache instead of every worker faulting every shard.
+
+:func:`execute_snapshot_op` mirrors the master's op handlers *exactly* —
+same response field order, same error codes — so a routed response is
+bit-identical to the inline response for the same epoch (modulo the optional
+``trace`` id, which only the master's tracer appends).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.access import validate_rank
+from repro.exceptions import NotAnAnswerError, OutOfBoundsError
+from repro.service.protocol import (
+    STATUS_BY_CODE,
+    ServiceError,
+    decode_answer,
+    error_response,
+)
+
+#: Ops a worker can serve from an attached snapshot image alone.
+ROUTABLE_OPS = frozenset({"access", "batch_access", "range", "inverted_access", "count"})
+
+
+def _fnv1a(text: str) -> int:
+    """Tiny stable string hash (``hash()`` is salted per process)."""
+    value = 0x811C9DC5
+    for byte in text.encode("utf-8"):
+        value = ((value ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+def leading_rank(request: Mapping) -> int:
+    """The first rank a request touches (0 when it names none)."""
+    op = request.get("op")
+    try:
+        if op == "access":
+            return int(request.get("k", 0))
+        if op == "range":
+            return int(request.get("lo", 0))
+        if op == "batch_access":
+            ks = request.get("ks")
+            if isinstance(ks, (list, tuple)) and ks:
+                return int(ks[0])
+    except (TypeError, ValueError):
+        return 0
+    return 0
+
+
+def shard_of_request(request: Mapping, offsets: Optional[Sequence[int]]) -> int:
+    """The shard of the request's leading rank in the published offset table."""
+    if not offsets or len(offsets) <= 2:
+        return 0
+    k = leading_rank(request)
+    if k < 0:
+        return 0
+    return max(0, min(bisect_right(offsets, k) - 1, len(offsets) - 2))
+
+
+def pick_worker(
+    fingerprint: str,
+    request: Mapping,
+    offsets: Optional[Sequence[int]],
+    worker_count: int,
+) -> int:
+    """Deterministic worker index: fingerprint hash + leading-rank shard.
+
+    All requests for one (plan, shard) land on one worker, and distinct
+    plans spread across workers via the fingerprint hash.
+    """
+    if worker_count <= 1:
+        return 0
+    shard = shard_of_request(request, offsets)
+    return (_fnv1a(fingerprint) + shard) % worker_count
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (mirrors QueryService's handlers field for field)
+# ----------------------------------------------------------------------
+def _rank_field(request: Mapping, field: str) -> int:
+    if field not in request:
+        raise ServiceError("bad_request", f"request is missing the {field!r} field")
+    try:
+        return validate_rank(request[field])
+    except TypeError as exc:
+        raise ServiceError("bad_request", str(exc)) from None
+
+
+def execute_snapshot_op(instance, fingerprint: str, request: Mapping) -> Dict[str, object]:
+    """Serve one routable op from an attached image; never raises.
+
+    The response dicts replicate the master handlers' field order so the
+    JSON encoding is byte-identical with the inline path.
+    """
+    try:
+        op = request.get("op")
+        if op == "access":
+            k = _rank_field(request, "k")
+            return {
+                "ok": True, "op": op, "plan": fingerprint, "k": k,
+                "answer": list(instance.access(k)),
+            }
+        if op == "batch_access":
+            ks = request.get("ks")
+            if "ks" not in request:
+                raise ServiceError("bad_request", "request is missing the 'ks' field")
+            if not isinstance(ks, (list, tuple)):
+                raise ServiceError("bad_request", "'ks' must be an array of ranks")
+            try:
+                ks = [validate_rank(k) for k in ks]
+            except TypeError as exc:
+                raise ServiceError("bad_request", str(exc)) from None
+            answers = instance.batch_access(ks)
+            return {
+                "ok": True, "op": op, "plan": fingerprint,
+                "answers": [list(a) for a in answers],
+            }
+        if op == "range":
+            lo = _rank_field(request, "lo")
+            hi = _rank_field(request, "hi")
+            answers = instance.range_access(lo, hi)
+            return {
+                "ok": True, "op": op, "plan": fingerprint, "lo": lo, "hi": hi,
+                "answers": [list(a) for a in answers],
+            }
+        if op == "inverted_access":
+            if "answer" not in request:
+                raise ServiceError("bad_request", "request is missing the 'answer' field")
+            answer = decode_answer(request["answer"])
+            return {
+                "ok": True, "op": op, "plan": fingerprint,
+                "k": instance.inverted_access(answer),
+            }
+        if op == "count":
+            return {"ok": True, "op": op, "plan": fingerprint, "count": instance.count}
+        return error_response("bad_request", f"op {op!r} is not worker-servable")
+    except ServiceError as exc:
+        return error_response(exc.code, str(exc), retry_after=exc.retry_after)
+    except OutOfBoundsError as exc:
+        return error_response("out_of_bounds", str(exc))
+    except NotAnAnswerError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        return error_response("not_an_answer", str(message))
+    except Exception as exc:  # pragma: no cover - defensive
+        return error_response("internal", f"{type(exc).__name__}: {exc}")
+
+
+def encode_response(response: Mapping) -> Tuple[int, bytes]:
+    """(HTTP status, JSON bytes) for a worker response — serialization runs
+    in the worker process, which is the point of routing."""
+    if response.get("ok"):
+        status = 200
+    else:
+        error = response.get("error")
+        code = error.get("code", "bad_request") if isinstance(error, Mapping) else "bad_request"
+        status = STATUS_BY_CODE.get(code, 400)
+    return status, json.dumps(response).encode("utf-8")

@@ -1,0 +1,196 @@
+"""Admission control for plan builds: cost-classify, queue or shed.
+
+A cache miss on ``prepare``/``resolve`` runs the quasilinear preprocessing
+phase — orders of magnitude more expensive than the logarithmic access ops it
+later serves.  Left unbounded, a burst of distinct cold plans turns the whole
+front-end into a build farm and point lookups on *already built* plans stall
+behind them.  The gate applies the cost-gated admission pattern (queue or
+shed expensive work so cheap work never waits):
+
+* every build is **cost-classified from the data-free**
+  :class:`~repro.planner.plan.QueryPlan` (:func:`classify_build`) — no data
+  is touched, so classification itself is free.  Trivial builds (single
+  atom, monolithic, no materialized ranking) take the *cheap* lane and are
+  never queued;
+* expensive builds acquire one of ``max_concurrent`` build slots.  When all
+  slots are busy they wait in a bounded queue (``max_queue`` deep, at most
+  ``queue_timeout`` seconds); beyond either bound the build is **shed** with
+  a structured ``overloaded`` error carrying ``retry_after``, which the HTTP
+  front-end maps to ``503`` + a ``Retry-After`` header;
+* requests against already-cached plans never reach the gate at all — the
+  cache hit *is* the reserved fast lane — and concurrent builds of the same
+  plan still coalesce in :class:`~repro.service.plan_cache.PlanCache`
+  (only the coalition leader holds a slot).
+
+Every decision feeds ``repro_gate_events_total{lane,outcome}``; queue depth
+and queue wait are observable via ``repro_gate_queue_depth`` and
+``repro_gate_wait_seconds``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.obs import GATE_EVENTS, GATE_QUEUE_DEPTH, GATE_WAIT_SECONDS
+from repro.service.protocol import ServiceError
+
+#: Gate lanes, in the order a request can take them.
+CHEAP, EXPENSIVE = "cheap", "expensive"
+
+
+@dataclass(frozen=True)
+class BuildCost:
+    """The data-free cost class of one plan build.
+
+    ``units`` is a unitless work score (stages × shards, plus layer fan-out)
+    used for ordering and reporting; ``lane`` is what the gate acts on.
+    """
+
+    lane: str
+    units: int
+    reasons: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"lane": self.lane, "units": self.units, "reasons": list(self.reasons)}
+
+
+def classify_build(query_plan, mode: str = "lex") -> BuildCost:
+    """Classify a build from its data-free plan (no data is touched).
+
+    Cheap: a single-atom, monolithic LEX plan — preprocessing is one sort.
+    Expensive: joins (layers drawing on multiple source atoms — the lex
+    layers themselves are per-*variable*, so their count says nothing about
+    joins), sharded builds, Boolean evaluation, and the materialized modes
+    (``sum``/``enum``), whose builds enumerate the whole answer space.
+    Plans without a decision trace (enumeration mode) classify as expensive
+    — unknown cost must not sneak past the gate.
+    """
+    if query_plan is None:
+        return BuildCost(EXPENSIVE, 8, (f"mode {mode!r} materializes answers",))
+    reasons = []
+    layer_plans = getattr(query_plan, "layers", ()) or ()
+    layers = len(layer_plans)
+    stages = len(getattr(query_plan, "stages", ()) or ())
+    shards = max(1, getattr(query_plan, "shards", 1) or 1)
+    units = max(1, stages + layers) * shards
+    source_atoms = {
+        getattr(layer, "source_atom", None) for layer in layer_plans
+    }
+    source_atoms.discard(None)
+    if query_plan.mode != "lex":
+        reasons.append(f"mode {query_plan.mode!r} materializes the answer array")
+    if getattr(query_plan, "boolean", False):
+        reasons.append("boolean evaluation")
+    if len(source_atoms) > 1:
+        reasons.append(f"join over {len(source_atoms)} source atoms")
+    if shards > 1:
+        reasons.append(f"{shards} shards")
+    lane = EXPENSIVE if reasons else CHEAP
+    return BuildCost(lane, units, tuple(reasons))
+
+
+class AdmissionGate:
+    """Bounded build slots + a bounded wait queue; overflow is shed.
+
+    Thread-safe; one gate serves a whole :class:`QueryService`.  ``admit`` is
+    a context manager wrapped around the build — cheap-lane builds pass
+    straight through, expensive ones hold a slot for the build's duration.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 2,
+        max_queue: int = 16,
+        queue_timeout: float = 30.0,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"gate needs at least one build slot, got {max_concurrent}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max(0, max_queue)
+        self.queue_timeout = queue_timeout
+        self.retry_after = retry_after
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._admitted = 0
+        self._shed = 0
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def admit(self, cost: Optional[BuildCost]):
+        """Hold a build slot for the duration of the ``with`` body.
+
+        Raises ``ServiceError("overloaded", ...)`` (with ``retry_after``)
+        when the queue is full or the queue wait times out.
+        """
+        if cost is not None and cost.lane == CHEAP:
+            GATE_EVENTS.inc((CHEAP, "fast"))
+            yield
+            return
+        self._acquire()
+        try:
+            yield
+        finally:
+            self._release()
+
+    def _shed_error(self, reason: str) -> ServiceError:
+        self._shed += 1
+        GATE_EVENTS.inc((EXPENSIVE, reason))
+        return ServiceError(
+            "overloaded",
+            f"build capacity exhausted ({reason}): "
+            f"{self._active} building, {self._waiting} queued "
+            f"(slots={self.max_concurrent}, queue={self.max_queue}); retry later",
+            retry_after=self.retry_after,
+        )
+
+    def _acquire(self) -> None:
+        started = time.monotonic()
+        with self._cond:
+            if self._active < self.max_concurrent:
+                self._active += 1
+                self._admitted += 1
+                GATE_EVENTS.inc((EXPENSIVE, "admitted"))
+                return
+            if self._waiting >= self.max_queue:
+                raise self._shed_error("shed")
+            self._waiting += 1
+            GATE_QUEUE_DEPTH.set(self._waiting, (EXPENSIVE,))
+            deadline = started + self.queue_timeout
+            try:
+                while self._active >= self.max_concurrent:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise self._shed_error("timeout")
+                    self._cond.wait(remaining)
+                self._active += 1
+                self._admitted += 1
+                GATE_EVENTS.inc((EXPENSIVE, "queued"))
+            finally:
+                self._waiting -= 1
+                GATE_QUEUE_DEPTH.set(self._waiting, (EXPENSIVE,))
+        GATE_WAIT_SECONDS.observe(time.monotonic() - started, (EXPENSIVE,))
+
+    def _release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._cond:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "queue_timeout_seconds": self.queue_timeout,
+                "retry_after_seconds": self.retry_after,
+                "active": self._active,
+                "waiting": self._waiting,
+                "admitted": self._admitted,
+                "shed": self._shed,
+            }

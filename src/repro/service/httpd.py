@@ -5,11 +5,23 @@ Built on the standard library's :class:`http.server.ThreadingHTTPServer`, so
 handled on its own thread, and the service's plans are immutable after
 preparation, so concurrent requests against one plan need no locking.
 
+With a worker pool attached (``repro serve --workers N``), routable read ops
+on published plans short-circuit through
+:meth:`~repro.service.service.QueryService.dispatch_raw`: the picked worker
+process answers from its attached shared-memory image and returns pre-encoded
+JSON bytes, which the connection thread writes verbatim — the master's
+interpreter never touches the answer payload.  Everything else (and every
+request the pool declines) runs inline exactly as without a pool.
+
 Endpoints (all JSON):
 
-* ``GET  /healthz``          — liveness: ``{"status": "ok"}``.
+* ``GET  /healthz``          — liveness: ``{"status": "ok"}``; with a pool,
+  also triggers a worker health sweep (dead workers respawn) and reports
+  ``{"pool": {"workers", "alive", "restarts"}}``.
 * ``GET  /metrics``          — Prometheus text exposition (the one non-JSON
-  endpoint; gauges are refreshed from service state before rendering).
+  endpoint; gauges are refreshed from service state before rendering).  With
+  a pool, each worker's ``repro_pool_worker_*`` families are scraped over the
+  control pipes and appended, labeled with the worker id.
 * ``GET  /v1/metrics``       — the same registry as JSON, plus the slow-query
   log (also reachable as op ``metrics``).
 * ``GET  /v1/stats``         — cache/op counters (same shape as op ``stats``).
@@ -29,37 +41,41 @@ Endpoints (all JSON):
 * ``POST /v1/databases``     — register: ``{"name": ..., "relations": {...}}``.
 
 Error responses carry ``{"ok": false, "error": {"code", "message"}}`` with an
-HTTP status derived from the error code (400/404/422/500) — and, like every
-response, the request's trace id under ``"trace"`` when tracing is on, so a
-client error report can be correlated with the server-side span tree
-(``repro trace <id>``).  Every response is counted in the request metrics;
-error responses additionally feed ``repro_http_errors_total{op,status}``.
+HTTP status derived from the error code (400/404/413/422/500/503;
+:data:`~repro.service.protocol.STATUS_BY_CODE`) — and, like every response,
+the request's trace id under ``"trace"`` when tracing is on, so a client
+error report can be correlated with the server-side span tree (``repro trace
+<id>``).  An ``overloaded`` shed from the build admission gate answers 503
+with a ``Retry-After`` header.  Oversized request bodies answer a structured
+413.  Every response is counted in the request metrics; error responses
+additionally feed ``repro_http_errors_total{op,status}``.
+
+Shutdown: :meth:`ServiceHTTPServer.drain` waits for in-flight requests after
+``shutdown()`` stopped the accept loop — the ``repro serve`` signal handlers
+use it so SIGTERM/SIGINT finish started work before the service closes (and
+unlinks its published shared-memory blocks).
 """
 
 from __future__ import annotations
 
 import json
+import math
+import socket
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.obs import HTTP_ERRORS, METRICS
-from repro.service.protocol import error_response
+from repro.service.protocol import STATUS_BY_CODE, error_response
 from repro.service.service import QueryService
 
-#: error code → HTTP status. Anything unknown maps to 400.
-_STATUS_BY_CODE = {
-    "bad_request": 400,
-    "unknown_database": 404,
-    "unknown_plan": 404,
-    "unknown_trace": 404,
-    "out_of_bounds": 404,
-    "not_an_answer": 404,
-    "unsupported": 422,
-    "intractable_query": 422,
-    "internal": 500,
-}
+#: Backwards-compatible alias; the canonical table lives in the protocol
+#: module so the worker-side encoder and this front-end cannot drift apart.
+_STATUS_BY_CODE = STATUS_BY_CODE
 
-#: Maximum accepted request body (a registered database can be sizeable).
+#: Default maximum accepted request body (a registered database can be
+#: sizeable); override per server with ``make_server(..., max_body=...)``.
 _MAX_BODY = 64 * 1024 * 1024
 
 
@@ -68,10 +84,63 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: QueryService, quiet: bool = True):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: QueryService,
+        quiet: bool = True,
+        max_body: int = _MAX_BODY,
+        reuse_port: bool = False,
+    ):
+        # server_bind runs inside TCPServer.__init__, so the flag it reads
+        # must be set first.
+        self.reuse_port = reuse_port
         super().__init__(address, _ServiceRequestHandler)
         self.service = service
         self.quiet = quiet
+        self.max_body = max_body
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition(self._inflight_lock)
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+                raise OSError("SO_REUSEPORT is not supported on this platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    # -- in-flight tracking (graceful drain) ---------------------------
+    def request_started(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait (bounded) until no request is mid-handling; True when idle.
+
+        Call after :meth:`shutdown` stopped the accept loop: connection
+        threads are daemonic, so exiting without draining could cut a
+        response mid-write.
+        """
+        deadline = time.monotonic() + timeout
+        with self._inflight_lock:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -87,8 +156,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self.server.request_started()
+        try:
+            self._do_get()
+        finally:
+            self.server.request_finished()
+
+    def _do_get(self) -> None:
         if self.path == "/healthz":
-            self._respond(200, {"status": "ok"})
+            payload: Dict[str, object] = {"status": "ok"}
+            pool = getattr(self.server.service, "pool", None)
+            if pool is not None and pool.running:
+                # The liveness probe doubles as the supervision tick: dead
+                # workers (e.g. kill -9) are detected and respawned here.
+                payload["pool"] = pool.check_health()
+            self._respond(200, payload)
         elif self.path == "/metrics":
             self._respond_prometheus()
         elif self.path == "/v1/metrics":
@@ -103,6 +185,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self.server.request_started()
+        try:
+            self._do_post()
+        finally:
+            self.server.request_finished()
+
+    def _do_post(self) -> None:
         request = self._read_json()
         if request is None:
             return
@@ -120,7 +209,16 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _dispatch(self, request: Mapping) -> None:
-        response = self.server.service.execute(request)
+        service = self.server.service
+        routed = service.dispatch_raw(request)
+        if routed is not None:
+            status, body = routed
+            if status >= 400:
+                op = request.get("op")
+                HTTP_ERRORS.inc((op if isinstance(op, str) else "invalid", str(status)))
+            self._respond_bytes(status, body)
+            return
+        response = service.execute(request)
         if response.get("ok"):
             self._respond(200, response)
         else:
@@ -132,8 +230,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _respond_prometheus(self) -> None:
         """``GET /metrics``: the registry in Prometheus text exposition format."""
-        self.server.service.update_gauges()
-        body = METRICS.render_prometheus().encode("utf-8")
+        service = self.server.service
+        service.update_gauges()
+        text = METRICS.render_prometheus()
+        pool = getattr(service, "pool", None)
+        if pool is not None and pool.running:
+            # Worker families are disjoint from the master's (all named
+            # repro_pool_worker_*), so appending them keeps the document valid.
+            text += pool.render_worker_metrics()
+        body = text.encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
@@ -146,19 +251,24 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self._respond(status, payload)
 
     def _read_json(self) -> Optional[Mapping]:
+        max_body = getattr(self.server, "max_body", _MAX_BODY)
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
             length = 0
-        if length <= 0 or length > _MAX_BODY:
+        if length <= 0 or length > max_body:
             # The body (if any) is not drained, so the keep-alive stream would
             # desync — the unread bytes would parse as the next request line.
             self.close_connection = True
-            if length > _MAX_BODY:
-                message = f"request body of {length} bytes exceeds the {_MAX_BODY}-byte limit"
+            if length > max_body:
+                self._respond_client_error(413, error_response(
+                    "payload_too_large",
+                    f"request body of {length} bytes exceeds the {max_body}-byte limit",
+                ))
             else:
-                message = "request needs a JSON body (Content-Length)"
-            self._respond_client_error(400, error_response("bad_request", message))
+                self._respond_client_error(400, error_response(
+                    "bad_request", "request needs a JSON body (Content-Length)"
+                ))
             return None
         try:
             body = self.rfile.read(length)
@@ -192,9 +302,22 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             body = json.dumps(
                 error_response("internal", f"response not JSON-representable: {exc}")
             ).encode("utf-8")
+        retry_after = None
+        if status == 503 and isinstance(payload, Mapping):
+            error = payload.get("error")
+            if isinstance(error, Mapping):
+                retry_after = error.get("retry_after")
+        self._respond_bytes(status, body, retry_after=retry_after)
+
+    def _respond_bytes(
+        self, status: int, body: bytes, retry_after: Optional[float] = None
+    ) -> None:
+        """Write a pre-encoded JSON body (the worker-routed fast path)."""
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
@@ -206,14 +329,25 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    service: QueryService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+    max_body: int = _MAX_BODY,
+    reuse_port: bool = False,
 ) -> ServiceHTTPServer:
     """Bind (but do not run) a server; ``port=0`` picks a free port.
 
     The bound port is ``server.server_address[1]`` — tests and scripts can
     start the server on an ephemeral port and discover it afterwards.
+    ``reuse_port`` sets ``SO_REUSEPORT`` before binding, so several
+    independent ``repro serve`` processes can share one port and let the
+    kernel spread connections (see the README's multi-process section for
+    the caveats versus ``--workers``).
     """
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    return ServiceHTTPServer(
+        (host, port), service, quiet=quiet, max_body=max_body, reuse_port=reuse_port
+    )
 
 
 def run_server(server: ServiceHTTPServer) -> None:

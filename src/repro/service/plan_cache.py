@@ -64,7 +64,11 @@ class _Pending:
 class PlanCache:
     """Bounded LRU mapping of plan keys to prepared plans."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        capacity: int = 64,
+        on_evict: Optional[Callable[[Hashable, object], None]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -72,6 +76,20 @@ class PlanCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._pending: Dict[Hashable, _Pending] = {}
         self.stats = CacheStats()
+        # Called as on_evict(key, value) for every entry dropped by the LRU
+        # bound or by invalidate()/clear() — always OUTSIDE the cache lock, so
+        # the callback may release heavy resources (close engines, unlink
+        # shared memory, detach pool workers) without risking deadlock.
+        self.on_evict = on_evict
+
+    def _notify_evicted(self, dropped: List) -> None:
+        if self.on_evict is None:
+            return
+        for key, value in dropped:
+            try:
+                self.on_evict(key, value)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # Lookup / build
@@ -134,25 +152,29 @@ class PlanCache:
             pending.event.set()
             raise
         with self._lock:
-            self._insert(key, value)
+            dropped = self._insert(key, value)
             del self._pending[key]
         pending.value = value
         pending.event.set()
+        self._notify_evicted(dropped)
         return value
 
     def put(self, key: Hashable, value) -> None:
         """Insert (or refresh) an entry directly, applying the LRU bound."""
         with self._lock:
-            self._insert(key, value)
+            dropped = self._insert(key, value)
+        self._notify_evicted(dropped)
 
-    def _insert(self, key: Hashable, value) -> None:
+    def _insert(self, key: Hashable, value) -> List:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
+        dropped = []
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            dropped.append(self._entries.popitem(last=False))
             self.stats.evictions += 1
             PLAN_CACHE_EVENTS.inc(("eviction",))
+        return dropped
 
     # ------------------------------------------------------------------
     # Invalidation / inspection
@@ -161,12 +183,12 @@ class PlanCache:
         """Drop every entry whose key satisfies ``predicate``; returns the count."""
         with self._lock:
             doomed = [key for key in self._entries if predicate(key)]
-            for key in doomed:
-                del self._entries[key]
+            dropped = [(key, self._entries.pop(key)) for key in doomed]
             self.stats.invalidations += len(doomed)
             if doomed:
                 PLAN_CACHE_EVENTS.inc(("invalidation",), len(doomed))
-            return len(doomed)
+        self._notify_evicted(dropped)
+        return len(doomed)
 
     def clear(self) -> int:
         """Drop everything (counted as invalidations)."""

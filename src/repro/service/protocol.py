@@ -37,22 +37,47 @@ from repro.fds.fd import FDSet
 #: Plan modes the service understands (see :class:`repro.service.QueryService`).
 MODES = ("lex", "sum", "enum")
 
+#: Error code → HTTP status, shared by the master HTTP front-end and the
+#: worker-pool processes (both encode responses, so both need the mapping).
+#: Anything unknown maps to 400.
+STATUS_BY_CODE: Dict[str, int] = {
+    "bad_request": 400,
+    "unknown_database": 404,
+    "unknown_plan": 404,
+    "unknown_trace": 404,
+    "out_of_bounds": 404,
+    "not_an_answer": 404,
+    "payload_too_large": 413,
+    "unsupported": 422,
+    "intractable_query": 422,
+    "internal": 500,
+    "overloaded": 503,
+}
+
 
 class ServiceError(ReproError):
     """A request-level error with a machine-readable code.
 
-    ``code`` is one of ``bad_request``, ``unknown_database``, ``unknown_plan``
-    or ``unsupported``; the HTTP front-end maps codes to status codes.
+    ``code`` is one of ``bad_request``, ``unknown_database``, ``unknown_plan``,
+    ``unsupported`` or ``overloaded``; the HTTP front-end maps codes to status
+    codes (:data:`STATUS_BY_CODE`).  ``retry_after`` (seconds) travels with
+    ``overloaded`` responses and becomes the HTTP ``Retry-After`` header.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
 
-def error_response(code: str, message: str) -> Dict[str, object]:
+def error_response(code: str, message: str,
+                   retry_after: Optional[float] = None) -> Dict[str, object]:
     """The wire shape of a failed request (shared by every front-end)."""
-    return {"ok": False, "error": {"code": code, "message": message}}
+    error: Dict[str, object] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(float(retry_after), 3)
+    return {"ok": False, "error": error}
 
 
 # ----------------------------------------------------------------------

@@ -58,6 +58,7 @@ from repro.obs import (
     LIVE_EPOCH,
     METRICS,
     PLANS_CACHED,
+    POOL_WORKERS,
     REQUEST_SECONDS,
     REQUESTS,
     SLOW_QUERIES,
@@ -66,6 +67,8 @@ from repro.obs import (
     describe_rank_span,
 )
 from repro.ranking.ranked_enumeration import SumRankedEnumerator
+from repro.service.dispatch import ROUTABLE_OPS
+from repro.service.gates import AdmissionGate, classify_build
 from repro.service.plan_cache import PlanCache
 from repro.service.protocol import (
     PlanSpec,
@@ -245,6 +248,15 @@ class QueryService:
     live_policy:
         The :class:`~repro.live.instance.CompactionPolicy` applied to every
         LEX plan's live instance (``None`` = the policy's defaults).
+    gate:
+        The :class:`~repro.service.gates.AdmissionGate` bounding concurrent
+        plan builds (``None`` = a default gate with generous limits).  Cache
+        hits never touch the gate — only builds do.
+    publish_snapshots:
+        Mirror every LEX plan's compacted base into named shared memory
+        (:class:`~repro.core.snapshot.SnapshotPublisher`) so worker
+        processes can attach it.  Enabled automatically by
+        :meth:`attach_pool`.
     """
 
     def __init__(
@@ -254,6 +266,8 @@ class QueryService:
         shards: Optional[int] = None,
         live_policy: Optional[CompactionPolicy] = None,
         slow_query_seconds: Optional[float] = None,
+        gate: Optional[AdmissionGate] = None,
+        publish_snapshots: bool = False,
     ) -> None:
         self.default_backend = backend
         self.default_shards = shards
@@ -263,12 +277,125 @@ class QueryService:
         self._generations: Dict[str, int] = {}
         self._specs: Dict[str, PlanSpec] = {}
         self._max_specs = max(1024, 16 * max_plans)
-        self._cache = PlanCache(capacity=max_plans)
+        self._cache = PlanCache(capacity=max_plans, on_evict=self._plan_evicted)
         self._op_counts: Dict[str, int] = {}
+        self.gate = gate if gate is not None else AdmissionGate()
+        self.publish_snapshots = publish_snapshots
+        self._pool = None
         #: Per-service slow-query retention (the counter metric stays global).
         self.slow_log = SlowQueryLog(
             threshold_seconds=slow_query_seconds, counter=SLOW_QUERIES
         )
+
+    # ------------------------------------------------------------------
+    # Worker pool / lifecycle
+    # ------------------------------------------------------------------
+    def attach_pool(self, pool) -> None:
+        """Serve routable ops through a started :class:`WorkerPool`.
+
+        Implies ``publish_snapshots`` — workers can only serve plans whose
+        bases are published as shared-memory images.  Plans built before the
+        pool attached keep serving inline (they have no publisher).
+        """
+        self._pool = pool
+        self.publish_snapshots = True
+
+    @property
+    def pool(self):
+        return self._pool
+
+    def _plan_evicted(self, key, plan) -> None:
+        """Cache-eviction hook: release the plan's heavy resources.
+
+        Runs outside the cache lock.  Closing the engine unlinks any
+        published shared-memory blocks; the pool (if any) detaches first so
+        no worker holds a mapping of a block about to disappear.
+        """
+        engine = getattr(plan, "engine", None)
+        if self._pool is not None:
+            self._pool.detach(plan.fingerprint)
+        close = getattr(engine, "close", None)
+        if callable(close):
+            try:
+                close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        """Release everything: pool workers, cached engines, shm blocks."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+        # Restore the pool reference only after the cache drain so eviction
+        # callbacks do not round-trip to the already-closed workers.
+        self._cache.clear()
+        self._pool = pool
+
+    def _epoch_swap_listener(self, instance, new_epoch: int, old_epoch: int) -> None:
+        """LiveInstance publish hook: run the pool's cross-process barrier.
+
+        With no running pool, fall back to the instance's own behaviour
+        (retire the old epoch immediately — in-process readers still hold
+        their mappings through the publisher's refcounts).
+        """
+        pool = self._pool
+        if pool is not None and pool.running:
+            pool.epoch_swap(instance, new_epoch, old_epoch)
+            return
+        publisher = getattr(instance, "_publisher", None)
+        if publisher is not None and old_epoch != new_epoch:
+            publisher.retire(old_epoch)
+
+    def dispatch_raw(self, request: Mapping) -> Optional[Tuple[int, bytes]]:
+        """Try to serve a request on a pool worker; pre-encoded bytes or None.
+
+        ``None`` means "serve inline" — not an error.  A request routes only
+        when every bit-identity precondition holds: the op is routable, the
+        plan is already cached with a published image, its live view *is* the
+        published base (no merged deltas pending), and the export epoch
+        matches — otherwise the master's merged-delta path answers, so
+        responses stay identical mid-mutation and mid-swap.
+        """
+        pool = self._pool
+        if pool is None or not pool.running or not isinstance(request, Mapping):
+            return None
+        op = request.get("op")
+        if op not in ROUTABLE_OPS:
+            return None
+        fingerprint = request.get("plan")
+        if not isinstance(fingerprint, str):
+            return None
+        with self._lock:
+            spec = self._specs.get(fingerprint)
+            generation = self._generations.get(spec.database) if spec is not None else None
+        if spec is None or generation is None:
+            return None
+        # `get` (not `peek`): routed traffic must refresh LRU recency exactly
+        # like inline traffic, or hot plans served by workers would age out.
+        plan = self._cache.get((spec.database, generation, fingerprint))
+        if plan is None:
+            return None
+        engine = plan.engine
+        if not isinstance(engine, LiveInstance) or engine._publisher is None:
+            return None
+        snapshot = engine._snapshot
+        if snapshot.view is not snapshot.base:
+            return None  # merged deltas pending: master serves until compaction
+        if snapshot.epoch != engine.live.epoch:
+            return None  # unobserved mutations: syncing may grow a delta view
+        pool.ensure_export(plan)
+        started = time.perf_counter()
+        result = pool.dispatch(fingerprint, request, engine.base_epoch)
+        if result is None:
+            return None
+        seconds = time.perf_counter() - started
+        status, _body = result
+        # Observe routed requests in the master's request metrics too, so
+        # latency SLOs read off one histogram regardless of serving path.
+        REQUESTS.inc((op, "ok" if status == 200 else "routed_error"))
+        REQUEST_SECONDS.observe(seconds, (op,))
+        self._count_op(op)
+        return result
 
     # ------------------------------------------------------------------
     # Databases
@@ -438,9 +565,24 @@ class QueryService:
             while len(self._specs) > self._max_specs:
                 self._specs.pop(next(iter(self._specs)))
         key = (spec.database, generation, fingerprint)
-        return self._cache.get_or_build(
-            key, lambda: self._build_plan(spec, live, generation)
+        plan = self._cache.get_or_build(
+            key, lambda: self._gated_build(spec, live, generation)
         )
+        pool = self._pool
+        if pool is not None and pool.running:
+            pool.ensure_export(plan)
+        return plan
+
+    def _gated_build(self, spec: PlanSpec, live: LiveDatabase, generation: int) -> PreparedPlan:
+        """One admission-gated plan build (the cache's builder callback).
+
+        The cost class comes from the spec's data-free query plan — no data
+        is touched to classify.  Coalesced followers of the same key never
+        reach here, so only the coalition leader holds a gate slot.
+        """
+        cost = classify_build(spec.query_plan, spec.mode)
+        with self.gate.admit(cost):
+            return self._build_plan(spec, live, generation)
 
     def plan(self, fingerprint: str) -> PreparedPlan:
         """The plan for a previously seen fingerprint (rebuilding if evicted).
@@ -503,8 +645,14 @@ class QueryService:
                     query, order, mode="lex", fds=fds, backend=backend, shards=shards
                 )
             engine = LiveInstance(
-                query, live, order, plan=query_plan, policy=self.live_policy
+                query, live, order, plan=query_plan, policy=self.live_policy,
+                publish_snapshots=self.publish_snapshots,
             )
+            if self._pool is not None and engine._publisher is not None:
+                # Compaction epoch swaps run the cross-process barrier: the
+                # pool re-attaches every worker to the new buffers before the
+                # old epoch is retired (the listener owns the retirement).
+                engine.publish_listener = self._epoch_swap_listener
             return PreparedPlan(
                 spec, generation, engine, query_plan=query_plan,
                 live=live, built_epoch=engine.base_epoch,
@@ -613,7 +761,13 @@ class QueryService:
                 "live": live_stats,
             }
         # Per-plan snapshot serving info: which carrier backs each cached
-        # lex plan and how long its capture/attach took.
+        # lex plan and how long its capture/attach took.  With an active
+        # pool, each plan also reports every worker's attachment (worker id,
+        # attached epoch, carrier, attach seconds) — the same shape for
+        # every worker, scraped in one round over the pipes.
+        pool = self._pool
+        pool_active = pool is not None and pool.running
+        worker_attachments = pool.attachments() if pool_active else {}
         plans: List[Dict[str, object]] = []
         for key in self._cache.keys():
             plan = self._cache.peek(key)
@@ -633,15 +787,21 @@ class QueryService:
                 entry["snapshot"] = serving_stats(
                     getattr(engine, "_instance", None)
                 )
+            if pool_active:
+                entry["workers"] = worker_attachments.get(plan.fingerprint, [])
             plans.append(entry)
-        return {
+        result: Dict[str, object] = {
             "databases": databases,
             "plans_cached": len(self._cache),
             "plans_known": len(self._specs),
             "plans": plans,
             "cache": self._cache.stats.to_dict(),
+            "gate": self.gate.stats(),
             "ops": ops,
         }
+        if pool is not None:
+            result["pool"] = pool.stats()
+        return result
 
     # ------------------------------------------------------------------
     # The request interface (shared by HTTP front-end and `repro client`)
@@ -705,7 +865,7 @@ class QueryService:
             response.update(result)
             return response
         except ServiceError as exc:
-            return error_response(exc.code, str(exc))
+            return error_response(exc.code, str(exc), retry_after=exc.retry_after)
         except OutOfBoundsError as exc:
             return error_response("out_of_bounds", str(exc))
         except NotAnAnswerError as exc:
@@ -891,6 +1051,9 @@ class QueryService:
                 continue
             EPOCH_LAG.set(plan.live.epoch - epoch, (plan.fingerprint,))
         PLANS_CACHED.set(len(self._cache))
+        pool = self._pool
+        if pool is not None:
+            POOL_WORKERS.set(len(pool.alive_workers()))
 
     def _op_metrics(self, request: Mapping) -> Dict[str, object]:
         """The full metrics snapshot as JSON (``/v1/metrics``, ``repro metrics``)."""

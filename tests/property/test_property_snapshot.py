@@ -228,6 +228,118 @@ class TestSnapshotCarriers:
         )
 
 
+class TestPoolEpochChurn:
+    """Mutate→compact→query loops with pool workers attached never tear.
+
+    A :class:`~repro.service.QueryService` with a live
+    :class:`~repro.service.pool.WorkerPool` and a plain single-process
+    twin receive identical mutation streams.  After every phase — fresh,
+    dirty (pending delta, reads fall back inline to the merged view),
+    and compacted (epoch swapped, workers re-attached) — every read op
+    must agree between the pooled and plain services, and nothing may
+    crash on a retired buffer: the cross-process epoch barrier only
+    retires old blocks after the workers have moved off them.
+    """
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        r_rows=relation_rows(2, max_rows=12),
+        s_rows=relation_rows(2, max_rows=12),
+        mutations=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.sampled_from(["R", "S"]),
+                relation_rows(2, max_rows=4, domain=7),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_pooled_reads_identical_across_churn(self, r_rows, s_rows, mutations):
+        from repro.service import QueryService, WorkerPool, pool_supported
+
+        if not pool_supported():
+            pytest.skip("worker pool unavailable")
+
+        def fresh_database():
+            return Database([
+                Relation("R", ("x", "y"), list(r_rows)),
+                Relation("S", ("y", "z"), list(s_rows)),
+            ])
+
+        pooled = QueryService(max_plans=4)
+        plain = QueryService(max_plans=4)
+        pooled.register_database("bench", fresh_database())
+        plain.register_database("bench", fresh_database())
+        pool = WorkerPool(workers=2)
+        pooled.attach_pool(pool)
+        pool.start()
+        try:
+            order = LexOrder(("x", "y", "z"))
+            fingerprint = pooled.prepare(
+                "bench", PATH_QUERY, order=order
+            ).fingerprint
+            assert plain.prepare(
+                "bench", PATH_QUERY, order=order
+            ).fingerprint == fingerprint
+
+            def read_requests():
+                count = plain.execute(
+                    {"op": "count", "plan": fingerprint}
+                )["count"]
+                requests = [{"op": "count", "plan": fingerprint}]
+                for k in range(count):
+                    requests.append(
+                        {"op": "access", "plan": fingerprint, "k": k}
+                    )
+                if count:
+                    requests.append({
+                        "op": "batch_access", "plan": fingerprint,
+                        "ks": list(range(count)),
+                    })
+                    requests.append({
+                        "op": "range", "plan": fingerprint,
+                        "lo": 0, "hi": count,
+                    })
+                requests.append(  # out-of-bounds must also agree
+                    {"op": "access", "plan": fingerprint, "k": count}
+                )
+                return requests
+
+            def canonical(response):
+                if isinstance(response, (bytes, bytearray)):
+                    import json as _json
+
+                    response = _json.loads(bytes(response))
+                return {
+                    key: value for key, value in response.items()
+                    if key != "trace"
+                }
+
+            def assert_phase_identical():
+                for request in read_requests():
+                    expected = canonical(plain.execute(dict(request)))
+                    raw = pooled.dispatch_raw(request)
+                    if raw is not None:
+                        assert canonical(raw[1]) == expected
+                    assert canonical(pooled.execute(dict(request))) == expected
+
+            assert_phase_identical()
+            for op, relation, rows in mutations:
+                for service in (pooled, plain):
+                    if op == "insert":
+                        service.insert("bench", relation, rows)
+                    else:
+                        service.delete("bench", relation, rows)
+                assert_phase_identical()  # dirty: inline merged fallback
+                for service in (pooled, plain):
+                    service.compact("bench")
+                assert_phase_identical()  # compacted: routed at new epoch
+        finally:
+            pooled.close()
+            plain.close()
+
+
 class TestLiveEpochSwap:
     """Old readers stay correct on the retired buffer set across a swap."""
 

@@ -1,0 +1,200 @@
+"""Admission gate: cost classification, queueing, shedding, 503 mapping.
+
+The gate's contract: cheap builds never wait, expensive builds hold one of a
+bounded set of slots, overflow is shed with a structured ``overloaded`` error
+carrying ``retry_after`` — and point reads on already-built plans never reach
+the gate at all.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import AdmissionGate, QueryService, classify_build
+from repro.service.gates import CHEAP, EXPENSIVE
+from repro.service.protocol import PlanSpec, ServiceError
+from tests.test_service_http import demo_database
+
+SINGLE_ATOM = "Q(x, y) :- R(x, y)"
+JOIN = "Q(x, y, z) :- R(x, y), S(y, z)"
+
+
+def cost_of(query, order="x, y", mode="lex", shards=None):
+    spec = PlanSpec.create(
+        database="db", query=query, mode=mode, order=order, shards=shards
+    )
+    return classify_build(spec.query_plan, mode=spec.mode)
+
+
+class TestClassifyBuild:
+    def test_single_atom_monolith_is_cheap(self):
+        cost = cost_of(SINGLE_ATOM)
+        assert cost.lane == CHEAP
+        assert cost.reasons == ()
+
+    def test_join_is_expensive(self):
+        cost = cost_of(JOIN, order="x, y, z")
+        assert cost.lane == EXPENSIVE
+        assert any("join over" in reason for reason in cost.reasons)
+
+    def test_sharded_build_is_expensive(self):
+        cost = cost_of(SINGLE_ATOM, shards=4)
+        assert cost.lane == EXPENSIVE
+        assert any("shards" in reason for reason in cost.reasons)
+
+    def test_sum_mode_is_expensive(self):
+        cost = cost_of(SINGLE_ATOM, order=None, mode="sum")
+        assert cost.lane == EXPENSIVE
+
+    def test_unknown_plan_is_expensive(self):
+        cost = classify_build(None, mode="enum")
+        assert cost.lane == EXPENSIVE
+
+    def test_units_scale_with_shards(self):
+        assert cost_of(JOIN, order="x, y, z", shards=4).units > cost_of(
+            JOIN, order="x, y, z"
+        ).units
+
+
+class TestAdmissionGate:
+    def hold_slot(self, gate):
+        """Occupy one slot in a background thread until ``release`` is set."""
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with gate.admit(None):
+                held.set()
+                release.wait(10.0)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert held.wait(5.0)
+        return release, thread
+
+    def test_cheap_lane_never_blocks(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0)
+        release, thread = self.hold_slot(gate)
+        try:
+            cheap = cost_of(SINGLE_ATOM)
+            with gate.admit(cheap):  # would shed if it touched the slots
+                pass
+        finally:
+            release.set()
+            thread.join(5.0)
+
+    def test_queued_build_proceeds_after_release(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=4, queue_timeout=10.0)
+        release, thread = self.hold_slot(gate)
+        done = threading.Event()
+
+        def queued():
+            with gate.admit(None):
+                done.set()
+
+        waiter = threading.Thread(target=queued, daemon=True)
+        waiter.start()
+        time.sleep(0.05)
+        assert not done.is_set()  # still queued behind the held slot
+        release.set()
+        assert done.wait(5.0)
+        thread.join(5.0)
+        waiter.join(5.0)
+        stats = gate.stats()
+        assert stats["admitted"] == 2 and stats["shed"] == 0
+
+    def test_full_queue_sheds_with_retry_after(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0, retry_after=2.5)
+        release, thread = self.hold_slot(gate)
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                with gate.admit(None):
+                    pass
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.retry_after == 2.5
+        finally:
+            release.set()
+            thread.join(5.0)
+        assert gate.stats()["shed"] == 1
+
+    def test_queue_wait_times_out(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=4, queue_timeout=0.05)
+        release, thread = self.hold_slot(gate)
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                with gate.admit(None):
+                    pass
+            assert excinfo.value.code == "overloaded"
+        finally:
+            release.set()
+            thread.join(5.0)
+
+    def test_slot_released_after_build_error(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            with gate.admit(None):
+                raise RuntimeError("build blew up")
+        with gate.admit(None):  # slot must be free again
+            pass
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(max_concurrent=0)
+
+
+class TestServiceIntegration:
+    def test_shed_build_maps_to_overloaded_response(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0, retry_after=1.0)
+        service = QueryService(max_plans=8, gate=gate)
+        service.register_database("demo", demo_database())
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with gate.admit(None):
+                held.set()
+                release.wait(10.0)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert held.wait(5.0)
+        try:
+            response = service.execute({
+                "op": "prepare", "db": "demo", "query": JOIN,
+                "order": "x, y, z",
+            })
+            assert response["ok"] is False
+            assert response["error"]["code"] == "overloaded"
+            assert response["error"]["retry_after"] == 1.0
+        finally:
+            release.set()
+            thread.join(5.0)
+
+    def test_cached_plan_reads_skip_the_gate(self):
+        gate = AdmissionGate(max_concurrent=1, max_queue=0)
+        service = QueryService(max_plans=8, gate=gate)
+        service.register_database("demo", demo_database())
+        plan = service.prepare("demo", JOIN, order="x, y, z")
+        admitted_before = gate.stats()["admitted"]
+        held = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with gate.admit(None):
+                held.set()
+                release.wait(10.0)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert held.wait(5.0)
+        try:
+            # Gate saturated, yet reads on the built plan sail through.
+            response = service.execute(
+                {"op": "access", "plan": plan.fingerprint, "k": 0}
+            )
+            assert response["ok"] is True
+        finally:
+            release.set()
+            thread.join(5.0)
+        assert gate.stats()["admitted"] == admitted_before + 1  # just the holder

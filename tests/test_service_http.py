@@ -123,7 +123,7 @@ class TestEndpoints:
 
     def test_oversized_body_closes_the_connection(self, server):
         # An undrained body would desync the keep-alive stream: the server
-        # must answer 400 AND close the connection instead of reading the
+        # must answer 413 AND close the connection instead of reading the
         # pending bytes as the next request line.
         import socket
 
@@ -143,7 +143,7 @@ class TestEndpoints:
                 if not chunk:
                     break
                 response += chunk
-            assert b"400" in response.split(b"\r\n", 1)[0]
+            assert b"413" in response.split(b"\r\n", 1)[0]
             assert b"connection: close" in response.lower()
         # The server is still healthy for new connections.
         assert get(server, "/healthz") == (200, {"status": "ok"})
