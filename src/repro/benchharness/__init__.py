@@ -24,11 +24,20 @@ from repro.benchharness.planner_build import (
 from repro.benchharness.replay import (
     ReplayResult,
     replay_batched,
+    replay_http,
     replay_single,
     replay_threaded,
     run_replay,
     write_service_throughput,
     zipf_ranks,
+)
+from repro.benchharness.connscale import (
+    ConnScaleResult,
+    ServeProcess,
+    run_fleet,
+    sample_process,
+    verify_http_identity,
+    write_async_serving,
 )
 from repro.benchharness.live import run_live_updates, write_live_updates
 from repro.benchharness.multiproc import (
@@ -52,10 +61,12 @@ from repro.benchharness.snapshot import run_snapshot_bench, write_snapshot_bench
 from repro.benchharness.reporting import format_table
 
 __all__ = [
+    "ConnScaleResult",
     "MonolithLexAccess",
     "MultiprocResult",
     "ReplayResult",
     "ScalingResult",
+    "ServeProcess",
     "columnar_code_dtypes",
     "compare_backends",
     "format_table",
@@ -64,8 +75,10 @@ __all__ = [
     "measure_scaling",
     "replay_pooled",
     "replay_batched",
+    "replay_http",
     "replay_single",
     "replay_threaded",
+    "run_fleet",
     "run_gate_workload",
     "run_live_updates",
     "run_observability_bench",
@@ -73,9 +86,12 @@ __all__ = [
     "run_replay",
     "run_shard_scaling",
     "run_snapshot_bench",
+    "sample_process",
     "star_database",
     "star_query",
+    "verify_http_identity",
     "verify_identity",
+    "write_async_serving",
     "write_backend_comparison",
     "write_live_updates",
     "write_multiproc_serving",

@@ -14,6 +14,11 @@ a :class:`~repro.service.PreparedPlan`, …) in three modes:
   the HTTP front-end would serve it (GIL-bound: this measures that serving
   threads do not *hurt*, not a parallel speedup).
 
+:func:`replay_http` replays against a *running* server instead, over one
+keep-alive connection (``http-keepalive``) or reconnecting per request
+(``http-reconnect``) — the mode is recorded in the result so artifacts state
+how connections were used.
+
 Ranks are drawn from a Zipf-like distribution over the answer space
 (:func:`zipf_ranks`), seeded for reproducibility — harnesses thread one
 ``seed`` through every generator they touch (database rows and rank
@@ -154,6 +159,37 @@ def replay_threaded(
         label or f"threaded[{threads}x{batch_size}]", backend, "threaded",
         batch_size, threads, len(ranks), elapsed,
     )
+
+
+def replay_http(
+    base_url: str,
+    requests: Sequence[Mapping],
+    reuse: bool = True,
+    backend: str = "http",
+    label: str = "",
+) -> ReplayResult:
+    """Replay JSON requests against a running server over HTTP.
+
+    ``reuse=True`` holds one keep-alive connection for the whole workload
+    (one TCP handshake total); ``reuse=False`` reconnects per request — the
+    shape the harnesses had before PR 9, kept as the comparison baseline.
+    The mode lands in the result (``http-keepalive`` / ``http-reconnect``)
+    so artifacts record how connections were used.
+    """
+    from repro.service.client import HTTPSession
+
+    mode = "http-keepalive" if reuse else "http-reconnect"
+    start = time.perf_counter()
+    if reuse:
+        with HTTPSession(base_url) as session:
+            for payload in requests:
+                session.post_json("/v1/query", dict(payload))
+    else:
+        for payload in requests:
+            with HTTPSession(base_url) as session:
+                session.post_json("/v1/query", dict(payload))
+    elapsed = time.perf_counter() - start
+    return ReplayResult(label or mode, backend, mode, 1, 1, len(requests), elapsed)
 
 
 def run_replay(

@@ -198,6 +198,30 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "can share the port (kernel-level load spreading; see README "
         "caveats — plan caches and mutations are NOT shared across them)",
     )
+    parser.add_argument(
+        "--io-loop",
+        choices=("threaded", "event"),
+        default="threaded",
+        help="HTTP front-end: 'threaded' (one thread per connection, the "
+        "default) or 'event' (a single non-blocking event loop multiplexing "
+        "every connection and the worker pool's serve sockets)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="event loop only: open connections accepted before new ones "
+        "are refused with a structured 503 (default 1024)",
+    )
+    parser.add_argument(
+        "--header-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="close connections whose request headers do not complete "
+        "within SECONDS with a structured 408 (default 30)",
+    )
     return parser
 
 
@@ -413,7 +437,10 @@ def serve_main(argv: List[str]) -> int:
     try:
         server = make_server(service, args.host, args.port,
                              quiet=not args.verbose, max_body=max_body,
-                             reuse_port=args.reuse_port)
+                             reuse_port=args.reuse_port,
+                             io_loop=args.io_loop,
+                             header_timeout=args.header_timeout,
+                             max_connections=args.max_connections)
     except OSError as exc:
         if pool is not None:
             pool.close()
@@ -434,9 +461,10 @@ def serve_main(argv: List[str]) -> int:
             pass
     host, port = server.server_address[:2]
     workers_note = f", workers: {pool.worker_count}" if pool is not None else ""
+    loop_note = ", io-loop: event" if args.io_loop == "event" else ""
     print(f"repro serve: listening on http://{host}:{port} "
           f"(databases: {', '.join(service.database_names) or 'none'}"
-          f"{workers_note})", flush=True)
+          f"{workers_note}{loop_note})", flush=True)
     try:
         run_server(server)
     finally:
@@ -479,6 +507,19 @@ def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
         return {"ok": False, "error": {"code": "connection_error", "message": str(exc)}}
 
 
+def _session_post(session, path: str, payload: dict) -> dict:
+    """POST over a keep-alive :class:`HTTPSession`, same error shape as
+    :func:`_post_json` (structured JSON out, never a traceback)."""
+    try:
+        status, document = session.post_json(path, payload)
+    except OSError as exc:
+        return {"ok": False, "error": {"code": "connection_error", "message": str(exc)}}
+    if not isinstance(document, dict) or not document:
+        return {"ok": False,
+                "error": {"code": "internal", "message": f"HTTP {status} with no JSON body"}}
+    return document
+
+
 def client_main(argv: List[str]) -> int:
     parser = build_client_parser()
     args = parser.parse_args(argv)
@@ -499,14 +540,19 @@ def client_main(argv: List[str]) -> int:
         except OSError as exc:
             parser.error(str(exc))
 
+    session = None
     if args.url is None:
         service = _parse_db_specs(parser, args.db, args.backend, args.max_plans,
                                   shards=args.shards)
         execute = service.execute
     else:
-        base = args.url.rstrip("/")
+        from repro.service import HTTPSession
+
+        # One keep-alive connection for the whole request file: N requests
+        # cost one TCP handshake, and the server sees one connection.
+        session = HTTPSession(args.url)
         def execute(request):
-            return _post_json(f"{base}/v1/query", dict(request))
+            return _session_post(session, "/v1/query", dict(request))
 
     failures = 0
     try:
@@ -518,6 +564,9 @@ def client_main(argv: List[str]) -> int:
     except ServiceError as exc:
         print(json.dumps({"ok": False, "error": {"code": exc.code, "message": str(exc)}}))
         return 1
+    finally:
+        if session is not None:
+            session.close()
     return 1 if failures else 0
 
 
@@ -606,13 +655,15 @@ def mutate_main(argv: List[str]) -> int:
     if args.stats:
         requests.append({"op": "stats"})
 
-    base = args.url.rstrip("/")
+    from repro.service import HTTPSession
+
     failures = 0
-    for request in requests:
-        response = _post_json(f"{base}/v1/query", request)
-        if not response.get("ok"):
-            failures += 1
-        print(json.dumps(response))
+    with HTTPSession(args.url) as session:
+        for request in requests:
+            response = _session_post(session, "/v1/query", request)
+            if not response.get("ok"):
+                failures += 1
+            print(json.dumps(response))
     return 1 if failures else 0
 
 

@@ -47,6 +47,11 @@ The catalogue of series every layer feeds (labels in braces):
 ``repro_pool_dispatches_total{worker,outcome}``  pool routing (routed/miss/failed)
 ``repro_pool_workers``                    worker processes currently alive
 ``repro_worker_restarts_total{worker}``   worker respawns after crash/kill
+``repro_loop_lag_seconds``                event-loop heartbeat lag (scheduling delay)
+``repro_loop_open_connections``           sockets currently open on the event loop
+``repro_loop_active_requests``            requests in flight (worker or executor)
+``repro_loop_state_seconds{state}``       per-request time by loop state (read/dispatch/serve/write)
+``repro_loop_events_total{event}``        loop lifecycle events (accept/timeout/overflow/...)
 ========================================  ============================================
 
 When the worker pool is active, each worker process keeps its *own* registry
@@ -229,4 +234,27 @@ WORKER_RESTARTS = METRICS.counter(
     "repro_worker_restarts_total",
     "Worker-process respawns after a crash or kill.",
     ("worker",),
+)
+LOOP_LAG = METRICS.gauge(
+    "repro_loop_lag_seconds",
+    "Event-loop heartbeat lag: how late the loop woke vs its schedule.",
+)
+LOOP_OPEN_CONNECTIONS = METRICS.gauge(
+    "repro_loop_open_connections",
+    "Client sockets currently open on the event loop.",
+)
+LOOP_ACTIVE_REQUESTS = METRICS.gauge(
+    "repro_loop_active_requests",
+    "Event-loop requests currently suspended on a worker or executor.",
+)
+LOOP_STATE_SECONDS = METRICS.histogram(
+    "repro_loop_state_seconds",
+    "Per-request wall time by event-loop state (read, dispatch, serve, write).",
+    ("state",),
+)
+LOOP_EVENTS = METRICS.counter(
+    "repro_loop_events_total",
+    "Event-loop lifecycle events: accept, keepalive, timeout, overflow, "
+    "worker_fallback, reset.",
+    ("event",),
 )

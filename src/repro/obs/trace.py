@@ -153,6 +153,19 @@ class RequestTrace:
         self._tracer._retain(self)
         return False
 
+    def add_event(self, name: str, seconds: float,
+                  rows: Optional[int] = None) -> None:
+        """Attach an externally timed, finished span directly to the root.
+
+        For traces driven by :meth:`Tracer.open_request`, where no thread
+        owns the trace and :meth:`Tracer.event`'s thread-local stack cannot
+        apply.
+        """
+        span = Span(name)
+        span.seconds = seconds
+        span.rows = rows
+        self.root.children.append(span)
+
 
 class Tracer:
     """Trace-id allocation, span nesting and bounded trace retention."""
@@ -216,6 +229,51 @@ class Tracer:
         if stack:
             stack[-1].children.append(span)
         return _SpanContext(self, span)
+
+    def open_request(self, name: str, **attrs) -> Optional[RequestTrace]:
+        """A request trace *not* bound to the calling thread.
+
+        The event loop serves one request across many callbacks (parse on the
+        loop thread, execute on an executor thread or in a worker process,
+        write back on the loop thread), so the thread-local span stack of
+        :meth:`request` cannot carry it.  The caller holds the returned
+        object, attaches externally timed events with
+        :meth:`RequestTrace.add_event`, and finishes it with
+        :meth:`close_request`.  ``None`` when disabled.
+        """
+        if not self.enabled:
+            return None
+        return RequestTrace(self, name, attrs or None)
+
+    def close_request(self, request: Optional[RequestTrace]) -> None:
+        """Finish and retain a trace from :meth:`open_request` (idempotent-safe
+        for ``None`` so call sites need no enabled-check)."""
+        if request is None:
+            return
+        request.root.finish()
+        self._retain(request)
+
+    def attach_event(self, trace_id: str, name: str, seconds: float,
+                     rows: Optional[int] = None) -> bool:
+        """Append a finished span to an already-retained trace, post hoc.
+
+        Routed worker responses are written after the worker's own trace (or
+        the inline trace) was retained; the loop's write-time span can only be
+        known then.  Works because :meth:`get` builds the document lazily from
+        the live ``Span`` tree at read time.  Returns ``False`` when the trace
+        aged out of the ring.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            record = self._traces.get(trace_id)
+        if record is None:
+            return False
+        span = Span(name)
+        span.seconds = seconds
+        span.rows = rows
+        record[0].children.append(span)
+        return True
 
     def event(self, name: str, seconds: float, rows: Optional[int] = None) -> None:
         """Attach an externally timed, already-finished span to the current one.

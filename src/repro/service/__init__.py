@@ -12,6 +12,12 @@ keeps preprocessed instances alive and serves many requests against them:
   request/response encoding shared by all front-ends.
 * :mod:`repro.service.httpd` — a stdlib-only threaded HTTP front-end
   (``repro serve``).
+* :mod:`repro.service.eventloop` — the non-blocking selectors-based
+  front-end (``repro serve --io-loop event``): one thread multiplexes every
+  connection and the pool's worker sockets; worker responses pass through
+  zero-copy.
+* :mod:`repro.service.client` — :class:`HTTPSession`, the keep-alive JSON
+  client used by ``repro client`` and the benchmark harnesses.
 * :mod:`repro.service.pool` — a prefork :class:`WorkerPool`: worker
   processes attach the shared-memory snapshot images of published plans and
   serve routed read ops (``repro serve --workers N``); epoch swaps cross
@@ -52,12 +58,16 @@ from repro.service.protocol import (
 )
 from repro.service.service import PreparedPlan, QueryService, run_requests
 from repro.service.httpd import ServiceHTTPServer, make_server, serve
+from repro.service.eventloop import EventLoopHTTPServer
+from repro.service.client import HTTPSession
 
 __all__ = [
     "AdmissionGate",
     "BuildCost",
     "CacheStats",
     "CompactionPolicy",
+    "EventLoopHTTPServer",
+    "HTTPSession",
     "LiveDatabase",
     "LiveInstance",
     "PlanCache",

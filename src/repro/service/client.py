@@ -1,0 +1,130 @@
+"""A keep-alive JSON client for the service's HTTP front-ends.
+
+``repro client``, ``repro mutate`` and the benchmark harnesses used to open
+one ``urllib`` connection per request — which is exactly the traffic shape
+the serving front-ends are optimized *against* (PR 7's Nagle finding, the
+event loop's keep-alive state machines).  :class:`HTTPSession` holds one
+``http.client.HTTPConnection`` open across requests, reconnecting once and
+transparently when the server (legitimately) closed an idle keep-alive
+socket, so N requests cost one TCP handshake instead of N.
+
+Error shape matches the old per-request helpers: HTTP error statuses still
+return the parsed JSON body (the service's structured errors), and transport
+failures raise :class:`OSError` for the caller's connection-error handling.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import urllib.parse
+from typing import Dict, Mapping, Optional, Tuple
+
+
+class HTTPSession:
+    """One keep-alive connection to a service front-end, JSON in/out.
+
+    Not thread-safe: benchmark clients hold one session per thread, which is
+    also what makes C sessions exercise C server connections.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"HTTPSession only speaks http, got {base_url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        #: Response headers of the most recent round-trip (lower-cased keys);
+        #: routed responses carry their trace id in ``x-repro-trace`` here.
+        self.last_headers: Dict[str, str] = {}
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "HTTPSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, method: str, path: str,
+                   body: Optional[bytes],
+                   headers: Mapping[str, str]) -> Tuple[int, Dict[str, str], bytes]:
+        """One request over the held connection, reconnecting once.
+
+        A server may close a keep-alive socket between our requests (idle
+        timeout, worker restart, graceful drain): the first send on a dead
+        socket fails or yields an empty response, and retrying on a fresh
+        connection is safe for this protocol (requests are either reads or
+        idempotent registrations; the retry happens only when no response
+        arrived at all).
+        """
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=dict(headers))
+                response = conn.getresponse()
+                payload = response.read()
+                headers_out = {
+                    name.lower(): value for name, value in response.getheaders()
+                }
+                self.last_headers = headers_out
+                if response.will_close:
+                    self.close()
+                return response.status, headers_out, payload
+            except (http.client.RemoteDisconnected,
+                    http.client.CannotSendRequest,
+                    BrokenPipeError,
+                    ConnectionResetError) as exc:
+                self.close()
+                if attempt:
+                    raise OSError(f"connection lost: {exc}") from exc
+            except (socket.timeout, OSError):
+                self.close()
+                raise
+        raise OSError("unreachable")  # pragma: no cover
+
+    def request_json(self, method: str, path: str,
+                     payload: Optional[Mapping] = None) -> Tuple[int, Dict]:
+        """(status, parsed JSON body); raises OSError on transport failure."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        status, _headers, raw = self._roundtrip(method, path, body, headers)
+        try:
+            document = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise OSError(f"non-JSON response (status {status}): {exc}")
+        return status, document
+
+    def post_json(self, path: str, payload: Mapping) -> Tuple[int, Dict]:
+        return self.request_json("POST", path, payload)
+
+    def get_json(self, path: str) -> Tuple[int, Dict]:
+        return self.request_json("GET", path)
+
+    def get_text(self, path: str) -> str:
+        """GET a text endpoint (``/metrics``); raises on non-200."""
+        status, _headers, raw = self._roundtrip("GET", path, None, {})
+        if status != 200:
+            raise OSError(f"GET {path} answered {status}")
+        return raw.decode("utf-8")

@@ -27,6 +27,7 @@ bit-identical to the inline response for the same epoch (modulo the optional
 from __future__ import annotations
 
 import json
+import struct
 from bisect import bisect_right
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
@@ -164,6 +165,51 @@ def execute_snapshot_op(instance, fingerprint: str, request: Mapping) -> Dict[st
         return error_response("not_an_answer", str(message))
     except Exception as exc:  # pragma: no cover - defensive
         return error_response("internal", f"{type(exc).__name__}: {exc}")
+
+
+# ----------------------------------------------------------------------
+# Serve-frame wire format (master ↔ worker request sockets)
+# ----------------------------------------------------------------------
+# Routable requests travel over a dedicated ``socketpair`` per worker as
+# length-prefixed frames, so the master's event loop can read replies
+# incrementally from a non-blocking socket (``multiprocessing.Connection``
+# can block mid-message after ``poll()`` says ready).  Sequence numbers
+# correlate replies with suspended connections; frames never interleave
+# because each side writes one frame atomically under its own serialization
+# (the worker is single-threaded, the master writes under a per-worker lock
+# or from the single loop thread).
+#
+# Request frame:  ``!II``  (seq, payload_len)  + JSON request bytes
+# Response frame: ``!IIH`` (seq, body_len, status) + pre-encoded JSON body
+#   status == 0  → the worker does not have the plan/epoch attached (a
+#   "miss"); the body is empty and the master serves the request inline.
+REQUEST_HEADER = struct.Struct("!II")
+RESPONSE_HEADER = struct.Struct("!IIH")
+
+#: status value a worker sends when it cannot serve the frame from an image.
+FRAME_MISS = 0
+
+
+def pack_request_frame(seq: int, request: Mapping) -> bytes:
+    payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
+    return REQUEST_HEADER.pack(seq & 0xFFFFFFFF, len(payload)) + payload
+
+
+def pack_response_frame(seq: int, status: int, body: bytes) -> bytes:
+    return RESPONSE_HEADER.pack(seq & 0xFFFFFFFF, len(body), status) + body
+
+
+def recv_exact(sock, size: int) -> Optional[bytes]:
+    """Read exactly ``size`` bytes from a blocking socket (``None`` on EOF)."""
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if len(chunks) != 1 else chunks[0]
 
 
 def encode_response(response: Mapping) -> Tuple[int, bytes]:

@@ -83,6 +83,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`QueryService`."""
 
     daemon_threads = True
+    # The socketserver default backlog of 5 resets bursts of concurrent
+    # connects (a C-client fleet arriving at once overflows the accept
+    # queue); match the event loop's listen depth.
+    request_queue_size = 512
 
     def __init__(
         self,
@@ -99,6 +103,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.service = service
         self.quiet = quiet
         self.max_body = max_body
+        self.header_timeout: Optional[float] = None
         self._inflight_lock = threading.Lock()
         self._inflight = 0
         self._idle = threading.Condition(self._inflight_lock)
@@ -155,6 +160,57 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
+    def handle_one_request(self) -> None:
+        """One request off the keep-alive stream, with a structured 408.
+
+        The stdlib implementation swallows ``socket.timeout`` silently, so a
+        slow-loris client (partial headers, then nothing) would just see its
+        connection dropped.  Distinguish the cases: a timeout before a
+        complete request line arrived is an idle keep-alive connection going
+        away (close silently, same as before), while a timeout once the
+        request line was read — i.e. mid-headers — answers ``408 Request
+        Timeout`` with ``Connection: close`` so well-behaved clients can
+        tell patience ran out from the server crashing.
+        """
+        per_server = getattr(self.server, "header_timeout", None)
+        if per_server is not None:
+            self.connection.settimeout(per_server)
+        try:
+            self.raw_requestline = self.rfile.readline(65537)
+            if len(self.raw_requestline) > 65536:
+                self.requestline = ""
+                self.request_version = ""
+                self.command = ""
+                self.send_error(414)
+                return
+            if not self.raw_requestline:
+                self.close_connection = True
+                return
+            if not self.parse_request():
+                return
+            method_name = "do_" + self.command
+            if not hasattr(self, method_name):
+                self.close_connection = True
+                self._respond_client_error(501, error_response(
+                    "not_implemented",
+                    f"method {self.command!r} is not supported"))
+                return
+            getattr(self, method_name)()
+            self.wfile.flush()
+        except socket.timeout:
+            # Stream-level timeout.  If we had already read this request's
+            # request line, the client deserves a 408.
+            self.close_connection = True
+            partial = getattr(self, "raw_requestline", b"")
+            if partial:
+                try:
+                    self._respond_client_error(408, error_response(
+                        "timeout",
+                        "timed out waiting for the complete request"))
+                except OSError:
+                    pass
+            self.log_error("Request timed out")
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         self.server.request_started()
         try:
@@ -252,8 +308,26 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _read_json(self) -> Optional[Mapping]:
         max_body = getattr(self.server, "max_body", _MAX_BODY)
+        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+            # An unread chunked body would desync the keep-alive stream, and
+            # decoding it is not worth it for a JSON-object protocol.
+            self.close_connection = True
+            self._respond_client_error(501, error_response(
+                "not_implemented",
+                "Transfer-Encoding: chunked is not supported; "
+                "send a Content-Length body",
+            ))
+            return None
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self.close_connection = True
+            self._respond_client_error(411, error_response(
+                "length_required",
+                "POST requests need a Content-Length header",
+            ))
+            return None
         try:
-            length = int(self.headers.get("Content-Length", 0))
+            length = int(raw_length)
         except (TypeError, ValueError):
             length = 0
         if length <= 0 or length > max_body:
@@ -272,7 +346,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             return None
         try:
             body = self.rfile.read(length)
-        except OSError:  # timed out / reset mid-body: the client is gone
+        except socket.timeout:  # announced more bytes than it sent
+            self.close_connection = True
+            try:
+                self._respond_client_error(408, error_response(
+                    "timeout", "timed out waiting for the complete request"))
+            except OSError:
+                pass
+            return None
+        except OSError:  # reset mid-body: the client is gone
             self.close_connection = True
             return None
         if len(body) < length:  # short read (client closed early)
@@ -335,7 +417,10 @@ def make_server(
     quiet: bool = True,
     max_body: int = _MAX_BODY,
     reuse_port: bool = False,
-) -> ServiceHTTPServer:
+    io_loop: str = "threaded",
+    header_timeout: Optional[float] = None,
+    max_connections: int = 1024,
+):
     """Bind (but do not run) a server; ``port=0`` picks a free port.
 
     The bound port is ``server.server_address[1]`` — tests and scripts can
@@ -344,10 +429,28 @@ def make_server(
     independent ``repro serve`` processes can share one port and let the
     kernel spread connections (see the README's multi-process section for
     the caveats versus ``--workers``).
+
+    ``io_loop`` selects the front-end: ``"threaded"`` (this module's
+    thread-per-connection server) or ``"event"`` (the selectors-based
+    non-blocking loop in :mod:`repro.service.eventloop`).  Both expose the
+    same lifecycle surface, so callers need no other change — the flag
+    exists precisely so regressions can be bisected by switching it.
     """
-    return ServiceHTTPServer(
+    if io_loop == "event":
+        from repro.service.eventloop import EventLoopHTTPServer
+
+        return EventLoopHTTPServer(
+            (host, port), service, quiet=quiet, max_body=max_body,
+            reuse_port=reuse_port, max_connections=max_connections,
+            header_timeout=header_timeout if header_timeout is not None else 30.0,
+        )
+    if io_loop != "threaded":
+        raise ValueError(f"unknown io_loop {io_loop!r}; expected 'threaded' or 'event'")
+    server = ServiceHTTPServer(
         (host, port), service, quiet=quiet, max_body=max_body, reuse_port=reuse_port
     )
+    server.header_timeout = header_timeout
+    return server
 
 
 def run_server(server: ServiceHTTPServer) -> None:

@@ -3,8 +3,15 @@
 Architecture (master-dispatch over per-worker pipes):
 
 * The master process keeps the full :class:`~repro.service.QueryService` and
-  the HTTP listener.  ``start()`` forks N worker processes, each holding one
-  duplex pipe to the master and *no* service state.
+  the HTTP listener.  ``start()`` forks N worker processes, each holding two
+  channels to the master and *no* service state: a duplex **control pipe**
+  (attach/detach/ping/metrics/stats/shutdown, always request→reply under the
+  master's per-worker lock) and a **serve socket** (a ``socketpair`` carrying
+  length-prefixed request/response frames, see
+  :mod:`repro.service.dispatch`).  The frame protocol is what lets the
+  event-loop front-end register worker sockets in its selector and read
+  replies incrementally without blocking; the threaded front-end drives the
+  same frames synchronously.
 * When a LEX plan with a published shared-memory image is prepared, the
   master **exports** it: every worker attaches the ``(fingerprint, epoch)``
   block by name — an O(1) map (:meth:`InstanceSnapshot.attach`), no pickling,
@@ -34,7 +41,10 @@ them over the pipes and aggregates at ``GET /metrics``.
 
 from __future__ import annotations
 
+import itertools
+import json
 import multiprocessing
+import socket
 import threading
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -57,16 +67,28 @@ class _Attachment:
         self.seconds = seconds
 
 
-def _worker_main(worker_id: int, conn, obs_enabled: bool) -> None:
+def _worker_main(worker_id: int, conn, serve_sock, obs_enabled: bool) -> None:
     """The worker loop: attach/serve/report until shutdown or EOF.
 
     Runs in a separate process.  All state lives here: the attachments map
     (fingerprint → attached image + serving facade) and a private metrics
-    registry whose families carry the worker id as a label.
+    registry whose families carry the worker id as a label.  The loop
+    multiplexes the control pipe and the serve socket with
+    :func:`multiprocessing.connection.wait`, so a burst of serve frames
+    cannot starve an attach (and vice versa).
     """
+    from multiprocessing.connection import wait as _channel_wait
+
     from repro.core import snapshot as snapshot_module
     from repro.obs.metrics import MetricsRegistry
-    from repro.service.dispatch import encode_response, execute_snapshot_op
+    from repro.service.dispatch import (
+        FRAME_MISS,
+        REQUEST_HEADER,
+        RESPONSE_HEADER,
+        encode_response,
+        execute_snapshot_op,
+        recv_exact,
+    )
 
     # A forked worker inherits the master's owned-name set, but owns nothing:
     # drop the stale ownership.  Names this worker attaches are re-added below
@@ -107,34 +129,69 @@ def _worker_main(worker_id: int, conn, obs_enabled: bool) -> None:
         except Exception:
             pass
 
-    while True:
+    def _serve_frame() -> bool:
+        """Answer one length-prefixed request frame; False on master EOF."""
+        header = recv_exact(serve_sock, REQUEST_HEADER.size)
+        if header is None:
+            return False
+        seq, length = REQUEST_HEADER.unpack(header)
+        payload = recv_exact(serve_sock, length) if length else b""
+        if payload is None:
+            return False
+        try:
+            request = json.loads(payload)
+        except ValueError:
+            serve_sock.sendall(RESPONSE_HEADER.pack(seq, 0, FRAME_MISS))
+            return True
+        fingerprint = request.get("plan") if isinstance(request, Mapping) else None
+        entry = attachments.get(fingerprint)
+        if entry is None:
+            serve_sock.sendall(RESPONSE_HEADER.pack(seq, 0, FRAME_MISS))
+            return True
+        started = time.perf_counter()
+        response = execute_snapshot_op(entry.instance, fingerprint, request)
+        status, body = encode_response(response)
+        seconds = time.perf_counter() - started
+        # One vectored write per response: the pre-encoded body bytes go to
+        # the socket as-is and travel unmodified to the client socket.
+        frame = RESPONSE_HEADER.pack(seq, len(body), status)
+        sent = serve_sock.sendmsg([frame, memoryview(body)])
+        total = len(frame) + len(body)
+        if sent < total:  # kernel buffer full: finish the frame blocking
+            view = memoryview(frame + body)
+            while sent < total:
+                sent += serve_sock.send(view[sent:])
+        op = request.get("op")
+        op_label = op if isinstance(op, str) else "invalid"
+        outcome = "ok" if status == 200 else str(status)
+        requests_total.inc((wid, op_label, outcome))
+        request_seconds.observe(seconds, (wid, op_label))
+        answers = response.get("answers")
+        if isinstance(answers, list):
+            answers_total.inc((wid, op_label), len(answers))
+        return True
+
+    running = True
+    while running:
+        try:
+            channels = _channel_wait([conn, serve_sock])
+        except OSError:
+            break
+        if serve_sock in channels:
+            try:
+                if not _serve_frame():
+                    break
+            except (BrokenPipeError, OSError):
+                break
+        if conn not in channels:
+            continue
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
         kind = message[0]
         try:
-            if kind == "serve":
-                request = message[1]
-                op = request.get("op") if isinstance(request, Mapping) else None
-                fingerprint = request.get("plan") if isinstance(request, Mapping) else None
-                entry = attachments.get(fingerprint)
-                if entry is None:
-                    conn.send(("miss", fingerprint))
-                    continue
-                started = time.perf_counter()
-                response = execute_snapshot_op(entry.instance, fingerprint, request)
-                status, body = encode_response(response)
-                seconds = time.perf_counter() - started
-                conn.send(("response", status, body, entry.epoch))
-                op_label = op if isinstance(op, str) else "invalid"
-                outcome = "ok" if status == 200 else str(status)
-                requests_total.inc((wid, op_label, outcome))
-                request_seconds.observe(seconds, (wid, op_label))
-                answers = response.get("answers")
-                if isinstance(answers, list):
-                    answers_total.inc((wid, op_label), len(answers))
-            elif kind == "attach":
+            if kind == "attach":
                 fingerprint, epoch, name = message[1], message[2], message[3]
                 try:
                     started = time.perf_counter()
@@ -192,10 +249,11 @@ def _worker_main(worker_id: int, conn, obs_enabled: bool) -> None:
                 break
     for entry in attachments.values():
         _close(entry)
-    try:
-        conn.close()
-    except OSError:
-        pass
+    for channel in (conn, serve_sock):
+        try:
+            channel.close()
+        except OSError:
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -204,13 +262,20 @@ def _worker_main(worker_id: int, conn, obs_enabled: bool) -> None:
 class _Worker:
     """Master-side handle of one worker slot (survives respawns)."""
 
-    __slots__ = ("index", "process", "conn", "lock", "alive", "restarts")
+    __slots__ = ("index", "process", "conn", "serve_sock", "lock",
+                 "serve_lock", "seq", "alive", "restarts")
 
     def __init__(self, index: int) -> None:
         self.index = index
         self.process = None
-        self.conn = None
+        self.conn = None         # control pipe (locked request→reply)
+        self.serve_sock = None   # frame socket (threaded or event-loop serve)
         self.lock = threading.Lock()
+        self.serve_lock = threading.Lock()
+        #: frame correlation ids; shared by the threaded and event-loop
+        #: serve paths (``next()`` is atomic under the GIL), unique per
+        #: in-flight frame on this worker's socket.
+        self.seq = itertools.count(1)
         self.alive = False
         self.restarts = 0
 
@@ -306,18 +371,22 @@ class WorkerPool:
 
     def _spawn(self, worker: _Worker) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        parent_sock, child_sock = socket.socketpair()
         from repro.obs import obs_enabled
 
         process = self._ctx.Process(
             target=_worker_main,
-            args=(worker.index, child_conn, obs_enabled()),
+            args=(worker.index, child_conn, child_sock, obs_enabled()),
             name=f"repro-worker-{worker.index}",
             daemon=True,
         )
         process.start()
         child_conn.close()
+        child_sock.close()
         worker.process = process
         worker.conn = parent_conn
+        worker.serve_sock = parent_sock
+        worker.seq = itertools.count(1)
         worker.alive = True
 
     def close(self) -> None:
@@ -341,11 +410,12 @@ class WorkerPool:
                 process.terminate()
                 process.join(timeout=1.0)
             worker.alive = False
-            if worker.conn is not None:
-                try:
-                    worker.conn.close()
-                except OSError:
-                    pass
+            for channel in (worker.conn, worker.serve_sock):
+                if channel is not None:
+                    try:
+                        channel.close()
+                    except OSError:
+                        pass
         self._running = False
         POOL_WORKERS.set(0)
 
@@ -399,11 +469,12 @@ class WorkerPool:
                     process.join(timeout=0.5)
                 except (OSError, ValueError):
                     pass
-            if worker.conn is not None:
-                try:
-                    worker.conn.close()
-                except OSError:
-                    pass
+            for channel in (worker.conn, worker.serve_sock):
+                if channel is not None:
+                    try:
+                        channel.close()
+                    except OSError:
+                        pass
             with worker.lock:
                 self._spawn(worker)
             worker.restarts += 1
@@ -552,9 +623,26 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, fingerprint: str, request: Mapping,
-                 expected_epoch: Optional[int] = None) -> Optional[Tuple[int, bytes]]:
-        """Route one request; (status, body bytes) or None for inline fallback."""
+    def export_current(self, fingerprint: str, epoch: int) -> bool:
+        """Whether an export is live at ``epoch`` with at least one ready worker.
+
+        The event loop's zero-I/O routability check: when this is False the
+        request is served inline and the (blocking) :meth:`ensure_export`
+        catch-up runs on the loop's executor instead.
+        """
+        with self._lock:
+            export = self._exports.get(fingerprint)
+            return (export is not None and export.epoch == epoch
+                    and bool(export.ready))
+
+    def route(self, fingerprint: str, request: Mapping,
+              expected_epoch: Optional[int] = None) -> Optional[_Worker]:
+        """The worker a routable request should go to — no I/O, or ``None``.
+
+        Deterministic fingerprint+shard affinity, exactly the pick
+        :meth:`dispatch` makes; split out so the event loop can decide
+        routability on the loop thread and do the frame I/O itself.
+        """
         from repro.service.dispatch import pick_worker
 
         with self._lock:
@@ -572,23 +660,69 @@ class WorkerPool:
                 return None
             index = candidates[index % len(candidates)]
         worker = self._workers[index]
-        wid = str(index)
-        reply = self._roundtrip(worker, ("serve", dict(request)),
-                                timeout=self.request_timeout)
-        if reply is None:
-            POOL_DISPATCHES.inc((wid, "failed"))
-            with self._lock:
-                self._inline_fallbacks += 1
+        if not worker.alive or worker.serve_sock is None:
             return None
-        kind = reply[0]
-        if kind == "response":
-            POOL_DISPATCHES.inc((wid, "routed"))
-            with self._lock:
-                self._dispatched += 1
-            return reply[1], reply[2]
-        POOL_DISPATCHES.inc((wid, "miss"))
+        return worker
+
+    def note_dispatched(self, worker_index: int, outcome: str) -> None:
+        """Record a routing outcome (shared by both serve paths)."""
+        POOL_DISPATCHES.inc((str(worker_index), outcome))
         with self._lock:
-            self._inline_fallbacks += 1
+            if outcome == "routed":
+                self._dispatched += 1
+            else:
+                self._inline_fallbacks += 1
+
+    def _serve_roundtrip(self, worker: _Worker,
+                         request: Mapping) -> Optional[Tuple[int, bytes]]:
+        """One blocking frame exchange on the serve socket (threaded path)."""
+        from repro.service.dispatch import (
+            FRAME_MISS, RESPONSE_HEADER, pack_request_frame, recv_exact,
+        )
+
+        sock = worker.serve_sock
+        if sock is None or not worker.alive:
+            return None
+        with worker.serve_lock:
+            if not worker.alive or worker.serve_sock is not sock:
+                return None
+            seq = next(worker.seq) & 0xFFFFFFFF
+            try:
+                sock.settimeout(self.request_timeout)
+                sock.sendall(pack_request_frame(seq, request))
+                while True:
+                    header = recv_exact(sock, RESPONSE_HEADER.size)
+                    if header is None:
+                        raise OSError("worker serve socket closed")
+                    rseq, length, status = RESPONSE_HEADER.unpack(header)
+                    body = recv_exact(sock, length) if length else b""
+                    if length and body is None:
+                        raise OSError("worker serve socket closed mid-frame")
+                    if rseq == seq:
+                        if status == FRAME_MISS:
+                            return None
+                        return status, body
+                    # A stale reply from an earlier timed-out exchange: drop
+                    # it and keep reading for ours.
+            except (OSError, ValueError):
+                with worker.lock:
+                    self._mark_dead(worker)
+                return None
+
+    def dispatch(self, fingerprint: str, request: Mapping,
+                 expected_epoch: Optional[int] = None) -> Optional[Tuple[int, bytes]]:
+        """Route one request; (status, body bytes) or None for inline fallback."""
+        worker = self.route(fingerprint, request, expected_epoch)
+        if worker is None:
+            return None
+        alive_before = worker.alive
+        result = self._serve_roundtrip(worker, request)
+        if result is not None:
+            self.note_dispatched(worker.index, "routed")
+            return result
+        self.note_dispatched(
+            worker.index, "miss" if worker.alive and alive_before else "failed"
+        )
         return None
 
     # ------------------------------------------------------------------

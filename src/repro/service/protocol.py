@@ -47,10 +47,13 @@ STATUS_BY_CODE: Dict[str, int] = {
     "unknown_trace": 404,
     "out_of_bounds": 404,
     "not_an_answer": 404,
+    "timeout": 408,
+    "length_required": 411,
     "payload_too_large": 413,
     "unsupported": 422,
     "intractable_query": 422,
     "internal": 500,
+    "not_implemented": 501,
     "overloaded": 503,
 }
 

@@ -346,15 +346,16 @@ class QueryService:
         if publisher is not None and old_epoch != new_epoch:
             publisher.retire(old_epoch)
 
-    def dispatch_raw(self, request: Mapping) -> Optional[Tuple[int, bytes]]:
-        """Try to serve a request on a pool worker; pre-encoded bytes or None.
+    def routable_plan(self, request: Mapping):
+        """The cached plan a request may route to a pool worker, or ``None``.
 
-        ``None`` means "serve inline" — not an error.  A request routes only
-        when every bit-identity precondition holds: the op is routable, the
-        plan is already cached with a published image, its live view *is* the
-        published base (no merged deltas pending), and the export epoch
-        matches — otherwise the master's merged-delta path answers, so
-        responses stay identical mid-mutation and mid-swap.
+        Pure state checks, no I/O — callable from the event loop's single
+        thread.  A request routes only when every bit-identity precondition
+        holds: the op is routable, the plan is already cached with a
+        published image, its live view *is* the published base (no merged
+        deltas pending), and no unobserved mutations are queued — otherwise
+        the master's merged-delta path answers, so responses stay identical
+        mid-mutation and mid-swap.
         """
         pool = self._pool
         if pool is None or not pool.running or not isinstance(request, Mapping):
@@ -383,18 +384,34 @@ class QueryService:
             return None  # merged deltas pending: master serves until compaction
         if snapshot.epoch != engine.live.epoch:
             return None  # unobserved mutations: syncing may grow a delta view
-        pool.ensure_export(plan)
-        started = time.perf_counter()
-        result = pool.dispatch(fingerprint, request, engine.base_epoch)
-        if result is None:
-            return None
-        seconds = time.perf_counter() - started
-        status, _body = result
-        # Observe routed requests in the master's request metrics too, so
-        # latency SLOs read off one histogram regardless of serving path.
+        return plan
+
+    def note_routed(self, op: str, status: int, seconds: float) -> None:
+        """Observe a routed request in the master's request metrics too, so
+        latency SLOs read off one histogram regardless of serving path."""
         REQUESTS.inc((op, "ok" if status == 200 else "routed_error"))
         REQUEST_SECONDS.observe(seconds, (op,))
         self._count_op(op)
+
+    def dispatch_raw(self, request: Mapping) -> Optional[Tuple[int, bytes]]:
+        """Try to serve a request on a pool worker; pre-encoded bytes or None.
+
+        ``None`` means "serve inline" — not an error (see
+        :meth:`routable_plan` for the preconditions).
+        """
+        plan = self.routable_plan(request)
+        if plan is None:
+            return None
+        pool = self._pool
+        if pool is None or not pool.running:
+            return None
+        pool.ensure_export(plan)
+        started = time.perf_counter()
+        result = pool.dispatch(request["plan"], request, plan.engine.base_epoch)
+        if result is None:
+            return None
+        seconds = time.perf_counter() - started
+        self.note_routed(request.get("op"), result[0], seconds)
         return result
 
     # ------------------------------------------------------------------

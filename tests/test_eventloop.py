@@ -1,0 +1,465 @@
+"""The event-loop HTTP front-end: parity, keep-alive, adversarial clients.
+
+A real :class:`EventLoopHTTPServer` runs on an ephemeral port and is driven
+both through the polite path (:class:`HTTPSession` keep-alive JSON clients)
+and through raw sockets that misbehave on purpose: pipelined bursts,
+slow-loris header dribbles, oversized bodies, and mid-request disconnects.
+Everything the threaded front-end answers, the event loop must answer
+byte-identically (traces aside) — that identity is asserted here too.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import Database, Relation
+from repro.service import HTTPSession, QueryService, make_server
+from repro.service.pool import WorkerPool, pool_supported
+
+QUERY_TEXT = "Q(x, y, z) :- R(x, y), S(y, z)"
+
+
+def demo_database():
+    return Database(
+        [
+            Relation("R", ("x", "y"), [(1, 5), (1, 2), (6, 2)]),
+            Relation("S", ("y", "z"), [(5, 3), (5, 4), (5, 6), (2, 5)]),
+        ]
+    )
+
+
+def make_service():
+    service = QueryService(max_plans=8)
+    service.register_database("demo", demo_database())
+    return service
+
+
+class running_server:
+    """Start a server on an ephemeral port; stop and join on exit."""
+
+    def __init__(self, service, io_loop="event", **kwargs):
+        self.server = make_server(service, "127.0.0.1", 0, io_loop=io_loop, **kwargs)
+        self.thread = threading.Thread(target=self.server.serve_forever, daemon=True)
+        self.thread.start()
+
+    def __enter__(self):
+        return self.server
+
+    def __exit__(self, *exc):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+@pytest.fixture()
+def service():
+    service = make_service()
+    yield service
+    service.close()
+
+
+@pytest.fixture()
+def server(service):
+    with running_server(service) as server:
+        yield server
+
+
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def connect(server, timeout=5.0):
+    sock = socket.create_connection(server.server_address[:2], timeout=timeout)
+    return sock
+
+
+def raw_post(path, payload, extra_headers=(), version="HTTP/1.1"):
+    body = json.dumps(payload).encode("utf-8")
+    lines = [
+        f"POST {path} {version}",
+        "Host: test",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        *extra_headers,
+    ]
+    return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
+
+
+def read_response(sock):
+    """One HTTP response off a raw socket: (status, headers, body)."""
+    reader = sock.makefile("rb")
+    try:
+        status_line = reader.readline()
+        if not status_line:
+            return None, {}, b""
+        status = int(status_line.split()[1])
+        headers = {}
+        while True:
+            line = reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = reader.read(length) if length else b""
+        return status, headers, body
+    finally:
+        reader.detach()
+
+
+def read_full_response(sock):
+    status, headers, body = read_response(sock)
+    return status, headers, json.loads(body) if body else None
+
+
+# ----------------------------------------------------------------------
+# Endpoint parity and identity with the threaded front-end
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_healthz_and_metrics(self, server):
+        with HTTPSession(base_url(server)) as session:
+            assert session.get_json("/healthz") == (200, {"status": "ok"})
+            text = session.get_text("/metrics")
+        assert "repro_loop_open_connections" in text
+        assert "repro_loop_lag_seconds" in text
+
+    def test_prepare_access_and_errors(self, server):
+        with HTTPSession(base_url(server)) as session:
+            status, prepared = session.post_json(
+                "/v1/prepare", {"db": "demo", "query": QUERY_TEXT, "order": "x, y, z"}
+            )
+            assert status == 200 and prepared["ok"]
+            status, answer = session.post_json(
+                "/v1/access", {"plan": prepared["plan"], "k": 0}
+            )
+            assert status == 200 and answer["answer"] == [1, 2, 5]
+            status, document = session.post_json(
+                "/v1/access", {"plan": prepared["plan"], "k": 999}
+            )
+            assert status == 404
+            assert document["error"]["code"] == "out_of_bounds"
+            status, document = session.get_json("/nope")
+            assert status == 404
+            status, document = session.post_json("/v1/query", {"op": "nope"})
+            assert status == 400 and "unknown op" in document["error"]["message"]
+
+    def test_answers_identical_to_threaded_front_end(self):
+        requests = [
+            {"op": "prepare", "db": "demo", "query": QUERY_TEXT, "order": "x, y, z"},
+            {"op": "access", "db": "demo", "query": QUERY_TEXT, "order": "x, y, z",
+             "k": 1},
+            {"op": "batch_access", "db": "demo", "query": QUERY_TEXT,
+             "order": "x, y, z", "ks": [0, 2, 1]},
+            {"op": "range", "db": "demo", "query": QUERY_TEXT, "order": "x, y, z",
+             "lo": 0, "hi": 2},
+            {"op": "count", "db": "demo", "query": QUERY_TEXT, "order": "x, y, z"},
+            {"op": "access", "db": "demo", "query": QUERY_TEXT, "order": "x, y, z",
+             "k": 99},
+            {"op": "nope"},
+        ]
+
+        def replay(io_loop):
+            service = make_service()
+            answers = []
+            try:
+                with running_server(service, io_loop=io_loop) as server:
+                    with HTTPSession(base_url(server)) as session:
+                        for payload in requests:
+                            _status, document = session.post_json(
+                                "/v1/query", dict(payload)
+                            )
+                            document.pop("trace", None)
+                            answers.append(json.dumps(document, sort_keys=True))
+            finally:
+                service.close()
+            return answers
+
+        assert replay("event") == replay("threaded")
+
+
+# ----------------------------------------------------------------------
+# Keep-alive and pipelining
+# ----------------------------------------------------------------------
+class TestKeepAlive:
+    def test_many_requests_one_connection(self, server):
+        sock = connect(server)
+        try:
+            for k in range(5):
+                sock.sendall(raw_post("/v1/query", {
+                    "op": "access", "db": "demo", "query": QUERY_TEXT,
+                    "order": "x, y, z", "k": k % 3,
+                }))
+                status, headers, document = read_full_response(sock)
+                assert status == 200 and document["ok"]
+                assert headers.get("connection") != "close"
+        finally:
+            sock.close()
+
+    def test_pipelined_requests_answered_in_order(self, server):
+        first = raw_post("/v1/query", {"op": "access", "db": "demo",
+                                       "query": QUERY_TEXT, "order": "x, y, z",
+                                       "k": 0})
+        second = raw_post("/v1/query", {"op": "access", "db": "demo",
+                                        "query": QUERY_TEXT, "order": "x, y, z",
+                                        "k": 2})
+        sock = connect(server)
+        try:
+            sock.sendall(first + second)
+            status, _headers, one = read_full_response(sock)
+            assert status == 200 and one["answer"] == [1, 2, 5]
+            status, _headers, two = read_full_response(sock)
+            assert status == 200 and two["answer"] == [1, 5, 4]
+        finally:
+            sock.close()
+
+    def test_http_1_0_closes_after_response(self, server):
+        sock = connect(server)
+        try:
+            sock.sendall(raw_post("/healthz", None, version="HTTP/1.0")
+                         .replace(b"POST", b"GET"))
+            status, headers, _body = read_full_response(sock)
+            assert status == 200
+            assert headers.get("connection") == "close"
+            assert read_response(sock)[0] is None  # server closed
+        finally:
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol edges: chunked, missing length, oversized, malformed, loris
+# ----------------------------------------------------------------------
+class TestProtocolEdges:
+    def test_chunked_transfer_encoding_answers_501(self, server):
+        sock = connect(server)
+        try:
+            sock.sendall(b"POST /v1/query HTTP/1.1\r\nHost: t\r\n"
+                         b"Transfer-Encoding: chunked\r\n\r\n")
+            status, headers, document = read_full_response(sock)
+            assert status == 501
+            assert document["error"]["code"] == "not_implemented"
+            assert headers.get("connection") == "close"
+        finally:
+            sock.close()
+
+    def test_post_without_content_length_answers_411(self, server):
+        sock = connect(server)
+        try:
+            sock.sendall(b"POST /v1/query HTTP/1.1\r\nHost: t\r\n\r\n")
+            status, _headers, document = read_full_response(sock)
+            assert status == 411
+            assert document["error"]["code"] == "length_required"
+        finally:
+            sock.close()
+
+    def test_oversized_body_mid_stream_answers_413_and_closes(self, service):
+        with running_server(service, max_body=2048) as server:
+            sock = connect(server)
+            try:
+                # Announce far more than max_body, deliver only a prefix:
+                # the 413 must arrive off the headers alone.
+                sock.sendall(b"POST /v1/query HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Type: application/json\r\n"
+                             b"Content-Length: 1000000\r\n\r\n" + b"x" * 512)
+                status, headers, document = read_full_response(sock)
+                assert status == 413
+                assert document["error"]["code"] == "payload_too_large"
+                assert headers.get("connection") == "close"
+            finally:
+                sock.close()
+
+    def test_malformed_request_line_answers_400(self, server):
+        sock = connect(server)
+        try:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            status, _headers, _document = read_full_response(sock)
+            assert status == 400
+        finally:
+            sock.close()
+
+    def test_slow_loris_times_out_with_408(self, service):
+        with running_server(service, header_timeout=0.3) as server:
+            sock = connect(server)
+            try:
+                sock.sendall(b"POST /v1/query HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Ty")  # ...and stall mid-header
+                status, headers, document = read_full_response(sock)
+                assert status == 408
+                assert document["error"]["code"] == "timeout"
+                assert headers.get("connection") == "close"
+            finally:
+                sock.close()
+
+    def test_polite_clients_survive_a_loris_next_door(self, service):
+        with running_server(service, header_timeout=0.3) as server:
+            loris = connect(server)
+            try:
+                loris.sendall(b"GET /healthz HTT")
+                with HTTPSession(base_url(server)) as session:
+                    for _ in range(3):
+                        assert session.get_json("/healthz")[0] == 200
+                status, _headers, _document = read_full_response(loris)
+                assert status == 408
+            finally:
+                loris.close()
+
+
+# ----------------------------------------------------------------------
+# Abrupt disconnects: no FD leaks, the loop keeps serving
+# ----------------------------------------------------------------------
+def _fd_count():
+    return len(os.listdir("/proc/self/fd"))
+
+
+@pytest.mark.skipif(not os.path.isdir("/proc/self/fd"),
+                    reason="needs /proc fd accounting")
+class TestAbruptDisconnect:
+    def test_disconnect_storm_leaks_no_fds(self, server):
+        session = HTTPSession(base_url(server))
+        assert session.get_json("/healthz")[0] == 200
+        baseline = _fd_count()
+        for _ in range(20):
+            sock = connect(server)
+            sock.sendall(raw_post("/v1/query", {
+                "op": "access", "db": "demo", "query": QUERY_TEXT,
+                "order": "x, y, z", "k": 0,
+            }))
+            sock.close()  # vanish before (or while) the response lands
+        deadline = time.monotonic() + 5.0
+        while _fd_count() > baseline and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert _fd_count() <= baseline
+        # The loop is still healthy for polite clients.
+        assert session.get_json("/healthz")[0] == 200
+        session.close()
+
+    def test_reset_while_response_in_flight(self, server):
+        for _ in range(5):
+            sock = connect(server)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            b"\x01\x00\x00\x00\x00\x00\x00\x00")  # RST on close
+            sock.sendall(raw_post("/v1/query", {
+                "op": "count", "db": "demo", "query": QUERY_TEXT,
+                "order": "x, y, z",
+            }))
+            sock.close()
+        with HTTPSession(base_url(server)) as session:
+            assert session.get_json("/healthz")[0] == 200
+
+
+# ----------------------------------------------------------------------
+# Worker pool integration: routed zero-copy responses, traces, leaks
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not pool_supported(), reason="worker pool unavailable")
+class TestWithWorkers:
+    @pytest.fixture()
+    def pooled_service(self):
+        service = make_service()
+        pool = WorkerPool(workers=2)
+        service.attach_pool(pool)
+        assert pool.start()
+        yield service
+        service.close()
+
+    def _prepare(self, session):
+        status, prepared = session.post_json("/v1/prepare", {
+            "db": "demo", "query": QUERY_TEXT, "order": "x, y, z",
+        })
+        assert status == 200 and prepared["ok"]
+        return prepared["plan"]
+
+    def _await_routed(self, session, fingerprint, tries=50):
+        """Spin until a request actually routes (export is asynchronous).
+
+        Returns ``(document, trace_header)`` of the routed response — routed
+        bodies pass through the loop untouched, so their trace id only
+        exists in the ``X-Repro-Trace`` header.
+        """
+        for _ in range(tries):
+            status, document = session.post_json("/v1/query", {
+                "op": "access", "plan": fingerprint, "k": 0,
+            })
+            assert status == 200 and document["ok"]
+            trace_header = session.last_headers.get("x-repro-trace")
+            if trace_header:
+                return document, trace_header
+            time.sleep(0.05)
+        pytest.fail("no request ever routed to a worker")
+
+    def test_routed_answers_and_trace_spans(self, pooled_service):
+        with running_server(pooled_service) as server:
+            with HTTPSession(base_url(server)) as session:
+                fingerprint = self._prepare(session)
+                document, trace_id = self._await_routed(session, fingerprint)
+                assert document["answer"] == [1, 2, 5]
+                status, traced = session.post_json("/v1/query", {
+                    "op": "trace", "id": trace_id,
+                })
+                assert status == 200
+                text = json.dumps(traced["traced"])
+                for span in ("loop:read", "loop:queue", "worker:serve",
+                             "loop:write"):
+                    assert span in text, f"missing {span} in {text}"
+
+    def test_disconnect_with_worker_response_in_flight(self, pooled_service):
+        with running_server(pooled_service) as server:
+            with HTTPSession(base_url(server)) as session:
+                fingerprint = self._prepare(session)
+                self._await_routed(session, fingerprint)
+                baseline = _fd_count() if os.path.isdir("/proc/self/fd") else None
+                for k in range(10):
+                    sock = connect(server)
+                    sock.sendall(raw_post("/v1/query", {
+                        "op": "access", "plan": fingerprint, "k": k % 3,
+                    }))
+                    sock.close()  # gone before the worker frame returns
+                deadline = time.monotonic() + 5.0
+                if baseline is not None:
+                    while _fd_count() > baseline and time.monotonic() < deadline:
+                        time.sleep(0.05)
+                    assert _fd_count() <= baseline
+                status, document = session.post_json("/v1/query", {
+                    "op": "access", "plan": fingerprint, "k": 0,
+                })
+                assert status == 200 and document["answer"] == [1, 2, 5]
+
+
+# ----------------------------------------------------------------------
+# Connection cap and graceful shutdown
+# ----------------------------------------------------------------------
+class TestLimitsAndShutdown:
+    def test_connection_cap_answers_503(self, service):
+        with running_server(service, max_connections=2) as server:
+            keepers = [connect(server) for _ in range(2)]
+            try:
+                for keeper in keepers:
+                    keeper.sendall(raw_post("/healthz", None).replace(b"POST", b"GET"))
+                    assert read_full_response(keeper)[0] == 200
+                excess = connect(server)
+                try:
+                    status, headers, document = read_full_response(excess)
+                    assert status == 503
+                    assert document["error"]["code"] == "overloaded"
+                    assert "retry-after" in headers
+                finally:
+                    excess.close()
+            finally:
+                for keeper in keepers:
+                    keeper.close()
+
+    def test_shutdown_drains_in_flight_requests(self, service):
+        server = make_server(service, "127.0.0.1", 0, io_loop="event")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with HTTPSession(base_url(server)) as session:
+                assert session.get_json("/healthz")[0] == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        assert server.drain(timeout=1.0)

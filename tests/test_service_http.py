@@ -148,6 +148,65 @@ class TestEndpoints:
         # The server is still healthy for new connections.
         assert get(server, "/healthz") == (200, {"status": "ok"})
 
+    def _raw_exchange(self, server, request_bytes, timeout=5):
+        import socket
+
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(request_bytes)
+            sock.settimeout(timeout)
+            response = b""
+            while True:  # every response here closes the connection
+                try:
+                    chunk = sock.recv(4096)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                response += chunk
+        return response
+
+    def test_chunked_transfer_encoding_answers_501(self, server):
+        response = self._raw_exchange(
+            server,
+            b"POST /v1/query HTTP/1.1\r\nHost: t\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n",
+        )
+        assert b"501" in response.split(b"\r\n", 1)[0]
+        assert b"not_implemented" in response
+        assert b"connection: close" in response.lower()
+        assert get(server, "/healthz") == (200, {"status": "ok"})
+
+    def test_post_without_content_length_answers_411(self, server):
+        response = self._raw_exchange(
+            server, b"POST /v1/query HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        assert b"411" in response.split(b"\r\n", 1)[0]
+        assert b"length_required" in response
+
+    def test_slow_loris_headers_answer_408(self):
+        # The timeout only fires once the request line completed (a stalled
+        # request line is invisible inside the buffered reader), so the
+        # loris sends the full line and then dribbles headers.
+        service = QueryService(max_plans=8)
+        service.register_database("demo", demo_database())
+        server = make_server(service, "127.0.0.1", 0, header_timeout=0.3)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            response = self._raw_exchange(
+                server,
+                b"POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Ty",
+                timeout=5,
+            )
+            assert b"408" in response.split(b"\r\n", 1)[0]
+            assert b"timeout" in response
+            assert b"connection: close" in response.lower()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
     def test_invalid_json_body(self, server):
         request = urllib.request.Request(
             url_of(server, "/v1/query"),
