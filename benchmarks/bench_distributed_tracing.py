@@ -1,0 +1,152 @@
+"""Distributed tracing: span-shipping identity and overhead on the routed path.
+
+Runs :func:`repro.benchharness.run_disttrace_bench` — the same seeded Zipf
+workload served inline and through the worker pool, traced-off and
+traced-on — and writes ``BENCH_distributed_tracing.json`` at the repository
+root.
+
+Acceptance (read straight off the artifact): every per-backend entry has
+``answers_identical: true`` (the harness raises before timing otherwise —
+the trace context rides inside the request frame and the span subtree after
+the response body, so neither may perturb an answer);
+``routed_requests_traced`` is non-zero (the measurement actually exercised
+the worker route); ``spans_shipped`` counts the worker subtrees stitched
+during the traced rounds and ``span_subtrees_dropped`` the oversize
+sacrifices; ``span_shipping_overhead_percent`` stays in the low single
+digits on a quiet machine.
+
+Run standalone for the canonical artifact::
+
+    PYTHONPATH=src python benchmarks/bench_distributed_tracing.py [n] [requests]
+    PYTHONPATH=src python benchmarks/bench_distributed_tracing.py --smoke
+    PYTHONPATH=src python benchmarks/bench_distributed_tracing.py --seed 7
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # standalone invocation (CI smoke) must not require pytest
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+from repro.benchharness import (
+    format_table,
+    run_disttrace_bench,
+    write_disttrace_bench,
+)
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_distributed_tracing.json"
+
+FULL_TUPLES = 20_000
+FULL_REQUESTS = 4_096
+DEFAULT_SEED = 0
+
+
+def _pool_available() -> bool:
+    from repro.service import pool_supported
+
+    return pool_supported()
+
+
+def print_results(document) -> None:
+    rows = []
+    for backend, entry in document["backends"].items():
+        overhead = entry["span_shipping_overhead_percent"]
+        rows.append((
+            backend,
+            entry["count"],
+            "yes" if entry["answers_identical"] else "NO",
+            entry["routed_requests_traced"],
+            entry["routed_traced_off_ops_per_second"],
+            entry["routed_traced_on_ops_per_second"],
+            f"{overhead:+.2f}%" if overhead is not None else "n/a",
+            entry["spans_shipped"],
+            entry["span_subtrees_dropped"],
+        ))
+    print()
+    print(format_table(
+        ["backend", "answers", "identical", "routed", "off ops/s",
+         "on ops/s", "ship Δ", "shipped", "dropped"],
+        rows,
+        title=(
+            f"distributed tracing (n="
+            f"{document['metadata']['tuples_per_relation']}, "
+            f"requests={document['metadata']['requests']}, "
+            f"workers={document['metadata']['workers']})"
+        ),
+    ))
+
+
+# ----------------------------------------------------------------------
+# Pytest variant: plumbing + identity smoke (timings too noisy to assert)
+# ----------------------------------------------------------------------
+if pytest is not None:
+
+    def test_disttrace_artifact(tmp_path):
+        if not _pool_available():
+            pytest.skip("worker pool needs NumPy + shared memory")
+        scratch = tmp_path / "BENCH_distributed_tracing.json"
+        document = run_disttrace_bench(
+            1200, num_requests=384, repeats=2, seed=3,
+        )
+        write_disttrace_bench(str(scratch), document)
+        print_results(document)
+        assert scratch.exists()
+        metadata = document["metadata"]
+        assert metadata["seed"] == 3
+        assert metadata["workers"] == 2
+        for entry in document["backends"].values():
+            assert entry["answers_identical"]
+            assert entry["routed_requests_traced"] > 0
+            assert entry["spans_shipped"] > 0
+            assert entry["routed_traced_off_ops_per_second"] > 0
+            assert entry["routed_traced_on_ops_per_second"] > 0
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    smoke = "--smoke" in argv
+    argv = [a for a in argv if a != "--smoke"]
+
+    def option(flag, default, convert):
+        if flag in argv:
+            position = argv.index(flag)
+            value = convert(argv[position + 1])
+            del argv[position:position + 2]
+            return value
+        return default
+
+    seed = option("--seed", DEFAULT_SEED, int)
+    repeats = option("--repeats", 3, int)
+    workers = option("--workers", 2, int)
+
+    if not _pool_available():
+        print("distributed-tracing bench skipped: worker pool unavailable "
+              "(needs NumPy + POSIX shared memory)")
+        return 0
+
+    if smoke:
+        num_tuples, num_requests = 3000, 768
+    else:
+        numbers = [int(a) for a in argv]
+        num_tuples = numbers[0] if numbers else FULL_TUPLES
+        num_requests = numbers[1] if len(numbers) > 1 else FULL_REQUESTS
+
+    document = run_disttrace_bench(
+        num_tuples,
+        num_requests=num_requests,
+        repeats=repeats,
+        seed=seed,
+        workers=workers,
+    )
+    write_disttrace_bench(str(ARTIFACT), document)
+    print_results(document)
+    print(f"\nwrote {ARTIFACT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

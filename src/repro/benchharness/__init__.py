@@ -52,6 +52,10 @@ from repro.benchharness.observability import (
     run_observability_bench,
     write_observability_bench,
 )
+from repro.benchharness.disttrace import (
+    run_disttrace_bench,
+    write_disttrace_bench,
+)
 from repro.benchharness.sharding import (
     columnar_code_dtypes,
     run_shard_scaling,
@@ -73,11 +77,12 @@ __all__ = [
     "growth_exponent",
     "make_requests",
     "measure_scaling",
-    "replay_pooled",
     "replay_batched",
     "replay_http",
+    "replay_pooled",
     "replay_single",
     "replay_threaded",
+    "run_disttrace_bench",
     "run_fleet",
     "run_gate_workload",
     "run_live_updates",
@@ -93,6 +98,7 @@ __all__ = [
     "verify_identity",
     "write_async_serving",
     "write_backend_comparison",
+    "write_disttrace_bench",
     "write_live_updates",
     "write_multiproc_serving",
     "write_observability_bench",

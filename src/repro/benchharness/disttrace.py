@@ -1,0 +1,252 @@
+"""Distributed-tracing overhead benchmark: span shipping on the routed path.
+
+Writes ``BENCH_distributed_tracing.json``, making the cross-process tracing
+contract machine-checkable across PRs:
+
+* **bit-identical answers** — the same seeded Zipf workload is served with
+  tracing disabled and enabled, through both the inline single-process path
+  and the pooled worker route, and all four answer streams must match
+  exactly (the master-only ``trace`` id is stripped) before any timing is
+  recorded.  The trace context travels inside the request frame and the
+  span subtree rides *after* the response body, so instrumentation that
+  leaks into an answer is a bug the bench must fail on, not average away.
+* **span-shipping overhead** — routed throughput is measured traced-off and
+  traced-on over alternating rounds; the artifact records both
+  throughputs, the paired-median overhead percentage, and the deltas of the
+  ``repro_trace_spans_shipped_total`` / ``repro_trace_spans_dropped_total``
+  counters over the traced rounds, so a silent drop regression shows up as
+  a counter anomaly next to the timing it would otherwise hide in.
+
+Methodology mirrors the observability bench: ``repeats`` rounds per
+configuration, alternating which configuration runs first each round to
+cancel thermal-drift position bias, best-of timings for throughput and the
+median of paired within-round ratios for overhead.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.benchharness.multiproc import make_requests
+from repro.obs import METRICS, TRACER, obs_enabled, set_enabled
+from repro.workloads.generators import generate_path_database
+
+_QUERY = "Q(x, y, z) :- R(x, y), S(y, z)"
+_ORDER = "x, y, z"
+
+
+def _canonical(response) -> str:
+    if isinstance(response, (bytes, bytearray)):
+        response = json.loads(bytes(response))
+    if isinstance(response, dict):
+        response = {k: v for k, v in response.items() if k != "trace"}
+    return json.dumps(response, sort_keys=True)
+
+
+def _replay_routed(service, requests: Sequence[Mapping]) -> Dict[str, object]:
+    """One pass through ``dispatch_raw``-with-inline-fallback; answers + time."""
+    answers: List[str] = []
+    routed = 0
+    started = time.perf_counter()
+    for request in requests:
+        raw = service.dispatch_raw(request)
+        if raw is not None:
+            routed += 1
+            answers.append(_canonical(raw[1]))
+        else:
+            answers.append(_canonical(service.execute(dict(request))))
+    seconds = time.perf_counter() - started
+    return {"answers": answers, "routed": routed, "seconds": seconds}
+
+
+def _replay_inline(service, requests: Sequence[Mapping]) -> List[str]:
+    return [_canonical(service.execute(dict(request))) for request in requests]
+
+
+def _counter_value(name: str) -> float:
+    family = METRICS.get(name)
+    if family is None:
+        return 0.0
+    return family.value(())
+
+
+def _paired_overhead_percent(
+    samples: Sequence[Tuple[float, float]],
+) -> Optional[float]:
+    """Median of paired within-round on/off ratios (position-bias immune)."""
+    ratios = sorted(on / off for off, on in samples if off > 0)
+    if not ratios:
+        return None
+    middle = len(ratios) // 2
+    if len(ratios) % 2:
+        median = ratios[middle]
+    else:
+        median = (ratios[middle - 1] + ratios[middle]) / 2.0
+    return round((median - 1.0) * 100.0, 2)
+
+
+def run_disttrace_bench(
+    num_tuples: int,
+    num_requests: int = 2048,
+    backends: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    seed: int = 0,
+    workers: int = 2,
+) -> Dict[str, object]:
+    """Measure routed serving traced-off vs traced-on on one warm plan.
+
+    Identity first: inline and routed answer streams under both tracing
+    states must agree exactly, else the run aborts before timing.  Then the
+    routed replay is timed in alternating-order rounds and the span-shipping
+    counters are read around the traced rounds.
+    """
+    from repro.service import QueryService, WorkerPool, pool_supported
+
+    if not pool_supported():
+        raise RuntimeError(
+            "distributed-tracing bench needs the worker pool "
+            "(NumPy + POSIX shared memory)"
+        )
+    if backends is None:
+        from repro.engine.backends import available_backends
+
+        backends = available_backends()
+
+    was_enabled = obs_enabled()
+    domain = max(8, int(num_tuples ** 0.5))
+    per_backend: Dict[str, object] = {}
+    try:
+        for backend in backends:
+            reference = QueryService(max_plans=8, backend=backend)
+            reference.register_database(
+                "bench", generate_path_database(num_tuples, domain, seed=seed)
+            )
+            pooled = QueryService(max_plans=8, backend=backend)
+            pooled.register_database(
+                "bench", generate_path_database(num_tuples, domain, seed=seed)
+            )
+            pool = WorkerPool(workers=workers)
+            pooled.attach_pool(pool)
+            pool.start()
+            try:
+                set_enabled(True)
+                plan = reference.prepare("bench", _QUERY, order=_ORDER)
+                pooled.prepare("bench", _QUERY, order=_ORDER)
+                requests = make_requests(
+                    plan.fingerprint, plan.count, num_requests, seed=seed
+                )
+
+                # -- identity: 4 streams, one truth ------------------------
+                streams: Dict[str, List[str]] = {}
+                routed_counts: Dict[bool, int] = {}
+                for flag in (False, True):
+                    set_enabled(flag)
+                    streams[f"inline_traced_{flag}"] = _replay_inline(
+                        reference, requests
+                    )
+                    run = _replay_routed(pooled, requests)
+                    streams[f"routed_traced_{flag}"] = run["answers"]
+                    routed_counts[flag] = run["routed"]
+                baseline = streams["inline_traced_False"]
+                for key, answers in streams.items():
+                    if answers != baseline:
+                        raise AssertionError(
+                            f"answers diverge on {backend}/{key}: tracing or "
+                            f"routing changed a response"
+                        )
+                if not routed_counts[True]:
+                    raise AssertionError(
+                        f"no request took the worker route on {backend}; "
+                        f"the span-shipping measurement would be vacuous"
+                    )
+
+                # -- overhead: alternating traced-off/on rounds ------------
+                best: Dict[bool, Optional[float]] = {False: None, True: None}
+                pairs: List[Tuple[float, float]] = []
+                shipped_before = _counter_value("repro_trace_spans_shipped_total")
+                dropped_before = _counter_value("repro_trace_spans_dropped_total")
+                for round_index in range(max(1, repeats)):
+                    order = (True, False) if round_index % 2 else (False, True)
+                    this_round: Dict[bool, float] = {}
+                    for flag in order:
+                        set_enabled(flag)
+                        gc_was_enabled = gc.isenabled()
+                        gc.collect()
+                        gc.disable()
+                        try:
+                            run = _replay_routed(pooled, requests)
+                        finally:
+                            if gc_was_enabled:
+                                gc.enable()
+                        this_round[flag] = run["seconds"]
+                        current = best[flag]
+                        best[flag] = (run["seconds"] if current is None
+                                      else min(current, run["seconds"]))
+                    pairs.append((this_round[False], this_round[True]))
+                set_enabled(True)
+                shipped = _counter_value(
+                    "repro_trace_spans_shipped_total") - shipped_before
+                dropped = _counter_value(
+                    "repro_trace_spans_dropped_total") - dropped_before
+
+                off_seconds, on_seconds = best[False], best[True]
+                per_backend[backend] = {
+                    "count": int(plan.count),
+                    "answers_identical": True,
+                    "requests": int(len(requests)),
+                    "routed_requests_traced": int(routed_counts[True]),
+                    "routed_requests_untraced": int(routed_counts[False]),
+                    "routed_traced_off_ops_per_second": round(
+                        len(requests) / off_seconds, 2
+                    ) if off_seconds else None,
+                    "routed_traced_on_ops_per_second": round(
+                        len(requests) / on_seconds, 2
+                    ) if on_seconds else None,
+                    "span_shipping_overhead_percent":
+                        _paired_overhead_percent(pairs),
+                    "spans_shipped": int(shipped),
+                    "span_subtrees_dropped": int(dropped),
+                }
+            finally:
+                pooled.close()
+                reference.close()
+    finally:
+        set_enabled(was_enabled)
+
+    return {
+        "artifact": "distributed_tracing",
+        "metadata": {
+            "query": _QUERY,
+            "order": _ORDER,
+            "tuples_per_relation": int(num_tuples),
+            "domain": int(domain),
+            "requests": int(num_requests),
+            "workers": int(workers),
+            "repeats": int(repeats),
+            "seed": int(seed),
+            "cpu_count": os.cpu_count() or 1,
+            "backends": list(backends),
+            "obs_enabled_at_start": bool(was_enabled),
+            "tracing_enabled_now": bool(TRACER.enabled),
+            "note": (
+                "All four answer streams (inline/routed × traced off/on) "
+                "are verified identical before timing. Throughputs are "
+                "best-of-repeats on the routed path; the overhead "
+                "percentage is the median of paired within-round on/off "
+                "ratios with alternating measurement order. Span counters "
+                "are process-wide deltas over the traced timing rounds."
+            ),
+        },
+        "backends": per_backend,
+    }
+
+
+def write_disttrace_bench(path: str, document: Mapping[str, object]) -> None:
+    """Write the benchmark artifact (``BENCH_distributed_tracing.json``)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,5 +1,5 @@
 """Command-line interface: classify, explain, serve, client, mutate, snapshot,
-metrics, trace.
+metrics, trace, profile.
 
 Eight subcommands::
 
@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -221,6 +222,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="close connections whose request headers do not complete "
         "within SECONDS with a structured 408 (default 30)",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="continuously sample wall-clock stacks at HZ in the master and "
+        "every worker (near-zero cost between samples); merged folded "
+        "stacks at GET /debug/profile (default: REPRO_PROFILE_HZ or off)",
     )
     return parser
 
@@ -407,6 +417,15 @@ def serve_main(argv: List[str]) -> int:
         set_enabled(False)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.profile_hz is not None:
+        if args.profile_hz < 0:
+            parser.error(f"--profile-hz must be >= 0, got {args.profile_hz}")
+        # Workers inherit the environment at fork, so setting the variable
+        # before pool.start() arms continuous profiling in every process.
+        os.environ["REPRO_PROFILE_HZ"] = repr(args.profile_hz)
+    from repro.obs.profile import maybe_start_from_env
+
+    maybe_start_from_env()
     slow_query_seconds = (
         max(0.0, args.slow_query_ms / 1000.0)
         if args.slow_query_ms is not None else None
@@ -465,6 +484,12 @@ def serve_main(argv: List[str]) -> int:
     print(f"repro serve: listening on http://{host}:{port} "
           f"(databases: {', '.join(service.database_names) or 'none'}"
           f"{workers_note}{loop_note})", flush=True)
+    from repro.obs.profile import PROFILER
+
+    profile_note = (f"; profiling at {PROFILER.hz:g}Hz (/debug/profile)"
+                    if PROFILER.running else "")
+    print(f"repro serve: liveness at /healthz, readiness at /readyz"
+          f"{profile_note}", flush=True)
     try:
         run_server(server)
     finally:
@@ -803,6 +828,11 @@ def build_trace_parser() -> argparse.ArgumentParser:
         "--limit", type=_positive_int, default=20,
         help="how many recent traces to list (without an ID; default 20)",
     )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_traces",
+        help="list recent traces (id, op, duration, status) even when an ID "
+        "is also given",
+    )
     parser.add_argument("--json", action="store_true", help="emit the raw JSON document")
     return parser
 
@@ -813,7 +843,7 @@ def trace_main(argv: List[str]) -> int:
     base = args.url.rstrip("/")
 
     request = {"op": "trace"}
-    if args.trace_id is not None:
+    if args.trace_id is not None and not args.list_traces:
         request["id"] = args.trace_id
     else:
         request["limit"] = args.limit
@@ -825,16 +855,17 @@ def trace_main(argv: List[str]) -> int:
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0
 
-    if args.trace_id is None:
+    if "id" not in request:
         traces = response.get("traces", [])
         if not traces:
             print("(no traces retained yet)")
             return 0
         rows = [
-            (entry["id"], entry["name"], f"{entry['seconds'] * 1000:.3f}ms")
+            (entry["id"], entry.get("op", entry.get("name", "")),
+             f"{entry['seconds'] * 1000:.3f}ms", entry.get("status", "") or "-")
             for entry in traces
         ]
-        print(format_table(["trace", "request", "duration"], rows))
+        print(format_table(["trace", "op", "duration", "status"], rows))
         return 0
 
     from repro.obs import format_span_tree
@@ -843,6 +874,83 @@ def trace_main(argv: List[str]) -> int:
     print(f"trace {document['id']}  ({document['name']}, "
           f"{document['seconds'] * 1000:.3f}ms)")
     print(format_span_tree(document["root"]))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# profile
+# ----------------------------------------------------------------------
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Sample a running server's wall-clock stacks (master and "
+        "every pool worker) and print the merged folded-stack profile.",
+    )
+    _add_version(parser)
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running server (e.g. http://127.0.0.1:8734)",
+    )
+    parser.add_argument(
+        "--seconds",
+        type=float,
+        default=2.0,
+        metavar="N",
+        help="length of the sampling window (default 2; 0 reports whatever "
+        "the continuously running profiler has already accumulated)",
+    )
+    parser.add_argument(
+        "--hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="sampling frequency for the window (default: the server's)",
+    )
+    parser.add_argument(
+        "--fold",
+        action="store_true",
+        help="print raw folded stacks ('stack count' lines, flamegraph.pl "
+        "input) instead of the summary table",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the raw JSON document")
+    return parser
+
+
+def profile_main(argv: List[str]) -> int:
+    parser = build_profile_parser()
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+    request: dict = {"op": "profile", "seconds": args.seconds}
+    if args.hz is not None:
+        request["hz"] = args.hz
+    response = _post_json(f"{base}/v1/query", request,
+                          timeout=max(60.0, args.seconds + 30.0))
+    if not response.get("ok"):
+        print(json.dumps(response))
+        return 1
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    profile = response.get("profile", {})
+    if args.fold:
+        sys.stdout.write(profile.get("folded", ""))
+        return 0
+    master = profile.get("master", {})
+    rows = [("master", str(master.get("pid", "")),
+             str(master.get("samples", 0)), f"{master.get('hz', 0):g}")]
+    for worker in profile.get("workers", []):
+        rows.append((f"worker {worker.get('worker', '?')}",
+                     str(worker.get("pid", "")),
+                     str(worker.get("samples", 0)), f"{worker.get('hz', 0):g}"))
+    print(format_table(["process", "pid", "samples", "hz"], rows))
+    folded = profile.get("folded", "")
+    top = [line for line in folded.splitlines() if line][:10]
+    if top:
+        print()
+        print("hottest stacks:")
+        for line in top:
+            print(f"  {line}")
     return 0
 
 
@@ -988,15 +1096,23 @@ _SUBCOMMAND_MAINS = {
     "snapshot": snapshot_main,
     "metrics": metrics_main,
     "trace": trace_main,
+    "profile": profile_main,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] in _SUBCOMMAND_MAINS:
-        return _SUBCOMMAND_MAINS[argv[0]](argv[1:])
-    # Backward compatibility: a bare query classifies, as before subcommands.
-    return classify_main(argv)
+    try:
+        if argv and argv[0] in _SUBCOMMAND_MAINS:
+            return _SUBCOMMAND_MAINS[argv[0]](argv[1:])
+        # Backward compatibility: a bare query classifies, as subcommands.
+        return classify_main(argv)
+    except BrokenPipeError:
+        # Downstream reader (head, flamegraph.pl, ...) closed the pipe early;
+        # swap stdout for /dev/null so interpreter shutdown does not complain.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

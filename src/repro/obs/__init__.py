@@ -52,6 +52,9 @@ The catalogue of series every layer feeds (labels in braces):
 ``repro_loop_active_requests``            requests in flight (worker or executor)
 ``repro_loop_state_seconds{state}``       per-request time by loop state (read/dispatch/serve/write)
 ``repro_loop_events_total{event}``        loop lifecycle events (accept/timeout/overflow/...)
+``repro_trace_spans_shipped_total``       worker spans shipped back on response frames and stitched
+``repro_trace_spans_dropped_total``       worker span subtrees dropped (payload over the size bound)
+``repro_profile_samples_total``           stack samples taken by the sampling profiler
 ========================================  ============================================
 
 When the worker pool is active, each worker process keeps its *own* registry
@@ -257,4 +260,18 @@ LOOP_EVENTS = METRICS.counter(
     "Event-loop lifecycle events: accept, keepalive, timeout, overflow, "
     "worker_fallback, reset.",
     ("event",),
+)
+TRACE_SPANS_SHIPPED = METRICS.counter(
+    "repro_trace_spans_shipped_total",
+    "Worker-side spans shipped back on response frames and stitched into "
+    "master traces.",
+)
+TRACE_SPANS_DROPPED = METRICS.counter(
+    "repro_trace_spans_dropped_total",
+    "Worker span subtrees dropped because the serialized payload exceeded "
+    "the size bound.",
+)
+PROFILE_SAMPLES = METRICS.counter(
+    "repro_profile_samples_total",
+    "Stack samples taken by the sampling profiler in this process.",
 )

@@ -68,6 +68,34 @@ class Span:
             document["children"] = [child.to_dict() for child in self.children]
         return document
 
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "Span":
+        """Rebuild a span tree from its wire shape (:meth:`to_dict`).
+
+        The inverse direction exists for cross-process stitching: a pool
+        worker serializes its ``worker:*`` subtree onto the response frame
+        and the master grafts the rebuilt spans into the request's trace, so
+        one ``repro trace <id>`` shows both sides of the process boundary.
+        Malformed fields are clamped rather than raised — a corrupt span
+        payload must never take down the serving path.
+        """
+        name = document.get("name")
+        span = cls(name if isinstance(name, str) else "?")
+        try:
+            span.seconds = float(document.get("seconds", 0.0))
+        except (TypeError, ValueError):
+            span.seconds = 0.0
+        rows = document.get("rows")
+        span.rows = rows if isinstance(rows, int) and not isinstance(rows, bool) else None
+        attrs = document.get("attrs")
+        if isinstance(attrs, dict):
+            span.attrs = {str(key): str(value) for key, value in attrs.items()}
+        children = document.get("children")
+        if isinstance(children, list):
+            span.children = [cls.from_dict(child) for child in children
+                             if isinstance(child, dict)]
+        return span
+
 
 def format_span_tree(document: Dict[str, object], indent: str = "") -> str:
     """Render a span-tree JSON document (``Span.to_dict`` shape) as text.
@@ -165,6 +193,24 @@ class RequestTrace:
         span.seconds = seconds
         span.rows = rows
         self.root.children.append(span)
+
+    def add_span(self, span: Span) -> None:
+        """Graft a finished span subtree onto the root (remote stitching).
+
+        The subtree usually arrives as a worker's serialized ``worker:*``
+        spans (:meth:`Span.from_dict`), already timed by the worker's own
+        clock; the master attaches it as one child so the stitched tree
+        reads end-to-end.
+        """
+        self.root.children.append(span)
+
+    def set_status(self, status: object) -> None:
+        """Record the request's outcome as a root attribute.
+
+        ``repro trace --list`` and :meth:`Tracer.recent` surface it, and the
+        rendered span tree shows it alongside the other root attrs.
+        """
+        self.root.attrs["status"] = str(status)
 
 
 class Tracer:
@@ -275,6 +321,23 @@ class Tracer:
         record[0].children.append(span)
         return True
 
+    def attach_span(self, trace_id: str, span: Span) -> bool:
+        """Graft a finished span subtree onto an already-retained trace.
+
+        The cross-process variant of :meth:`attach_event`: a worker's
+        shipped span tree can arrive after the master's trace was retained
+        (the threaded front-end retains before writing the response).
+        Returns ``False`` when the trace aged out of the ring.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            record = self._traces.get(trace_id)
+        if record is None:
+            return False
+        record[0].children.append(span)
+        return True
+
     def event(self, name: str, seconds: float, rows: Optional[int] = None) -> None:
         """Attach an externally timed, already-finished span to the current one.
 
@@ -309,15 +372,23 @@ class Tracer:
             }
 
     def recent(self, limit: int = 20) -> List[Dict[str, object]]:
-        """Summaries of the most recent traces, newest first."""
+        """Summaries of the most recent traces, newest first.
+
+        Each entry carries the short op name (the root name minus its
+        ``op:`` prefix) and the recorded outcome status, so ``repro trace
+        --list`` can render a useful table without fetching every tree.
+        """
         with self._lock:
             records = list(self._traces.items())[-limit:]
-        return [
-            {
+        summaries = []
+        for trace_id, (root, when) in reversed(records):
+            name = root.name
+            summaries.append({
                 "id": trace_id,
-                "name": root.name,
+                "name": name,
+                "op": name[3:] if name.startswith("op:") else name,
+                "status": str(root.attrs.get("status", "")),
                 "seconds": round(root.seconds, 9),
                 "when": when,
-            }
-            for trace_id, (root, when) in reversed(records)
-        ]
+            })
+        return summaries

@@ -29,20 +29,30 @@ from repro.core.reduction import eliminate_projections, reduce_database_over_que
 from repro.engine.database import Database
 from repro.exceptions import OutOfBoundsError, QueryStructureError
 from repro.obs import BUILD_STAGE_SECONDS, PLAN_BUILDS, TRACER
+from repro.obs.profile import (
+    build_memory,
+    reset_stage_peak,
+    stage_memory_delta,
+    stage_memory_probe,
+)
 from repro.planner.plan import ExecutionReport, QueryPlan
 
 
 def record_stage(report: ExecutionReport, name: str, seconds: float,
-                 rows: Optional[int] = None) -> None:
+                 rows: Optional[int] = None,
+                 mem_bytes: Optional[int] = None,
+                 mem_peak: Optional[int] = None) -> None:
     """Record one measured build stage everywhere it is consumed.
 
     The historical report (``plan.stats``), the build-stage latency
     histogram, and — when the calling thread is inside a request trace — a
     completed child span.  This is also the ``on_stage`` callback handed to
     the preprocessing/sharding builders, so their internally timed stages
-    surface identically to the executor's own.
+    surface identically to the executor's own.  ``mem_bytes``/``mem_peak``
+    carry per-stage tracemalloc attribution when a build runs under
+    :func:`repro.obs.profile.build_memory`.
     """
-    report.record(name, seconds, rows)
+    report.record(name, seconds, rows, mem_bytes, mem_peak)
     BUILD_STAGE_SECONDS.observe(seconds, (name,))
     TRACER.event(f"stage:{name}", seconds, rows=rows)
 
@@ -59,9 +69,20 @@ class _StageHandle:
 @contextmanager
 def _stage(report: ExecutionReport, name: str):
     handle = _StageHandle()
+    # Memory probes are no-ops unless tracemalloc is tracing (gated by
+    # build_memory around a whole build), so the common path pays nothing.
+    before = stage_memory_probe()
+    if before is not None:
+        reset_stage_peak()
     started = time.perf_counter()
     yield handle
-    record_stage(report, name, time.perf_counter() - started, handle.rows)
+    seconds = time.perf_counter() - started
+    delta = stage_memory_delta(before)
+    if delta is None:
+        record_stage(report, name, seconds, handle.rows)
+    else:
+        record_stage(report, name, seconds, handle.rows,
+                     mem_bytes=delta[0], mem_peak=delta[1])
 
 
 @dataclass
@@ -183,7 +204,7 @@ class PlanExecutor:
         PLAN_BUILDS.inc(("lex",))
         report = self._new_report()
         run_started = time.perf_counter()
-        with TRACER.span("build:lex", plan=self.plan.fingerprint):
+        with build_memory(), TRACER.span("build:lex", plan=self.plan.fingerprint):
             normalized, database = self._front(report)
 
             if self.plan.boolean:
@@ -247,7 +268,7 @@ class PlanExecutor:
         weights = weights if weights is not None else Weights.identity()
         report = self._new_report()
         run_started = time.perf_counter()
-        with TRACER.span("build:sum", plan=self.plan.fingerprint):
+        with build_memory(), TRACER.span("build:sum", plan=self.plan.fingerprint):
             normalized, database = self._front(report)
             objects = self.plan.objects
             original_free = objects.query.free_variables

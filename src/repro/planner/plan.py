@@ -82,18 +82,31 @@ class LayerPlan:
 
 @dataclass
 class StageStats:
-    """Measured statistics of one executed stage."""
+    """Measured statistics of one executed stage.
+
+    ``mem_bytes`` (net allocation delta) and ``mem_peak`` (tracemalloc
+    high-water mark during the stage) are only present when the build ran
+    with memory attribution on (``REPRO_BUILD_MEMORY=1``); they stay out of
+    the serialized shape otherwise so existing consumers see no change.
+    """
 
     name: str
     seconds: float
     rows: Optional[int] = None
+    mem_bytes: Optional[int] = None
+    mem_peak: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "name": self.name,
             "seconds": round(self.seconds, 6),
             "rows": self.rows,
         }
+        if self.mem_bytes is not None:
+            document["mem_bytes"] = self.mem_bytes
+        if self.mem_peak is not None:
+            document["mem_peak"] = self.mem_peak
+        return document
 
 
 @dataclass
@@ -105,8 +118,10 @@ class ExecutionReport:
     total_seconds: float = 0.0
     stages: List[StageStats] = field(default_factory=list)
 
-    def record(self, name: str, seconds: float, rows: Optional[int] = None) -> None:
-        self.stages.append(StageStats(name, seconds, rows))
+    def record(self, name: str, seconds: float, rows: Optional[int] = None,
+               mem_bytes: Optional[int] = None,
+               mem_peak: Optional[int] = None) -> None:
+        self.stages.append(StageStats(name, seconds, rows, mem_bytes, mem_peak))
 
     def stage(self, name: str) -> Optional[StageStats]:
         for stats in self.stages:

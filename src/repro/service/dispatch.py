@@ -22,11 +22,21 @@ cache instead of every worker faulting every shard.
 same response field order, same error codes — so a routed response is
 bit-identical to the inline response for the same epoch (modulo the optional
 ``trace`` id, which only the master's tracer appends).
+
+Distributed tracing rides the same frames without touching the bodies:
+request frames carry trace context inside the JSON payload under the
+reserved :data:`~repro.service.protocol.TRACE_KEY`, and response frames
+append the worker's serialized ``worker:*`` span subtree *after* the body
+(see the response-header layout below), bounded by
+:func:`span_limit_from_env` with a drop sentinel on overflow.  The master
+stitches shipped subtrees into its own trace so ``repro trace <id>`` shows
+both sides of the process boundary.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
 from bisect import bisect_right
 from typing import Dict, Mapping, Optional, Sequence, Tuple
@@ -35,6 +45,7 @@ from repro.core.access import validate_rank
 from repro.exceptions import NotAnAnswerError, OutOfBoundsError
 from repro.service.protocol import (
     STATUS_BY_CODE,
+    TRACE_KEY,
     ServiceError,
     decode_answer,
     error_response,
@@ -179,24 +190,113 @@ def execute_snapshot_op(instance, fingerprint: str, request: Mapping) -> Dict[st
 # (the worker is single-threaded, the master writes under a per-worker lock
 # or from the single loop thread).
 #
-# Request frame:  ``!II``  (seq, payload_len)  + JSON request bytes
-# Response frame: ``!IIH`` (seq, body_len, status) + pre-encoded JSON body
+# Request frame:  ``!II``   (seq, payload_len)  + JSON request bytes
+# Response frame: ``!IIHI`` (seq, body_len, status, span_len)
+#                 + pre-encoded JSON body + span-tree JSON bytes
 #   status == 0  → the worker does not have the plan/epoch attached (a
 #   "miss"); the body is empty and the master serves the request inline.
+#   span_len     → length of the worker's serialized ``worker:*`` span
+#   subtree trailing the body (0 when the request carried no trace context
+#   or the worker's tracer is off); the sentinel :data:`SPAN_DROPPED` means
+#   the subtree exceeded :func:`span_limit_from_env` and was dropped — no
+#   span bytes follow and the master increments the drop counter.  Span
+#   bytes ride *outside* the body so routed response bodies stay
+#   bit-identical to the inline path.
 REQUEST_HEADER = struct.Struct("!II")
-RESPONSE_HEADER = struct.Struct("!IIH")
+RESPONSE_HEADER = struct.Struct("!IIHI")
 
 #: status value a worker sends when it cannot serve the frame from an image.
 FRAME_MISS = 0
 
+#: span_len sentinel: the worker produced a span subtree but it exceeded the
+#: size bound, so it was dropped instead of shipped.
+SPAN_DROPPED = 0xFFFFFFFF
 
-def pack_request_frame(seq: int, request: Mapping) -> bytes:
+#: Default bound (bytes) on a serialized span subtree riding a response
+#: frame.  Worker subtrees are a handful of spans — kilobytes, not megabytes
+#: — so the bound exists to cap pathological attr blowups, not normal use.
+DEFAULT_SPAN_LIMIT = 16384
+
+
+def span_limit_from_env() -> int:
+    """The span-payload byte bound, overridable via ``REPRO_TRACE_SPAN_LIMIT``.
+
+    Read by each worker at start (workers fork after the master's env is
+    final), so tests can force tiny bounds to exercise the drop path.
+    """
+    try:
+        limit = int(os.environ.get("REPRO_TRACE_SPAN_LIMIT", DEFAULT_SPAN_LIMIT))
+    except ValueError:
+        return DEFAULT_SPAN_LIMIT
+    return max(0, limit)
+
+
+def pack_request_frame(seq: int, request: Mapping,
+                       trace_id: Optional[str] = None) -> bytes:
+    """Pack one request frame, optionally injecting trace context.
+
+    The context travels inside the JSON payload under :data:`TRACE_KEY` —
+    no wire-format change on the request side, and workers without tracing
+    simply pop and ignore it.
+    """
+    if trace_id is not None:
+        request = dict(request)
+        request[TRACE_KEY] = {"id": trace_id}
     payload = json.dumps(request, separators=(",", ":")).encode("utf-8")
     return REQUEST_HEADER.pack(seq & 0xFFFFFFFF, len(payload)) + payload
 
 
-def pack_response_frame(seq: int, status: int, body: bytes) -> bytes:
-    return RESPONSE_HEADER.pack(seq & 0xFFFFFFFF, len(body), status) + body
+def pack_response_frame(seq: int, status: int, body: bytes,
+                        span_payload: Optional[bytes] = None,
+                        span_limit: int = DEFAULT_SPAN_LIMIT) -> bytes:
+    """Pack one response frame, appending the span subtree when it fits.
+
+    Oversized payloads become the :data:`SPAN_DROPPED` sentinel with no
+    trailing bytes — the response body always ships intact regardless of
+    what tracing does.
+    """
+    if not span_payload:
+        span_len = 0
+        span_payload = b""
+    elif len(span_payload) > span_limit:
+        span_len = SPAN_DROPPED
+        span_payload = b""
+    else:
+        span_len = len(span_payload)
+    header = RESPONSE_HEADER.pack(seq & 0xFFFFFFFF, len(body), status, span_len)
+    return header + body + span_payload
+
+
+def decode_shipped_spans(span_len: int, span_bytes: bytes):
+    """The master-side end of span shipping: frame fields → ``Span`` or ``None``.
+
+    Shared by both serve paths (the threaded roundtrip and the event loop's
+    incremental frame parser) so the shipped/dropped counters are bumped in
+    exactly one place.  A :data:`SPAN_DROPPED` sentinel or a corrupt payload
+    yields ``None`` — tracing degradation never fails a response.
+    """
+    from repro.obs import TRACE_SPANS_DROPPED, TRACE_SPANS_SHIPPED
+    from repro.obs.trace import Span
+
+    if span_len == SPAN_DROPPED:
+        TRACE_SPANS_DROPPED.inc()
+        return None
+    if not span_bytes:
+        return None
+    try:
+        document = json.loads(span_bytes)
+    except ValueError:
+        return None
+    if not isinstance(document, dict):
+        return None
+    span = Span.from_dict(document)
+    count = 1
+    stack = list(span.children)
+    while stack:
+        count += 1
+        stack.extend(stack.pop().children)
+    TRACE_SPANS_SHIPPED.inc((), count)
+    return span
 
 
 def recv_exact(sock, size: int) -> Optional[bytes]:

@@ -118,7 +118,7 @@ class _Connection:
         "in_flight", "reading", "want_write", "last_activity",
         "request_started", "t_parsed", "t_dispatched",
         "method", "path", "headers", "content_length", "headers_parsed",
-        "trace", "trace_id", "op",
+        "trace", "trace_id", "op", "routed_request", "routed_started",
     )
 
     def __init__(self, sock: socket.socket) -> None:
@@ -143,6 +143,11 @@ class _Connection:
         self.trace = None         # RequestTrace for routed requests
         self.trace_id: Optional[str] = None
         self.op: Optional[str] = None
+        #: The routed request + its parse-completion time, kept so the
+        #: write-complete hook can feed the slow-query log with the full
+        #: queue + worker + write duration (routed reads bypass execute()).
+        self.routed_request: Optional[Mapping] = None
+        self.routed_started = 0.0
 
     def reset_request(self) -> None:
         self.in_flight = False
@@ -157,6 +162,8 @@ class _Connection:
         self.trace = None
         self.trace_id = None
         self.op = None
+        self.routed_request = None
+        self.routed_started = 0.0
 
 
 class _WorkerChannel:
@@ -611,6 +618,10 @@ class EventLoopHTTPServer:
         if method == "GET":
             if path == "/healthz":
                 self._submit(conn, self._job_healthz)
+            elif path == "/readyz":
+                self._submit(conn, self._job_readyz)
+            elif path == "/debug/profile":
+                self._submit(conn, self._job_profile)
             elif path == "/metrics":
                 self._submit(conn, self._job_prometheus)
             elif path == "/v1/metrics":
@@ -716,7 +727,18 @@ class EventLoopHTTPServer:
         pool = getattr(self.service, "pool", None)
         if pool is not None and pool.running:
             payload["pool"] = pool.check_health()
+            payload["workers"] = pool.readiness().get("workers", [])
         return _Response(200, json.dumps(payload).encode("utf-8"))
+
+    def _job_readyz(self) -> _Response:
+        document = self.service.readiness()
+        status = 200 if document.get("ready") else 503
+        return _Response(status, json.dumps(document).encode("utf-8"))
+
+    def _job_profile(self) -> _Response:
+        text = self.service.profile_folded()
+        return _Response(200, text.encode("utf-8"),
+                         content_type="text/plain; charset=utf-8")
 
     def _job_prometheus(self) -> _Response:
         service = self.service
@@ -794,8 +816,11 @@ class EventLoopHTTPServer:
             if conn.request_started is not None:
                 conn.trace.add_event("loop:read", conn.t_parsed - conn.request_started)
             conn.trace.add_event("loop:queue", now - conn.t_parsed)
+        conn.routed_request = request
+        conn.routed_started = conn.t_parsed
         channel.pending[seq] = (conn, request, now)
-        channel.out.append(memoryview(pack_request_frame(seq, request)))
+        channel.out.append(memoryview(
+            pack_request_frame(seq, request, conn.trace_id)))
         self._flush_channel(channel)
         return True
 
@@ -825,7 +850,12 @@ class EventLoopHTTPServer:
             self._drop_channel(channel)
 
     def _on_channel_readable(self, channel: _WorkerChannel, now: float) -> None:
-        from repro.service.dispatch import FRAME_MISS, RESPONSE_HEADER
+        from repro.service.dispatch import (
+            FRAME_MISS,
+            RESPONSE_HEADER,
+            SPAN_DROPPED,
+            decode_shipped_spans,
+        )
 
         try:
             while True:
@@ -843,11 +873,16 @@ class EventLoopHTTPServer:
             return
         header_size = RESPONSE_HEADER.size
         while len(channel.buffer) >= header_size:
-            seq, length, status = RESPONSE_HEADER.unpack_from(channel.buffer)
-            if len(channel.buffer) < header_size + length:
+            seq, length, status, span_len = RESPONSE_HEADER.unpack_from(
+                channel.buffer)
+            span_extra = 0 if span_len == SPAN_DROPPED else span_len
+            total = header_size + length + span_extra
+            if len(channel.buffer) < total:
                 break
             body = bytes(channel.buffer[header_size:header_size + length])
-            del channel.buffer[:header_size + length]
+            span_bytes = (bytes(channel.buffer[header_size + length:total])
+                          if span_extra else b"")
+            del channel.buffer[:total]
             entry = channel.pending.pop(seq, None)
             if entry is None:
                 continue  # stale frame from a timed-out request
@@ -858,6 +893,7 @@ class EventLoopHTTPServer:
                 LOOP_EVENTS.inc(("worker_fallback",))
                 if pool is not None:
                     pool.note_dispatched(worker_index, "miss")
+                conn.routed_request = None
                 self._submit(conn, self._job_execute, request)
                 continue
             seconds = now - dispatched_at
@@ -867,7 +903,12 @@ class EventLoopHTTPServer:
             if status >= 400:
                 HTTP_ERRORS.inc((conn.op, str(status)))
             if conn.trace is not None:
-                conn.trace.add_event("worker:serve", seconds)
+                span = decode_shipped_spans(span_len, span_bytes)
+                if span is not None:
+                    conn.trace.add_span(span)
+                else:
+                    conn.trace.add_event("worker:serve", seconds)
+                conn.trace.set_status(status)
             self._finish_request(
                 conn,
                 _Response(status, body, trace_id=conn.trace_id, routed=True),
@@ -893,6 +934,7 @@ class EventLoopHTTPServer:
             if conn.closed:
                 self._abandon_request(conn)
             else:
+                conn.routed_request = None
                 self._submit(conn, self._job_execute, request)
 
     # ------------------------------------------------------------------
@@ -1030,6 +1072,15 @@ class EventLoopHTTPServer:
             conn.trace = None
         elif trace_id is not None:
             TRACER.attach_event(trace_id, "loop:write", write_seconds)
+        if conn.routed_request is not None:
+            # Routed reads never pass through execute(): feed the slow-query
+            # log here with the full queue + worker + write duration.
+            request = conn.routed_request
+            conn.routed_request = None
+            self.service.record_routed_slow(
+                conn.op, max(0.0, now - conn.routed_started),
+                request=request, plan=request.get("plan"),
+                trace_id=trace_id)
         if conn.close_after_write:
             self._close_connection(conn)
             return
@@ -1082,6 +1133,7 @@ class EventLoopHTTPServer:
                 if conn.closed:
                     self._abandon_request(conn)
                 else:
+                    conn.routed_request = None
                     self._submit(conn, self._job_execute, request)
 
 

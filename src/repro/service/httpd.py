@@ -17,7 +17,13 @@ Endpoints (all JSON):
 
 * ``GET  /healthz``          — liveness: ``{"status": "ok"}``; with a pool,
   also triggers a worker health sweep (dead workers respawn) and reports
-  ``{"pool": {"workers", "alive", "restarts"}}``.
+  ``{"pool": {"workers", "alive", "restarts"}}`` plus a per-worker state list.
+* ``GET  /readyz``           — readiness: 200 only when every worker is
+  attached at the current epoch and the pool is not draining; 503 otherwise,
+  always with the structured per-worker/per-export detail in the body.
+* ``GET  /debug/profile``    — merged folded-stack output from the sampling
+  profiler (master + every worker), plain text, one ``stack count`` line per
+  distinct stack — pipe into ``flamegraph.pl`` directly.
 * ``GET  /metrics``          — Prometheus text exposition (the one non-JSON
   endpoint; gauges are refreshed from service state before rendering).  With
   a pool, each worker's ``repro_pool_worker_*`` families are scraped over the
@@ -226,7 +232,18 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 # The liveness probe doubles as the supervision tick: dead
                 # workers (e.g. kill -9) are detected and respawned here.
                 payload["pool"] = pool.check_health()
+                payload["workers"] = pool.readiness().get("workers", [])
             self._respond(200, payload)
+        elif self.path == "/readyz":
+            document = self.server.service.readiness()
+            self._respond(200 if document.get("ready") else 503, document)
+        elif self.path == "/debug/profile":
+            body = self.server.service.profile_folded().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif self.path == "/metrics":
             self._respond_prometheus()
         elif self.path == "/v1/metrics":
@@ -268,11 +285,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         service = self.server.service
         routed = service.dispatch_raw(request)
         if routed is not None:
-            status, body = routed
+            status, body, trace_id = routed
             if status >= 400:
                 op = request.get("op")
                 HTTP_ERRORS.inc((op if isinstance(op, str) else "invalid", str(status)))
-            self._respond_bytes(status, body)
+            self._respond_bytes(status, body, trace_id=trace_id)
             return
         response = service.execute(request)
         if response.get("ok"):
@@ -392,7 +409,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self._respond_bytes(status, body, retry_after=retry_after)
 
     def _respond_bytes(
-        self, status: int, body: bytes, retry_after: Optional[float] = None
+        self, status: int, body: bytes, retry_after: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         """Write a pre-encoded JSON body (the worker-routed fast path)."""
         self.send_response(status)
@@ -400,6 +418,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
             self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
+        if trace_id is not None:
+            # Routed bodies are worker-encoded and passed through verbatim, so
+            # the stitched trace id travels in a header instead of the JSON.
+            self.send_header("X-Repro-Trace", trace_id)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()

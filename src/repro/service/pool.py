@@ -77,18 +77,25 @@ def _worker_main(worker_id: int, conn, serve_sock, obs_enabled: bool) -> None:
     :func:`multiprocessing.connection.wait`, so a burst of serve frames
     cannot starve an attach (and vice versa).
     """
+    import os
+
     from multiprocessing.connection import wait as _channel_wait
 
     from repro.core import snapshot as snapshot_module
+    from repro.obs import TRACER
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import DEFAULT_HZ, PROFILER, maybe_start_from_env
     from repro.service.dispatch import (
         FRAME_MISS,
         REQUEST_HEADER,
         RESPONSE_HEADER,
+        SPAN_DROPPED,
         encode_response,
         execute_snapshot_op,
         recv_exact,
+        span_limit_from_env,
     )
+    from repro.service.protocol import TRACE_KEY
 
     # A forked worker inherits the master's owned-name set, but owns nothing:
     # drop the stale ownership.  Names this worker attaches are re-added below
@@ -98,7 +105,22 @@ def _worker_main(worker_id: int, conn, serve_sock, obs_enabled: bool) -> None:
     # exactly once and the master's unlink consumes that registration.
     snapshot_module._OWNED_NAMES.clear()
 
+    # The fork-inherited global tracer carries the master's retained traces
+    # and enablement; reset it so the worker's ring holds only its own spans
+    # (the shipped subtrees are built fresh per frame, never from the ring).
+    TRACER.reset()
+    if obs_enabled:
+        TRACER.enable()
+    else:
+        TRACER.disable()
+    # The master's sampler thread (if any) did not survive the fork; honor
+    # continuous profiling in this process too when the env asks for it.
+    maybe_start_from_env()
+
     wid = str(worker_id)
+    pid = os.getpid()
+    span_limit = span_limit_from_env()
+    profile_window = False  # did a master-driven window start our profiler?
     registry = MetricsRegistry(enabled=obs_enabled)
     requests_total = registry.counter(
         "repro_pool_worker_requests_total",
@@ -141,27 +163,56 @@ def _worker_main(worker_id: int, conn, serve_sock, obs_enabled: bool) -> None:
         try:
             request = json.loads(payload)
         except ValueError:
-            serve_sock.sendall(RESPONSE_HEADER.pack(seq, 0, FRAME_MISS))
+            serve_sock.sendall(RESPONSE_HEADER.pack(seq, 0, FRAME_MISS, 0))
             return True
+        trace_ctx = request.pop(TRACE_KEY, None) if isinstance(request, dict) else None
         fingerprint = request.get("plan") if isinstance(request, Mapping) else None
         entry = attachments.get(fingerprint)
         if entry is None:
-            serve_sock.sendall(RESPONSE_HEADER.pack(seq, 0, FRAME_MISS))
+            serve_sock.sendall(RESPONSE_HEADER.pack(seq, 0, FRAME_MISS, 0))
             return True
+        op = request.get("op")
         started = time.perf_counter()
-        response = execute_snapshot_op(entry.instance, fingerprint, request)
-        status, body = encode_response(response)
+        span_len = 0
+        span_payload = b""
+        if trace_ctx is not None and TRACER.enabled:
+            # The worker's own span subtree: timed here, shipped back after
+            # the body, grafted into the master's trace.  The subtree is
+            # built per frame (not retained in the worker's ring), so churn
+            # and respawns cannot leak spans across requests.
+            with TRACER.span("worker:serve", worker=wid, pid=pid, op=op) as root:
+                with TRACER.span("worker:execute"):
+                    response = execute_snapshot_op(entry.instance, fingerprint, request)
+                with TRACER.span("worker:encode"):
+                    status, body = encode_response(response)
+            try:
+                span_payload = json.dumps(
+                    root.to_dict(), separators=(",", ":")
+                ).encode("utf-8")
+            except (TypeError, ValueError):  # pragma: no cover - defensive
+                span_payload = b""
+            if len(span_payload) > span_limit:
+                span_payload = b""
+                span_len = SPAN_DROPPED
+            else:
+                span_len = len(span_payload)
+        else:
+            response = execute_snapshot_op(entry.instance, fingerprint, request)
+            status, body = encode_response(response)
         seconds = time.perf_counter() - started
         # One vectored write per response: the pre-encoded body bytes go to
-        # the socket as-is and travel unmodified to the client socket.
-        frame = RESPONSE_HEADER.pack(seq, len(body), status)
-        sent = serve_sock.sendmsg([frame, memoryview(body)])
-        total = len(frame) + len(body)
+        # the socket as-is and travel unmodified to the client socket; span
+        # bytes trail the body so they never touch the client-bound payload.
+        frame = RESPONSE_HEADER.pack(seq, len(body), status, span_len)
+        parts = [frame, memoryview(body)]
+        if span_payload:
+            parts.append(span_payload)
+        sent = serve_sock.sendmsg(parts)
+        total = len(frame) + len(body) + len(span_payload)
         if sent < total:  # kernel buffer full: finish the frame blocking
-            view = memoryview(frame + body)
+            view = memoryview(frame + body + span_payload)
             while sent < total:
                 sent += serve_sock.send(view[sent:])
-        op = request.get("op")
         op_label = op if isinstance(op, str) else "invalid"
         outcome = "ok" if status == 200 else str(status)
         requests_total.inc((wid, op_label, outcome))
@@ -235,6 +286,23 @@ def _worker_main(worker_id: int, conn, serve_sock, obs_enabled: bool) -> None:
                     }
                     for fingerprint, entry in attachments.items()
                 }))
+            elif kind == "profile":
+                snapshot = PROFILER.snapshot()
+                snapshot["worker"] = worker_id
+                conn.send(("profile", snapshot))
+            elif kind == "profile_start":
+                hz = message[1] if len(message) > 1 and message[1] else DEFAULT_HZ
+                if not PROFILER.running:
+                    # A bounded window wants a fresh corpus; continuous
+                    # profiling (env-started) keeps accumulating untouched.
+                    PROFILER.reset()
+                    profile_window = PROFILER.start(hz)
+                conn.send(("profiling", worker_id, profile_window))
+            elif kind == "profile_stop":
+                if profile_window:
+                    PROFILER.stop()
+                    profile_window = False
+                conn.send(("profiling", worker_id, False))
             elif kind == "shutdown":
                 conn.send(("bye", worker_id))
                 break
@@ -515,6 +583,61 @@ class WorkerPool:
             "restarts": sum(w.restarts for w in self._workers),
         }
 
+    def readiness(self) -> Dict[str, object]:
+        """Per-worker readiness for ``/readyz``: structured, cheap, no I/O.
+
+        Ready means: the pool is running and not draining, every worker slot
+        is alive, and every export's ready set covers every live worker —
+        i.e. each worker is attached at the current epoch of every published
+        plan (a mid-swap frozen export or a still-respawning worker reports
+        not-ready rather than silently serving inline).
+        """
+        with self._lock:
+            draining = self._closing
+            exports = {
+                fingerprint: {
+                    "epoch": export.epoch,
+                    "ready_workers": sorted(export.ready),
+                }
+                for fingerprint, export in self._exports.items()
+            }
+        workers = [
+            {
+                "worker": worker.index,
+                "pid": worker.process.pid if worker.process is not None else None,
+                "alive": worker.alive,
+                "restarts": worker.restarts,
+            }
+            for worker in self._workers
+        ]
+        alive_set = {w.index for w in self._workers if w.alive}
+        all_alive = len(alive_set) == len(self._workers)
+        attached = all(
+            alive_set <= set(info["ready_workers"]) for info in exports.values()
+        )
+        ready = bool(self._running and not draining and all_alive and attached)
+        return {
+            "ready": ready,
+            "draining": draining,
+            "workers": workers,
+            "exports": exports,
+        }
+
+    def scrape_profiles(self) -> List[Dict[str, object]]:
+        """Each live worker's profiler snapshot (folded stacks + counts)."""
+        documents: List[Dict[str, object]] = []
+        for worker in self.alive_workers():
+            reply = self._roundtrip(worker, ("profile",))
+            if reply is not None and reply[0] == "profile" and isinstance(reply[1], dict):
+                documents.append(reply[1])
+        return documents
+
+    def profile_control(self, action: str, hz: Optional[float] = None) -> None:
+        """Broadcast a bounded profiling window start/stop to every worker."""
+        message = ("profile_start", hz) if action == "start" else ("profile_stop",)
+        for worker in self.alive_workers():
+            self._roundtrip(worker, message)
+
     # ------------------------------------------------------------------
     # Exports and the epoch barrier
     # ------------------------------------------------------------------
@@ -673,11 +796,17 @@ class WorkerPool:
             else:
                 self._inline_fallbacks += 1
 
-    def _serve_roundtrip(self, worker: _Worker,
-                         request: Mapping) -> Optional[Tuple[int, bytes]]:
-        """One blocking frame exchange on the serve socket (threaded path)."""
+    def _serve_roundtrip(self, worker: _Worker, request: Mapping,
+                         trace_id: Optional[str] = None) -> Optional[Tuple]:
+        """One blocking frame exchange on the serve socket (threaded path).
+
+        Returns ``(status, body bytes, shipped Span | None)``; the span slot
+        carries the worker's stitched-in subtree when the request traveled
+        with trace context and the worker shipped one back.
+        """
         from repro.service.dispatch import (
-            FRAME_MISS, RESPONSE_HEADER, pack_request_frame, recv_exact,
+            FRAME_MISS, RESPONSE_HEADER, SPAN_DROPPED, decode_shipped_spans,
+            pack_request_frame, recv_exact,
         )
 
         sock = worker.serve_sock
@@ -689,19 +818,24 @@ class WorkerPool:
             seq = next(worker.seq) & 0xFFFFFFFF
             try:
                 sock.settimeout(self.request_timeout)
-                sock.sendall(pack_request_frame(seq, request))
+                sock.sendall(pack_request_frame(seq, request, trace_id))
                 while True:
                     header = recv_exact(sock, RESPONSE_HEADER.size)
                     if header is None:
                         raise OSError("worker serve socket closed")
-                    rseq, length, status = RESPONSE_HEADER.unpack(header)
+                    rseq, length, status, span_len = RESPONSE_HEADER.unpack(header)
                     body = recv_exact(sock, length) if length else b""
                     if length and body is None:
                         raise OSError("worker serve socket closed mid-frame")
+                    span_bytes = b""
+                    if span_len and span_len != SPAN_DROPPED:
+                        span_bytes = recv_exact(sock, span_len)
+                        if span_bytes is None:
+                            raise OSError("worker serve socket closed mid-frame")
                     if rseq == seq:
                         if status == FRAME_MISS:
                             return None
-                        return status, body
+                        return status, body, decode_shipped_spans(span_len, span_bytes)
                     # A stale reply from an earlier timed-out exchange: drop
                     # it and keep reading for ours.
             except (OSError, ValueError):
@@ -710,13 +844,15 @@ class WorkerPool:
                 return None
 
     def dispatch(self, fingerprint: str, request: Mapping,
-                 expected_epoch: Optional[int] = None) -> Optional[Tuple[int, bytes]]:
-        """Route one request; (status, body bytes) or None for inline fallback."""
+                 expected_epoch: Optional[int] = None,
+                 trace_id: Optional[str] = None) -> Optional[Tuple]:
+        """Route one request; ``(status, body bytes, Span | None)`` or ``None``
+        for inline fallback."""
         worker = self.route(fingerprint, request, expected_epoch)
         if worker is None:
             return None
         alive_before = worker.alive
-        result = self._serve_roundtrip(worker, request)
+        result = self._serve_roundtrip(worker, request, trace_id)
         if result is not None:
             self.note_dispatched(worker.index, "routed")
             return result

@@ -57,6 +57,12 @@ STATUS_BY_CODE: Dict[str, int] = {
     "overloaded": 503,
 }
 
+#: Reserved request key carrying trace context (``{"id": <trace id>}``) from
+#: the master into a pool worker.  Workers pop it before executing, so the
+#: response bytes stay identical whether or not tracing rode along; the key's
+#: leading underscore keeps it out of the client-facing request vocabulary.
+TRACE_KEY = "_trace"
+
 
 class ServiceError(ReproError):
     """A request-level error with a machine-readable code.

@@ -393,11 +393,20 @@ class QueryService:
         REQUEST_SECONDS.observe(seconds, (op,))
         self._count_op(op)
 
-    def dispatch_raw(self, request: Mapping) -> Optional[Tuple[int, bytes]]:
-        """Try to serve a request on a pool worker; pre-encoded bytes or None.
+    def dispatch_raw(self, request: Mapping) -> Optional[Tuple]:
+        """Try to serve a request on a pool worker.
 
-        ``None`` means "serve inline" — not an error (see
+        Returns ``(status, pre-encoded body bytes, trace id | None)`` or
+        ``None`` — the latter means "serve inline", not an error (see
         :meth:`routable_plan` for the preconditions).
+
+        Routed requests bypass :meth:`execute`, so this is their
+        observability middleware: a request trace is opened here, its id
+        travels to the worker inside the frame payload, the worker's shipped
+        ``worker:*`` subtree is stitched under the root, and the duration
+        feeds the slow-query log.  The trace id rides the return value (the
+        HTTP front-end exposes it as an ``X-Repro-Trace`` header) because
+        the response body must stay bit-identical to the worker's encoding.
         """
         plan = self.routable_plan(request)
         if plan is None:
@@ -406,13 +415,54 @@ class QueryService:
         if pool is None or not pool.running:
             return None
         pool.ensure_export(plan)
+        op = request.get("op")
+        trace = TRACER.open_request(self._TRACE_NAMES[op], path="threaded")
+        trace_id = trace.trace_id if trace is not None else None
         started = time.perf_counter()
-        result = pool.dispatch(request["plan"], request, plan.engine.base_epoch)
-        if result is None:
-            return None
+        result = pool.dispatch(request["plan"], request, plan.engine.base_epoch,
+                               trace_id)
         seconds = time.perf_counter() - started
-        self.note_routed(request.get("op"), result[0], seconds)
-        return result
+        if result is None:
+            # Inline fallback: the open trace is simply dropped, never
+            # retained — execute() will trace the inline serve itself.
+            return None
+        status, body = result[0], result[1]
+        span = result[2] if len(result) > 2 else None
+        if trace is not None:
+            if span is not None:
+                trace.add_span(span)
+            else:
+                trace.add_event("worker:serve", seconds)
+            trace.set_status(status)
+        TRACER.close_request(trace)
+        self.note_routed(op, status, seconds)
+        self.record_routed_slow(op, seconds, request=request,
+                                plan=request.get("plan"), trace_id=trace_id)
+        return status, body, trace_id
+
+    def record_routed_slow(self, op: str, seconds: float, *,
+                           request: Optional[Mapping] = None,
+                           plan: Optional[str] = None,
+                           trace_id: Optional[str] = None) -> None:
+        """Slow-query accounting for routed reads (they bypass the
+        :meth:`execute` middleware).  Shared by both serve paths; the cheap
+        threshold check gates the argument marshalling."""
+        if seconds < self.slow_log.threshold_seconds:
+            return
+        database = None
+        rank_span = None
+        if isinstance(request, Mapping):
+            raw = request.get("db") or request.get("database")
+            database = raw if isinstance(raw, str) else None
+            rank_span = describe_rank_span(request)
+        self.slow_log.record(
+            op if isinstance(op, str) else "invalid",
+            seconds,
+            plan=plan if isinstance(plan, str) else None,
+            rank_span=rank_span,
+            trace_id=trace_id,
+            database=database,
+        )
 
     # ------------------------------------------------------------------
     # Databases
@@ -806,6 +856,11 @@ class QueryService:
                 )
             if pool_active:
                 entry["workers"] = worker_attachments.get(plan.fingerprint, [])
+            query_plan = plan.query_plan
+            if query_plan is not None and query_plan.stats is not None:
+                # Per-stage build timings — and, when the build ran with
+                # memory attribution on, per-stage allocation deltas.
+                entry["build"] = query_plan.stats.to_dict()
             plans.append(entry)
         result: Dict[str, object] = {
             "databases": databases,
@@ -850,6 +905,8 @@ class QueryService:
             status = error.get("code", "error") if isinstance(error, Mapping) else "error"
         REQUESTS.inc((op_label, status))
         REQUEST_SECONDS.observe(seconds, (op_label,))
+        if trace is not None:
+            trace.set_status(status)
         trace_id = trace.trace_id if trace is not None else None
         if trace_id is not None:
             response["trace"] = trace_id
@@ -1108,6 +1165,95 @@ class QueryService:
             "slow_queries": self.slow_log.entries(limit=limit),
         }
 
+    # -- profiling + readiness -----------------------------------------
+    #: Upper bound on an ``_op_profile`` sampling window: the handler blocks
+    #: a serving thread for the window, so it must stay interactive-scale.
+    _PROFILE_WINDOW_MAX_SECONDS = 30.0
+
+    def _op_profile(self, request: Mapping) -> Dict[str, object]:
+        """Merged folded-stack profile of the master and every pool worker.
+
+        With ``seconds > 0``: run a bounded sampling window first — start
+        this process's profiler (unless continuous profiling already has it
+        running) and every worker's, sleep, stop them, then snapshot.  With
+        ``seconds`` absent/0: report whatever the continuously running (or
+        last-window) profilers have accumulated.
+        """
+        from repro.obs.profile import (
+            DEFAULT_HZ, PROFILER, merge_folded, render_folded,
+        )
+
+        seconds = request.get("seconds", 0)
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+            raise ServiceError("bad_request", "'seconds' must be a number")
+        if seconds < 0 or seconds > self._PROFILE_WINDOW_MAX_SECONDS:
+            raise ServiceError(
+                "bad_request",
+                f"'seconds' must be between 0 and {self._PROFILE_WINDOW_MAX_SECONDS:g}",
+            )
+        hz = request.get("hz", DEFAULT_HZ)
+        if isinstance(hz, bool) or not isinstance(hz, (int, float)) or hz <= 0:
+            raise ServiceError("bad_request", "'hz' must be a positive number")
+        pool = self._pool
+        pool_running = pool is not None and pool.running
+        if seconds:
+            window_started = False
+            if not PROFILER.running:
+                PROFILER.reset()
+                window_started = PROFILER.start(hz)
+            if pool_running:
+                pool.profile_control("start", hz)
+            try:
+                time.sleep(float(seconds))
+            finally:
+                if window_started:
+                    PROFILER.stop()
+                if pool_running:
+                    pool.profile_control("stop")
+        master = PROFILER.snapshot()
+        workers = pool.scrape_profiles() if pool_running else []
+        merged = merge_folded([master] + workers)
+        samples = master.get("samples", 0) + sum(
+            worker.get("samples", 0) for worker in workers
+        )
+        return {
+            "profile": {
+                "master": master,
+                "workers": workers,
+                "samples": samples,
+                "folded": render_folded(merged),
+            }
+        }
+
+    def profile_folded(self) -> str:
+        """The merged folded-stack corpus (``GET /debug/profile``)."""
+        from repro.obs.profile import PROFILER, merge_folded, render_folded
+
+        documents: List[Dict[str, object]] = [PROFILER.snapshot()]
+        pool = self._pool
+        if pool is not None and pool.running:
+            documents.extend(pool.scrape_profiles())
+        return render_folded(merge_folded(documents))
+
+    def readiness(self) -> Dict[str, object]:
+        """Readiness for ``/readyz`` on both front-ends.
+
+        Without a pool the service is ready as soon as it serves (liveness
+        and readiness coincide).  With one, readiness is the pool's: every
+        worker alive and attached at the current epoch of every export, and
+        the pool not draining.
+        """
+        pool = self._pool
+        if pool is None or not pool.running:
+            draining = pool is not None and pool._closing
+            return {"ready": not draining, "draining": draining, "pool": None}
+        document = pool.readiness()
+        return {
+            "ready": document["ready"],
+            "draining": document["draining"],
+            "pool": document,
+        }
+
     # -- mutation op handlers (the live-update API) --------------------
     def _mutation_target(self, request: Mapping) -> Tuple[str, str]:
         database = self._database_name(request, "mutation")
@@ -1156,6 +1302,7 @@ class QueryService:
         "metrics": _op_metrics,
         "trace": _op_trace,
         "slowlog": _op_slowlog,
+        "profile": _op_profile,
         "databases": _op_databases,
         "register": _op_register,
         "insert": _op_insert,
